@@ -1,0 +1,84 @@
+// Ablation A1 — fill-buffer size. The paper's RM "supports arbitrary
+// data sizes even with a small data memory of 2 MB on the FPGA by
+// refilling it whenever it is full" (§V). This bench sweeps the buffer
+// size and reports the refill count and the end-to-end cost of an
+// RM scan, showing the re-arm overhead amortizing away.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "engine/rm_exec.h"
+#include "layout/row_table.h"
+#include "relmem/rm_engine.h"
+#include "sim/memory_system.h"
+
+namespace relfab::bench {
+namespace {
+
+engine::QuerySpec WideProjection() {
+  engine::QuerySpec spec;
+  for (uint32_t c = 0; c < 8; ++c) spec.projection.push_back(c);
+  return spec;
+}
+
+uint64_t RunWithBuffer(uint64_t buffer_bytes, uint64_t rows,
+                       uint64_t* refills) {
+  sim::SimParams params;
+  params.fabric_buffer_bytes = buffer_bytes;
+  sim::MemorySystem memory(params);
+  layout::Schema schema =
+      layout::Schema::Uniform(16, layout::ColumnType::kInt32);
+  layout::RowTable table(std::move(schema), &memory, rows);
+  layout::RowBuilder b(&table.schema());
+  Random rng(1);
+  for (uint64_t r = 0; r < rows; ++r) {
+    b.Reset();
+    for (int c = 0; c < 16; ++c) {
+      b.AddInt32(static_cast<int32_t>(rng.Uniform(100)));
+    }
+    table.AppendRow(b.Finish());
+  }
+  relmem::RmEngine rm(&memory);
+  memory.ResetState();
+  engine::RmExecEngine eng(&table, &rm);
+  const uint64_t cycles = eng.Execute(WideProjection())->sim_cycles;
+  *refills = memory.stats().fabric_refills;
+  return cycles;
+}
+
+}  // namespace
+}  // namespace relfab::bench
+
+int main(int argc, char** argv) {
+  using namespace relfab;
+  using namespace relfab::bench;
+  benchmark::Initialize(&argc, argv);
+
+  const uint64_t rows = FullScale() ? (1ull << 21) : (1ull << 19);
+  auto* results = new ResultTable("Ablation A1: fill-buffer size (" +
+                                  std::to_string(rows) + " rows, 8 of 16 "
+                                  "columns projected)");
+  auto* refill_counts = new std::map<std::string, uint64_t>;
+
+  for (uint64_t kib : {16ull, 64ull, 256ull, 1024ull, 2048ull, 8192ull}) {
+    const std::string x = std::to_string(kib) + " KiB";
+    RegisterSimBenchmark("fill_buffer/" + x, results, "RM", x, [=] {
+      uint64_t refills = 0;
+      const uint64_t cycles = RunWithBuffer(kib * 1024, rows, &refills);
+      (*refill_counts)[x] = refills;
+      return cycles;
+    });
+  }
+
+  benchmark::RunSpecifiedBenchmarks();
+  results->PrintCycles("buffer size");
+  std::printf("\nrefills per scan:\n");
+  for (const auto& [x, n] : *refill_counts) {
+    std::printf("%-12s %llu\n", x.c_str(),
+                static_cast<unsigned long long>(n));
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Ablation A7 — Relational Storage (paper §IV-D): near-storage
+// projection vs shipping whole pages to the host, swept over
+// projectivity. The crossover logic differs from Relational Memory:
+// here the scarce resource is the external host interface, so RS wins
+// whenever the projected fraction is small and converges to the host
+// path as the query touches the whole row.
+
+#include <benchmark/benchmark.h>
+
+#include <cstring>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "layout/schema.h"
+#include "relstorage/rs_engine.h"
+
+namespace relfab::bench {
+namespace {
+
+relstorage::StorageTable BuildTable(uint64_t rows) {
+  layout::Schema schema =
+      layout::Schema::Uniform(16, layout::ColumnType::kInt32);
+  std::vector<uint8_t> data(rows * schema.row_bytes());
+  Random rng(4);
+  for (uint64_t i = 0; i < data.size(); i += 4) {
+    const int32_t v = static_cast<int32_t>(rng.Uniform(1000));
+    std::memcpy(data.data() + i, &v, 4);
+  }
+  return relstorage::StorageTable(std::move(schema), std::move(data), rows,
+                                  4096);
+}
+
+}  // namespace
+}  // namespace relfab::bench
+
+int main(int argc, char** argv) {
+  using namespace relfab;
+  using namespace relfab::bench;
+  benchmark::Initialize(&argc, argv);
+
+  const uint64_t rows = FullScale() ? 2000000 : 500000;
+  auto* table = new relstorage::StorageTable(BuildTable(rows));
+  auto* ssd = new relstorage::SsdModel();
+  auto* rs = new relstorage::RsEngine(ssd);
+  auto* results = new ResultTable(
+      "Ablation A7: near-storage projection vs host scan (" +
+      std::to_string(rows) + " rows of 16 columns)");
+
+  for (uint32_t k : {1u, 2u, 4u, 8u, 12u, 16u}) {
+    relmem::Geometry g;
+    for (uint32_t c = 0; c < k; ++c) g.columns.push_back(c);
+    const std::string x = std::to_string(k) + " cols";
+    RegisterSimBenchmark("relstorage/host/" + x, results, "host scan", x,
+                         [=] {
+                           auto r = rs->HostScan(*table, g);
+                           RELFAB_CHECK(r.ok());
+                           return static_cast<uint64_t>(r->cycles);
+                         });
+    RegisterSimBenchmark("relstorage/rs/" + x, results, "RS scan", x, [=] {
+      auto r = rs->NearStorageScan(*table, g);
+      RELFAB_CHECK(r.ok());
+      return static_cast<uint64_t>(r->cycles);
+    });
+  }
+
+  benchmark::RunSpecifiedBenchmarks();
+  results->PrintCycles("projected columns");
+  results->PrintSpeedupVs("projected columns", "host scan");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Ablation A4 — pushing selection into the fabric (paper §IV-B). With
+// the predicate evaluated in hardware, only qualifying rows' column
+// groups cross the memory hierarchy and the CPU skips predicate
+// evaluation entirely. Note the bottleneck structure: the fabric must
+// gather the source rows either way, so when production is the limit
+// (narrow outputs, low selectivity) pushdown shows no end-to-end gain —
+// its win appears exactly where the CPU-side consume path is the
+// bottleneck, and it additionally removes the cache pollution of
+// non-qualifying rows.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "common/random.h"
+#include "engine/rm_exec.h"
+#include "layout/row_table.h"
+#include "relmem/rm_engine.h"
+#include "sim/memory_system.h"
+
+namespace relfab::bench {
+namespace {
+
+struct Rig {
+  explicit Rig(uint64_t rows) {
+    layout::Schema schema =
+        layout::Schema::Uniform(16, layout::ColumnType::kInt32);
+    table = std::make_unique<layout::RowTable>(std::move(schema), &memory,
+                                               rows);
+    layout::RowBuilder b(&table->schema());
+    Random rng(1);
+    for (uint64_t r = 0; r < rows; ++r) {
+      b.Reset();
+      for (int c = 0; c < 16; ++c) {
+        b.AddInt32(static_cast<int32_t>(rng.Uniform(1000)));
+      }
+      table->AppendRow(b.Finish());
+    }
+    rm = std::make_unique<relmem::RmEngine>(&memory);
+  }
+
+  sim::MemorySystem memory;
+  std::unique_ptr<layout::RowTable> table;
+  std::unique_ptr<relmem::RmEngine> rm;
+};
+
+// sum of 4 columns where c15 < permille.
+engine::QuerySpec Query(int permille) {
+  engine::QuerySpec spec;
+  for (uint32_t c = 0; c < 4; ++c) {
+    spec.aggregates.push_back(
+        {engine::AggFunc::kSum, spec.exprs.Column(c)});
+  }
+  spec.predicates.push_back(
+      engine::Predicate::Int(15, relmem::CompareOp::kLt, permille));
+  return spec;
+}
+
+}  // namespace
+}  // namespace relfab::bench
+
+int main(int argc, char** argv) {
+  using namespace relfab;
+  using namespace relfab::bench;
+  benchmark::Initialize(&argc, argv);
+
+  const uint64_t rows = FullScale() ? (1ull << 21) : (1ull << 19);
+  auto* rig = new Rig(rows);
+  auto* results = new ResultTable(
+      "Ablation A4: selection in software vs pushed into the fabric (" +
+      std::to_string(rows) + " rows, 4-column sum)");
+
+  for (int permille : {1, 10, 100, 300, 500, 800, 1000}) {
+    const std::string x = std::to_string(permille / 10.0) + "%";
+    RegisterSimBenchmark("selection/sw/" + x, results, "RM software", x,
+                         [=] {
+                           rig->memory.ResetState();
+                           engine::RmExecEngine eng(rig->table.get(),
+                                                    rig->rm.get());
+                           return eng.Execute(Query(permille))->sim_cycles;
+                         });
+    RegisterSimBenchmark("selection/hw/" + x, results, "RM pushdown", x,
+                         [=] {
+                           rig->memory.ResetState();
+                           engine::RmExecEngine eng(
+                               rig->table.get(), rig->rm.get(),
+                               engine::CostModel::A53Defaults(),
+                               /*pushdown_selection=*/true);
+                           return eng.Execute(Query(permille))->sim_cycles;
+                         });
+  }
+
+  benchmark::RunSpecifiedBenchmarks();
+  results->PrintCycles("selectivity");
+  results->PrintSpeedupVs("selectivity", "RM software");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Ablation A11 — matrix slicing through the fabric (paper §VII Q1):
+// "data transformation has great potential for other data-intensive
+// applications over multi-dimensional data (matrix/tensor slicing and
+// vectorized operations on matrix/tensor slices)". Summing one column of
+// a row-major matrix is the canonical strided worst case; the fabric
+// ships the slice densely. The wider the matrix, the larger the win.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "relmem/rm_engine.h"
+#include "sim/memory_system.h"
+#include "tensor/matrix.h"
+
+namespace relfab::bench {
+namespace {
+
+struct Rig {
+  Rig(uint32_t cols, uint64_t rows) {
+    auto m = tensor::Matrix::Create(0, cols, &memory);
+    RELFAB_CHECK(m.ok());
+    matrix = std::make_unique<tensor::Matrix>(std::move(*m));
+    std::vector<double> row(cols, 1.0);
+    for (uint64_t r = 0; r < rows; ++r) matrix->AppendRow(row.data());
+    rm = std::make_unique<relmem::RmEngine>(&memory);
+  }
+
+  sim::MemorySystem memory;
+  std::unique_ptr<tensor::Matrix> matrix;
+  std::unique_ptr<relmem::RmEngine> rm;
+};
+
+}  // namespace
+}  // namespace relfab::bench
+
+int main(int argc, char** argv) {
+  using namespace relfab;
+  using namespace relfab::bench;
+  benchmark::Initialize(&argc, argv);
+
+  const uint64_t total_doubles = FullScale() ? (1ull << 23) : (1ull << 21);
+  auto* results = new ResultTable(
+      "Ablation A11: column-slice sum of a row-major matrix (constant "
+      "total size, growing width)");
+
+  for (uint32_t cols : {8u, 16u, 32u, 64u, 128u, 256u}) {
+    const uint64_t rows = total_doubles / cols;
+    auto* rig = new Rig(cols, rows);
+    const std::string x = std::to_string(rows) + "x" + std::to_string(cols);
+    RegisterSimBenchmark("tensor/direct/" + x, results, "strided CPU", x,
+                         [=] {
+                           rig->memory.ResetState();
+                           benchmark::DoNotOptimize(
+                               rig->matrix->SumColumnDirect(cols / 2));
+                           return rig->memory.ElapsedCycles();
+                         });
+    RegisterSimBenchmark("tensor/fabric/" + x, results, "fabric slice", x,
+                         [=] {
+                           rig->memory.ResetState();
+                           auto sum = rig->matrix->SumColumnFabric(
+                               rig->rm.get(), cols / 2);
+                           RELFAB_CHECK(sum.ok());
+                           benchmark::DoNotOptimize(*sum);
+                           return rig->memory.ElapsedCycles();
+                         });
+  }
+
+  benchmark::RunSpecifiedBenchmarks();
+  results->PrintCycles("matrix shape");
+  results->PrintSpeedupVs("matrix shape", "strided CPU");
+  return 0;
+}

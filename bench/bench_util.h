@@ -1,0 +1,156 @@
+#ifndef RELFAB_BENCH_BENCH_UTIL_H_
+#define RELFAB_BENCH_BENCH_UTIL_H_
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace relfab::bench {
+
+/// CPU frequency of the modelled platform; converts simulated cycles to
+/// the manual time reported to google-benchmark.
+inline constexpr double kCpuHz = 1.5e9;
+
+/// True when the RELFAB_FULL environment variable asks for paper-scale
+/// data sizes (default: scaled down ~16x so the whole suite runs in
+/// minutes on a laptop).
+inline bool FullScale() {
+  const char* v = std::getenv("RELFAB_FULL");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+/// Collects (series, x-label) -> simulated cycles and prints a
+/// paper-style table after the benchmarks ran.
+class ResultTable {
+ public:
+  explicit ResultTable(std::string title) : title_(std::move(title)) {}
+
+  void Add(const std::string& series, const std::string& x, uint64_t cycles) {
+    if (std::find(x_order_.begin(), x_order_.end(), x) == x_order_.end()) {
+      x_order_.push_back(x);
+    }
+    if (std::find(series_order_.begin(), series_order_.end(), series) ==
+        series_order_.end()) {
+      series_order_.push_back(series);
+    }
+    cells_[series][x] = cycles;
+  }
+
+  uint64_t Get(const std::string& series, const std::string& x) const {
+    return cells_.at(series).at(x);
+  }
+  bool Has(const std::string& series, const std::string& x) const {
+    auto it = cells_.find(series);
+    return it != cells_.end() && it->second.count(x) > 0;
+  }
+
+  /// Prints absolute simulated cycles per series.
+  void PrintCycles(const char* x_name) const {
+    std::printf("\n=== %s ===\n%-28s", title_.c_str(), x_name);
+    for (const std::string& s : series_order_) {
+      std::printf(" %14s", s.c_str());
+    }
+    std::printf("\n");
+    for (const std::string& x : x_order_) {
+      std::printf("%-28s", x.c_str());
+      for (const std::string& s : series_order_) {
+        if (Has(s, x)) {
+          std::printf(" %14llu",
+                      static_cast<unsigned long long>(Get(s, x)));
+        } else {
+          std::printf(" %14s", "-");
+        }
+      }
+      std::printf("\n");
+    }
+  }
+
+  /// Prints series_cycles / base_cycles (the paper's "normalized
+  /// execution time" view; base shows as 1.00).
+  void PrintNormalized(const char* x_name, const std::string& base) const {
+    std::printf("\n=== %s — normalized to %s ===\n%-28s", title_.c_str(),
+                base.c_str(), x_name);
+    for (const std::string& s : series_order_) {
+      std::printf(" %14s", s.c_str());
+    }
+    std::printf("\n");
+    for (const std::string& x : x_order_) {
+      std::printf("%-28s", x.c_str());
+      for (const std::string& s : series_order_) {
+        if (Has(s, x) && Has(base, x)) {
+          std::printf(" %14.3f", static_cast<double>(Get(s, x)) /
+                                     static_cast<double>(Get(base, x)));
+        } else {
+          std::printf(" %14s", "-");
+        }
+      }
+      std::printf("\n");
+    }
+  }
+
+  /// Prints each series normalized to `base_series` (the paper's
+  /// "speedup vs X" view): base_cycles / series_cycles.
+  void PrintSpeedupVs(const char* x_name, const std::string& base) const {
+    std::printf("\n=== %s — speedup vs %s ===\n%-28s", title_.c_str(),
+                base.c_str(), x_name);
+    for (const std::string& s : series_order_) {
+      if (s == base) continue;
+      std::printf(" %14s", s.c_str());
+    }
+    std::printf("\n");
+    for (const std::string& x : x_order_) {
+      std::printf("%-28s", x.c_str());
+      for (const std::string& s : series_order_) {
+        if (s == base) continue;
+        if (Has(s, x) && Has(base, x)) {
+          std::printf(" %14.2f", static_cast<double>(Get(base, x)) /
+                                     static_cast<double>(Get(s, x)));
+        } else {
+          std::printf(" %14s", "-");
+        }
+      }
+      std::printf("\n");
+    }
+  }
+
+ private:
+  std::string title_;
+  std::vector<std::string> series_order_;
+  std::vector<std::string> x_order_;
+  std::map<std::string, std::map<std::string, uint64_t>> cells_;
+};
+
+/// Registers a deterministic simulation point as a google-benchmark
+/// benchmark: the lambda runs the simulated workload once and returns
+/// simulated cycles, which become both the reported manual time and the
+/// table cell.
+inline void RegisterSimBenchmark(const std::string& name, ResultTable* table,
+                                 const std::string& series,
+                                 const std::string& x,
+                                 std::function<uint64_t()> run) {
+  benchmark::RegisterBenchmark(
+      name.c_str(),
+      [table, series, x, run](benchmark::State& state) {
+        for (auto _ : state) {
+          const uint64_t cycles = run();
+          state.SetIterationTime(static_cast<double>(cycles) / kCpuHz);
+          state.counters["sim_cycles"] = static_cast<double>(cycles);
+          table->Add(series, x, cycles);
+        }
+      })
+      ->UseManualTime()
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+}
+
+}  // namespace relfab::bench
+
+#endif  // RELFAB_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,115 @@
+// Reproduces Figures 7a and 7b of the paper: TPC-H Q1 and Q6 execution
+// time for ROW / COL / RM while varying the data size. As in the paper,
+// the x-axis sweeps the *target column* size (the bytes Q1/Q6 actually
+// need per row: 26 B and 20 B respectively); the table is ~4-5x larger.
+//
+// Expected shape: Q1 is compute-bound — all three layouts land close
+// together. Q6 is movement-bound — RM and COL clearly beat ROW, with
+// RM >= COL, across all data sizes.
+//
+// Default sizes are scaled down 16x from the paper's 2..128 MB target
+// columns; set RELFAB_FULL=1 for paper scale.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "engine/rm_exec.h"
+#include "engine/vector_engine.h"
+#include "engine/volcano.h"
+#include "layout/column_table.h"
+#include "layout/row_table.h"
+#include "relmem/rm_engine.h"
+#include "sim/memory_system.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace relfab::bench {
+namespace {
+
+struct Dataset {
+  std::unique_ptr<layout::RowTable> rows;
+  std::unique_ptr<layout::ColumnTable> columns;
+};
+
+}  // namespace
+}  // namespace relfab::bench
+
+int main(int argc, char** argv) {
+  using namespace relfab;
+  using namespace relfab::bench;
+  benchmark::Initialize(&argc, argv);
+
+  const double scale = FullScale() ? 1.0 : 1.0 / 16.0;
+  const std::vector<uint64_t> target_mib = {2, 4, 8, 16, 32, 64, 128};
+
+  auto* memory = new sim::MemorySystem();
+  auto* rm = new relmem::RmEngine(memory);
+  auto* q1_results = new ResultTable("Figure 7a: TPC-H Q1");
+  auto* q6_results = new ResultTable("Figure 7b: TPC-H Q6");
+
+  struct QueryDef {
+    const char* name;
+    engine::QuerySpec spec;
+    uint32_t target_row_bytes;  // bytes per row the query touches
+    ResultTable* results;
+  };
+  auto* defs = new std::vector<QueryDef>;
+  defs->push_back({"Q1", tpch::MakeQ1Spec(), 26, q1_results});
+  defs->push_back({"Q6", tpch::MakeQ6Spec(), 20, q6_results});
+
+  // Generate the largest dataset once per size (shared by Q1 and Q6:
+  // row counts are derived from the Q6 target width so the x-axis labels
+  // stay comparable across queries).
+  auto* datasets = new std::map<uint64_t, Dataset>;
+  for (uint64_t mib : target_mib) {
+    const uint64_t rows = static_cast<uint64_t>(
+        scale * static_cast<double>(mib) * 1024 * 1024 / 20.0);
+    Dataset ds;
+    ds.rows = std::make_unique<layout::RowTable>(
+        tpch::GenerateLineitem(rows, /*seed=*/mib, memory));
+    ds.columns = std::make_unique<layout::ColumnTable>(*ds.rows, memory);
+    (*datasets)[mib] = std::move(ds);
+  }
+
+  for (const QueryDef& def : *defs) {
+    for (uint64_t mib : target_mib) {
+      const Dataset& ds = datasets->at(mib);
+      const uint64_t table_mib =
+          ds.rows->data_bytes() / (1024 * 1024);
+      const std::string x = std::to_string(table_mib) + "MiB(" +
+                            std::to_string(mib) + ")";
+      const std::string base =
+          std::string("fig7/") + def.name + "/" + x;
+      const engine::QuerySpec* spec = &def.spec;
+      ResultTable* results = def.results;
+      const layout::RowTable* rows_tbl = ds.rows.get();
+      const layout::ColumnTable* cols_tbl = ds.columns.get();
+      RegisterSimBenchmark(base + "/ROW", results, "ROW", x, [=] {
+        memory->ResetState();
+        engine::VolcanoEngine eng(rows_tbl);
+        return eng.Execute(*spec)->sim_cycles;
+      });
+      RegisterSimBenchmark(base + "/COL", results, "COL", x, [=] {
+        memory->ResetState();
+        engine::VectorEngine eng(cols_tbl);
+        return eng.Execute(*spec)->sim_cycles;
+      });
+      RegisterSimBenchmark(base + "/RM", results, "RM", x, [=] {
+        memory->ResetState();
+        engine::RmExecEngine eng(rows_tbl, rm);
+        return eng.Execute(*spec)->sim_cycles;
+      });
+    }
+  }
+
+  benchmark::RunSpecifiedBenchmarks();
+  q1_results->PrintCycles("table size (target col)");
+  q1_results->PrintSpeedupVs("table size (target col)", "ROW");
+  q6_results->PrintCycles("table size (target col)");
+  q6_results->PrintSpeedupVs("table size (target col)", "ROW");
+  return 0;
+}

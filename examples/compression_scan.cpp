@@ -1,0 +1,84 @@
+// Compression and Relational Fabric (paper §III-D): encodes columns with
+// the four codec families, reports compression ratios, and shows why
+// dictionary/delta/Huffman are fabric-compatible (O(1)-ish positional
+// decode) while RLE is not (positional decode needs a run search).
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "common/random.h"
+#include "compress/delta.h"
+#include "compress/dictionary.h"
+#include "compress/huffman.h"
+#include "compress/rle.h"
+
+int main() {
+  using namespace relfab;
+  using namespace relfab::compress;
+
+  constexpr size_t kValues = 200000;
+  Random rng(2023);
+
+  struct Column {
+    const char* name;
+    std::vector<int64_t> values;
+  };
+  std::vector<Column> columns(3);
+  columns[0].name = "status (16 distinct codes)";
+  columns[1].name = "order_id (mostly ascending)";
+  columns[2].name = "flag (long runs)";
+  int64_t order = 1000000;
+  int64_t flag = 0;
+  for (size_t i = 0; i < kValues; ++i) {
+    columns[0].values.push_back(static_cast<int64_t>(rng.Uniform(16)));
+    order += static_cast<int64_t>(rng.Uniform(5));
+    columns[1].values.push_back(order);
+    if (rng.Bernoulli(0.001)) flag = static_cast<int64_t>(rng.Uniform(4));
+    columns[2].values.push_back(flag);
+  }
+
+  std::printf("%-30s %-11s %12s %8s %10s %9s\n", "column", "codec",
+              "encoded", "ratio", "scatter?", "c/value");
+  for (const Column& col : columns) {
+    const uint64_t raw_bytes = col.values.size() * 8;
+    std::unique_ptr<ColumnCodec> codecs[] = {
+        std::make_unique<DictionaryCodec>(),
+        std::make_unique<DeltaCodec>(),
+        std::make_unique<HuffmanCodec>(),
+        std::make_unique<RleCodec>(),
+    };
+    for (auto& codec : codecs) {
+      const Status status = codec->Encode(col.values);
+      if (!status.ok()) {
+        std::fprintf(stderr, "encode failed: %s\n",
+                     status.ToString().c_str());
+        return 1;
+      }
+      // Verify positional decode on a sample before reporting.
+      for (size_t i = 0; i < col.values.size(); i += 7919) {
+        if (codec->ValueAt(i) != col.values[i]) {
+          std::fprintf(stderr, "BUG: %s mis-decodes position %zu\n",
+                       CodecKindToString(codec->kind()).data(), i);
+          return 1;
+        }
+      }
+      std::printf("%-30s %-11s %10llu B %7.1fx %10s %9.1f\n", col.name,
+                  CodecKindToString(codec->kind()).data(),
+                  static_cast<unsigned long long>(codec->encoded_bytes()),
+                  static_cast<double>(raw_bytes) /
+                      static_cast<double>(codec->encoded_bytes()),
+                  codec->scatter_accessible() ? "yes" : "NO",
+                  codec->decode_cost_per_value());
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "scatter? = can the fabric decode an arbitrary row position without\n"
+      "touching unrelated values (required for on-the-fly projection of\n"
+      "compressed row data, paper §III-D). RLE fails this: its positional\n"
+      "decode cost grows with the run directory, so it cannot back\n"
+      "ephemeral columns out of the box.\n");
+  return 0;
+}

@@ -1,0 +1,142 @@
+// HTAP on a single layout (paper §III-C): transactional writers update a
+// versioned row table with snapshot isolation while analytical readers
+// scan arbitrary column groups of the *same* base data through the
+// fabric, with timestamp visibility evaluated in hardware. No second
+// copy, no layout conversion, fully fresh data.
+
+#include <cstdio>
+#include <cstring>
+
+#include "common/random.h"
+#include "core/relational_fabric.h"
+
+namespace {
+
+constexpr int64_t kAccounts = 1000;
+constexpr int kTransferRounds = 200;
+
+}  // namespace
+
+int main() {
+  using namespace relfab;
+
+  Fabric fabric;
+  auto schema = layout::Schema::Create({
+      {"account_id", layout::ColumnType::kInt64, 0},
+      {"balance", layout::ColumnType::kInt64, 0},
+      {"branch", layout::ColumnType::kInt32, 0},
+      {"touches", layout::ColumnType::kInt32, 0},
+  });
+  auto* accounts =
+      fabric.CreateVersionedTable("accounts", *schema, /*key=*/0).value();
+  auto* tm = fabric.GetTransactionManager("accounts").value();
+
+  // OLTP: seed accounts.
+  layout::RowBuilder row(&accounts->user_schema());
+  for (int64_t id = 0; id < kAccounts; ++id) {
+    mvcc::Transaction txn = tm->Begin();
+    row.Reset();
+    row.AddInt64(id).AddInt64(1000).AddInt32(static_cast<int32_t>(id % 16))
+        .AddInt32(0);
+    if (!tm->Insert(&txn, row.Finish()).ok() || !tm->Commit(&txn).ok()) {
+      std::fprintf(stderr, "seeding failed\n");
+      return 1;
+    }
+  }
+
+  // OLAP helper: total balance at a snapshot, computed through an
+  // ephemeral column group {balance} with the MVCC filter in hardware.
+  const auto total_at = [&](uint64_t read_ts) -> long long {
+    relmem::Geometry g;
+    g.columns = {1};
+    g.visibility = accounts->SnapshotFilter(read_ts);
+    auto view = fabric.ConfigureView("accounts", g);
+    long long total = 0;
+    for (relmem::EphemeralView::Cursor cur(&*view); cur.Valid();
+         cur.Advance()) {
+      total += cur.GetInt(0);
+    }
+    return total;
+  };
+
+  const uint64_t seeded_ts = tm->current_ts();
+  std::printf("seeded %lld accounts, total balance %lld at ts %llu\n",
+              static_cast<long long>(kAccounts), total_at(seeded_ts),
+              static_cast<unsigned long long>(seeded_ts));
+
+  // Mixed workload: random transfers (OLTP) with analytics interleaved.
+  Random rng(7);
+  uint64_t conflicts = 0;
+  for (int round = 0; round < kTransferRounds; ++round) {
+    const int64_t from = static_cast<int64_t>(rng.Uniform(kAccounts));
+    const int64_t to = static_cast<int64_t>(rng.Uniform(kAccounts));
+    if (from == to) continue;
+    mvcc::Transaction txn = tm->Begin();
+    auto from_row = tm->Read(txn, from);
+    auto to_row = tm->Read(txn, to);
+    if (!from_row.ok() || !to_row.ok()) continue;
+    auto balance_of = [](const std::vector<uint8_t>& r) {
+      int64_t b;
+      std::memcpy(&b, r.data() + 8, 8);
+      return b;
+    };
+    const int64_t amount = static_cast<int64_t>(rng.Uniform(100));
+    row.Reset();
+    row.AddInt64(from).AddInt64(balance_of(*from_row) - amount)
+        .AddInt32(static_cast<int32_t>(from % 16))
+        .AddInt32(round);
+    (void)tm->Update(&txn, from, row.Finish());
+    row.Reset();
+    row.AddInt64(to).AddInt64(balance_of(*to_row) + amount)
+        .AddInt32(static_cast<int32_t>(to % 16))
+        .AddInt32(round);
+    (void)tm->Update(&txn, to, row.Finish());
+    if (tm->Commit(&txn).IsAborted()) ++conflicts;
+
+    // A concurrent "open" transaction started before this commit must
+    // keep seeing a consistent (conserved) total — verified every 50th
+    // round through the hardware snapshot filter.
+    if (round % 50 == 0) {
+      const long long now = total_at(tm->current_ts());
+      std::printf("round %3d: total=%lld (invariant %s), versions=%llu\n",
+                  round, now,
+                  now == 1000 * kAccounts ? "holds" : "VIOLATED",
+                  static_cast<unsigned long long>(accounts->num_versions()));
+    }
+  }
+
+  std::printf("\ncommits=%llu aborts=%llu (write-write conflicts)\n",
+              static_cast<unsigned long long>(tm->commits()),
+              static_cast<unsigned long long>(conflicts));
+
+  // Contention demo: two concurrent transactions race on account 0 —
+  // snapshot isolation lets the first committer win and aborts the other.
+  {
+    mvcc::Transaction t1 = tm->Begin();
+    mvcc::Transaction t2 = tm->Begin();
+    auto bal = tm->Read(t1, 0);
+    int64_t balance = 0;
+    std::memcpy(&balance, bal->data() + 8, 8);
+    row.Reset();
+    row.AddInt64(0).AddInt64(balance).AddInt32(0).AddInt32(-1);
+    (void)tm->Update(&t1, 0, row.Finish());
+    row.Reset();
+    row.AddInt64(0).AddInt64(balance).AddInt32(0).AddInt32(-2);
+    (void)tm->Update(&t2, 0, row.Finish());
+    const Status first = tm->Commit(&t1);
+    const Status second = tm->Commit(&t2);
+    std::printf("contended commit: t1=%s, t2=%s (first committer wins)\n",
+                first.ToString().c_str(), second.ToString().c_str());
+  }
+
+  // Time travel: the seeded snapshot still reads exactly as it was.
+  std::printf("time travel to ts %llu: total=%lld\n",
+              static_cast<unsigned long long>(seeded_ts),
+              total_at(seeded_ts));
+
+  // And the final state conserves money.
+  const long long final_total = total_at(tm->current_ts());
+  std::printf("final total=%lld -> %s\n", final_total,
+              final_total == 1000 * kAccounts ? "conserved" : "BUG");
+  return final_total == 1000 * kAccounts ? 0 : 1;
+}

@@ -1,0 +1,96 @@
+// Quickstart: the paper's Figure 3 made executable.
+//
+// A row-oriented table of wide rows is queried through an *ephemeral
+// variable*: a dense alias of the column group {key, num_fld1, num_fld4}
+// that never exists in memory. The fabric gathers, packs and streams it;
+// the CPU loop below looks exactly like the paper's:
+//
+//   for (...) if (cg[i].key > 10) sum += cg[i].num_fld1 * cg[i].num_fld4;
+
+#include <cstdio>
+
+#include "core/relational_fabric.h"
+
+int main() {
+  using namespace relfab;
+
+  Fabric fabric;
+
+  // The full relational table (paper Fig. 3, `struct row`).
+  auto schema = layout::Schema::Create({
+      {"key", layout::ColumnType::kInt64, 0},
+      {"text_fld1", layout::ColumnType::kChar, 12},
+      {"text_fld2", layout::ColumnType::kChar, 16},
+      {"num_fld1", layout::ColumnType::kInt64, 0},
+      {"num_fld2", layout::ColumnType::kInt64, 0},
+      {"num_fld3", layout::ColumnType::kInt64, 0},
+      {"num_fld4", layout::ColumnType::kInt64, 0},
+  });
+  if (!schema.ok()) {
+    std::fprintf(stderr, "schema: %s\n", schema.status().ToString().c_str());
+    return 1;
+  }
+  auto table_or = fabric.CreateTable("the_table", std::move(*schema));
+  if (!table_or.ok()) return 1;
+  layout::RowTable* table = *table_or;
+
+  layout::RowBuilder row(&table->schema());
+  for (int64_t i = 0; i < 100000; ++i) {
+    row.Reset();
+    row.AddInt64(i % 1000)
+        .AddChar("irrelevant")
+        .AddChar("also irrelevant")
+        .AddInt64(i % 7)
+        .AddInt64(i)
+        .AddInt64(-i)
+        .AddInt64(i % 11);
+    table->AppendRow(row.Finish());
+  }
+  std::printf("base table: %llu rows x %u B (row-oriented, single copy)\n",
+              static_cast<unsigned long long>(table->num_rows()),
+              table->row_bytes());
+
+  // Configure the ephemeral variable's geometry (Fig. 3, line 25).
+  auto geometry = relmem::Geometry::Project(
+      table->schema(), {"key", "num_fld1", "num_fld4"});
+  auto view = fabric.ConfigureView("the_table", *geometry);
+  if (!view.ok()) {
+    std::fprintf(stderr, "configure: %s\n", view.status().ToString().c_str());
+    return 1;
+  }
+
+  // Execute the query using the ephemeral variable (Fig. 3, line 28).
+  fabric.memory().ResetTiming();
+  long long sum = 0;
+  for (relmem::EphemeralView::Cursor cg(&*view); cg.Valid(); cg.Advance()) {
+    if (cg.GetInt(0) > 10) {
+      sum += cg.GetInt(1) * cg.GetInt(2);
+    }
+  }
+  const auto rm_cycles = fabric.memory().ElapsedCycles();
+  const auto rm_stats = fabric.memory().stats();
+  std::printf("SELECT SUM(num_fld1*num_fld4) WHERE key > 10  ->  %lld\n",
+              sum);
+  std::printf("ephemeral-variable scan: %llu simulated cycles\n",
+              static_cast<unsigned long long>(rm_cycles));
+  std::printf("  DRAM lines gathered by the fabric: %llu\n",
+              static_cast<unsigned long long>(rm_stats.dram_lines_gather));
+  std::printf("  demand lines from DRAM seen by the CPU: %llu\n",
+              static_cast<unsigned long long>(rm_stats.dram_lines_demand));
+
+  // The same query through the legacy row path, for contrast.
+  fabric.memory().ResetState();
+  engine::QuerySpec spec;
+  const int32_t product = spec.exprs.Mul(
+      spec.exprs.Column(3), spec.exprs.Column(6));
+  spec.aggregates.push_back({engine::AggFunc::kSum, product});
+  spec.predicates.push_back(
+      engine::Predicate::Int(0, relmem::CompareOp::kGt, 10));
+  engine::VolcanoEngine legacy(table);
+  auto row_result = legacy.Execute(spec);
+  std::printf("legacy row-store scan:   %llu simulated cycles (%.2fx)\n",
+              static_cast<unsigned long long>(row_result->sim_cycles),
+              static_cast<double>(row_result->sim_cycles) /
+                  static_cast<double>(rm_cycles));
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Relational Storage (paper §IV-D): the fabric inside a computational
+// SSD. Compares shipping whole row-oriented pages to the host against
+// near-storage projection/selection with on-the-fly decompression —
+// only the packed relevant data crosses the external interface.
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "common/random.h"
+#include "compress/dictionary.h"
+#include "layout/schema.h"
+#include "relstorage/rs_engine.h"
+
+int main() {
+  using namespace relfab;
+  using namespace relfab::relstorage;
+
+  // A 16-column row table on flash.
+  constexpr uint64_t kRows = 500000;
+  layout::Schema schema =
+      layout::Schema::Uniform(16, layout::ColumnType::kInt32);
+  std::vector<uint8_t> data(kRows * schema.row_bytes());
+  Random rng(9);
+  for (uint64_t r = 0; r < kRows; ++r) {
+    for (uint32_t c = 0; c < 16; ++c) {
+      const int32_t v = static_cast<int32_t>(rng.Uniform(256));
+      std::memcpy(data.data() + r * schema.row_bytes() + c * 4, &v, 4);
+    }
+  }
+  StorageTable table(schema, std::move(data), kRows, 4096);
+  SsdModel ssd;
+  RsEngine rs(&ssd);
+
+  std::printf("table: %llu rows x 64 B = %llu flash pages\n\n",
+              static_cast<unsigned long long>(kRows),
+              static_cast<unsigned long long>(table.TotalPages()));
+
+  const auto report = [](const char* name, const ScanResult& r) {
+    std::printf("%-26s %10.0f cycles  sensed=%6llu pages  shipped=%6llu "
+                "pages  rows_out=%llu\n",
+                name, r.cycles,
+                static_cast<unsigned long long>(r.pages_sensed),
+                static_cast<unsigned long long>(r.pages_shipped),
+                static_cast<unsigned long long>(r.rows_out));
+  };
+
+  // Projection of 2 of 16 columns.
+  relmem::Geometry projection;
+  projection.columns = {0, 8};
+  report("host scan (project 2/16)", *rs.HostScan(table, projection));
+  report("RS scan   (project 2/16)",
+         *rs.NearStorageScan(table, projection));
+
+  // Projection + selection (~6% qualify).
+  relmem::Geometry filtered = projection;
+  filtered.predicates.push_back(
+      relmem::HwPredicate::Int(3, relmem::CompareOp::kLt, 16));
+  std::printf("\n");
+  report("host scan (+ selection)", *rs.HostScan(table, filtered));
+  report("RS scan   (+ selection)", *rs.NearStorageScan(table, filtered));
+
+  // Compressed column: dictionary codes (256 symbols -> 1 B/value)
+  // decoded on the fly inside the device.
+  (void)table.CompressColumn(0, std::make_unique<compress::DictionaryCodec>());
+  (void)table.CompressColumn(8, std::make_unique<compress::DictionaryCodec>());
+  std::printf("\nafter dictionary-compressing columns 0 and 8 "
+              "(%llu pages on flash):\n",
+              static_cast<unsigned long long>(table.TotalPages()));
+  report("host scan (compressed)", *rs.HostScan(table, filtered));
+  report("RS scan   (compressed)", *rs.NearStorageScan(table, filtered));
+
+  std::printf(
+      "\nRS senses the same row-oriented pages with full internal channel\n"
+      "parallelism but ships only the packed, decoded column group of the\n"
+      "qualifying rows over the external interface.\n");
+  return 0;
+}

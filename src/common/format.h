@@ -1,0 +1,24 @@
+#ifndef RELFAB_COMMON_FORMAT_H_
+#define RELFAB_COMMON_FORMAT_H_
+
+#include <cstdint>
+#include <string>
+
+namespace relfab {
+
+inline constexpr uint64_t kKiB = 1024;
+inline constexpr uint64_t kMiB = 1024 * kKiB;
+inline constexpr uint64_t kGiB = 1024 * kMiB;
+
+/// "512 B", "4.0 KiB", "2.5 MiB", "1.2 GiB".
+std::string FormatBytes(uint64_t bytes);
+
+/// Groups digits with commas: 1234567 -> "1,234,567".
+std::string FormatCount(uint64_t n);
+
+/// Fixed-precision double without locale surprises.
+std::string FormatDouble(double v, int precision);
+
+}  // namespace relfab
+
+#endif  // RELFAB_COMMON_FORMAT_H_

@@ -1,0 +1,68 @@
+#ifndef RELFAB_COMMON_LOGGING_H_
+#define RELFAB_COMMON_LOGGING_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+namespace relfab {
+namespace internal_logging {
+
+/// Accumulates a failure message and aborts the process when destroyed.
+/// Used only via RELFAB_CHECK; invariant violations are programming errors
+/// and are not recoverable through Status.
+class CheckFailStream {
+ public:
+  CheckFailStream(const char* file, int line, const char* condition) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << condition
+            << " ";
+  }
+
+  ~CheckFailStream() {
+    std::cerr << stream_.str() << std::endl;
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+/// Converts the streamed CheckFailStream expression to void so the ternary
+/// in RELFAB_CHECK type-checks. operator& binds looser than operator<<.
+struct Voidify {
+  void operator&(const CheckFailStream&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace relfab
+
+/// Aborts with a message if `cond` is false; supports streaming extra
+/// context: RELFAB_CHECK(n > 0) << "n=" << n. For internal invariants only;
+/// user-facing validation must return Status instead.
+#define RELFAB_CHECK(cond)                                      \
+  (cond) ? (void)0                                              \
+         : ::relfab::internal_logging::Voidify() &              \
+               ::relfab::internal_logging::CheckFailStream(     \
+                   __FILE__, __LINE__, #cond)
+
+#define RELFAB_CHECK_EQ(a, b) RELFAB_CHECK((a) == (b))
+#define RELFAB_CHECK_NE(a, b) RELFAB_CHECK((a) != (b))
+#define RELFAB_CHECK_LT(a, b) RELFAB_CHECK((a) < (b))
+#define RELFAB_CHECK_LE(a, b) RELFAB_CHECK((a) <= (b))
+#define RELFAB_CHECK_GT(a, b) RELFAB_CHECK((a) > (b))
+#define RELFAB_CHECK_GE(a, b) RELFAB_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define RELFAB_DCHECK(cond) \
+  while (false) RELFAB_CHECK(cond)
+#else
+#define RELFAB_DCHECK(cond) RELFAB_CHECK(cond)
+#endif
+
+#endif  // RELFAB_COMMON_LOGGING_H_

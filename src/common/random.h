@@ -1,0 +1,69 @@
+#ifndef RELFAB_COMMON_RANDOM_H_
+#define RELFAB_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+#include "common/logging.h"
+
+namespace relfab {
+
+/// Deterministic xorshift128+ PRNG. All data generation in the repo goes
+/// through this so experiments are exactly reproducible across runs and
+/// platforms (std::mt19937 distributions are not portable across stdlibs).
+class Random {
+ public:
+  explicit Random(uint64_t seed) {
+    // SplitMix64 expansion of the seed into two non-zero state words.
+    state0_ = SplitMix64(&seed);
+    state1_ = SplitMix64(&seed);
+    if (state0_ == 0 && state1_ == 0) state1_ = 0x9e3779b97f4a7c15ull;
+  }
+
+  /// Uniform over the full 64-bit range.
+  uint64_t NextU64() {
+    uint64_t s1 = state0_;
+    const uint64_t s0 = state1_;
+    state0_ = s0;
+    s1 ^= s1 << 23;
+    state1_ = s1 ^ s0 ^ (s1 >> 18) ^ (s0 >> 5);
+    return state1_ + s0;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) {
+    RELFAB_DCHECK(bound > 0);
+    // Multiply-shift reduction; bias is negligible for bound << 2^64.
+    return static_cast<uint64_t>(
+        (static_cast<__uint128_t>(NextU64()) * bound) >> 64);
+  }
+
+  /// Uniform in [lo, hi] inclusive.
+  int64_t UniformRange(int64_t lo, int64_t hi) {
+    RELFAB_DCHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * (1.0 / (1ull << 53));
+  }
+
+  /// True with probability p.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t SplitMix64(uint64_t* x) {
+    uint64_t z = (*x += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t state0_;
+  uint64_t state1_;
+};
+
+}  // namespace relfab
+
+#endif  // RELFAB_COMMON_RANDOM_H_

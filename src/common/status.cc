@@ -1,0 +1,45 @@
+#include "common/status.h"
+
+namespace relfab {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid_argument";
+    case StatusCode::kNotFound:
+      return "not_found";
+    case StatusCode::kAlreadyExists:
+      return "already_exists";
+    case StatusCode::kOutOfRange:
+      return "out_of_range";
+    case StatusCode::kFailedPrecondition:
+      return "failed_precondition";
+    case StatusCode::kUnimplemented:
+      return "unimplemented";
+    case StatusCode::kAborted:
+      return "aborted";
+    case StatusCode::kResourceExhausted:
+      return "resource_exhausted";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kCorruption:
+      return "corruption";
+    case StatusCode::kIoError:
+      return "io_error";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out(StatusCodeToString(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace relfab

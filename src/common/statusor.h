@@ -1,0 +1,72 @@
+#ifndef RELFAB_COMMON_STATUSOR_H_
+#define RELFAB_COMMON_STATUSOR_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/status.h"
+
+namespace relfab {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value is absent. Accessing the value of a failed StatusOr aborts the
+/// process (programming error), matching absl::StatusOr semantics.
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a non-OK status. Constructing from an OK status is a
+  /// programming error (there would be no value).
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    RELFAB_CHECK(!status_.ok()) << "StatusOr constructed from OK status";
+  }
+
+  StatusOr(T value)  // NOLINT
+      : status_(Status::Ok()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    RELFAB_CHECK(ok()) << "value() on failed StatusOr: "
+                       << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    RELFAB_CHECK(ok()) << "value() on failed StatusOr: "
+                       << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    RELFAB_CHECK(ok()) << "value() on failed StatusOr: "
+                       << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace relfab
+
+/// Evaluates a StatusOr expression; on error propagates the Status,
+/// otherwise moves the value into `lhs` (a declaration or assignable).
+#define RELFAB_ASSIGN_OR_RETURN(lhs, expr)              \
+  RELFAB_ASSIGN_OR_RETURN_IMPL_(                        \
+      RELFAB_STATUS_CONCAT_(_relfab_sor, __LINE__), lhs, expr)
+
+#define RELFAB_STATUS_CONCAT_INNER_(a, b) a##b
+#define RELFAB_STATUS_CONCAT_(a, b) RELFAB_STATUS_CONCAT_INNER_(a, b)
+
+#define RELFAB_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).value()
+
+#endif  // RELFAB_COMMON_STATUSOR_H_

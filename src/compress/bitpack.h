@@ -1,0 +1,76 @@
+#ifndef RELFAB_COMPRESS_BITPACK_H_
+#define RELFAB_COMPRESS_BITPACK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace relfab::compress {
+
+/// Fixed-width bit-packed array of unsigned values (width 0..64 bits).
+/// Width-0 arrays store nothing and read back zero — the all-equal case.
+class BitPackedArray {
+ public:
+  BitPackedArray() = default;
+
+  /// Packs `values`; every value must fit in `bits` bits.
+  BitPackedArray(const std::vector<uint64_t>& values, uint32_t bits)
+      : bits_(bits), size_(values.size()) {
+    RELFAB_CHECK_LE(bits, 64u);
+    if (bits == 0) return;
+    words_.assign((size_ * bits + 63) / 64, 0);
+    for (uint64_t i = 0; i < size_; ++i) {
+      const uint64_t v = values[i];
+      RELFAB_DCHECK(bits == 64 || (v >> bits) == 0)
+          << "value does not fit in " << bits << " bits";
+      Set(i, v);
+    }
+  }
+
+  uint64_t Get(uint64_t idx) const {
+    RELFAB_DCHECK(idx < size_);
+    if (bits_ == 0) return 0;
+    const uint64_t bit = idx * bits_;
+    const uint64_t word = bit >> 6;
+    const uint32_t shift = static_cast<uint32_t>(bit & 63);
+    uint64_t v = words_[word] >> shift;
+    if (shift + bits_ > 64) {
+      v |= words_[word + 1] << (64 - shift);
+    }
+    return bits_ == 64 ? v : (v & ((1ull << bits_) - 1));
+  }
+
+  uint64_t size() const { return size_; }
+  uint32_t bits() const { return bits_; }
+  uint64_t bytes() const { return words_.size() * 8; }
+
+  /// Smallest width that can hold `max_value`.
+  static uint32_t BitsFor(uint64_t max_value) {
+    uint32_t bits = 0;
+    while (max_value != 0) {
+      ++bits;
+      max_value >>= 1;
+    }
+    return bits;
+  }
+
+ private:
+  void Set(uint64_t idx, uint64_t v) {
+    const uint64_t bit = idx * bits_;
+    const uint64_t word = bit >> 6;
+    const uint32_t shift = static_cast<uint32_t>(bit & 63);
+    words_[word] |= v << shift;
+    if (shift + bits_ > 64) {
+      words_[word + 1] |= v >> (64 - shift);
+    }
+  }
+
+  uint32_t bits_ = 0;
+  uint64_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace relfab::compress
+
+#endif  // RELFAB_COMPRESS_BITPACK_H_

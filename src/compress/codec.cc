@@ -1,0 +1,19 @@
+#include "compress/codec.h"
+
+namespace relfab::compress {
+
+std::string_view CodecKindToString(CodecKind kind) {
+  switch (kind) {
+    case CodecKind::kDictionary:
+      return "dictionary";
+    case CodecKind::kDelta:
+      return "delta";
+    case CodecKind::kHuffman:
+      return "huffman";
+    case CodecKind::kRle:
+      return "rle";
+  }
+  return "?";
+}
+
+}  // namespace relfab::compress

@@ -1,0 +1,66 @@
+#ifndef RELFAB_COMPRESS_CODEC_H_
+#define RELFAB_COMPRESS_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "common/statusor.h"
+
+namespace relfab::compress {
+
+/// Compression families discussed by the paper (§III-D). Relational
+/// Fabric requires *scatter-accessible* encodings: the fabric must be
+/// able to decode the value at an arbitrary row position without
+/// decompressing a prefix. Dictionary / delta (frame-of-reference) /
+/// Huffman-coded fixed blocks qualify; RLE does not (positional decode
+/// needs a scan of the run directory), and LZ-family codecs require full
+/// decompression so they are out of scope entirely.
+enum class CodecKind : uint8_t {
+  kDictionary,
+  kDelta,
+  kHuffman,
+  kRle,
+};
+
+std::string_view CodecKindToString(CodecKind kind);
+
+/// A column codec over int64 values (fixed-width columns decode to
+/// int64; char columns encode their packed key). Encodes a whole column,
+/// then serves random-position reads.
+class ColumnCodec {
+ public:
+  virtual ~ColumnCodec() = default;
+
+  virtual CodecKind kind() const = 0;
+
+  /// True if the codec can decode an arbitrary position in O(1)-ish work
+  /// without touching unrelated values — the property Relational Fabric
+  /// needs to project compressed columns on the fly.
+  virtual bool scatter_accessible() const = 0;
+
+  /// Compresses `values`; replaces any previous state.
+  virtual Status Encode(const std::vector<int64_t>& values) = 0;
+
+  /// Value at `pos`. For non-scatter-accessible codecs this still
+  /// returns the right value but the cost model reflects the decode
+  /// penalty (see decode_cost_per_value()).
+  virtual int64_t ValueAt(uint64_t pos) const = 0;
+
+  /// Number of encoded values.
+  virtual uint64_t size() const = 0;
+
+  /// Encoded payload size in bytes (for compression-ratio reporting).
+  virtual uint64_t encoded_bytes() const = 0;
+
+  /// Model: CPU cycles the fabric/CPU spends decoding one value at a
+  /// random position (dictionary lookup, delta add, Huffman table walk,
+  /// or RLE run search).
+  virtual double decode_cost_per_value() const = 0;
+};
+
+}  // namespace relfab::compress
+
+#endif  // RELFAB_COMPRESS_CODEC_H_

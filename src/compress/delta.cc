@@ -1,0 +1,44 @@
+#include "compress/delta.h"
+
+#include <algorithm>
+
+namespace relfab::compress {
+
+Status DeltaCodec::Encode(const std::vector<int64_t>& values) {
+  size_ = values.size();
+  blocks_.clear();
+  for (uint64_t start = 0; start < values.size(); start += kBlockValues) {
+    const uint64_t end =
+        std::min<uint64_t>(values.size(), start + kBlockValues);
+    int64_t lo = values[start];
+    int64_t hi = values[start];
+    for (uint64_t i = start; i < end; ++i) {
+      lo = std::min(lo, values[i]);
+      hi = std::max(hi, values[i]);
+    }
+    const uint64_t range = static_cast<uint64_t>(hi - lo);
+    std::vector<uint64_t> offsets(end - start);
+    for (uint64_t i = start; i < end; ++i) {
+      offsets[i - start] = static_cast<uint64_t>(values[i] - lo);
+    }
+    Block block;
+    block.frame = lo;
+    block.offsets = BitPackedArray(offsets, BitPackedArray::BitsFor(range));
+    blocks_.push_back(std::move(block));
+  }
+  return Status::Ok();
+}
+
+int64_t DeltaCodec::ValueAt(uint64_t pos) const {
+  const Block& block = blocks_[pos / kBlockValues];
+  return block.frame +
+         static_cast<int64_t>(block.offsets.Get(pos % kBlockValues));
+}
+
+uint64_t DeltaCodec::encoded_bytes() const {
+  uint64_t bytes = 0;
+  for (const Block& b : blocks_) bytes += 8 + b.offsets.bytes();
+  return bytes;
+}
+
+}  // namespace relfab::compress

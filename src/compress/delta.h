@@ -1,0 +1,42 @@
+#ifndef RELFAB_COMPRESS_DELTA_H_
+#define RELFAB_COMPRESS_DELTA_H_
+
+#include <vector>
+
+#include "compress/bitpack.h"
+#include "compress/codec.h"
+
+namespace relfab::compress {
+
+/// Delta / frame-of-reference encoding: values split into fixed blocks;
+/// each block stores its minimum and bit-packed offsets from it.
+/// Positional decode is O(1) (block header + offset extract), so the
+/// encoding is scatter-accessible (paper §III-D).
+class DeltaCodec : public ColumnCodec {
+ public:
+  static constexpr uint32_t kBlockValues = 128;
+
+  CodecKind kind() const override { return CodecKind::kDelta; }
+  bool scatter_accessible() const override { return true; }
+
+  Status Encode(const std::vector<int64_t>& values) override;
+  int64_t ValueAt(uint64_t pos) const override;
+  uint64_t size() const override { return size_; }
+  uint64_t encoded_bytes() const override;
+  double decode_cost_per_value() const override { return 2.5; }
+
+  uint64_t num_blocks() const { return blocks_.size(); }
+
+ private:
+  struct Block {
+    int64_t frame = 0;  // block minimum
+    BitPackedArray offsets;
+  };
+
+  uint64_t size_ = 0;
+  std::vector<Block> blocks_;
+};
+
+}  // namespace relfab::compress
+
+#endif  // RELFAB_COMPRESS_DELTA_H_

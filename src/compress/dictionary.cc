@@ -1,0 +1,42 @@
+#include "compress/dictionary.h"
+
+#include <algorithm>
+
+namespace relfab::compress {
+
+Status DictionaryCodec::Encode(const std::vector<int64_t>& values) {
+  dictionary_ = values;
+  std::sort(dictionary_.begin(), dictionary_.end());
+  dictionary_.erase(std::unique(dictionary_.begin(), dictionary_.end()),
+                    dictionary_.end());
+  const uint32_t bits =
+      dictionary_.size() <= 1
+          ? 0
+          : BitPackedArray::BitsFor(dictionary_.size() - 1);
+  std::vector<uint64_t> codes(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    const auto it = std::lower_bound(dictionary_.begin(), dictionary_.end(),
+                                     values[i]);
+    codes[i] = static_cast<uint64_t>(it - dictionary_.begin());
+  }
+  codes_ = BitPackedArray(codes, bits);
+  return Status::Ok();
+}
+
+int64_t DictionaryCodec::ValueAt(uint64_t pos) const {
+  return dictionary_[codes_.Get(pos)];
+}
+
+uint64_t DictionaryCodec::LowerBoundCode(int64_t value) const {
+  return static_cast<uint64_t>(
+      std::lower_bound(dictionary_.begin(), dictionary_.end(), value) -
+      dictionary_.begin());
+}
+
+uint64_t DictionaryCodec::UpperBoundCode(int64_t value) const {
+  return static_cast<uint64_t>(
+      std::upper_bound(dictionary_.begin(), dictionary_.end(), value) -
+      dictionary_.begin());
+}
+
+}  // namespace relfab::compress

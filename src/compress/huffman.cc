@@ -1,0 +1,163 @@
+#include "compress/huffman.h"
+
+#include <algorithm>
+#include <map>
+#include <queue>
+
+#include "common/logging.h"
+
+namespace relfab::compress {
+
+namespace {
+
+/// Computes Huffman code lengths for the given frequencies (tree build
+/// over a min-heap; ties broken deterministically by symbol order).
+std::vector<uint32_t> CodeLengths(const std::vector<uint64_t>& freqs) {
+  const size_t n = freqs.size();
+  if (n == 1) return {1};
+  struct Node {
+    uint64_t freq;
+    uint32_t order;  // deterministic tie-break
+    int32_t left;
+    int32_t right;
+    int32_t symbol;  // -1 for internal
+  };
+  std::vector<Node> nodes;
+  nodes.reserve(2 * n);
+  auto cmp = [&nodes](int32_t a, int32_t b) {
+    if (nodes[a].freq != nodes[b].freq) return nodes[a].freq > nodes[b].freq;
+    return nodes[a].order > nodes[b].order;
+  };
+  std::priority_queue<int32_t, std::vector<int32_t>, decltype(cmp)> heap(cmp);
+  uint32_t order = 0;
+  for (size_t i = 0; i < n; ++i) {
+    nodes.push_back({freqs[i], order++, -1, -1, static_cast<int32_t>(i)});
+    heap.push(static_cast<int32_t>(i));
+  }
+  while (heap.size() > 1) {
+    const int32_t a = heap.top();
+    heap.pop();
+    const int32_t b = heap.top();
+    heap.pop();
+    nodes.push_back({nodes[a].freq + nodes[b].freq, order++, a, b, -1});
+    heap.push(static_cast<int32_t>(nodes.size()) - 1);
+  }
+  std::vector<uint32_t> lengths(n, 0);
+  // Iterative depth-first walk assigning depths.
+  std::vector<std::pair<int32_t, uint32_t>> stack{{heap.top(), 0}};
+  while (!stack.empty()) {
+    auto [idx, depth] = stack.back();
+    stack.pop_back();
+    const Node& node = nodes[idx];
+    if (node.symbol >= 0) {
+      lengths[node.symbol] = std::max(1u, depth);
+      continue;
+    }
+    stack.push_back({node.left, depth + 1});
+    stack.push_back({node.right, depth + 1});
+  }
+  return lengths;
+}
+
+}  // namespace
+
+Status HuffmanCodec::Encode(const std::vector<int64_t>& values) {
+  if (values.empty()) {
+    return Status::InvalidArgument("cannot Huffman-encode an empty column");
+  }
+  size_ = values.size();
+  bitstream_.clear();
+  block_offsets_.clear();
+  encode_table_.clear();
+  bits_used_ = 0;
+
+  // Frequencies of distinct symbols (map keeps symbol order stable).
+  std::map<int64_t, uint64_t> freq;
+  for (int64_t v : values) ++freq[v];
+  std::vector<int64_t> symbols;
+  std::vector<uint64_t> counts;
+  symbols.reserve(freq.size());
+  for (const auto& [sym, f] : freq) {
+    symbols.push_back(sym);
+    counts.push_back(f);
+  }
+  const std::vector<uint32_t> lengths = CodeLengths(counts);
+  max_len_ = *std::max_element(lengths.begin(), lengths.end());
+  RELFAB_CHECK_LE(max_len_, 58u) << "Huffman code too long for this encoder";
+
+  // Canonical ordering: by (length, symbol).
+  std::vector<uint32_t> idx(symbols.size());
+  for (uint32_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  std::sort(idx.begin(), idx.end(), [&](uint32_t a, uint32_t b) {
+    if (lengths[a] != lengths[b]) return lengths[a] < lengths[b];
+    return symbols[a] < symbols[b];
+  });
+
+  count_.assign(max_len_ + 1, 0);
+  for (uint32_t l : lengths) ++count_[l];
+  first_code_.assign(max_len_ + 1, 0);
+  first_index_.assign(max_len_ + 1, 0);
+  uint64_t code = 0;
+  uint32_t index = 0;
+  for (uint32_t len = 1; len <= max_len_; ++len) {
+    code = (code + (len > 1 ? count_[len - 1] : 0)) << 1;
+    if (len == 1) code = 0;
+    first_code_[len] = code;
+    first_index_[len] = index;
+    index += count_[len];
+  }
+  // Recompute canonical codes per symbol in sorted order.
+  sorted_symbols_.resize(symbols.size());
+  {
+    std::vector<uint64_t> next_code = first_code_;
+    for (uint32_t i = 0; i < idx.size(); ++i) {
+      const uint32_t s = idx[i];
+      sorted_symbols_[i] = symbols[s];
+      encode_table_[symbols[s]] = {next_code[lengths[s]]++, lengths[s]};
+    }
+  }
+
+  // Encode the value stream with a block directory.
+  for (uint64_t i = 0; i < values.size(); ++i) {
+    if (i % kBlockValues == 0) block_offsets_.push_back(bits_used_);
+    const auto [c, len] = encode_table_.at(values[i]);
+    AppendBits(c, len);
+  }
+  return Status::Ok();
+}
+
+void HuffmanCodec::AppendBits(uint64_t code, uint32_t len) {
+  // Codes append MSB-first so canonical decoding reads bits in order.
+  for (uint32_t i = 0; i < len; ++i) {
+    const uint64_t bit = (code >> (len - 1 - i)) & 1;
+    const uint64_t pos = bits_used_++;
+    if ((pos >> 6) >= bitstream_.size()) bitstream_.push_back(0);
+    bitstream_[pos >> 6] |= bit << (pos & 63);
+  }
+}
+
+int64_t HuffmanCodec::DecodeSymbol(uint64_t* bit_pos) const {
+  uint64_t code = 0;
+  for (uint32_t len = 1; len <= max_len_; ++len) {
+    code = (code << 1) | ReadBit((*bit_pos)++);
+    if (count_[len] != 0 && code >= first_code_[len] &&
+        code < first_code_[len] + count_[len]) {
+      return sorted_symbols_[first_index_[len] +
+                             static_cast<uint32_t>(code - first_code_[len])];
+    }
+  }
+  RELFAB_CHECK(false) << "corrupt Huffman stream";
+  return 0;
+}
+
+int64_t HuffmanCodec::ValueAt(uint64_t pos) const {
+  RELFAB_CHECK_LT(pos, size_);
+  uint64_t bit = block_offsets_[pos / kBlockValues];
+  int64_t value = 0;
+  for (uint64_t i = 0; i <= pos % kBlockValues; ++i) {
+    value = DecodeSymbol(&bit);
+  }
+  return value;
+}
+
+}  // namespace relfab::compress

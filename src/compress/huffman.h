@@ -1,0 +1,63 @@
+#ifndef RELFAB_COMPRESS_HUFFMAN_H_
+#define RELFAB_COMPRESS_HUFFMAN_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "compress/codec.h"
+
+namespace relfab::compress {
+
+/// Canonical Huffman coding with a block directory: symbols are the
+/// column's distinct values; every kBlockValues-th value's bit offset is
+/// recorded so the fabric can start decoding at any block boundary.
+/// Positional access decodes at most one block prefix — "block-scatter-
+/// accessible", which is how column stores make Huffman projectable
+/// (paper §III-D groups it with dictionary/delta as fabric-compatible).
+class HuffmanCodec : public ColumnCodec {
+ public:
+  static constexpr uint32_t kBlockValues = 128;
+
+  CodecKind kind() const override { return CodecKind::kHuffman; }
+  bool scatter_accessible() const override { return true; }
+
+  Status Encode(const std::vector<int64_t>& values) override;
+  int64_t ValueAt(uint64_t pos) const override;
+  uint64_t size() const override { return size_; }
+  uint64_t encoded_bytes() const override {
+    return bits_used_ / 8 + block_offsets_.size() * 8 +
+           sorted_symbols_.size() * 9;  // symbol table + lengths
+  }
+  /// Sequential (block-amortized) decode cost: one canonical table walk.
+  double decode_cost_per_value() const override { return 4.0; }
+
+  uint32_t max_code_length() const { return max_len_; }
+  uint64_t num_symbols() const { return sorted_symbols_.size(); }
+
+ private:
+  void AppendBits(uint64_t code, uint32_t len);
+  uint32_t ReadBit(uint64_t bit_pos) const {
+    return static_cast<uint32_t>((bitstream_[bit_pos >> 6] >>
+                                  (bit_pos & 63)) &
+                                 1);
+  }
+  /// Decodes one symbol starting at *bit_pos (advances it).
+  int64_t DecodeSymbol(uint64_t* bit_pos) const;
+
+  uint64_t size_ = 0;
+  uint64_t bits_used_ = 0;
+  uint32_t max_len_ = 0;
+  std::vector<uint64_t> bitstream_;
+  std::vector<uint64_t> block_offsets_;  // bit offset of each block start
+  // canonical tables, indexed by code length 1..max_len_
+  std::vector<uint64_t> first_code_;    // first canonical code of length L
+  std::vector<uint32_t> first_index_;   // index of that code's symbol
+  std::vector<uint32_t> count_;         // #codes of length L
+  std::vector<int64_t> sorted_symbols_; // symbols in canonical order
+  std::unordered_map<int64_t, std::pair<uint64_t, uint32_t>> encode_table_;
+};
+
+}  // namespace relfab::compress
+
+#endif  // RELFAB_COMPRESS_HUFFMAN_H_

@@ -1,0 +1,27 @@
+#include "compress/rle.h"
+
+#include <algorithm>
+
+namespace relfab::compress {
+
+Status RleCodec::Encode(const std::vector<int64_t>& values) {
+  size_ = values.size();
+  runs_.clear();
+  for (uint64_t i = 0; i < values.size(); ++i) {
+    if (runs_.empty() || runs_.back().value != values[i]) {
+      runs_.push_back({i, values[i]});
+    }
+  }
+  return Status::Ok();
+}
+
+int64_t RleCodec::ValueAt(uint64_t pos) const {
+  RELFAB_CHECK_LT(pos, size_);
+  // Last run whose start <= pos.
+  const auto it = std::upper_bound(
+      runs_.begin(), runs_.end(), pos,
+      [](uint64_t p, const Run& r) { return p < r.start; });
+  return (it - 1)->value;
+}
+
+}  // namespace relfab::compress

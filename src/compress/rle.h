@@ -1,0 +1,45 @@
+#ifndef RELFAB_COMPRESS_RLE_H_
+#define RELFAB_COMPRESS_RLE_H_
+
+#include <cmath>
+#include <vector>
+
+#include "compress/codec.h"
+
+namespace relfab::compress {
+
+/// Run-length encoding: (start, value) runs. Positional decode requires
+/// a binary search of the run directory — RLE is *not* scatter-
+/// accessible, which is exactly why the paper (§III-D) says RLE "cannot
+/// be used out of the box" with Relational Fabric: the fabric cannot
+/// project the value at an arbitrary row without a data-dependent search.
+class RleCodec : public ColumnCodec {
+ public:
+  CodecKind kind() const override { return CodecKind::kRle; }
+  bool scatter_accessible() const override { return false; }
+
+  Status Encode(const std::vector<int64_t>& values) override;
+  int64_t ValueAt(uint64_t pos) const override;
+  uint64_t size() const override { return size_; }
+  uint64_t encoded_bytes() const override { return runs_.size() * 16; }
+
+  /// Binary search over the run directory per positional access.
+  double decode_cost_per_value() const override {
+    return 4.0 + 2.0 * std::log2(static_cast<double>(runs_.size()) + 1.0);
+  }
+
+  uint64_t num_runs() const { return runs_.size(); }
+
+ private:
+  struct Run {
+    uint64_t start;
+    int64_t value;
+  };
+
+  uint64_t size_ = 0;
+  std::vector<Run> runs_;
+};
+
+}  // namespace relfab::compress
+
+#endif  // RELFAB_COMPRESS_RLE_H_

@@ -1,0 +1,181 @@
+#include "core/fabric.h"
+
+#include <utility>
+
+namespace relfab {
+
+Fabric::Fabric(sim::SimParams sim_params, engine::CostModel cost_model)
+    : memory_(sim_params),
+      rm_(&memory_),
+      cost_model_(cost_model),
+      parser_(&catalog_),
+      planner_(&catalog_, sim_params, cost_model),
+      executor_(&catalog_, &rm_, cost_model) {}
+
+StatusOr<layout::RowTable*> Fabric::CreateTable(const std::string& name,
+                                                layout::Schema schema,
+                                                uint64_t capacity) {
+  if (tables_.count(name) > 0 || versioned_.count(name) > 0) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  auto table = std::make_unique<layout::RowTable>(std::move(schema), &memory_,
+                                                  capacity);
+  layout::RowTable* raw = table.get();
+  RELFAB_RETURN_IF_ERROR(catalog_.Register(name, {raw, nullptr}));
+  tables_[name] = std::move(table);
+  return raw;
+}
+
+StatusOr<layout::RowTable*> Fabric::AdoptTable(const std::string& name,
+                                               layout::RowTable table) {
+  if (table.memory() != &memory_) {
+    return Status::InvalidArgument(
+        "table was built against a different memory system");
+  }
+  if (tables_.count(name) > 0 || versioned_.count(name) > 0) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  auto owned = std::make_unique<layout::RowTable>(std::move(table));
+  layout::RowTable* raw = owned.get();
+  RELFAB_RETURN_IF_ERROR(catalog_.Register(name, {raw, nullptr}));
+  tables_[name] = std::move(owned);
+  return raw;
+}
+
+namespace {
+
+/// Rebuilds a catalog with one entry replaced (Catalog has no in-place
+/// update by design — registrations are otherwise immutable).
+Status ReplaceCatalogEntry(query::Catalog* catalog, const std::string& name,
+                           const query::TableEntry& replacement) {
+  query::Catalog rebuilt;
+  for (const std::string& existing : catalog->TableNames()) {
+    auto entry = catalog->Lookup(existing);
+    RELFAB_RETURN_IF_ERROR(rebuilt.Register(
+        existing, existing == name ? replacement : *entry));
+  }
+  *catalog = std::move(rebuilt);
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status Fabric::MaterializeColumnarCopy(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no plain table named '" + name + "'");
+  }
+  if (column_copies_.count(name) > 0) return Status::Ok();
+  auto copy = std::make_unique<layout::ColumnTable>(*it->second, &memory_);
+  RELFAB_ASSIGN_OR_RETURN(query::TableEntry entry, catalog_.Lookup(name));
+  entry.columns = copy.get();
+  RELFAB_RETURN_IF_ERROR(ReplaceCatalogEntry(&catalog_, name, entry));
+  column_copies_[name] = std::move(copy);
+  return Status::Ok();
+}
+
+Status Fabric::CreateIndex(const std::string& name,
+                           const std::string& column_name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no plain table named '" + name + "'");
+  }
+  layout::RowTable* table = it->second.get();
+  RELFAB_ASSIGN_OR_RETURN(uint32_t column,
+                          table->schema().IndexOf(column_name));
+  if (table->schema().type(column) != layout::ColumnType::kInt64) {
+    return Status::InvalidArgument("index column must be int64");
+  }
+  if (indexes_.count(name) > 0) {
+    return Status::AlreadyExists("table '" + name + "' already has an index");
+  }
+  auto index = std::make_unique<index::BTreeIndex>(&memory_);
+  for (uint64_t row = 0; row < table->num_rows(); ++row) {
+    index->Insert(table->GetInt(row, column), row);
+  }
+  RELFAB_ASSIGN_OR_RETURN(query::TableEntry entry, catalog_.Lookup(name));
+  entry.key_index = index.get();
+  entry.key_index_column = column;
+  RELFAB_RETURN_IF_ERROR(ReplaceCatalogEntry(&catalog_, name, entry));
+  indexes_[name] = std::move(index);
+  return Status::Ok();
+}
+
+Status Fabric::AnalyzeTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no plain table named '" + name + "'");
+  }
+  auto stats =
+      std::make_unique<query::TableStats>(query::AnalyzeTable(*it->second));
+  RELFAB_ASSIGN_OR_RETURN(query::TableEntry entry, catalog_.Lookup(name));
+  entry.stats = stats.get();
+  RELFAB_RETURN_IF_ERROR(ReplaceCatalogEntry(&catalog_, name, entry));
+  stats_[name] = std::move(stats);
+  return Status::Ok();
+}
+
+StatusOr<layout::RowTable*> Fabric::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no table named '" + name + "'");
+  }
+  return it->second.get();
+}
+
+StatusOr<mvcc::VersionedTable*> Fabric::CreateVersionedTable(
+    const std::string& name, const layout::Schema& user_schema,
+    uint32_t key_column, uint64_t capacity) {
+  if (tables_.count(name) > 0 || versioned_.count(name) > 0) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  RELFAB_ASSIGN_OR_RETURN(
+      mvcc::VersionedTable table,
+      mvcc::VersionedTable::Create(user_schema, key_column, &memory_,
+                                   capacity));
+  auto owned = std::make_unique<mvcc::VersionedTable>(std::move(table));
+  mvcc::VersionedTable* raw = owned.get();
+  RELFAB_RETURN_IF_ERROR(catalog_.Register(name, {&raw->rows(), nullptr}));
+  versioned_[name] = std::move(owned);
+  txn_managers_[name] = std::make_unique<mvcc::TransactionManager>(raw);
+  return raw;
+}
+
+StatusOr<mvcc::VersionedTable*> Fabric::GetVersionedTable(
+    const std::string& name) {
+  auto it = versioned_.find(name);
+  if (it == versioned_.end()) {
+    return Status::NotFound("no versioned table named '" + name + "'");
+  }
+  return it->second.get();
+}
+
+StatusOr<mvcc::TransactionManager*> Fabric::GetTransactionManager(
+    const std::string& name) {
+  auto it = txn_managers_.find(name);
+  if (it == txn_managers_.end()) {
+    return Status::NotFound("no versioned table named '" + name + "'");
+  }
+  return it->second.get();
+}
+
+StatusOr<relmem::EphemeralView> Fabric::ConfigureView(
+    const std::string& name, relmem::Geometry geometry) {
+  RELFAB_ASSIGN_OR_RETURN(query::TableEntry entry, catalog_.Lookup(name));
+  return rm_.Configure(*entry.rows, std::move(geometry));
+}
+
+StatusOr<Fabric::SqlResult> Fabric::ExecuteSql(std::string_view sql) {
+  RELFAB_ASSIGN_OR_RETURN(query::ParsedQuery parsed, parser_.Parse(sql));
+  RELFAB_ASSIGN_OR_RETURN(query::Plan plan, planner_.MakePlan(parsed));
+  RELFAB_ASSIGN_OR_RETURN(engine::QueryResult result,
+                          executor_.Execute(plan));
+  return SqlResult{std::move(plan), std::move(result)};
+}
+
+StatusOr<query::Plan> Fabric::ExplainSql(std::string_view sql) {
+  RELFAB_ASSIGN_OR_RETURN(query::ParsedQuery parsed, parser_.Parse(sql));
+  return planner_.MakePlan(parsed);
+}
+
+}  // namespace relfab

@@ -1,0 +1,137 @@
+#ifndef RELFAB_CORE_FABRIC_H_
+#define RELFAB_CORE_FABRIC_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "common/statusor.h"
+#include "engine/cost_model.h"
+#include "engine/query.h"
+#include "index/btree.h"
+#include "layout/column_table.h"
+#include "layout/row_table.h"
+#include "mvcc/transaction.h"
+#include "mvcc/versioned_table.h"
+#include "query/catalog.h"
+#include "query/executor.h"
+#include "query/parser.h"
+#include "query/planner.h"
+#include "relmem/rm_engine.h"
+#include "sim/memory_system.h"
+
+namespace relfab {
+
+/// The library façade: one simulated platform (memory hierarchy +
+/// Relational Memory engine) with a catalog of tables and a SQL front
+/// end. Typical use:
+///
+///   Fabric fabric;
+///   auto* t = fabric.CreateTable("sensors", schema).value();
+///   ... append rows ...
+///   auto view = fabric.ConfigureView("sensors", geometry).value();
+///   // or:
+///   auto result = fabric.ExecuteSql(
+///       "SELECT SUM(temp) FROM sensors WHERE site < 10").value();
+///
+/// Plain tables hold a single row-oriented copy (the Relational Fabric
+/// design point); MaterializeColumnarCopy adds the duplicated columnar
+/// baseline so the planner may also choose COL. Versioned tables add
+/// MVCC with snapshot isolation (paper §III-C).
+class Fabric {
+ public:
+  explicit Fabric(sim::SimParams sim_params = sim::SimParams::ZynqA53Defaults(),
+                  engine::CostModel cost_model =
+                      engine::CostModel::A53Defaults());
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  sim::MemorySystem& memory() { return memory_; }
+  relmem::RmEngine& rm() { return rm_; }
+  const query::Catalog& catalog() const { return catalog_; }
+  const engine::CostModel& cost_model() const { return cost_model_; }
+
+  // --- tables ---
+
+  /// Creates an empty row-oriented table registered under `name`.
+  StatusOr<layout::RowTable*> CreateTable(const std::string& name,
+                                          layout::Schema schema,
+                                          uint64_t capacity = 0);
+
+  /// Registers an existing table (e.g. from tpch::GenerateLineitem); the
+  /// Fabric takes ownership.
+  StatusOr<layout::RowTable*> AdoptTable(const std::string& name,
+                                         layout::RowTable table);
+
+  /// Materializes the duplicated columnar copy of `name` (the baseline a
+  /// Relational Fabric deployment would not need).
+  Status MaterializeColumnarCopy(const std::string& name);
+
+  /// Builds a B+-tree over an int64 column of `name` for point queries
+  /// (paper §III-A). The build cost is charged to the simulator. The
+  /// index reflects the rows present at build time; rebuild after bulk
+  /// appends.
+  Status CreateIndex(const std::string& name,
+                     const std::string& column_name);
+
+  /// ANALYZE: collects histogram statistics for `name`, enabling
+  /// selectivity-aware planning (including the HYBRID backend). Re-run
+  /// after bulk appends; collection is an offline task and not charged.
+  Status AnalyzeTable(const std::string& name);
+
+  StatusOr<layout::RowTable*> GetTable(const std::string& name);
+
+  // --- versioned (HTAP) tables ---
+
+  /// Creates an MVCC table; writes go through its TransactionManager.
+  StatusOr<mvcc::VersionedTable*> CreateVersionedTable(
+      const std::string& name, const layout::Schema& user_schema,
+      uint32_t key_column, uint64_t capacity = 0);
+
+  StatusOr<mvcc::VersionedTable*> GetVersionedTable(const std::string& name);
+  StatusOr<mvcc::TransactionManager*> GetTransactionManager(
+      const std::string& name);
+
+  // --- ephemeral access ---
+
+  /// Configures an ephemeral view of arbitrary geometry over a table
+  /// (works for plain and versioned tables; for the latter pass a
+  /// snapshot filter inside the geometry, e.g. table->SnapshotFilter()).
+  StatusOr<relmem::EphemeralView> ConfigureView(const std::string& name,
+                                                relmem::Geometry geometry);
+
+  // --- SQL ---
+
+  struct SqlResult {
+    query::Plan plan;
+    engine::QueryResult result;
+  };
+
+  /// Parses, plans (constructively — no layout search) and executes.
+  StatusOr<SqlResult> ExecuteSql(std::string_view sql);
+
+  /// Plans without executing (EXPLAIN).
+  StatusOr<query::Plan> ExplainSql(std::string_view sql);
+
+ private:
+  sim::MemorySystem memory_;
+  relmem::RmEngine rm_;
+  engine::CostModel cost_model_;
+  query::Catalog catalog_;
+  query::Parser parser_;
+  query::Planner planner_;
+  query::Executor executor_;
+  std::map<std::string, std::unique_ptr<layout::RowTable>> tables_;
+  std::map<std::string, std::unique_ptr<layout::ColumnTable>> column_copies_;
+  std::map<std::string, std::unique_ptr<index::BTreeIndex>> indexes_;
+  std::map<std::string, std::unique_ptr<query::TableStats>> stats_;
+  std::map<std::string, std::unique_ptr<mvcc::VersionedTable>> versioned_;
+  std::map<std::string, std::unique_ptr<mvcc::TransactionManager>>
+      txn_managers_;
+};
+
+}  // namespace relfab
+
+#endif  // RELFAB_CORE_FABRIC_H_

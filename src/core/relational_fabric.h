@@ -1,0 +1,45 @@
+#ifndef RELFAB_CORE_RELATIONAL_FABRIC_H_
+#define RELFAB_CORE_RELATIONAL_FABRIC_H_
+
+/// Umbrella header: the public API of the Relational Fabric library.
+///
+/// Layers (bottom-up):
+///   sim/        calibrated memory-hierarchy simulator (caches, stream
+///               prefetcher, DRAM banks, cycle accounting)
+///   layout/     schemas, the row-oriented base data, columnar baseline
+///   relmem/     Relational Memory: geometries, the near-data transform
+///               engine, ephemeral variables
+///   engine/     ROW (volcano), COL (vectorized) and RM execution engines
+///   mvcc/       versioned tables + snapshot-isolation transactions
+///   compress/   dictionary / delta / Huffman / RLE column codecs
+///   relstorage/ Relational Storage: computational-SSD instance
+///   query/      SQL subset, catalog, constructive planner, executor
+///   core/       the Fabric façade tying it all together
+
+#include "common/status.h"         // IWYU pragma: export
+#include "common/statusor.h"       // IWYU pragma: export
+#include "compress/delta.h"        // IWYU pragma: export
+#include "compress/dictionary.h"   // IWYU pragma: export
+#include "compress/huffman.h"      // IWYU pragma: export
+#include "compress/rle.h"          // IWYU pragma: export
+#include "core/fabric.h"           // IWYU pragma: export
+#include "engine/code_cache.h"     // IWYU pragma: export
+#include "engine/hybrid.h"         // IWYU pragma: export
+#include "engine/rm_exec.h"        // IWYU pragma: export
+#include "engine/vector_engine.h"  // IWYU pragma: export
+#include "engine/volcano.h"        // IWYU pragma: export
+#include "index/btree.h"           // IWYU pragma: export
+#include "index/hash_index.h"      // IWYU pragma: export
+#include "layout/column_table.h"   // IWYU pragma: export
+#include "layout/row_table.h"      // IWYU pragma: export
+#include "layout/schema.h"         // IWYU pragma: export
+#include "mvcc/transaction.h"      // IWYU pragma: export
+#include "relmem/ephemeral.h"      // IWYU pragma: export
+#include "relmem/geometry.h"       // IWYU pragma: export
+#include "relmem/rm_engine.h"      // IWYU pragma: export
+#include "relstorage/rs_engine.h"  // IWYU pragma: export
+#include "shard/sharded_table.h"   // IWYU pragma: export
+#include "sim/memory_system.h"     // IWYU pragma: export
+#include "tensor/matrix.h"         // IWYU pragma: export
+
+#endif  // RELFAB_CORE_RELATIONAL_FABRIC_H_

@@ -1,0 +1,118 @@
+#ifndef RELFAB_ENGINE_CODE_CACHE_H_
+#define RELFAB_ENGINE_CODE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+
+#include "common/logging.h"
+#include "engine/query.h"
+#include "sim/memory_system.h"
+
+namespace relfab::engine {
+
+/// Model of a compiled-fragment cache (paper §III-B, "Code Generation").
+/// Adaptive legacy systems generate code per (query, buffered layout)
+/// pair; with Relational Fabric "data layouts are not buffered, [so the
+/// system] can buffer more code fragments and reuse previously compiled
+/// code fragments more aggressively" — one fragment per query, and the
+/// capacity freed from layout variants raises the hit rate.
+///
+/// Admission charges the compilation latency to the simulator; hits
+/// charge a lookup. LRU replacement over a fixed fragment budget.
+class CodeCache {
+ public:
+  /// `capacity` = fragments the system can keep resident;
+  /// `compile_cycles` = cost of generating + compiling one fragment.
+  CodeCache(sim::MemorySystem* memory, uint32_t capacity = 64,
+            double compile_cycles = 150000.0)
+      : memory_(memory),
+        capacity_(capacity),
+        compile_cycles_(compile_cycles) {
+    RELFAB_CHECK(memory != nullptr);
+    RELFAB_CHECK(capacity > 0);
+  }
+
+  /// Structural signature of a query: same shape => same fragment.
+  /// `layout_variant` distinguishes per-layout fragments in legacy
+  /// systems (Relational Fabric always passes 0 — one layout).
+  static uint64_t Signature(const QuerySpec& spec,
+                            uint32_t layout_variant = 0) {
+    uint64_t h = 0xcbf29ce484222325ull ^ layout_variant;
+    const auto mix = [&h](uint64_t v) {
+      h ^= v;
+      h *= 0x100000001b3ull;
+    };
+    for (const Predicate& p : spec.predicates) {
+      mix(p.column);
+      mix(static_cast<uint64_t>(p.op) + 17);
+      mix(static_cast<uint64_t>(p.int_operand));
+    }
+    for (const AggSpec& a : spec.aggregates) {
+      mix(static_cast<uint64_t>(a.func) + 101);
+      mix(static_cast<uint64_t>(a.expr) + 7);
+    }
+    for (uint32_t c : spec.group_by) mix(c + 301);
+    for (uint32_t c : spec.projection) mix(c + 501);
+    // The expression pool's content is part of the generated code.
+    for (size_t i = 0; i < spec.exprs.size(); ++i) {
+      const ExprPool::Node& n = spec.exprs.node(static_cast<int32_t>(i));
+      mix(static_cast<uint64_t>(n.kind) + 11);
+      mix(n.column);
+      mix(static_cast<uint64_t>(n.constant * 1024));
+      mix(static_cast<uint64_t>(n.lhs + 1));
+      mix(static_cast<uint64_t>(n.rhs + 1));
+    }
+    return h;
+  }
+
+  /// Ensures a fragment for `signature` is resident; returns true on a
+  /// hit. A miss charges the compile and may evict the LRU fragment.
+  bool Require(uint64_t signature) {
+    auto it = resident_.find(signature);
+    memory_->CpuWork(kLookupCycles);
+    if (it != resident_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second);
+      ++hits_;
+      return true;
+    }
+    ++misses_;
+    memory_->CpuWork(compile_cycles_);
+    if (resident_.size() == capacity_) {
+      resident_.erase(lru_.back());
+      lru_.pop_back();
+      ++evictions_;
+    }
+    lru_.push_front(signature);
+    resident_[signature] = lru_.begin();
+    return false;
+  }
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t evictions() const { return evictions_; }
+  uint32_t capacity() const { return capacity_; }
+  size_t resident() const { return resident_.size(); }
+  double hit_rate() const {
+    const uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits_) /
+                            static_cast<double>(total);
+  }
+
+ private:
+  static constexpr double kLookupCycles = 40.0;
+
+  sim::MemorySystem* memory_;
+  uint32_t capacity_;
+  double compile_cycles_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  std::list<uint64_t> lru_;
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> resident_;
+};
+
+}  // namespace relfab::engine
+
+#endif  // RELFAB_ENGINE_CODE_CACHE_H_

@@ -1,0 +1,50 @@
+#ifndef RELFAB_ENGINE_COST_MODEL_H_
+#define RELFAB_ENGINE_COST_MODEL_H_
+
+#include <cstdint>
+
+namespace relfab::engine {
+
+/// Per-operation CPU cycle costs charged by the execution engines on top
+/// of the memory-system costs. Together with sim::SimParams these are the
+/// calibration surface for the paper's figures; defaults model an
+/// in-order Cortex-A53 running interpreted (volcano) vs. vectorized
+/// loops.
+struct CostModel {
+  // --- volcano (tuple-at-a-time) row engine ---
+  /// Virtual Next() dispatch per tuple per operator edge.
+  double volcano_next_cycles = 3.0;
+  /// Extracting one field from a row (offset arithmetic + load; the L1
+  /// probe itself is charged by the memory system on top).
+  double volcano_field_cycles = 2.0;
+
+  // --- shared scalar op costs ---
+  double compare_cycles = 1.2;        // one predicate comparison
+  double arith_cycles = 1.0;          // one expression-node operation
+  double agg_update_cycles = 1.5;     // one aggregate update
+  double group_hash_cycles = 7.0;     // hashing + group lookup per tuple
+
+  // --- vectorized (column-at-a-time) engine ---
+  /// Loading + processing one columnar value in a tight loop.
+  double vector_value_cycles = 1.2;
+  /// Stitching one field when reconstructing a multi-column tuple
+  /// (the paper's "tuple reconstruction cost", grows with projectivity).
+  double reconstruct_field_cycles = 1.0;
+  /// Fixed overhead per vector batch (loop setup, selection-vector
+  /// management).
+  double batch_overhead_cycles = 32.0;
+  /// Rows per vector batch.
+  uint32_t batch_rows = 1024;
+
+  // --- RM (ephemeral-view) engine ---
+  /// Loading + processing one value from a packed ephemeral row. Slightly
+  /// above vector_value_cycles: the packed group is row-major within the
+  /// group, so loops are strided by the group width rather than unit.
+  double rm_value_cycles = 2.1;
+
+  static CostModel A53Defaults() { return CostModel{}; }
+};
+
+}  // namespace relfab::engine
+
+#endif  // RELFAB_ENGINE_COST_MODEL_H_

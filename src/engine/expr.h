@@ -1,0 +1,111 @@
+#ifndef RELFAB_ENGINE_EXPR_H_
+#define RELFAB_ENGINE_EXPR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "relmem/geometry.h"
+
+namespace relfab::engine {
+
+/// Engines share the fabric's predicate representation: a conjunction of
+/// `column <op> literal` terms. The same predicate list can be evaluated
+/// in software (ROW/COL/RM engines) or pushed into the fabric (§IV-B).
+using Predicate = relmem::HwPredicate;
+using relmem::CompareOp;
+
+/// Arena of small arithmetic expressions over columns and constants,
+/// referenced by node index. Rich enough for the TPC-H evaluation
+/// queries (e.g. Q1's `extendedprice * (1 - discount) * (1 + tax)`).
+class ExprPool {
+ public:
+  enum class Kind : uint8_t { kColumn, kConst, kAdd, kSub, kMul };
+
+  struct Node {
+    Kind kind;
+    uint32_t column = 0;  // kColumn
+    double constant = 0;  // kConst
+    int32_t lhs = -1;
+    int32_t rhs = -1;
+  };
+
+  /// Node constructors; each returns the node's index.
+  int32_t Column(uint32_t column) {
+    nodes_.push_back({Kind::kColumn, column, 0, -1, -1});
+    return Last();
+  }
+  int32_t Constant(double value) {
+    nodes_.push_back({Kind::kConst, 0, value, -1, -1});
+    return Last();
+  }
+  int32_t Add(int32_t lhs, int32_t rhs) { return Binary(Kind::kAdd, lhs, rhs); }
+  int32_t Sub(int32_t lhs, int32_t rhs) { return Binary(Kind::kSub, lhs, rhs); }
+  int32_t Mul(int32_t lhs, int32_t rhs) { return Binary(Kind::kMul, lhs, rhs); }
+
+  const Node& node(int32_t idx) const { return nodes_[idx]; }
+  size_t size() const { return nodes_.size(); }
+
+  /// Evaluates node `idx`; `col_fn(column)` supplies column values of the
+  /// current row as double.
+  template <typename ColFn>
+  double Eval(int32_t idx, ColFn&& col_fn) const {
+    const Node& n = nodes_[idx];
+    switch (n.kind) {
+      case Kind::kColumn:
+        return col_fn(n.column);
+      case Kind::kConst:
+        return n.constant;
+      case Kind::kAdd:
+        return Eval(n.lhs, col_fn) + Eval(n.rhs, col_fn);
+      case Kind::kSub:
+        return Eval(n.lhs, col_fn) - Eval(n.rhs, col_fn);
+      case Kind::kMul:
+        return Eval(n.lhs, col_fn) * Eval(n.rhs, col_fn);
+    }
+    return 0;
+  }
+
+  /// Number of arithmetic operations in the subtree at `idx` (for CPU
+  /// cost accounting) — column/const leaves are free, operators cost one.
+  uint32_t OpCount(int32_t idx) const {
+    const Node& n = nodes_[idx];
+    switch (n.kind) {
+      case Kind::kColumn:
+      case Kind::kConst:
+        return 0;
+      default:
+        return 1 + OpCount(n.lhs) + OpCount(n.rhs);
+    }
+  }
+
+  /// Appends the distinct columns referenced by the subtree to `out`.
+  void CollectColumns(int32_t idx, std::vector<uint32_t>* out) const {
+    const Node& n = nodes_[idx];
+    switch (n.kind) {
+      case Kind::kColumn:
+        out->push_back(n.column);
+        return;
+      case Kind::kConst:
+        return;
+      default:
+        CollectColumns(n.lhs, out);
+        CollectColumns(n.rhs, out);
+    }
+  }
+
+ private:
+  int32_t Binary(Kind kind, int32_t lhs, int32_t rhs) {
+    RELFAB_CHECK(lhs >= 0 && static_cast<size_t>(lhs) < nodes_.size());
+    RELFAB_CHECK(rhs >= 0 && static_cast<size_t>(rhs) < nodes_.size());
+    nodes_.push_back({kind, 0, 0, lhs, rhs});
+    return Last();
+  }
+  int32_t Last() const { return static_cast<int32_t>(nodes_.size()) - 1; }
+
+  std::vector<Node> nodes_;
+};
+
+}  // namespace relfab::engine
+
+#endif  // RELFAB_ENGINE_EXPR_H_

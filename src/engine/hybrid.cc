@@ -1,0 +1,95 @@
+#include "engine/hybrid.h"
+
+#include <algorithm>
+
+#include "engine/rm_exec.h"
+#include "engine/volcano.h"
+#include "relmem/ephemeral.h"
+
+namespace relfab::engine {
+
+namespace {
+
+bool Compare(double v, const Predicate& p) {
+  switch (p.op) {
+    case CompareOp::kLt:
+      return v < p.double_operand;
+    case CompareOp::kLe:
+      return v <= p.double_operand;
+    case CompareOp::kGt:
+      return v > p.double_operand;
+    case CompareOp::kGe:
+      return v >= p.double_operand;
+    case CompareOp::kEq:
+      return v == p.double_operand;
+    case CompareOp::kNe:
+      return v != p.double_operand;
+  }
+  return false;
+}
+
+}  // namespace
+
+StatusOr<QueryResult> HybridEngine::Execute(const QuerySpec& query) {
+  RELFAB_RETURN_IF_ERROR(query.Validate(table_->schema()));
+  if (query.predicates.empty()) {
+    RmExecEngine rm_engine(table_, rm_, cost_);
+    return rm_engine.Execute(query);
+  }
+  sim::MemorySystem* memory = table_->memory();
+  const layout::Schema& schema = table_->schema();
+
+  // --- phase 1: column-at-a-time selection over an ephemeral view of
+  // the predicate columns only ---
+  relmem::Geometry geometry;
+  {
+    std::vector<uint32_t> cols;
+    for (const Predicate& p : query.predicates) cols.push_back(p.column);
+    std::sort(cols.begin(), cols.end(), [&schema](uint32_t a, uint32_t b) {
+      return schema.offset(a) < schema.offset(b);
+    });
+    cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+    geometry.columns = std::move(cols);
+  }
+  std::vector<int32_t> field_of(schema.num_columns(), -1);
+  for (size_t f = 0; f < geometry.columns.size(); ++f) {
+    field_of[geometry.columns[f]] = static_cast<int32_t>(f);
+  }
+  RELFAB_ASSIGN_OR_RETURN(relmem::EphemeralView view,
+                          rm_->Configure(*table_, std::move(geometry)));
+  std::vector<uint64_t> qualifying;
+  {
+    relmem::EphemeralView::Cursor cur(&view);
+    for (; cur.Valid(); cur.Advance()) {
+      bool pass = true;
+      for (const Predicate& p : query.predicates) {
+        memory->CpuWork(cost_.rm_value_cycles + cost_.compare_cycles);
+        const double v =
+            cur.GetDouble(static_cast<uint32_t>(field_of[p.column]));
+        pass = pass && Compare(v, p);
+      }
+      if (pass) {
+        qualifying.push_back(cur.row_index());
+        memory->CpuWork(cost_.arith_cycles);  // row-id list append
+      }
+    }
+  }
+
+  // --- phase 2: row-at-a-time aggregation over the qualifying rows,
+  // reading the output columns straight from the base rows ---
+  QuerySpec payload;
+  payload.exprs = query.exprs;
+  payload.aggregates = query.aggregates;
+  payload.group_by = query.group_by;
+  payload.projection = query.projection;
+  VolcanoEngine row_engine(table_, cost_);
+  RELFAB_ASSIGN_OR_RETURN(QueryResult result,
+                          row_engine.ExecuteOnRowIds(payload, qualifying));
+  // Report scan semantics of the whole query, not just phase 2.
+  result.rows_scanned = table_->num_rows();
+  result.rows_matched = qualifying.size();
+  result.sim_cycles = memory->ElapsedCycles();
+  return result;
+}
+
+}  // namespace relfab::engine

@@ -1,0 +1,173 @@
+#include "engine/rm_exec.h"
+
+#include <algorithm>
+#include <map>
+
+#include "engine/volcano.h"  // PackCharKey
+#include "relmem/ephemeral.h"
+
+namespace relfab::engine {
+
+namespace {
+
+bool Compare(double v, const Predicate& p) {
+  switch (p.op) {
+    case CompareOp::kLt:
+      return v < p.double_operand;
+    case CompareOp::kLe:
+      return v <= p.double_operand;
+    case CompareOp::kGt:
+      return v > p.double_operand;
+    case CompareOp::kGe:
+      return v >= p.double_operand;
+    case CompareOp::kEq:
+      return v == p.double_operand;
+    case CompareOp::kNe:
+      return v != p.double_operand;
+  }
+  return false;
+}
+
+}  // namespace
+
+StatusOr<QueryResult> RmExecEngine::Execute(const QuerySpec& query) {
+  RELFAB_RETURN_IF_ERROR(query.Validate(table_->schema()));
+  sim::MemorySystem* memory = table_->memory();
+  const layout::Schema& schema = table_->schema();
+
+  // Columns the CPU must see: with pushdown the predicate columns stay in
+  // the fabric; without it they ride along in the ephemeral group.
+  relmem::Geometry geometry;
+  if (pushdown_) {
+    std::vector<uint32_t> cpu_cols;
+    for (const AggSpec& a : query.aggregates) {
+      if (a.expr >= 0) query.exprs.CollectColumns(a.expr, &cpu_cols);
+    }
+    for (uint32_t c : query.group_by) cpu_cols.push_back(c);
+    for (uint32_t c : query.projection) cpu_cols.push_back(c);
+    std::sort(cpu_cols.begin(), cpu_cols.end(),
+              [&schema](uint32_t a, uint32_t b) {
+                return schema.offset(a) < schema.offset(b);
+              });
+    cpu_cols.erase(std::unique(cpu_cols.begin(), cpu_cols.end()),
+                   cpu_cols.end());
+    if (cpu_cols.empty()) {
+      // Degenerate count-only query: ship the narrowest column (prefer a
+      // predicate column, which the fabric reads anyway).
+      uint32_t narrowest = 0;
+      if (!query.predicates.empty()) {
+        narrowest = query.predicates[0].column;
+        for (const Predicate& p : query.predicates) {
+          if (schema.width(p.column) < schema.width(narrowest)) {
+            narrowest = p.column;
+          }
+        }
+      } else {
+        for (uint32_t c = 1; c < schema.num_columns(); ++c) {
+          if (schema.width(c) < schema.width(narrowest)) narrowest = c;
+        }
+      }
+      cpu_cols.push_back(narrowest);
+    }
+    geometry.columns = std::move(cpu_cols);
+    geometry.predicates = query.predicates;
+  } else {
+    geometry.columns = query.ReferencedColumns(schema);
+    if (geometry.columns.empty()) {
+      // Pure COUNT(*): the fabric still needs a stream to count rows;
+      // ship the narrowest column.
+      uint32_t narrowest = 0;
+      for (uint32_t c = 1; c < schema.num_columns(); ++c) {
+        if (schema.width(c) < schema.width(narrowest)) narrowest = c;
+      }
+      geometry.columns.push_back(narrowest);
+    }
+  }
+
+  // Field index of each source column inside the packed output row.
+  std::vector<int32_t> field_of(schema.num_columns(), -1);
+  for (size_t f = 0; f < geometry.columns.size(); ++f) {
+    field_of[geometry.columns[f]] = static_cast<int32_t>(f);
+  }
+
+  RELFAB_ASSIGN_OR_RETURN(relmem::EphemeralView view,
+                          rm_->Configure(*table_, std::move(geometry)));
+
+  QueryResult result;
+  result.rows_scanned = table_->num_rows();
+
+  const bool grouped = !query.group_by.empty();
+  std::vector<AggState> flat_aggs(query.aggregates.size());
+  std::map<GroupKey, std::vector<AggState>> groups;
+
+  relmem::EphemeralView::Cursor cur(&view);
+  const auto numeric = [&](uint32_t col) {
+    memory->CpuWork(cost_.rm_value_cycles);
+    RELFAB_DCHECK(field_of[col] >= 0);
+    return cur.GetDouble(static_cast<uint32_t>(field_of[col]));
+  };
+  const auto key_of = [&](uint32_t col) {
+    memory->CpuWork(cost_.rm_value_cycles);
+    RELFAB_DCHECK(field_of[col] >= 0);
+    const uint32_t f = static_cast<uint32_t>(field_of[col]);
+    if (schema.type(col) == layout::ColumnType::kChar) {
+      return PackCharKey(cur.GetChar(f));
+    }
+    return cur.GetInt(f);
+  };
+
+  for (; cur.Valid(); cur.Advance()) {
+    if (!pushdown_) {
+      bool pass = true;
+      for (const Predicate& p : query.predicates) {
+        const double v = numeric(p.column);
+        memory->CpuWork(cost_.compare_cycles);
+        pass = pass && Compare(v, p);
+      }
+      if (!pass) continue;
+    }
+    ++result.rows_matched;
+    if (query.aggregates.empty()) {
+      for (uint32_t col : query.projection) {
+        double v;
+        if (schema.type(col) == layout::ColumnType::kChar) {
+          v = static_cast<double>(key_of(col) & 0xffff);
+        } else {
+          v = numeric(col);
+        }
+        result.projection_checksum += v;
+        memory->CpuWork(cost_.arith_cycles);
+      }
+      continue;
+    }
+    std::vector<AggState>* states = &flat_aggs;
+    if (grouped) {
+      GroupKey key;
+      key.size = static_cast<uint32_t>(query.group_by.size());
+      for (uint32_t i = 0; i < key.size; ++i) {
+        key.values[i] = key_of(query.group_by[i]);
+      }
+      memory->CpuWork(cost_.group_hash_cycles);
+      states = &groups
+                    .try_emplace(key, std::vector<AggState>(
+                                          query.aggregates.size()))
+                    .first->second;
+    }
+    for (size_t a = 0; a < query.aggregates.size(); ++a) {
+      const AggSpec& spec = query.aggregates[a];
+      double v = 0;
+      if (spec.expr >= 0) {
+        v = query.exprs.Eval(spec.expr, numeric);
+        memory->CpuWork(cost_.arith_cycles * query.exprs.OpCount(spec.expr));
+      }
+      (*states)[a].Update(v);
+      memory->CpuWork(cost_.agg_update_cycles);
+    }
+  }
+
+  FinalizeAggregates(query, flat_aggs, groups, &result);
+  result.sim_cycles = memory->ElapsedCycles();
+  return result;
+}
+
+}  // namespace relfab::engine

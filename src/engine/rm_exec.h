@@ -1,0 +1,47 @@
+#ifndef RELFAB_ENGINE_RM_EXEC_H_
+#define RELFAB_ENGINE_RM_EXEC_H_
+
+#include "common/statusor.h"
+#include "engine/cost_model.h"
+#include "engine/query.h"
+#include "layout/row_table.h"
+#include "relmem/rm_engine.h"
+
+namespace relfab::engine {
+
+/// Query execution over Relational Memory: the engine configures an
+/// ephemeral view for exactly the columns the query touches and runs a
+/// vectorized loop over the packed output. No tuple reconstruction is
+/// charged — the fabric already delivered row-major column groups — and
+/// the CPU sees a single dense stream regardless of how many columns the
+/// query references.
+///
+/// With `pushdown_selection` (the paper's §IV-B extension), the
+/// predicates are evaluated inside the fabric; only qualifying rows'
+/// output columns cross the memory hierarchy and the CPU skips predicate
+/// evaluation entirely.
+class RmExecEngine {
+ public:
+  RmExecEngine(const layout::RowTable* table, relmem::RmEngine* rm,
+               CostModel cost = CostModel::A53Defaults(),
+               bool pushdown_selection = false)
+      : table_(table), rm_(rm), cost_(cost), pushdown_(pushdown_selection) {
+    RELFAB_CHECK(table != nullptr && rm != nullptr);
+  }
+
+  /// Executes `query`, charging the simulator; one query per
+  /// ResetTiming window for meaningful sim_cycles.
+  StatusOr<QueryResult> Execute(const QuerySpec& query);
+
+  bool pushdown_selection() const { return pushdown_; }
+
+ private:
+  const layout::RowTable* table_;
+  relmem::RmEngine* rm_;
+  CostModel cost_;
+  bool pushdown_;
+};
+
+}  // namespace relfab::engine
+
+#endif  // RELFAB_ENGINE_RM_EXEC_H_

@@ -1,0 +1,304 @@
+#include "engine/vector_engine.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+
+#include "engine/volcano.h"  // PackCharKey
+#include "sim/memory_system.h"
+
+namespace relfab::engine {
+
+namespace {
+
+/// Charged sequential cursor over one column array. Per value it charges
+/// the vectorized load/op CPU cost; memory traffic is charged once per
+/// cache-line transition of the column's stream.
+class ColumnReader {
+ public:
+  ColumnReader(const layout::ColumnTable* table, uint32_t col,
+               sim::MemorySystem* memory, const CostModel* cost)
+      : table_(table),
+        col_(col),
+        width_(table->schema().width(col)),
+        is_char_(table->schema().type(col) == layout::ColumnType::kChar),
+        reader_(memory),
+        memory_(memory),
+        cost_(cost) {}
+
+  double GetNumeric(uint64_t row) {
+    Charge(row);
+    return table_->GetDouble(col_, row);
+  }
+
+  int64_t GetKey(uint64_t row) {
+    Charge(row);
+    if (is_char_) return PackCharKey(table_->GetChar(col_, row));
+    return table_->GetInt(col_, row);
+  }
+
+ private:
+  void Charge(uint64_t row) {
+    reader_.Read(table_->ValueAddress(col_, row), width_);
+    memory_->CpuWork(cost_->vector_value_cycles);
+  }
+
+  const layout::ColumnTable* table_;
+  uint32_t col_;
+  uint32_t width_;
+  bool is_char_;
+  sim::SequentialReader reader_;
+  sim::MemorySystem* memory_;
+  const CostModel* cost_;
+};
+
+/// Lazily-created per-column readers for one query execution.
+class ReaderSet {
+ public:
+  ReaderSet(const layout::ColumnTable* table, sim::MemorySystem* memory,
+            const CostModel* cost)
+      : table_(table), memory_(memory), cost_(cost) {
+    readers_.resize(table->schema().num_columns());
+  }
+
+  ColumnReader& at(uint32_t col) {
+    if (!readers_[col]) {
+      readers_[col] =
+          std::make_unique<ColumnReader>(table_, col, memory_, cost_);
+    }
+    return *readers_[col];
+  }
+
+ private:
+  const layout::ColumnTable* table_;
+  sim::MemorySystem* memory_;
+  const CostModel* cost_;
+  std::vector<std::unique_ptr<ColumnReader>> readers_;
+};
+
+bool Compare(double v, const Predicate& p) {
+  switch (p.op) {
+    case CompareOp::kLt:
+      return v < p.double_operand;
+    case CompareOp::kLe:
+      return v <= p.double_operand;
+    case CompareOp::kGt:
+      return v > p.double_operand;
+    case CompareOp::kGe:
+      return v >= p.double_operand;
+    case CompareOp::kEq:
+      return v == p.double_operand;
+    case CompareOp::kNe:
+      return v != p.double_operand;
+  }
+  return false;
+}
+
+/// Distinct columns the post-selection phase materializes per tuple
+/// (aggregate inputs, group keys, projection): the tuple-reconstruction
+/// width.
+uint32_t OutputFieldCount(const QuerySpec& query) {
+  std::vector<uint32_t> cols;
+  for (const AggSpec& a : query.aggregates) {
+    if (a.expr >= 0) query.exprs.CollectColumns(a.expr, &cols);
+  }
+  for (uint32_t c : query.group_by) cols.push_back(c);
+  for (uint32_t c : query.projection) cols.push_back(c);
+  std::sort(cols.begin(), cols.end());
+  cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+  return static_cast<uint32_t>(cols.size());
+}
+
+}  // namespace
+
+StatusOr<QueryResult> VectorEngine::Execute(const QuerySpec& query) {
+  RELFAB_RETURN_IF_ERROR(query.Validate(table_->schema()));
+  if (mode_ == VectorMode::kColumnAtATime && !query.predicates.empty()) {
+    return ExecuteColumnAtATime(query);
+  }
+  return ExecuteFused(query);
+}
+
+StatusOr<QueryResult> VectorEngine::ExecuteFused(const QuerySpec& query) {
+  sim::MemorySystem* memory = table_->memory();
+  ReaderSet readers(table_, memory, &cost_);
+
+  QueryResult result;
+  const uint64_t n = table_->num_rows();
+  result.rows_scanned = n;
+
+  const bool grouped = !query.group_by.empty();
+  const uint32_t out_fields = OutputFieldCount(query);
+  std::vector<AggState> flat_aggs(query.aggregates.size());
+  std::map<GroupKey, std::vector<AggState>> groups;
+  uint64_t current_row = 0;
+  const auto col_fn = [&](uint32_t col) {
+    return readers.at(col).GetNumeric(current_row);
+  };
+
+  for (uint64_t batch = 0; batch < n; batch += cost_.batch_rows) {
+    memory->CpuWork(cost_.batch_overhead_cycles);
+    const uint64_t batch_end = std::min<uint64_t>(n, batch + cost_.batch_rows);
+    for (uint64_t row = batch; row < batch_end; ++row) {
+      // Vectorized predicate evaluation: all conjuncts computed (no
+      // per-tuple short circuit), selection folded into a mask.
+      bool pass = true;
+      for (const Predicate& p : query.predicates) {
+        const double v = readers.at(p.column).GetNumeric(row);
+        memory->CpuWork(cost_.compare_cycles);
+        pass = pass && Compare(v, p);
+      }
+      if (!pass) continue;
+      ++result.rows_matched;
+      current_row = row;
+      // Tuple reconstruction: stitch the output fields of this position
+      // from `out_fields` separate arrays.
+      if (out_fields > 1) {
+        memory->CpuWork(cost_.reconstruct_field_cycles * out_fields);
+      }
+      if (query.aggregates.empty()) {
+        for (uint32_t col : query.projection) {
+          double v;
+          if (table_->schema().type(col) == layout::ColumnType::kChar) {
+            v = static_cast<double>(readers.at(col).GetKey(row) & 0xffff);
+          } else {
+            v = readers.at(col).GetNumeric(row);
+          }
+          result.projection_checksum += v;
+          memory->CpuWork(cost_.arith_cycles);
+        }
+        continue;
+      }
+      std::vector<AggState>* states = &flat_aggs;
+      if (grouped) {
+        GroupKey key;
+        key.size = static_cast<uint32_t>(query.group_by.size());
+        for (uint32_t i = 0; i < key.size; ++i) {
+          key.values[i] = readers.at(query.group_by[i]).GetKey(row);
+        }
+        memory->CpuWork(cost_.group_hash_cycles);
+        states = &groups
+                      .try_emplace(key, std::vector<AggState>(
+                                            query.aggregates.size()))
+                      .first->second;
+      }
+      for (size_t a = 0; a < query.aggregates.size(); ++a) {
+        const AggSpec& spec = query.aggregates[a];
+        double v = 0;
+        if (spec.expr >= 0) {
+          v = query.exprs.Eval(spec.expr, col_fn);
+          memory->CpuWork(cost_.arith_cycles *
+                          query.exprs.OpCount(spec.expr));
+        }
+        (*states)[a].Update(v);
+        memory->CpuWork(cost_.agg_update_cycles);
+      }
+    }
+  }
+
+  FinalizeAggregates(query, flat_aggs, groups, &result);
+  result.sim_cycles = memory->ElapsedCycles();
+  return result;
+}
+
+StatusOr<QueryResult> VectorEngine::ExecuteColumnAtATime(
+    const QuerySpec& query) {
+  sim::MemorySystem* memory = table_->memory();
+  ReaderSet readers(table_, memory, &cost_);
+
+  QueryResult result;
+  const uint64_t n = table_->num_rows();
+  result.rows_scanned = n;
+
+  // Selection: one full sequential pass per predicate column, refining a
+  // selection vector. Each pass keeps exactly one live stream, so this
+  // mode does not suffer prefetch-stream thrash during selection.
+  std::vector<uint64_t> positions;
+  for (size_t pi = 0; pi < query.predicates.size(); ++pi) {
+    const Predicate& p = query.predicates[pi];
+    ColumnReader& reader = readers.at(p.column);
+    std::vector<uint64_t> next;
+    const uint64_t in_count = pi == 0 ? n : positions.size();
+    memory->CpuWork(cost_.batch_overhead_cycles *
+                    (static_cast<double>(in_count) / cost_.batch_rows + 1));
+    if (pi == 0) {
+      next.reserve(n / 2);
+      for (uint64_t row = 0; row < n; ++row) {
+        const double v = reader.GetNumeric(row);
+        memory->CpuWork(cost_.compare_cycles);
+        if (Compare(v, p)) next.push_back(row);
+      }
+    } else {
+      next.reserve(positions.size());
+      for (uint64_t row : positions) {
+        const double v = reader.GetNumeric(row);
+        memory->CpuWork(cost_.compare_cycles);
+        if (Compare(v, p)) next.push_back(row);
+      }
+    }
+    positions = std::move(next);
+  }
+  result.rows_matched = positions.size();
+
+  // Aggregation/projection pass over qualifying positions; the output
+  // columns advance in lockstep here, like the fused engine.
+  const bool grouped = !query.group_by.empty();
+  const uint32_t out_fields = OutputFieldCount(query);
+  std::vector<AggState> flat_aggs(query.aggregates.size());
+  std::map<GroupKey, std::vector<AggState>> groups;
+  uint64_t current_row = 0;
+  const auto col_fn = [&](uint32_t col) {
+    return readers.at(col).GetNumeric(current_row);
+  };
+  memory->CpuWork(cost_.batch_overhead_cycles *
+                  (static_cast<double>(positions.size()) / cost_.batch_rows +
+                   1));
+  for (uint64_t row : positions) {
+    current_row = row;
+    if (out_fields > 1) {
+      memory->CpuWork(cost_.reconstruct_field_cycles * out_fields);
+    }
+    if (query.aggregates.empty()) {
+      for (uint32_t col : query.projection) {
+        double v;
+        if (table_->schema().type(col) == layout::ColumnType::kChar) {
+          v = static_cast<double>(readers.at(col).GetKey(row) & 0xffff);
+        } else {
+          v = readers.at(col).GetNumeric(row);
+        }
+        result.projection_checksum += v;
+        memory->CpuWork(cost_.arith_cycles);
+      }
+      continue;
+    }
+    std::vector<AggState>* states = &flat_aggs;
+    if (grouped) {
+      GroupKey key;
+      key.size = static_cast<uint32_t>(query.group_by.size());
+      for (uint32_t i = 0; i < key.size; ++i) {
+        key.values[i] = readers.at(query.group_by[i]).GetKey(row);
+      }
+      memory->CpuWork(cost_.group_hash_cycles);
+      states = &groups
+                    .try_emplace(key, std::vector<AggState>(
+                                          query.aggregates.size()))
+                    .first->second;
+    }
+    for (size_t a = 0; a < query.aggregates.size(); ++a) {
+      const AggSpec& spec = query.aggregates[a];
+      double v = 0;
+      if (spec.expr >= 0) {
+        v = query.exprs.Eval(spec.expr, col_fn);
+        memory->CpuWork(cost_.arith_cycles * query.exprs.OpCount(spec.expr));
+      }
+      (*states)[a].Update(v);
+      memory->CpuWork(cost_.agg_update_cycles);
+    }
+  }
+
+  FinalizeAggregates(query, flat_aggs, groups, &result);
+  result.sim_cycles = memory->ElapsedCycles();
+  return result;
+}
+
+}  // namespace relfab::engine

@@ -1,0 +1,56 @@
+#ifndef RELFAB_ENGINE_VECTOR_ENGINE_H_
+#define RELFAB_ENGINE_VECTOR_ENGINE_H_
+
+#include "common/statusor.h"
+#include "engine/cost_model.h"
+#include "engine/query.h"
+#include "layout/column_table.h"
+
+namespace relfab::engine {
+
+/// How the columnar engine walks multiple columns.
+enum class VectorMode : uint8_t {
+  /// One fused pass; all referenced columns advance in lockstep per row.
+  /// This matches the paper's COL baseline: with more than four live
+  /// column cursors the hardware prefetcher's stream table thrashes and
+  /// performance degrades — the source of the crossover in Figs. 5/6.
+  kFusedLockstep,
+  /// Selection runs column-at-a-time per predicate (one sequential stream
+  /// at a time, refining a selection vector); only the aggregation pass
+  /// walks the output columns in lockstep. Ablation mode.
+  kColumnAtATime,
+};
+
+/// The paper's COL baseline: an in-memory column-store with vectorized
+/// (batch-at-a-time) execution over a materialized column-major copy of
+/// the data. Narrow queries touch only the needed columns (minimal data
+/// movement); wide queries pay tuple-reconstruction cost and prefetcher
+/// stream pressure.
+class VectorEngine {
+ public:
+  explicit VectorEngine(const layout::ColumnTable* table,
+                        CostModel cost = CostModel::A53Defaults(),
+                        VectorMode mode = VectorMode::kFusedLockstep)
+      : table_(table), cost_(cost), mode_(mode) {
+    RELFAB_CHECK(table != nullptr);
+  }
+
+  /// Executes `query`, charging the simulator; one query per
+  /// ResetTiming window for meaningful sim_cycles.
+  StatusOr<QueryResult> Execute(const QuerySpec& query);
+
+  const layout::ColumnTable& table() const { return *table_; }
+  VectorMode mode() const { return mode_; }
+
+ private:
+  StatusOr<QueryResult> ExecuteFused(const QuerySpec& query);
+  StatusOr<QueryResult> ExecuteColumnAtATime(const QuerySpec& query);
+
+  const layout::ColumnTable* table_;
+  CostModel cost_;
+  VectorMode mode_;
+};
+
+}  // namespace relfab::engine
+
+#endif  // RELFAB_ENGINE_VECTOR_ENGINE_H_

@@ -1,0 +1,323 @@
+#include "engine/volcano.h"
+
+#include <cstring>
+#include <map>
+
+#include "sim/memory_system.h"
+
+namespace relfab::engine {
+
+int64_t PackCharKey(std::string_view bytes) {
+  RELFAB_CHECK_LE(bytes.size(), 8u);
+  int64_t key = 0;
+  std::memcpy(&key, bytes.data(), bytes.size());
+  return key;
+}
+
+namespace {
+
+/// Charged field accessor over row-major base data. Each access performs
+/// a simulated demand read of the field's bytes (the cache model absorbs
+/// repeated touches of the same line) plus the volcano field-extraction
+/// CPU cost.
+class RowFieldReader {
+ public:
+  RowFieldReader(const layout::RowTable* table, const CostModel* cost)
+      : table_(table),
+        memory_(table->memory()),
+        cost_(cost) {}
+
+  double GetNumeric(uint64_t row, uint32_t col) {
+    Charge(row, col);
+    return table_->GetDouble(row, col);
+  }
+
+  int64_t GetKey(uint64_t row, uint32_t col) {
+    Charge(row, col);
+    if (table_->schema().type(col) == layout::ColumnType::kChar) {
+      return PackCharKey(table_->GetChar(row, col));
+    }
+    return table_->GetInt(row, col);
+  }
+
+ private:
+  void Charge(uint64_t row, uint32_t col) {
+    memory_->Read(table_->FieldAddress(row, col),
+                  table_->schema().width(col));
+    memory_->CpuWork(cost_->volcano_field_cycles);
+  }
+
+  const layout::RowTable* table_;
+  sim::MemorySystem* memory_;
+  const CostModel* cost_;
+};
+
+/// Volcano iterator interface: produces row ids one at a time.
+class TupleSource {
+ public:
+  virtual ~TupleSource() = default;
+  /// Advances to the next tuple; returns false at end of stream.
+  virtual bool Next(uint64_t* row) = 0;
+};
+
+class ScanOperator : public TupleSource {
+ public:
+  ScanOperator(const layout::RowTable* table, sim::MemorySystem* memory,
+               const CostModel* cost)
+      : table_(table),
+        num_rows_(table->num_rows()),
+        memory_(memory),
+        cost_(cost) {}
+
+  bool Next(uint64_t* row) override {
+    memory_->CpuWork(cost_->volcano_next_cycles);
+    if (next_ == num_rows_) return false;
+    *row = next_;
+    // Tuple-at-a-time scan materializes the whole tuple: every cache
+    // line of the row crosses the hierarchy whether or not the query
+    // needs it — the data movement Relational Fabric removes (Fig. 1).
+    memory_->Read(table_->RowAddress(next_), table_->row_bytes());
+    ++next_;
+    return true;
+  }
+
+ private:
+  const layout::RowTable* table_;
+  uint64_t num_rows_;
+  uint64_t next_ = 0;
+  sim::MemorySystem* memory_;
+  const CostModel* cost_;
+};
+
+class FilterOperator : public TupleSource {
+ public:
+  FilterOperator(TupleSource* child, const std::vector<Predicate>* predicates,
+                 RowFieldReader* reader, sim::MemorySystem* memory,
+                 const CostModel* cost)
+      : child_(child),
+        predicates_(predicates),
+        reader_(reader),
+        memory_(memory),
+        cost_(cost) {}
+
+  bool Next(uint64_t* row) override {
+    while (child_->Next(row)) {
+      memory_->CpuWork(cost_->volcano_next_cycles);
+      if (Qualifies(*row)) return true;
+    }
+    return false;
+  }
+
+ private:
+  // Conjuncts short-circuit: a tuple-at-a-time interpreter stops at the
+  // first failing term (unlike the vectorized engines, which evaluate
+  // predicate columns in full).
+  bool Qualifies(uint64_t row) {
+    for (const Predicate& p : *predicates_) {
+      const double v = reader_->GetNumeric(row, p.column);
+      memory_->CpuWork(cost_->compare_cycles);
+      bool pass = false;
+      switch (p.op) {
+        case CompareOp::kLt:
+          pass = v < p.double_operand;
+          break;
+        case CompareOp::kLe:
+          pass = v <= p.double_operand;
+          break;
+        case CompareOp::kGt:
+          pass = v > p.double_operand;
+          break;
+        case CompareOp::kGe:
+          pass = v >= p.double_operand;
+          break;
+        case CompareOp::kEq:
+          pass = v == p.double_operand;
+          break;
+        case CompareOp::kNe:
+          pass = v != p.double_operand;
+          break;
+      }
+      if (!pass) return false;
+    }
+    return true;
+  }
+
+  TupleSource* child_;
+  const std::vector<Predicate>* predicates_;
+  RowFieldReader* reader_;
+  sim::MemorySystem* memory_;
+  const CostModel* cost_;
+};
+
+}  // namespace
+
+StatusOr<QueryResult> VolcanoEngine::Execute(const QuerySpec& query) {
+  RELFAB_RETURN_IF_ERROR(query.Validate(table_->schema()));
+  sim::MemorySystem* memory = table_->memory();
+  RowFieldReader reader(table_, &cost_);
+
+  ScanOperator scan(table_, memory, &cost_);
+  FilterOperator filter(&scan, &query.predicates, &reader, memory, &cost_);
+  TupleSource* top = query.predicates.empty()
+                         ? static_cast<TupleSource*>(&scan)
+                         : static_cast<TupleSource*>(&filter);
+
+  QueryResult result;
+  result.rows_scanned = table_->num_rows();
+
+  const bool grouped = !query.group_by.empty();
+  std::vector<AggState> flat_aggs(query.aggregates.size());
+  std::map<GroupKey, std::vector<AggState>> groups;
+  uint64_t current_row = 0;
+  const auto col_fn = [&](uint32_t col) {
+    return reader.GetNumeric(current_row, col);
+  };
+
+  uint64_t row = 0;
+  while (top->Next(&row)) {
+    ++result.rows_matched;
+    current_row = row;
+    if (query.aggregates.empty()) {
+      // Pure projection: fold projected values into the checksum.
+      for (uint32_t col : query.projection) {
+        double v;
+        if (table_->schema().type(col) == layout::ColumnType::kChar) {
+          v = static_cast<double>(reader.GetKey(row, col) & 0xffff);
+        } else {
+          v = reader.GetNumeric(row, col);
+        }
+        result.projection_checksum += v;
+        memory->CpuWork(cost_.arith_cycles);
+      }
+      continue;
+    }
+    std::vector<AggState>* states = &flat_aggs;
+    if (grouped) {
+      GroupKey key;
+      key.size = static_cast<uint32_t>(query.group_by.size());
+      for (uint32_t i = 0; i < key.size; ++i) {
+        key.values[i] = reader.GetKey(row, query.group_by[i]);
+      }
+      memory->CpuWork(cost_.group_hash_cycles);
+      auto it = groups
+                    .try_emplace(key,
+                                 std::vector<AggState>(query.aggregates.size()))
+                    .first;
+      states = &it->second;
+    }
+    for (size_t a = 0; a < query.aggregates.size(); ++a) {
+      const AggSpec& spec = query.aggregates[a];
+      double v = 0;
+      if (spec.expr >= 0) {
+        v = query.exprs.Eval(spec.expr, col_fn);
+        memory->CpuWork(cost_.arith_cycles * query.exprs.OpCount(spec.expr));
+      }
+      (*states)[a].Update(v);
+      memory->CpuWork(cost_.agg_update_cycles);
+    }
+  }
+
+  FinalizeAggregates(query, flat_aggs, groups, &result);
+  result.sim_cycles = memory->ElapsedCycles();
+  return result;
+}
+
+StatusOr<QueryResult> VolcanoEngine::ExecuteOnRowIds(
+    const QuerySpec& query, const std::vector<uint64_t>& rows) {
+  RELFAB_RETURN_IF_ERROR(query.Validate(table_->schema()));
+  sim::MemorySystem* memory = table_->memory();
+  RowFieldReader reader(table_, &cost_);
+
+  QueryResult result;
+  result.rows_scanned = rows.size();
+
+  const bool grouped = !query.group_by.empty();
+  std::vector<AggState> flat_aggs(query.aggregates.size());
+  std::map<GroupKey, std::vector<AggState>> groups;
+  uint64_t current_row = 0;
+  const auto col_fn = [&](uint32_t col) {
+    return reader.GetNumeric(current_row, col);
+  };
+
+  for (uint64_t row : rows) {
+    if (row >= table_->num_rows()) {
+      return Status::OutOfRange("candidate row out of range");
+    }
+    memory->CpuWork(cost_.volcano_next_cycles);
+    bool pass = true;
+    for (const Predicate& p : query.predicates) {
+      const double v = reader.GetNumeric(row, p.column);
+      memory->CpuWork(cost_.compare_cycles);
+      bool term = false;
+      switch (p.op) {
+        case CompareOp::kLt:
+          term = v < p.double_operand;
+          break;
+        case CompareOp::kLe:
+          term = v <= p.double_operand;
+          break;
+        case CompareOp::kGt:
+          term = v > p.double_operand;
+          break;
+        case CompareOp::kGe:
+          term = v >= p.double_operand;
+          break;
+        case CompareOp::kEq:
+          term = v == p.double_operand;
+          break;
+        case CompareOp::kNe:
+          term = v != p.double_operand;
+          break;
+      }
+      if (!term) {
+        pass = false;
+        break;
+      }
+    }
+    if (!pass) continue;
+    ++result.rows_matched;
+    current_row = row;
+    if (query.aggregates.empty()) {
+      for (uint32_t col : query.projection) {
+        double v;
+        if (table_->schema().type(col) == layout::ColumnType::kChar) {
+          v = static_cast<double>(reader.GetKey(row, col) & 0xffff);
+        } else {
+          v = reader.GetNumeric(row, col);
+        }
+        result.projection_checksum += v;
+        memory->CpuWork(cost_.arith_cycles);
+      }
+      continue;
+    }
+    std::vector<AggState>* states = &flat_aggs;
+    if (grouped) {
+      GroupKey key;
+      key.size = static_cast<uint32_t>(query.group_by.size());
+      for (uint32_t i = 0; i < key.size; ++i) {
+        key.values[i] = reader.GetKey(row, query.group_by[i]);
+      }
+      memory->CpuWork(cost_.group_hash_cycles);
+      states = &groups
+                    .try_emplace(key, std::vector<AggState>(
+                                          query.aggregates.size()))
+                    .first->second;
+    }
+    for (size_t a = 0; a < query.aggregates.size(); ++a) {
+      const AggSpec& spec = query.aggregates[a];
+      double v = 0;
+      if (spec.expr >= 0) {
+        v = query.exprs.Eval(spec.expr, col_fn);
+        memory->CpuWork(cost_.arith_cycles * query.exprs.OpCount(spec.expr));
+      }
+      (*states)[a].Update(v);
+      memory->CpuWork(cost_.agg_update_cycles);
+    }
+  }
+
+  FinalizeAggregates(query, flat_aggs, groups, &result);
+  result.sim_cycles = memory->ElapsedCycles();
+  return result;
+}
+
+}  // namespace relfab::engine

@@ -1,0 +1,50 @@
+#ifndef RELFAB_ENGINE_VOLCANO_H_
+#define RELFAB_ENGINE_VOLCANO_H_
+
+#include "common/statusor.h"
+#include "engine/cost_model.h"
+#include "engine/query.h"
+#include "layout/row_table.h"
+
+namespace relfab::engine {
+
+/// The paper's ROW baseline: an in-memory row-store executing queries
+/// volcano-style, tuple-at-a-time through a Scan -> Filter -> Aggregate/
+/// Project operator chain. Every field access performs a demand read of
+/// the base row data, so scanning narrow column subsets of wide rows
+/// drags whole cache lines through the hierarchy — the cache pollution
+/// Relational Fabric removes.
+class VolcanoEngine {
+ public:
+  explicit VolcanoEngine(const layout::RowTable* table,
+                         CostModel cost = CostModel::A53Defaults())
+      : table_(table), cost_(cost) {
+    RELFAB_CHECK(table != nullptr);
+  }
+
+  /// Executes `query` over the whole table, charging the simulator.
+  /// result.sim_cycles is the memory system's elapsed cycles after the
+  /// query (callers time one query per ResetTiming window).
+  StatusOr<QueryResult> Execute(const QuerySpec& query);
+
+  /// Executes `query` over the given candidate rows only (e.g. the
+  /// result of an index lookup). Predicates are still evaluated — the
+  /// candidates may be a superset of the qualifying rows.
+  /// result.rows_scanned counts the candidates.
+  StatusOr<QueryResult> ExecuteOnRowIds(const QuerySpec& query,
+                                        const std::vector<uint64_t>& rows);
+
+  const layout::RowTable& table() const { return *table_; }
+  const CostModel& cost_model() const { return cost_; }
+
+ private:
+  const layout::RowTable* table_;
+  CostModel cost_;
+};
+
+/// Packs a char field (<= 8 bytes) into an int64 group-key component.
+int64_t PackCharKey(std::string_view bytes);
+
+}  // namespace relfab::engine
+
+#endif  // RELFAB_ENGINE_VOLCANO_H_

@@ -1,0 +1,179 @@
+#include "index/btree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace relfab::index {
+
+BTreeIndex::BTreeIndex(sim::MemorySystem* memory, uint32_t fanout,
+                       engine::CostModel cost)
+    : memory_(memory), cost_(cost), fanout_(fanout) {
+  RELFAB_CHECK(memory != nullptr);
+  RELFAB_CHECK_GE(fanout, 4u);
+  // Key area + value/child area, 16 B per entry.
+  node_bytes_ = fanout_ * 16 + 64;
+  root_ = AllocNode(/*is_leaf=*/true);
+}
+
+uint32_t BTreeIndex::AllocNode(bool is_leaf) {
+  Node node;
+  node.is_leaf = is_leaf;
+  node.sim_addr = memory_->Allocate(node_bytes_);
+  nodes_.push_back(std::move(node));
+  return static_cast<uint32_t>(nodes_.size()) - 1;
+}
+
+void BTreeIndex::ChargeNodeRead(const Node& node) {
+  // A traversal touches the header plus the occupied key area.
+  const uint64_t bytes = 64 + node.keys.size() * 16;
+  memory_->Read(node.sim_addr, std::max<uint64_t>(bytes, 64));
+}
+
+void BTreeIndex::ChargeSearch(const Node& node) {
+  const double steps =
+      std::log2(static_cast<double>(node.keys.size()) + 2.0);
+  memory_->CpuWork(steps * cost_.compare_cycles * 2);
+}
+
+uint32_t BTreeIndex::DescendToLeaf(int64_t key, std::vector<uint32_t>* path,
+                                   bool leftmost) {
+  uint32_t node_id = root_;
+  while (true) {
+    Node& node = nodes_[node_id];
+    ChargeNodeRead(node);
+    ChargeSearch(node);
+    if (node.is_leaf) return node_id;
+    // Inserts descend to the rightmost candidate (upper_bound); reads
+    // descend to the leftmost (lower_bound) so duplicate keys that
+    // straddle a split are never skipped.
+    const auto it =
+        leftmost ? std::lower_bound(node.keys.begin(), node.keys.end(), key)
+                 : std::upper_bound(node.keys.begin(), node.keys.end(), key);
+    const size_t child = static_cast<size_t>(it - node.keys.begin());
+    if (path != nullptr) path->push_back(node_id);
+    node_id = node.children[child];
+  }
+}
+
+void BTreeIndex::Insert(int64_t key, uint64_t row) {
+  std::vector<uint32_t> path;
+  const uint32_t leaf_id = DescendToLeaf(key, &path, /*leftmost=*/false);
+  Node& leaf = nodes_[leaf_id];
+  const auto it = std::upper_bound(leaf.keys.begin(), leaf.keys.end(), key);
+  const size_t pos = static_cast<size_t>(it - leaf.keys.begin());
+  leaf.keys.insert(leaf.keys.begin() + pos, key);
+  leaf.values.insert(leaf.values.begin() + pos, row);
+  memory_->Write(leaf.sim_addr + 64 + pos * 16, 16);
+  memory_->CpuWork(cost_.arith_cycles * 4);  // shift bookkeeping
+  ++size_;
+  if (leaf.keys.size() > fanout_) SplitUpwards(leaf_id, std::move(path));
+}
+
+void BTreeIndex::SplitUpwards(uint32_t node_id, std::vector<uint32_t> path) {
+  while (true) {
+    const bool is_leaf = nodes_[node_id].is_leaf;
+    if (nodes_[node_id].keys.size() <= fanout_) return;
+    const uint32_t right_id = AllocNode(is_leaf);
+    Node& node = nodes_[node_id];  // re-borrow after AllocNode
+    Node& right = nodes_[right_id];
+    const size_t mid = node.keys.size() / 2;
+    int64_t separator;
+    if (is_leaf) {
+      separator = node.keys[mid];
+      right.keys.assign(node.keys.begin() + mid, node.keys.end());
+      right.values.assign(node.values.begin() + mid, node.values.end());
+      node.keys.resize(mid);
+      node.values.resize(mid);
+      right.next_leaf = node.next_leaf;
+      node.next_leaf = right_id;
+    } else {
+      separator = node.keys[mid];
+      right.keys.assign(node.keys.begin() + mid + 1, node.keys.end());
+      right.children.assign(node.children.begin() + mid + 1,
+                            node.children.end());
+      node.keys.resize(mid);
+      node.children.resize(mid + 1);
+    }
+    // Split writes both halves back.
+    memory_->Write(node.sim_addr, node_bytes_);
+    memory_->Write(right.sim_addr, node_bytes_);
+
+    if (path.empty()) {
+      const uint32_t new_root = AllocNode(/*is_leaf=*/false);
+      Node& root = nodes_[new_root];
+      root.keys = {separator};
+      root.children = {node_id, right_id};
+      memory_->Write(root.sim_addr, 64);
+      root_ = new_root;
+      ++height_;
+      return;
+    }
+    const uint32_t parent_id = path.back();
+    path.pop_back();
+    Node& parent = nodes_[parent_id];
+    const auto it = std::upper_bound(parent.keys.begin(), parent.keys.end(),
+                                     separator);
+    const size_t pos = static_cast<size_t>(it - parent.keys.begin());
+    parent.keys.insert(parent.keys.begin() + pos, separator);
+    parent.children.insert(parent.children.begin() + pos + 1, right_id);
+    memory_->Write(parent.sim_addr + 64 + pos * 16, 16);
+    node_id = parent_id;
+  }
+}
+
+std::vector<uint64_t> BTreeIndex::Lookup(int64_t key) {
+  return Range(key, key);
+}
+
+std::vector<uint64_t> BTreeIndex::Range(int64_t lo, int64_t hi) {
+  std::vector<uint64_t> rows;
+  if (lo > hi) return rows;
+  uint32_t leaf_id = DescendToLeaf(lo, nullptr, /*leftmost=*/true);
+  bool first = true;
+  while (leaf_id != kNoNode) {
+    const Node& leaf = nodes_[leaf_id];
+    if (!first) ChargeNodeRead(leaf);
+    first = false;
+    auto it = std::lower_bound(leaf.keys.begin(), leaf.keys.end(), lo);
+    for (; it != leaf.keys.end(); ++it) {
+      if (*it > hi) return rows;
+      rows.push_back(
+          leaf.values[static_cast<size_t>(it - leaf.keys.begin())]);
+      memory_->CpuWork(cost_.arith_cycles);
+    }
+    leaf_id = leaf.next_leaf;
+  }
+  return rows;
+}
+
+bool BTreeIndex::CheckNode(uint32_t node_id, int64_t lo, int64_t hi,
+                           uint32_t depth) const {
+  const Node& node = nodes_[node_id];
+  if (!std::is_sorted(node.keys.begin(), node.keys.end())) return false;
+  for (int64_t k : node.keys) {
+    if (k < lo || k > hi) return false;
+  }
+  if (node_id != root_ && node.keys.size() > fanout_) return false;
+  if (node.is_leaf) {
+    if (depth + 1 != height_) return false;
+    return node.keys.size() == node.values.size();
+  }
+  if (node.children.size() != node.keys.size() + 1) return false;
+  for (size_t c = 0; c < node.children.size(); ++c) {
+    const int64_t child_lo = c == 0 ? lo : node.keys[c - 1];
+    const int64_t child_hi =
+        c == node.keys.size() ? hi : node.keys[c];
+    if (!CheckNode(node.children[c], child_lo, child_hi, depth + 1)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool BTreeIndex::CheckInvariants() const {
+  return CheckNode(root_, std::numeric_limits<int64_t>::min(),
+                   std::numeric_limits<int64_t>::max(), 0);
+}
+
+}  // namespace relfab::index

@@ -1,0 +1,90 @@
+#ifndef RELFAB_INDEX_BTREE_H_
+#define RELFAB_INDEX_BTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/statusor.h"
+#include "engine/cost_model.h"
+#include "sim/memory_system.h"
+
+namespace relfab::index {
+
+/// B+-tree from int64 keys to row ids, with duplicate-key support.
+/// Nodes live in simulated memory: every traversal charges the node
+/// reads (typically one cache-missing line per level for a cold tree),
+/// which is exactly the cost structure that makes indexes great for
+/// point queries and mediocre for large range scans — the trade-off the
+/// paper leans on in §III-A ("indexes should be used for point queries
+/// and point updates", while range queries go to column-group accesses).
+///
+/// Keys within nodes are kept sorted; leaves are linked for range scans.
+class BTreeIndex {
+ public:
+  /// `fanout` = max keys per node (leaf and internal). 64 keys * 8 B
+  /// spans 8 cache lines per node, a typical in-memory B+-tree layout.
+  explicit BTreeIndex(sim::MemorySystem* memory, uint32_t fanout = 64,
+                      engine::CostModel cost = engine::CostModel::A53Defaults());
+
+  BTreeIndex(const BTreeIndex&) = delete;
+  BTreeIndex& operator=(const BTreeIndex&) = delete;
+
+  /// Inserts key -> row (duplicates allowed). Charges the descent and
+  /// the leaf write; splits charge the copied lines.
+  void Insert(int64_t key, uint64_t row);
+
+  /// Point lookup: all row ids with exactly this key (usually 0 or 1).
+  /// Charges the root-to-leaf node reads and in-node binary searches.
+  std::vector<uint64_t> Lookup(int64_t key);
+
+  /// Range scan: row ids with key in [lo, hi], in key order. Charges the
+  /// descent plus every touched leaf.
+  std::vector<uint64_t> Range(int64_t lo, int64_t hi);
+
+  uint64_t size() const { return size_; }
+  uint32_t height() const { return height_; }
+  uint64_t num_nodes() const { return nodes_.size(); }
+
+  /// Validates the B+-tree invariants (sorted keys, balanced height,
+  /// fanout bounds, leaf links); for tests.
+  bool CheckInvariants() const;
+
+ private:
+  struct Node {
+    bool is_leaf = true;
+    uint64_t sim_addr = 0;            // simulated address of this node
+    std::vector<int64_t> keys;        // sorted
+    std::vector<uint64_t> values;     // leaf: row ids (parallel to keys)
+    std::vector<uint32_t> children;   // internal: keys.size() + 1 ids
+    uint32_t next_leaf = kNoNode;     // leaf chain
+  };
+
+  static constexpr uint32_t kNoNode = ~0u;
+
+  uint32_t AllocNode(bool is_leaf);
+  /// Charges a read of the node's key area (its resident lines).
+  void ChargeNodeRead(const Node& node);
+  /// Charges the binary search within a node.
+  void ChargeSearch(const Node& node);
+  /// Descends to a leaf that can contain `key` (leftmost candidate for
+  /// reads, rightmost for inserts), recording the path of ancestors.
+  uint32_t DescendToLeaf(int64_t key, std::vector<uint32_t>* path,
+                         bool leftmost);
+  /// Splits the over-full node `node_id`; `path` holds its ancestors.
+  void SplitUpwards(uint32_t node_id, std::vector<uint32_t> path);
+  bool CheckNode(uint32_t node_id, int64_t lo, int64_t hi,
+                 uint32_t depth) const;
+
+  sim::MemorySystem* memory_;
+  engine::CostModel cost_;
+  uint32_t fanout_;
+  uint32_t node_bytes_;
+  uint32_t root_;
+  uint32_t height_ = 1;
+  uint64_t size_ = 0;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace relfab::index
+
+#endif  // RELFAB_INDEX_BTREE_H_

@@ -1,0 +1,108 @@
+#ifndef RELFAB_INDEX_HASH_INDEX_H_
+#define RELFAB_INDEX_HASH_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+#include "engine/cost_model.h"
+#include "sim/memory_system.h"
+
+namespace relfab::index {
+
+/// Open-addressing hash index from int64 keys to row ids (linear
+/// probing, duplicate keys chained in place). Buckets live in simulated
+/// memory; a lookup charges the probe sequence — typically one random
+/// cache miss, which is why hash indexes are the gold standard for the
+/// point queries the paper reserves for indexes (§III-A) while being
+/// useless for ranges.
+class HashIndex {
+ public:
+  explicit HashIndex(sim::MemorySystem* memory, uint64_t expected_keys = 64,
+                     engine::CostModel cost = engine::CostModel::A53Defaults())
+      : memory_(memory), cost_(cost) {
+    RELFAB_CHECK(memory != nullptr);
+    capacity_ = 64;
+    while (capacity_ < expected_keys * 2) capacity_ *= 2;
+    slots_.assign(capacity_, Slot{});
+    base_addr_ = memory_->Allocate(capacity_ * kSlotBytes);
+  }
+
+  HashIndex(const HashIndex&) = delete;
+  HashIndex& operator=(const HashIndex&) = delete;
+
+  /// Inserts key -> row (duplicates allowed).
+  void Insert(int64_t key, uint64_t row) {
+    if ((size_ + 1) * 2 > capacity_) Grow();
+    uint64_t slot = Hash(key) & (capacity_ - 1);
+    while (slots_[slot].used) {
+      ChargeProbe(slot);
+      slot = (slot + 1) & (capacity_ - 1);
+    }
+    ChargeProbe(slot);
+    memory_->Write(base_addr_ + slot * kSlotBytes, kSlotBytes);
+    slots_[slot] = {true, key, row};
+    ++size_;
+  }
+
+  /// All row ids stored under `key`.
+  std::vector<uint64_t> Lookup(int64_t key) {
+    std::vector<uint64_t> rows;
+    uint64_t slot = Hash(key) & (capacity_ - 1);
+    while (slots_[slot].used) {
+      ChargeProbe(slot);
+      if (slots_[slot].key == key) rows.push_back(slots_[slot].row);
+      slot = (slot + 1) & (capacity_ - 1);
+    }
+    ChargeProbe(slot);  // the terminating empty slot
+    return rows;
+  }
+
+  uint64_t size() const { return size_; }
+  uint64_t capacity() const { return capacity_; }
+
+ private:
+  static constexpr uint32_t kSlotBytes = 24;  // used + key + row
+
+  struct Slot {
+    bool used = false;
+    int64_t key = 0;
+    uint64_t row = 0;
+  };
+
+  static uint64_t Hash(int64_t key) {
+    uint64_t h = static_cast<uint64_t>(key) * 0x9e3779b97f4a7c15ull;
+    return h ^ (h >> 32);
+  }
+
+  void ChargeProbe(uint64_t slot) {
+    memory_->Read(base_addr_ + slot * kSlotBytes, kSlotBytes);
+    memory_->CpuWork(cost_.compare_cycles + cost_.arith_cycles);
+  }
+
+  void Grow() {
+    std::vector<Slot> old = std::move(slots_);
+    capacity_ *= 2;
+    slots_.assign(capacity_, Slot{});
+    base_addr_ = memory_->Allocate(capacity_ * kSlotBytes);
+    // Rehash charges the table rebuild.
+    for (const Slot& s : old) {
+      if (!s.used) continue;
+      uint64_t slot = Hash(s.key) & (capacity_ - 1);
+      while (slots_[slot].used) slot = (slot + 1) & (capacity_ - 1);
+      slots_[slot] = s;
+      memory_->Write(base_addr_ + slot * kSlotBytes, kSlotBytes);
+    }
+  }
+
+  sim::MemorySystem* memory_;
+  engine::CostModel cost_;
+  uint64_t capacity_ = 0;
+  uint64_t size_ = 0;
+  uint64_t base_addr_ = 0;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace relfab::index
+
+#endif  // RELFAB_INDEX_HASH_INDEX_H_

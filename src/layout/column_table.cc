@@ -1,0 +1,25 @@
+#include "layout/column_table.h"
+
+namespace relfab::layout {
+
+ColumnTable::ColumnTable(const RowTable& rows, sim::MemorySystem* memory)
+    : schema_(rows.schema()), memory_(memory), num_rows_(rows.num_rows()) {
+  RELFAB_CHECK(memory != nullptr);
+  const uint32_t n_cols = schema_.num_columns();
+  columns_.resize(n_cols);
+  base_addrs_.resize(n_cols);
+  for (uint32_t c = 0; c < n_cols; ++c) {
+    const uint32_t width = schema_.width(c);
+    columns_[c].resize(num_rows_ * width);
+    base_addrs_[c] = memory->Allocate(num_rows_ * width);
+  }
+  for (uint64_t r = 0; r < num_rows_; ++r) {
+    const uint8_t* row = rows.RowData(r);
+    for (uint32_t c = 0; c < n_cols; ++c) {
+      std::memcpy(columns_[c].data() + r * schema_.width(c),
+                  row + schema_.offset(c), schema_.width(c));
+    }
+  }
+}
+
+}  // namespace relfab::layout

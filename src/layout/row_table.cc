@@ -1,0 +1,43 @@
+#include "layout/row_table.h"
+
+#include <algorithm>
+
+namespace relfab::layout {
+
+RowBuilder& RowBuilder::AddChar(std::string_view s) {
+  RELFAB_CHECK_LT(next_column_, schema_->num_columns());
+  RELFAB_CHECK(schema_->type(next_column_) == ColumnType::kChar)
+      << "field " << next_column_ << " is not a char column";
+  const uint32_t width = schema_->width(next_column_);
+  uint8_t* dst = buffer_.data() + schema_->offset(next_column_);
+  const size_t n = std::min<size_t>(s.size(), width);
+  std::memcpy(dst, s.data(), n);
+  std::memset(dst + n, 0, width - n);
+  ++next_column_;
+  return *this;
+}
+
+RowTable::RowTable(Schema schema, sim::MemorySystem* memory,
+                   uint64_t capacity)
+    : schema_(std::move(schema)), memory_(memory) {
+  RELFAB_CHECK(memory != nullptr);
+  if (capacity > 0) Grow(capacity);
+}
+
+void RowTable::AppendRow(const uint8_t* packed_row) {
+  if (num_rows_ == capacity_) {
+    Grow(capacity_ == 0 ? 1024 : capacity_ * 2);
+  }
+  std::memcpy(data_.data() + num_rows_ * row_bytes(), packed_row,
+              row_bytes());
+  ++num_rows_;
+}
+
+void RowTable::Grow(uint64_t min_capacity) {
+  const uint64_t new_capacity = std::max(min_capacity, capacity_);
+  data_.resize(new_capacity * row_bytes());
+  base_addr_ = memory_->Allocate(new_capacity * row_bytes());
+  capacity_ = new_capacity;
+}
+
+}  // namespace relfab::layout

@@ -1,0 +1,130 @@
+#include "layout/schema.h"
+
+#include <sstream>
+#include <unordered_set>
+
+#include "common/logging.h"
+
+namespace relfab::layout {
+
+uint32_t FixedWidthOf(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt32:
+    case ColumnType::kDate:
+      return 4;
+    case ColumnType::kInt64:
+    case ColumnType::kDouble:
+      return 8;
+    case ColumnType::kChar:
+      return 0;  // width comes from the column definition
+  }
+  return 0;
+}
+
+bool IsIntegerType(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt32:
+    case ColumnType::kInt64:
+    case ColumnType::kDate:
+      return true;
+    case ColumnType::kDouble:
+    case ColumnType::kChar:
+      return false;
+  }
+  return false;
+}
+
+std::string_view ColumnTypeToString(ColumnType type) {
+  switch (type) {
+    case ColumnType::kInt32:
+      return "int32";
+    case ColumnType::kInt64:
+      return "int64";
+    case ColumnType::kDouble:
+      return "double";
+    case ColumnType::kDate:
+      return "date";
+    case ColumnType::kChar:
+      return "char";
+  }
+  return "?";
+}
+
+StatusOr<Schema> Schema::Create(std::vector<ColumnDef> columns) {
+  if (columns.empty()) {
+    return Status::InvalidArgument("schema needs at least one column");
+  }
+  Schema schema;
+  std::unordered_set<std::string_view> names;
+  uint32_t offset = 0;
+  for (ColumnDef& col : columns) {
+    if (col.name.empty()) {
+      return Status::InvalidArgument("column name must not be empty");
+    }
+    uint32_t width = FixedWidthOf(col.type);
+    if (col.type == ColumnType::kChar) {
+      if (col.width == 0) {
+        return Status::InvalidArgument("char column '" + col.name +
+                                       "' needs a non-zero width");
+      }
+      width = col.width;
+    }
+    col.width = width;
+    schema.offsets_.push_back(offset);
+    schema.widths_.push_back(width);
+    offset += width;
+  }
+  for (const ColumnDef& col : columns) {
+    if (!names.insert(col.name).second) {
+      return Status::InvalidArgument("duplicate column name '" + col.name +
+                                     "'");
+    }
+  }
+  schema.columns_ = std::move(columns);
+  schema.row_bytes_ = offset;
+  return schema;
+}
+
+Schema Schema::Uniform(uint32_t num_columns, ColumnType type,
+                       uint32_t char_width) {
+  RELFAB_CHECK(num_columns > 0);
+  std::vector<ColumnDef> cols;
+  cols.reserve(num_columns);
+  for (uint32_t i = 0; i < num_columns; ++i) {
+    cols.push_back({"c" + std::to_string(i), type, char_width});
+  }
+  auto schema = Create(std::move(cols));
+  RELFAB_CHECK(schema.ok()) << schema.status().ToString();
+  return std::move(schema).value();
+}
+
+StatusOr<uint32_t> Schema::IndexOf(std::string_view name) const {
+  for (uint32_t i = 0; i < num_columns(); ++i) {
+    if (columns_[i].name == name) return i;
+  }
+  return Status::NotFound("no column named '" + std::string(name) + "'");
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  for (uint32_t i = 0; i < num_columns(); ++i) {
+    if (i > 0) os << ", ";
+    os << columns_[i].name << ":" << ColumnTypeToString(columns_[i].type)
+       << " @" << offsets_[i];
+  }
+  return os.str();
+}
+
+bool operator==(const Schema& a, const Schema& b) {
+  if (a.num_columns() != b.num_columns()) return false;
+  for (uint32_t i = 0; i < a.num_columns(); ++i) {
+    if (a.columns_[i].name != b.columns_[i].name ||
+        a.columns_[i].type != b.columns_[i].type ||
+        a.widths_[i] != b.widths_[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace relfab::layout

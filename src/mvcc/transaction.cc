@@ -1,0 +1,165 @@
+#include "mvcc/transaction.h"
+
+#include <cstring>
+
+namespace relfab::mvcc {
+
+namespace {
+
+Status RequireActive(const Transaction& txn) {
+  if (txn.state() != TxnState::kActive) {
+    return Status::FailedPrecondition("transaction is not active");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status TransactionManager::Insert(Transaction* txn, const uint8_t* user_row) {
+  RELFAB_RETURN_IF_ERROR(RequireActive(*txn));
+  const int64_t key = KeyFromRow(user_row);
+  auto pending = txn->op_by_key_.find(key);
+  if (pending != txn->op_by_key_.end()) {
+    if (txn->ops_[pending->second].kind != Transaction::OpKind::kDelete) {
+      return Status::AlreadyExists("key already written by this transaction");
+    }
+    // delete-then-insert becomes an update of the original version
+    txn->ops_[pending->second] = {Transaction::OpKind::kUpdate, key,
+                                  {user_row, user_row +
+                                                 table_->user_schema()
+                                                     .row_bytes()}};
+    return Status::Ok();
+  }
+  if (table_->VisibleVersion(key, txn->read_ts_).ok()) {
+    return Status::AlreadyExists("key visible in snapshot");
+  }
+  txn->op_by_key_[key] = txn->ops_.size();
+  txn->ops_.push_back({Transaction::OpKind::kInsert, key,
+                       {user_row,
+                        user_row + table_->user_schema().row_bytes()}});
+  return Status::Ok();
+}
+
+Status TransactionManager::Update(Transaction* txn, int64_t key,
+                                  const uint8_t* user_row) {
+  RELFAB_RETURN_IF_ERROR(RequireActive(*txn));
+  if (KeyFromRow(user_row) != key) {
+    return Status::InvalidArgument("row key does not match updated key");
+  }
+  auto pending = txn->op_by_key_.find(key);
+  if (pending != txn->op_by_key_.end()) {
+    Transaction::Op& op = txn->ops_[pending->second];
+    if (op.kind == Transaction::OpKind::kDelete) {
+      return Status::NotFound("key deleted by this transaction");
+    }
+    op.user_row.assign(user_row,
+                       user_row + table_->user_schema().row_bytes());
+    return Status::Ok();
+  }
+  if (!table_->VisibleVersion(key, txn->read_ts_).ok()) {
+    return Status::NotFound("key not visible in snapshot");
+  }
+  txn->op_by_key_[key] = txn->ops_.size();
+  txn->ops_.push_back({Transaction::OpKind::kUpdate, key,
+                       {user_row,
+                        user_row + table_->user_schema().row_bytes()}});
+  return Status::Ok();
+}
+
+Status TransactionManager::Delete(Transaction* txn, int64_t key) {
+  RELFAB_RETURN_IF_ERROR(RequireActive(*txn));
+  auto pending = txn->op_by_key_.find(key);
+  if (pending != txn->op_by_key_.end()) {
+    Transaction::Op& op = txn->ops_[pending->second];
+    if (op.kind == Transaction::OpKind::kDelete) {
+      return Status::NotFound("key already deleted by this transaction");
+    }
+    if (op.kind == Transaction::OpKind::kInsert) {
+      // Insert+delete cancel; keep a tombstone op that applies nothing
+      // but still participates in conflict validation.
+      op.kind = Transaction::OpKind::kDelete;
+      op.user_row.clear();
+      return Status::Ok();
+    }
+    op.kind = Transaction::OpKind::kDelete;
+    op.user_row.clear();
+    return Status::Ok();
+  }
+  if (!table_->VisibleVersion(key, txn->read_ts_).ok()) {
+    return Status::NotFound("key not visible in snapshot");
+  }
+  txn->op_by_key_[key] = txn->ops_.size();
+  txn->ops_.push_back({Transaction::OpKind::kDelete, key, {}});
+  return Status::Ok();
+}
+
+StatusOr<std::vector<uint8_t>> TransactionManager::ReadOwnWrite(
+    const Transaction& txn, int64_t key) const {
+  auto pending = txn.op_by_key_.find(key);
+  if (pending == txn.op_by_key_.end()) {
+    return Status::NotFound("no pending write for key");
+  }
+  const Transaction::Op& op = txn.ops_[pending->second];
+  if (op.kind == Transaction::OpKind::kDelete) {
+    return Status::NotFound("key deleted by this transaction");
+  }
+  return op.user_row;
+}
+
+StatusOr<std::vector<uint8_t>> TransactionManager::Read(
+    const Transaction& txn, int64_t key) const {
+  auto own = ReadOwnWrite(txn, key);
+  if (own.ok()) return own;
+  if (txn.op_by_key_.count(key) > 0) {
+    // Pending delete shadows the snapshot version.
+    return Status::NotFound("key deleted by this transaction");
+  }
+  RELFAB_ASSIGN_OR_RETURN(uint64_t row,
+                          table_->VisibleVersion(key, txn.read_ts()));
+  const uint8_t* data = table_->rows().RowData(row);
+  return std::vector<uint8_t>(data, data + table_->user_schema().row_bytes());
+}
+
+Status TransactionManager::Commit(Transaction* txn) {
+  RELFAB_RETURN_IF_ERROR(RequireActive(*txn));
+  // Validation: first committer wins. A write-write conflict exists if
+  // any written key received a newer committed write after our snapshot.
+  for (const Transaction::Op& op : txn->ops_) {
+    if (table_->NewestWriteTs(op.key) > txn->read_ts_) {
+      Abort(txn);
+      ++aborts_;
+      return Status::Aborted("write-write conflict on key " +
+                             std::to_string(op.key));
+    }
+  }
+  const uint64_t commit_ts = ++clock_;
+  for (const Transaction::Op& op : txn->ops_) {
+    switch (op.kind) {
+      case Transaction::OpKind::kInsert:
+        table_->AppendVersion(op.user_row.data(), commit_ts);
+        break;
+      case Transaction::OpKind::kUpdate: {
+        auto old_row = table_->LatestVersion(op.key);
+        if (old_row.ok()) table_->CloseVersion(*old_row, commit_ts);
+        table_->AppendVersion(op.user_row.data(), commit_ts);
+        break;
+      }
+      case Transaction::OpKind::kDelete: {
+        auto old_row = table_->LatestVersion(op.key);
+        if (old_row.ok()) table_->CloseVersion(*old_row, commit_ts);
+        break;
+      }
+    }
+  }
+  txn->state_ = TxnState::kCommitted;
+  ++commits_;
+  return Status::Ok();
+}
+
+void TransactionManager::Abort(Transaction* txn) {
+  txn->ops_.clear();
+  txn->op_by_key_.clear();
+  txn->state_ = TxnState::kAborted;
+}
+
+}  // namespace relfab::mvcc

@@ -1,0 +1,120 @@
+#include "mvcc/versioned_table.h"
+
+#include <cstring>
+#include <utility>
+
+namespace relfab::mvcc {
+
+StatusOr<VersionedTable> VersionedTable::Create(
+    const layout::Schema& user_schema, uint32_t key_column,
+    sim::MemorySystem* memory, uint64_t capacity) {
+  if (key_column >= user_schema.num_columns()) {
+    return Status::OutOfRange("key column out of range");
+  }
+  if (user_schema.type(key_column) != layout::ColumnType::kInt64) {
+    return Status::InvalidArgument("key column must be int64");
+  }
+  std::vector<layout::ColumnDef> cols;
+  cols.reserve(user_schema.num_columns() + 2);
+  for (uint32_t i = 0; i < user_schema.num_columns(); ++i) {
+    cols.push_back(user_schema.column(i));
+  }
+  cols.push_back({"__begin_ts", layout::ColumnType::kInt64, 0});
+  cols.push_back({"__end_ts", layout::ColumnType::kInt64, 0});
+  RELFAB_ASSIGN_OR_RETURN(layout::Schema full_schema,
+                          layout::Schema::Create(std::move(cols)));
+  return VersionedTable(user_schema, std::move(full_schema), key_column,
+                        memory, capacity);
+}
+
+VersionedTable::VersionedTable(layout::Schema user_schema,
+                               layout::Schema full_schema,
+                               uint32_t key_column, sim::MemorySystem* memory,
+                               uint64_t capacity)
+    : user_schema_(std::move(user_schema)),
+      key_column_(key_column),
+      begin_ts_column_(user_schema_.num_columns()),
+      end_ts_column_(user_schema_.num_columns() + 1),
+      rows_(std::make_unique<layout::RowTable>(std::move(full_schema), memory,
+                                               capacity)),
+      scratch_row_(rows_->row_bytes()) {}
+
+uint64_t VersionedTable::AppendVersion(const uint8_t* user_row,
+                                       uint64_t begin_ts) {
+  const layout::Schema& full = rows_->schema();
+  std::memcpy(scratch_row_.data(), user_row, user_schema_.row_bytes());
+  const int64_t begin = static_cast<int64_t>(begin_ts);
+  const int64_t end = static_cast<int64_t>(kOpenVersion);
+  std::memcpy(scratch_row_.data() + full.offset(begin_ts_column_), &begin, 8);
+  std::memcpy(scratch_row_.data() + full.offset(end_ts_column_), &end, 8);
+  const uint64_t row = rows_->num_rows();
+  rows_->AppendRow(scratch_row_.data());
+  rows_->memory()->Write(rows_->RowAddress(row), rows_->row_bytes());
+
+  const int64_t key = KeyOf(row);
+  prev_version_.push_back(~0ull);
+  auto it = newest_version_.find(key);
+  if (it != newest_version_.end()) {
+    prev_version_[row] = it->second;
+    it->second = row;
+  } else {
+    newest_version_[key] = row;
+  }
+  return row;
+}
+
+void VersionedTable::CloseVersion(uint64_t row, uint64_t end_ts) {
+  RELFAB_CHECK_LT(row, rows_->num_rows());
+  const layout::Schema& full = rows_->schema();
+  const int64_t end = static_cast<int64_t>(end_ts);
+  std::memcpy(rows_->MutableRowData(row) + full.offset(end_ts_column_), &end,
+              8);
+  rows_->memory()->Write(rows_->FieldAddress(row, end_ts_column_), 8);
+}
+
+bool VersionedTable::Visible(uint64_t row, uint64_t read_ts) const {
+  const uint64_t begin =
+      static_cast<uint64_t>(rows_->GetInt(row, begin_ts_column_));
+  const uint64_t end =
+      static_cast<uint64_t>(rows_->GetInt(row, end_ts_column_));
+  return begin <= read_ts && (end == kOpenVersion || end > read_ts);
+}
+
+StatusOr<uint64_t> VersionedTable::VisibleVersion(int64_t key,
+                                                  uint64_t read_ts) const {
+  auto it = newest_version_.find(key);
+  if (it == newest_version_.end()) {
+    return Status::NotFound("key not present");
+  }
+  for (uint64_t row = it->second; row != ~0ull; row = prev_version_[row]) {
+    if (Visible(row, read_ts)) return row;
+  }
+  return Status::NotFound("no version visible at this snapshot");
+}
+
+StatusOr<uint64_t> VersionedTable::LatestVersion(int64_t key) const {
+  auto it = newest_version_.find(key);
+  if (it == newest_version_.end()) {
+    return Status::NotFound("key not present");
+  }
+  const uint64_t row = it->second;
+  const uint64_t end =
+      static_cast<uint64_t>(rows_->GetInt(row, end_ts_column_));
+  if (end != kOpenVersion) {
+    return Status::NotFound("key deleted");
+  }
+  return row;
+}
+
+uint64_t VersionedTable::NewestWriteTs(int64_t key) const {
+  auto it = newest_version_.find(key);
+  if (it == newest_version_.end()) return 0;
+  const uint64_t row = it->second;
+  const uint64_t begin =
+      static_cast<uint64_t>(rows_->GetInt(row, begin_ts_column_));
+  const uint64_t end =
+      static_cast<uint64_t>(rows_->GetInt(row, end_ts_column_));
+  return end == kOpenVersion ? begin : end;
+}
+
+}  // namespace relfab::mvcc

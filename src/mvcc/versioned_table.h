@@ -1,0 +1,109 @@
+#ifndef RELFAB_MVCC_VERSIONED_TABLE_H_
+#define RELFAB_MVCC_VERSIONED_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/statusor.h"
+#include "layout/row_table.h"
+#include "layout/schema.h"
+#include "relmem/geometry.h"
+#include "sim/memory_system.h"
+
+namespace relfab::mvcc {
+
+/// Timestamp value meaning "version still current" in the end-timestamp
+/// field (paper §III-C: the second timestamp is set on deletion or
+/// replacement).
+inline constexpr uint64_t kOpenVersion = 0;
+
+/// Multi-versioned row table following the paper's MVCC design: the base
+/// data stays row-oriented and append-only; every row carries two hidden
+/// timestamp columns. A version is visible at snapshot `ts` iff
+/// `begin_ts <= ts && (end_ts == 0 || end_ts > ts)` — exactly the
+/// comparison the Relational Fabric evaluates in hardware when shipping
+/// column groups (relmem::VisibilityFilter).
+///
+/// The user schema must contain an int64 primary-key column; updates and
+/// deletes address versions through it.
+class VersionedTable {
+ public:
+  /// Creates a versioned table. `key_column` indexes the user schema and
+  /// must be an int64 column.
+  static StatusOr<VersionedTable> Create(const layout::Schema& user_schema,
+                                         uint32_t key_column,
+                                         sim::MemorySystem* memory,
+                                         uint64_t capacity = 0);
+
+  VersionedTable(VersionedTable&&) = default;
+  VersionedTable& operator=(VersionedTable&&) = default;
+
+  const layout::Schema& user_schema() const { return user_schema_; }
+  /// Physical schema: user columns followed by __begin_ts / __end_ts.
+  const layout::RowTable& rows() const { return *rows_; }
+  uint32_t key_column() const { return key_column_; }
+  uint32_t begin_ts_column() const { return begin_ts_column_; }
+  uint32_t end_ts_column() const { return end_ts_column_; }
+  uint64_t num_versions() const { return rows_->num_rows(); }
+
+  /// Visibility filter for reading this table at snapshot `read_ts`
+  /// (plug into a Geometry for hardware evaluation).
+  relmem::VisibilityFilter SnapshotFilter(uint64_t read_ts) const {
+    relmem::VisibilityFilter f;
+    f.enabled = true;
+    f.begin_ts_column = begin_ts_column_;
+    f.end_ts_column = end_ts_column_;
+    f.read_ts = read_ts;
+    return f;
+  }
+
+  /// Appends a new version of `user_row` valid from `begin_ts`; returns
+  /// the physical row index. Charges the simulated write.
+  uint64_t AppendVersion(const uint8_t* user_row, uint64_t begin_ts);
+
+  /// Marks version `row` dead as of `end_ts`. Charges the field write.
+  void CloseVersion(uint64_t row, uint64_t end_ts);
+
+  /// Physical row index of the version of `key` visible at `read_ts`, or
+  /// NotFound. O(versions of that key).
+  StatusOr<uint64_t> VisibleVersion(int64_t key, uint64_t read_ts) const;
+
+  /// Latest committed version of `key` regardless of snapshot (NotFound
+  /// if the key never existed or its newest version is a delete).
+  StatusOr<uint64_t> LatestVersion(int64_t key) const;
+
+  /// Begin timestamp of the newest version ever written for `key`
+  /// (0 if none) — the write-conflict witness for snapshot isolation.
+  uint64_t NewestWriteTs(int64_t key) const;
+
+  /// True iff version `row` is visible at `read_ts` (software check; the
+  /// hardware path is relmem::RmEngine::RowQualifies).
+  bool Visible(uint64_t row, uint64_t read_ts) const;
+
+  int64_t KeyOf(uint64_t row) const {
+    return rows_->GetInt(row, key_column_);
+  }
+
+ private:
+  VersionedTable(layout::Schema user_schema, layout::Schema full_schema,
+                 uint32_t key_column, sim::MemorySystem* memory,
+                 uint64_t capacity);
+
+  layout::Schema user_schema_;
+  uint32_t key_column_ = 0;
+  uint32_t begin_ts_column_ = 0;
+  uint32_t end_ts_column_ = 0;
+  // unique_ptr keeps the RowTable address stable across moves (ephemeral
+  // views hold pointers to it).
+  std::unique_ptr<layout::RowTable> rows_;
+  /// Version chain heads: key -> newest physical row of that key.
+  std::unordered_map<int64_t, uint64_t> newest_version_;
+  /// Previous version links: row -> older row of the same key (or ~0).
+  std::vector<uint64_t> prev_version_;
+  std::vector<uint8_t> scratch_row_;
+};
+
+}  // namespace relfab::mvcc
+
+#endif  // RELFAB_MVCC_VERSIONED_TABLE_H_

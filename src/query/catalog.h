@@ -1,0 +1,65 @@
+#ifndef RELFAB_QUERY_CATALOG_H_
+#define RELFAB_QUERY_CATALOG_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/statusor.h"
+#include "index/btree.h"
+#include "layout/column_table.h"
+#include "layout/row_table.h"
+#include "query/stats.h"
+
+namespace relfab::query {
+
+/// Access paths registered for one relation. The row-oriented base data
+/// always exists (it is the single source of truth); a columnar copy is
+/// optional — with Relational Fabric present it is usually *not*
+/// materialized, and the planner treats its absence as "COL unavailable".
+/// An optional B+-tree over one integer column serves point queries
+/// (paper §III-A: with the fabric handling range scans, "indexes should
+/// be used for point queries and point updates").
+struct TableEntry {
+  const layout::RowTable* rows = nullptr;
+  const layout::ColumnTable* columns = nullptr;  // optional baseline copy
+  index::BTreeIndex* key_index = nullptr;        // optional point-query path
+  uint32_t key_index_column = 0;                 // column key_index covers
+  const TableStats* stats = nullptr;             // optional ANALYZE output
+};
+
+/// Name -> access paths. Names are case-sensitive.
+class Catalog {
+ public:
+  Status Register(const std::string& name, TableEntry entry) {
+    if (entry.rows == nullptr) {
+      return Status::InvalidArgument("table needs row-oriented base data");
+    }
+    if (!tables_.emplace(name, entry).second) {
+      return Status::AlreadyExists("table '" + name + "' already registered");
+    }
+    return Status::Ok();
+  }
+
+  StatusOr<TableEntry> Lookup(const std::string& name) const {
+    auto it = tables_.find(name);
+    if (it == tables_.end()) {
+      return Status::NotFound("no table named '" + name + "'");
+    }
+    return it->second;
+  }
+
+  std::vector<std::string> TableNames() const {
+    std::vector<std::string> names;
+    names.reserve(tables_.size());
+    for (const auto& [name, entry] : tables_) names.push_back(name);
+    return names;
+  }
+
+ private:
+  std::map<std::string, TableEntry> tables_;
+};
+
+}  // namespace relfab::query
+
+#endif  // RELFAB_QUERY_CATALOG_H_

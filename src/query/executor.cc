@@ -1,0 +1,61 @@
+#include "query/executor.h"
+
+#include "engine/hybrid.h"
+#include "engine/rm_exec.h"
+#include "engine/vector_engine.h"
+#include "engine/volcano.h"
+
+namespace relfab::query {
+
+StatusOr<engine::QueryResult> Executor::Execute(const Plan& plan) const {
+  RELFAB_ASSIGN_OR_RETURN(TableEntry entry, catalog_->Lookup(plan.table));
+  switch (plan.backend) {
+    case Backend::kRow: {
+      engine::VolcanoEngine eng(entry.rows, cost_);
+      return eng.Execute(plan.spec);
+    }
+    case Backend::kColumn: {
+      if (entry.columns == nullptr) {
+        return Status::FailedPrecondition(
+            "plan chose COL but table '" + plan.table +
+            "' has no materialized columnar copy");
+      }
+      engine::VectorEngine eng(entry.columns, cost_);
+      return eng.Execute(plan.spec);
+    }
+    case Backend::kRelationalMemory: {
+      engine::RmExecEngine eng(entry.rows, rm_, cost_);
+      return eng.Execute(plan.spec);
+    }
+    case Backend::kHybrid: {
+      engine::HybridEngine eng(entry.rows, rm_, cost_);
+      return eng.Execute(plan.spec);
+    }
+    case Backend::kIndex: {
+      if (entry.key_index == nullptr) {
+        return Status::FailedPrecondition(
+            "plan chose INDEX but table '" + plan.table + "' has no index");
+      }
+      const engine::Predicate* point = nullptr;
+      for (const engine::Predicate& p : plan.spec.predicates) {
+        if (p.column == entry.key_index_column &&
+            p.op == relmem::CompareOp::kEq) {
+          point = &p;
+          break;
+        }
+      }
+      if (point == nullptr) {
+        return Status::FailedPrecondition(
+            "plan chose INDEX without an equality predicate on the "
+            "indexed column");
+      }
+      const std::vector<uint64_t> candidates =
+          entry.key_index->Lookup(point->int_operand);
+      engine::VolcanoEngine eng(entry.rows, cost_);
+      return eng.ExecuteOnRowIds(plan.spec, candidates);
+    }
+  }
+  return Status::Internal("unknown backend");
+}
+
+}  // namespace relfab::query

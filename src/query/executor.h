@@ -1,0 +1,33 @@
+#ifndef RELFAB_QUERY_EXECUTOR_H_
+#define RELFAB_QUERY_EXECUTOR_H_
+
+#include "common/statusor.h"
+#include "engine/cost_model.h"
+#include "engine/query.h"
+#include "query/catalog.h"
+#include "query/planner.h"
+#include "relmem/rm_engine.h"
+
+namespace relfab::query {
+
+/// Runs a Plan on the chosen backend. Stateless apart from its wiring;
+/// engines are constructed per call (they are thin).
+class Executor {
+ public:
+  Executor(const Catalog* catalog, relmem::RmEngine* rm,
+           engine::CostModel cost_model)
+      : catalog_(catalog), rm_(rm), cost_(cost_model) {
+    RELFAB_CHECK(catalog != nullptr && rm != nullptr);
+  }
+
+  StatusOr<engine::QueryResult> Execute(const Plan& plan) const;
+
+ private:
+  const Catalog* catalog_;
+  relmem::RmEngine* rm_;
+  engine::CostModel cost_;
+};
+
+}  // namespace relfab::query
+
+#endif  // RELFAB_QUERY_EXECUTOR_H_

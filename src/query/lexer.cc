@@ -1,0 +1,102 @@
+#include "query/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace relfab::query {
+
+bool Token::IsKeyword(std::string_view upper) const {
+  if (type != TokenType::kIdent || text.size() != upper.size()) return false;
+  for (size_t i = 0; i < upper.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(text[i])) != upper[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+StatusOr<std::vector<Token>> Tokenize(std::string_view sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = sql.size();
+  while (i < n) {
+    const char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token token;
+    token.offset = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t j = i;
+      while (j < n && (std::isalnum(static_cast<unsigned char>(sql[j])) ||
+                       sql[j] == '_')) {
+        ++j;
+      }
+      token.type = TokenType::kIdent;
+      token.text = std::string(sql.substr(i, j - i));
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(sql[i + 1])))) {
+      size_t j = i;
+      while (j < n && (std::isdigit(static_cast<unsigned char>(sql[j])) ||
+                       sql[j] == '.')) {
+        ++j;
+      }
+      token.type = TokenType::kNumber;
+      token.text = std::string(sql.substr(i, j - i));
+      token.number = std::strtod(token.text.c_str(), nullptr);
+      i = j;
+    } else if (c == '\'') {
+      size_t j = i + 1;
+      while (j < n && sql[j] != '\'') ++j;
+      if (j == n) {
+        return Status::InvalidArgument("unterminated string literal at " +
+                                       std::to_string(i));
+      }
+      token.type = TokenType::kString;
+      token.text = std::string(sql.substr(i + 1, j - i - 1));
+      i = j + 1;
+    } else {
+      token.type = TokenType::kSymbol;
+      // two-character operators first
+      if (i + 1 < n) {
+        const std::string_view two = sql.substr(i, 2);
+        if (two == "<=" || two == ">=" || two == "!=" || two == "<>") {
+          token.text = std::string(two == "<>" ? "!=" : two);
+          i += 2;
+          tokens.push_back(std::move(token));
+          continue;
+        }
+      }
+      switch (c) {
+        case '(':
+        case ')':
+        case ',':
+        case '+':
+        case '-':
+        case '*':
+        case '<':
+        case '>':
+        case '=':
+        case ';':
+          token.text = std::string(1, c);
+          ++i;
+          break;
+        default:
+          return Status::InvalidArgument(
+              std::string("unexpected character '") + c + "' at offset " +
+              std::to_string(i));
+      }
+    }
+    tokens.push_back(std::move(token));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.offset = n;
+  tokens.push_back(end);
+  return tokens;
+}
+
+}  // namespace relfab::query

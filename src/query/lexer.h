@@ -1,0 +1,39 @@
+#ifndef RELFAB_QUERY_LEXER_H_
+#define RELFAB_QUERY_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace relfab::query {
+
+/// Token kinds of the SQL subset.
+enum class TokenType : uint8_t {
+  kIdent,   // identifiers and keywords (keywords resolved by the parser)
+  kNumber,  // numeric literal (int or decimal)
+  kString,  // 'quoted'
+  kSymbol,  // punctuation / operators, text holds the exact symbol
+  kEnd,
+};
+
+struct Token {
+  TokenType type = TokenType::kEnd;
+  std::string text;   // identifier/symbol/string spelling
+  double number = 0;  // kNumber value
+  size_t offset = 0;  // byte offset in the input, for error messages
+
+  bool IsSymbol(std::string_view s) const {
+    return type == TokenType::kSymbol && text == s;
+  }
+  /// Case-insensitive keyword test.
+  bool IsKeyword(std::string_view upper) const;
+};
+
+/// Splits `sql` into tokens. Symbols: ( ) , + - * < <= > >= = != <>.
+StatusOr<std::vector<Token>> Tokenize(std::string_view sql);
+
+}  // namespace relfab::query
+
+#endif  // RELFAB_QUERY_LEXER_H_

@@ -1,0 +1,48 @@
+#ifndef RELFAB_QUERY_PARSER_H_
+#define RELFAB_QUERY_PARSER_H_
+
+#include <string>
+#include <string_view>
+
+#include "common/statusor.h"
+#include "engine/query.h"
+#include "query/catalog.h"
+
+namespace relfab::query {
+
+/// A parsed statement: the target table plus the engine-level query.
+struct ParsedQuery {
+  std::string table;
+  engine::QuerySpec spec;
+};
+
+/// Recursive-descent parser for the SQL subset:
+///
+///   SELECT <select_list> FROM <table>
+///     [WHERE <col> <op> <number> [AND ...]]
+///     [GROUP BY <col> [, ...]]
+///
+///   select_list := column [, ...]                    -- projection
+///                | agg [, ...] [, column ...]        -- aggregation
+///   agg         := COUNT(*) | SUM(expr) | AVG(expr)
+///                | MIN(expr) | MAX(expr)
+///   expr        := arithmetic over columns & numeric literals (+ - *)
+///
+/// Columns named in an aggregate query outside aggregates must appear in
+/// GROUP BY (checked). Column names resolve against the target table's
+/// schema from the catalog.
+class Parser {
+ public:
+  explicit Parser(const Catalog* catalog) : catalog_(catalog) {
+    RELFAB_CHECK(catalog != nullptr);
+  }
+
+  StatusOr<ParsedQuery> Parse(std::string_view sql) const;
+
+ private:
+  const Catalog* catalog_;
+};
+
+}  // namespace relfab::query
+
+#endif  // RELFAB_QUERY_PARSER_H_

@@ -1,0 +1,265 @@
+#include "query/planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <sstream>
+
+namespace relfab::query {
+
+std::string_view BackendToString(Backend backend) {
+  switch (backend) {
+    case Backend::kRow:
+      return "ROW";
+    case Backend::kColumn:
+      return "COL";
+    case Backend::kRelationalMemory:
+      return "RM";
+    case Backend::kIndex:
+      return "INDEX";
+    case Backend::kHybrid:
+      return "HYBRID";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Distinct cache lines the referenced fields span within one row
+/// (row-relative; the per-row average over alignments is close to this
+/// for rows that divide or are divided by the line size).
+uint32_t LinesTouchedPerRow(const layout::Schema& schema,
+                            const std::vector<uint32_t>& columns) {
+  std::set<uint32_t> lines;
+  for (uint32_t c : columns) {
+    const uint32_t first = schema.offset(c) / 64;
+    const uint32_t last = (schema.offset(c) + schema.width(c) - 1) / 64;
+    for (uint32_t l = first; l <= last; ++l) lines.insert(l);
+  }
+  return static_cast<uint32_t>(lines.size());
+}
+
+uint32_t TotalWidth(const layout::Schema& schema,
+                    const std::vector<uint32_t>& columns) {
+  uint32_t w = 0;
+  for (uint32_t c : columns) w += schema.width(c);
+  return w;
+}
+
+}  // namespace
+
+double Planner::EstimateRow(const layout::RowTable& table,
+                            const engine::QuerySpec& spec) const {
+  const layout::Schema& schema = table.schema();
+  const std::vector<uint32_t> refs = spec.ReferencedColumns(schema);
+  const double n = static_cast<double>(table.num_rows());
+  const double lines = LinesTouchedPerRow(schema, refs);
+  // A row scan is one ascending stream: misses are prefetch-covered.
+  const double mem = lines * sim_.prefetch_covered_cycles;
+  const double hops = spec.predicates.empty() ? 1.0 : 2.0;
+  double cpu = hops * cost_.volcano_next_cycles +
+               static_cast<double>(refs.size()) *
+                   (cost_.volcano_field_cycles + sim_.l1_hit_cycles) +
+               static_cast<double>(spec.predicates.size()) *
+                   cost_.compare_cycles +
+               static_cast<double>(spec.AggOpCount()) * cost_.arith_cycles +
+               static_cast<double>(spec.aggregates.size()) *
+                   cost_.agg_update_cycles;
+  if (!spec.group_by.empty()) cpu += cost_.group_hash_cycles;
+  return n * (mem + cpu);
+}
+
+double Planner::EstimateColumn(const layout::RowTable& table,
+                               const engine::QuerySpec& spec) const {
+  const layout::Schema& schema = table.schema();
+  const std::vector<uint32_t> refs = spec.ReferencedColumns(schema);
+  const double n = static_cast<double>(table.num_rows());
+  const double streams = static_cast<double>(refs.size());
+  // Per-line cost depends on whether the concurrent column cursors fit
+  // in the prefetcher's stream table.
+  double line_cost = sim_.prefetch_covered_cycles;
+  if (streams > sim_.prefetch_streams) {
+    const double coverage = sim_.prefetch_streams / streams;
+    line_cost = coverage * sim_.prefetch_covered_cycles +
+                (1 - coverage) * (sim_.dram_row_hit_cycles / sim_.cpu_mlp);
+  }
+  const double lines_per_row = TotalWidth(schema, refs) / 64.0;
+  const double mem = lines_per_row * line_cost;
+  double cpu = streams * cost_.vector_value_cycles +
+               static_cast<double>(spec.predicates.size()) *
+                   cost_.compare_cycles +
+               static_cast<double>(spec.AggOpCount()) * cost_.arith_cycles +
+               static_cast<double>(spec.aggregates.size()) *
+                   cost_.agg_update_cycles +
+               cost_.batch_overhead_cycles / cost_.batch_rows;
+  const size_t out_fields =
+      refs.size() - spec.predicates.size();  // rough reconstruction width
+  if (out_fields > 1) {
+    cpu += cost_.reconstruct_field_cycles * static_cast<double>(out_fields);
+  }
+  if (!spec.group_by.empty()) cpu += cost_.group_hash_cycles;
+  return n * (mem + cpu);
+}
+
+double Planner::EstimateRm(const layout::RowTable& table,
+                           const engine::QuerySpec& spec) const {
+  const layout::Schema& schema = table.schema();
+  const std::vector<uint32_t> refs = spec.ReferencedColumns(schema);
+  const double n = static_cast<double>(table.num_rows());
+  const double out_bytes = TotalWidth(schema, refs);
+  const double gather_lines = LinesTouchedPerRow(schema, refs);
+  // Gather streams inside open DRAM rows; one row opening per
+  // (row_bytes/64) lines amortizes across the bank parallelism.
+  const double lines_per_dram_row = sim_.dram_row_bytes / 64.0;
+  const double gather = gather_lines *
+                        (sim_.line_transfer_cycles +
+                         sim_.dram_row_miss_cycles /
+                             (lines_per_dram_row *
+                              sim_.fabric_gather_parallelism));
+  const double parse = sim_.fabric_clock_ratio / sim_.fabric_rows_per_cycle;
+  const double pack = out_bytes / 64.0 * sim_.fabric_pack_cycles_per_line *
+                      sim_.fabric_clock_ratio;
+  const double produce = std::max({gather, parse, pack});
+  double consume = out_bytes / 64.0 * sim_.fabric_read_cycles +
+                   static_cast<double>(refs.size()) * cost_.rm_value_cycles +
+                   static_cast<double>(spec.predicates.size()) *
+                       cost_.compare_cycles +
+                   static_cast<double>(spec.AggOpCount()) *
+                       cost_.arith_cycles +
+                   static_cast<double>(spec.aggregates.size()) *
+                       cost_.agg_update_cycles;
+  if (!spec.group_by.empty()) consume += cost_.group_hash_cycles;
+  return n * std::max(produce, consume) + sim_.fabric_configure_cycles;
+}
+
+double Planner::EstimateIndex(const TableEntry& entry,
+                              const engine::QuerySpec& spec) const {
+  if (entry.key_index == nullptr) {
+    return std::numeric_limits<double>::infinity();
+  }
+  // Applicable only to point queries: an equality conjunct on the
+  // indexed column.
+  bool has_point = false;
+  for (const engine::Predicate& p : spec.predicates) {
+    if (p.column == entry.key_index_column &&
+        p.op == relmem::CompareOp::kEq) {
+      has_point = true;
+      break;
+    }
+  }
+  if (!has_point) return std::numeric_limits<double>::infinity();
+  // Root-to-leaf descent of cold nodes, then a handful of row fetches.
+  // Without cardinality statistics, assume the key is near-unique.
+  const double descent = entry.key_index->height() *
+                         (sim_.dram_row_hit_cycles / sim_.cpu_mlp +
+                          4 * cost_.compare_cycles);
+  const std::vector<uint32_t> refs =
+      spec.ReferencedColumns(entry.rows->schema());
+  const double fetch = sim_.dram_row_hit_cycles / sim_.cpu_mlp +
+                       static_cast<double>(refs.size()) *
+                           (cost_.volcano_field_cycles + sim_.l1_hit_cycles);
+  return descent + 4 * fetch;
+}
+
+double Planner::EstimateHybrid(const TableEntry& entry,
+                               const engine::QuerySpec& spec,
+                               double selectivity) const {
+  if (spec.predicates.empty() || entry.stats == nullptr) {
+    return std::numeric_limits<double>::infinity();
+  }
+  const layout::Schema& schema = entry.rows->schema();
+  const double n = static_cast<double>(entry.rows->num_rows());
+  // Phase 1: RM stream of the predicate columns only.
+  std::vector<uint32_t> pred_cols;
+  for (const engine::Predicate& p : spec.predicates) {
+    pred_cols.push_back(p.column);
+  }
+  std::sort(pred_cols.begin(), pred_cols.end());
+  pred_cols.erase(std::unique(pred_cols.begin(), pred_cols.end()),
+                  pred_cols.end());
+  const double pred_bytes = TotalWidth(schema, pred_cols);
+  const double parse = sim_.fabric_clock_ratio / sim_.fabric_rows_per_cycle;
+  const double pack = pred_bytes / 64.0 * sim_.fabric_pack_cycles_per_line *
+                      sim_.fabric_clock_ratio;
+  const double phase1_produce = std::max(parse, pack);
+  const double phase1_consume =
+      pred_bytes / 64.0 * sim_.fabric_read_cycles +
+      static_cast<double>(spec.predicates.size()) *
+          (cost_.rm_value_cycles + cost_.compare_cycles);
+  // Phase 2: per qualifying row, a near-random base-row fetch plus the
+  // volcano-style field work.
+  const std::vector<uint32_t> refs = spec.ReferencedColumns(schema);
+  const double per_match =
+      sim_.dram_row_hit_cycles / sim_.cpu_mlp +
+      static_cast<double>(refs.size()) *
+          (cost_.volcano_field_cycles + sim_.l1_hit_cycles) +
+      static_cast<double>(spec.AggOpCount()) * cost_.arith_cycles +
+      static_cast<double>(spec.aggregates.size()) * cost_.agg_update_cycles;
+  return n * (std::max(phase1_produce, phase1_consume) +
+              selectivity * per_match) +
+         sim_.fabric_configure_cycles;
+}
+
+StatusOr<Plan> Planner::MakePlan(const ParsedQuery& parsed) const {
+  RELFAB_ASSIGN_OR_RETURN(TableEntry entry, catalog_->Lookup(parsed.table));
+  RELFAB_RETURN_IF_ERROR(parsed.spec.Validate(entry.rows->schema()));
+
+  Plan plan;
+  plan.table = parsed.table;
+  plan.spec = parsed.spec;
+  plan.est_selectivity =
+      entry.stats != nullptr
+          ? entry.stats->EstimateSelectivity(parsed.spec.predicates)
+          : 1.0;
+  plan.est_cost_row = EstimateRow(*entry.rows, parsed.spec);
+  plan.est_cost_column = entry.columns != nullptr
+                             ? EstimateColumn(*entry.rows, parsed.spec)
+                             : std::numeric_limits<double>::infinity();
+  plan.est_cost_rm = EstimateRm(*entry.rows, parsed.spec);
+  plan.est_cost_index = EstimateIndex(entry, parsed.spec);
+  plan.est_cost_hybrid =
+      EstimateHybrid(entry, parsed.spec, plan.est_selectivity);
+
+  plan.backend = Backend::kRow;
+  double best = plan.est_cost_row;
+  if (plan.est_cost_column < best) {
+    best = plan.est_cost_column;
+    plan.backend = Backend::kColumn;
+  }
+  if (plan.est_cost_rm < best) {
+    best = plan.est_cost_rm;
+    plan.backend = Backend::kRelationalMemory;
+  }
+  if (plan.est_cost_hybrid < best) {
+    best = plan.est_cost_hybrid;
+    plan.backend = Backend::kHybrid;
+  }
+  if (plan.est_cost_index < best) {
+    best = plan.est_cost_index;
+    plan.backend = Backend::kIndex;
+  }
+
+  std::ostringstream os;
+  os << "table=" << plan.table << " backend=" << BackendToString(plan.backend)
+     << " est{ROW=" << plan.est_cost_row;
+  if (entry.columns != nullptr) {
+    os << ", COL=" << plan.est_cost_column;
+  } else {
+    os << ", COL=unavailable (no materialized copy)";
+  }
+  os << ", RM=" << plan.est_cost_rm;
+  if (entry.key_index != nullptr &&
+      !std::isinf(plan.est_cost_index)) {
+    os << ", INDEX=" << plan.est_cost_index;
+  }
+  if (!std::isinf(plan.est_cost_hybrid)) {
+    os << ", HYBRID=" << plan.est_cost_hybrid << " (sel="
+       << plan.est_selectivity << ")";
+  }
+  os << "}";
+  plan.explanation = os.str();
+  return plan;
+}
+
+}  // namespace relfab::query

@@ -1,0 +1,82 @@
+#ifndef RELFAB_QUERY_PLANNER_H_
+#define RELFAB_QUERY_PLANNER_H_
+
+#include <string>
+
+#include "common/statusor.h"
+#include "engine/cost_model.h"
+#include "query/catalog.h"
+#include "query/parser.h"
+#include "sim/params.h"
+
+namespace relfab::query {
+
+/// Access path chosen for a query.
+enum class Backend : uint8_t {
+  kRow,               // volcano over the row base data
+  kColumn,            // vectorized over a materialized columnar copy
+  kRelationalMemory,  // vectorized over an ephemeral column group
+  kIndex,             // B+-tree point lookup, then fetch from row data
+  kHybrid,            // ephemeral predicate stream + base-row fetch
+};
+
+std::string_view BackendToString(Backend backend);
+
+/// An executable plan: the chosen backend plus per-path cost estimates.
+struct Plan {
+  std::string table;
+  Backend backend = Backend::kRow;
+  engine::QuerySpec spec;
+  double est_cost_row = 0;
+  double est_cost_column = 0;  // +inf when no columnar copy exists
+  double est_cost_rm = 0;
+  double est_cost_index = 0;   // +inf when no applicable index exists
+  double est_cost_hybrid = 0;  // +inf without predicates or statistics
+  /// Selectivity estimate used for the hybrid decision (1.0 = unknown).
+  double est_selectivity = 1.0;
+  std::string explanation;
+};
+
+/// The paper's §III-B point made concrete: with Relational Fabric, layout
+/// selection stops being a combinatorial search over materialized
+/// designs. The planner *constructs* the candidate geometries directly
+/// from the query's referenced columns, prices the three access paths
+/// with a closed-form mirror of the simulator's cost model, and picks the
+/// cheapest.
+class Planner {
+ public:
+  Planner(const Catalog* catalog, sim::SimParams sim_params,
+          engine::CostModel cost_model)
+      : catalog_(catalog),
+        sim_(sim_params),
+        cost_(cost_model) {
+    RELFAB_CHECK(catalog != nullptr);
+  }
+
+  StatusOr<Plan> MakePlan(const ParsedQuery& parsed) const;
+
+ private:
+  double EstimateRow(const layout::RowTable& table,
+                     const engine::QuerySpec& spec) const;
+  double EstimateColumn(const layout::RowTable& table,
+                        const engine::QuerySpec& spec) const;
+  double EstimateRm(const layout::RowTable& table,
+                    const engine::QuerySpec& spec) const;
+  /// +inf unless the query has an equality predicate on the indexed
+  /// column (the point-query case the paper reserves for indexes).
+  double EstimateIndex(const TableEntry& entry,
+                       const engine::QuerySpec& spec) const;
+  /// The §III-B hybrid plan: worth it only when ANALYZE statistics show
+  /// the conjunction is selective; +inf without predicates or stats.
+  double EstimateHybrid(const TableEntry& entry,
+                        const engine::QuerySpec& spec,
+                        double selectivity) const;
+
+  const Catalog* catalog_;
+  sim::SimParams sim_;
+  engine::CostModel cost_;
+};
+
+}  // namespace relfab::query
+
+#endif  // RELFAB_QUERY_PLANNER_H_

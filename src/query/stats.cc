@@ -1,0 +1,108 @@
+#include "query/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace relfab::query {
+
+namespace {
+
+constexpr uint32_t kBuckets = 64;
+
+}  // namespace
+
+double ColumnStats::Selectivity(relmem::CompareOp op, double operand) const {
+  if (!valid || row_count == 0) return 1.0;
+  // Fraction of rows with value < operand (interpolated), then derive
+  // the other comparisons from it.
+  const auto fraction_below = [this](double x) {
+    if (x <= min) return 0.0;
+    if (x > max) return 1.0;
+    const double width = (max - min) / histogram.size();
+    double below = 0;
+    if (width <= 0) return x > min ? 1.0 : 0.0;
+    const uint32_t bucket = std::min<uint32_t>(
+        static_cast<uint32_t>((x - min) / width),
+        static_cast<uint32_t>(histogram.size()) - 1);
+    for (uint32_t b = 0; b < bucket; ++b) below += histogram[b];
+    const double into =
+        (x - (min + bucket * width)) / width;  // position inside bucket
+    below += histogram[bucket] * std::clamp(into, 0.0, 1.0);
+    return below / static_cast<double>(row_count);
+  };
+  // Point-mass estimate for equality: one histogram bucket spread.
+  const double eq = [&] {
+    const double width = (max - min) / histogram.size();
+    if (operand < min || operand > max) return 0.0;
+    if (width <= 0) return 1.0;
+    const uint32_t bucket = std::min<uint32_t>(
+        static_cast<uint32_t>((operand - min) / width),
+        static_cast<uint32_t>(histogram.size()) - 1);
+    // Assume ~width distinct values per bucket.
+    const double per_value = histogram[bucket] /
+                             std::max(1.0, width) /
+                             static_cast<double>(row_count);
+    return std::min(1.0, per_value);
+  }();
+  switch (op) {
+    case relmem::CompareOp::kLt:
+      return fraction_below(operand);
+    case relmem::CompareOp::kLe:
+      return std::min(1.0, fraction_below(operand) + eq);
+    case relmem::CompareOp::kGt:
+      return std::max(0.0, 1.0 - fraction_below(operand) - eq);
+    case relmem::CompareOp::kGe:
+      return std::max(0.0, 1.0 - fraction_below(operand));
+    case relmem::CompareOp::kEq:
+      return eq;
+    case relmem::CompareOp::kNe:
+      return std::max(0.0, 1.0 - eq);
+  }
+  return 1.0;
+}
+
+double TableStats::EstimateSelectivity(
+    const std::vector<engine::Predicate>& predicates) const {
+  double selectivity = 1.0;
+  for (const engine::Predicate& p : predicates) {
+    if (p.column >= columns.size()) continue;
+    selectivity *= columns[p.column].Selectivity(p.op, p.double_operand);
+  }
+  return selectivity;
+}
+
+TableStats AnalyzeTable(const layout::RowTable& table) {
+  const layout::Schema& schema = table.schema();
+  TableStats stats;
+  stats.row_count = table.num_rows();
+  stats.columns.resize(schema.num_columns());
+  if (table.num_rows() == 0) return stats;
+
+  for (uint32_t c = 0; c < schema.num_columns(); ++c) {
+    if (schema.type(c) == layout::ColumnType::kChar) continue;
+    ColumnStats& col = stats.columns[c];
+    col.valid = true;
+    col.row_count = table.num_rows();
+    col.min = table.GetDouble(0, c);
+    col.max = col.min;
+    for (uint64_t r = 1; r < table.num_rows(); ++r) {
+      const double v = table.GetDouble(r, c);
+      col.min = std::min(col.min, v);
+      col.max = std::max(col.max, v);
+    }
+    col.histogram.assign(kBuckets, 0);
+    const double width = (col.max - col.min) / kBuckets;
+    for (uint64_t r = 0; r < table.num_rows(); ++r) {
+      const double v = table.GetDouble(r, c);
+      const uint32_t bucket =
+          width <= 0 ? 0
+                     : std::min<uint32_t>(
+                           static_cast<uint32_t>((v - col.min) / width),
+                           kBuckets - 1);
+      ++col.histogram[bucket];
+    }
+  }
+  return stats;
+}
+
+}  // namespace relfab::query

@@ -1,0 +1,46 @@
+#ifndef RELFAB_QUERY_STATS_H_
+#define RELFAB_QUERY_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "engine/query.h"
+#include "layout/row_table.h"
+
+namespace relfab::query {
+
+/// Equi-width histogram statistics for one numeric column.
+struct ColumnStats {
+  bool valid = false;
+  double min = 0;
+  double max = 0;
+  uint64_t row_count = 0;
+  /// Bucket b covers [min + b*width, min + (b+1)*width).
+  std::vector<uint64_t> histogram;
+
+  /// Estimated fraction of rows satisfying `col <op> operand`
+  /// (interpolating within the boundary bucket). Returns 1.0 for
+  /// invalid stats — unknown never prunes.
+  double Selectivity(relmem::CompareOp op, double operand) const;
+};
+
+/// Per-table statistics (ANALYZE output). Collected once from the base
+/// row data; like data generation, collection itself is not charged to
+/// the simulator — it models an offline maintenance task.
+struct TableStats {
+  uint64_t row_count = 0;
+  std::vector<ColumnStats> columns;  // indexed by schema column
+
+  /// Combined selectivity of a conjunction, assuming independence
+  /// (textbook Selinger-style estimation).
+  double EstimateSelectivity(
+      const std::vector<engine::Predicate>& predicates) const;
+};
+
+/// Scans the table and builds 64-bucket histograms for every numeric
+/// column (char columns get invalid stats).
+TableStats AnalyzeTable(const layout::RowTable& table);
+
+}  // namespace relfab::query
+
+#endif  // RELFAB_QUERY_STATS_H_

@@ -1,0 +1,80 @@
+#include "relmem/ephemeral.h"
+
+#include <algorithm>
+
+#include "relmem/rm_engine.h"
+
+namespace relfab::relmem {
+
+EphemeralView::EphemeralView(const layout::RowTable* table, RmEngine* engine,
+                             Geometry geometry)
+    : table_(table), engine_(engine), geometry_(std::move(geometry)) {
+  const layout::Schema& schema = table_->schema();
+  uint32_t offset = 0;
+  field_offsets_.reserve(geometry_.columns.size());
+  for (uint32_t c : geometry_.columns) {
+    field_offsets_.push_back(offset);
+    offset += schema.width(c);
+  }
+  out_row_bytes_ = offset;
+  source_columns_ = geometry_.SourceColumns(schema);
+  begin_row_ = geometry_.begin_row;
+  end_row_ = geometry_.end_row;
+
+  // Production is modelled in strips much smaller than the fill buffer:
+  // the fabric streams lines into one half of the buffer while the CPU
+  // drains the other, so the consumer only ever waits for the producer's
+  // *rate*, not for a whole buffer half. The fixed re-arm stall is paid
+  // once per buffer-half of output, prorated per strip.
+  const uint64_t half = memory()->params().fabric_buffer_bytes / 2;
+  const uint64_t strip = std::min<uint64_t>(half, 64 * 1024);
+  refill_stall_per_chunk_ = memory()->params().fabric_refill_stall_cycles *
+                            static_cast<double>(strip) /
+                            static_cast<double>(half);
+  chunk_capacity_rows_ = std::max<uint64_t>(1, strip / out_row_bytes_);
+  chunk_data_.resize(chunk_capacity_rows_ * out_row_bytes_);
+}
+
+void EphemeralView::RestartStream() {
+  input_cursor_ = begin_row_;
+  first_chunk_ = true;
+  chunk_rows_ = 0;
+  LoadNextChunk();
+}
+
+void EphemeralView::LoadNextChunk() {
+  sim::MemorySystem* mem = memory();
+  if (input_cursor_ >= end_row_) {
+    chunk_rows_ = 0;
+    return;
+  }
+  const double consumed_window = mem->cpu_cycles() - cpu_at_last_refill_;
+  RmEngine::ChunkResult r = engine_->ProduceChunk(
+      *table_, geometry_, source_columns_, input_cursor_, end_row_,
+      chunk_capacity_rows_, chunk_data_.data(), out_row_bytes_);
+  input_cursor_ = r.next_input_row;
+  chunk_rows_ = r.out_rows;
+  if (chunk_rows_ == 0 && input_cursor_ >= end_row_) {
+    // Tail of the table was fully filtered out; still pay for the scan.
+    mem->Stall(first_chunk_
+                   ? r.producer_cycles
+                   : std::max(0.0, r.producer_cycles - consumed_window));
+    return;
+  }
+  // Fresh simulated lines for this refill: the physical buffer is reused
+  // but its content changed, so the cache must re-fetch.
+  chunk_sim_base_ = mem->Allocate(chunk_rows_ * out_row_bytes_,
+                                  sim::MemClass::kFabricBuffer);
+  // Double buffering: strip N+1 was produced while strip N was being
+  // consumed; the CPU stalls only for the un-overlapped remainder. The
+  // first strip has nothing to overlap with (pipeline fill).
+  const double stall =
+      first_chunk_ ? r.producer_cycles
+                   : std::max(0.0, r.producer_cycles - consumed_window);
+  mem->Stall(stall + refill_stall_per_chunk_);
+  mem->NoteFabricRefill();
+  cpu_at_last_refill_ = mem->cpu_cycles();
+  first_chunk_ = false;
+}
+
+}  // namespace relfab::relmem

@@ -1,0 +1,125 @@
+#include "relmem/geometry.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace relfab::relmem {
+
+std::string_view CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+  }
+  return "?";
+}
+
+StatusOr<Geometry> Geometry::Project(const layout::Schema& schema,
+                                     const std::vector<std::string>& names) {
+  Geometry g;
+  g.columns.reserve(names.size());
+  for (const std::string& name : names) {
+    RELFAB_ASSIGN_OR_RETURN(uint32_t idx, schema.IndexOf(name));
+    g.columns.push_back(idx);
+  }
+  RELFAB_RETURN_IF_ERROR(g.Validate(schema));
+  return g;
+}
+
+Geometry Geometry::FirstColumns(uint32_t k) {
+  Geometry g;
+  g.columns.resize(k);
+  for (uint32_t i = 0; i < k; ++i) g.columns[i] = i;
+  return g;
+}
+
+Status Geometry::Validate(const layout::Schema& schema) const {
+  if (columns.empty()) {
+    return Status::InvalidArgument("geometry must project at least one column");
+  }
+  std::unordered_set<uint32_t> seen;
+  for (uint32_t c : columns) {
+    if (c >= schema.num_columns()) {
+      return Status::OutOfRange("projected column " + std::to_string(c) +
+                                " out of range");
+    }
+    if (!seen.insert(c).second) {
+      return Status::InvalidArgument("column " + std::to_string(c) +
+                                     " projected twice");
+    }
+  }
+  for (const HwPredicate& p : predicates) {
+    if (p.column >= schema.num_columns()) {
+      return Status::OutOfRange("predicate column " +
+                                std::to_string(p.column) + " out of range");
+    }
+    if (schema.type(p.column) == layout::ColumnType::kChar) {
+      return Status::InvalidArgument(
+          "hardware predicates support numeric columns only");
+    }
+  }
+  if (visibility.enabled) {
+    if (visibility.begin_ts_column >= schema.num_columns() ||
+        visibility.end_ts_column >= schema.num_columns()) {
+      return Status::OutOfRange("visibility timestamp column out of range");
+    }
+  }
+  if (begin_row > end_row) {
+    return Status::InvalidArgument("begin_row > end_row");
+  }
+  return Status::Ok();
+}
+
+uint32_t Geometry::OutputRowBytes(const layout::Schema& schema) const {
+  uint32_t bytes = 0;
+  for (uint32_t c : columns) bytes += schema.width(c);
+  return bytes;
+}
+
+std::vector<uint32_t> Geometry::SourceColumns(
+    const layout::Schema& schema) const {
+  std::vector<uint32_t> src = columns;
+  for (const HwPredicate& p : predicates) src.push_back(p.column);
+  if (visibility.enabled) {
+    src.push_back(visibility.begin_ts_column);
+    src.push_back(visibility.end_ts_column);
+  }
+  std::sort(src.begin(), src.end(), [&schema](uint32_t a, uint32_t b) {
+    return schema.offset(a) < schema.offset(b);
+  });
+  src.erase(std::unique(src.begin(), src.end()), src.end());
+  return src;
+}
+
+std::string Geometry::ToString(const layout::Schema& schema) const {
+  std::ostringstream os;
+  os << "geometry{cols=[";
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) os << ",";
+    os << schema.column(columns[i]).name;
+  }
+  os << "]";
+  for (const HwPredicate& p : predicates) {
+    os << ", " << schema.column(p.column).name << CompareOpToString(p.op);
+    if (schema.type(p.column) == layout::ColumnType::kDouble) {
+      os << p.double_operand;
+    } else {
+      os << p.int_operand;
+    }
+  }
+  if (visibility.enabled) os << ", snapshot@" << visibility.read_ts;
+  os << "}";
+  return os.str();
+}
+
+}  // namespace relfab::relmem

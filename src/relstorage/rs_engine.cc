@@ -1,0 +1,137 @@
+#include "relstorage/rs_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace relfab::relstorage {
+
+namespace {
+
+bool EvalPredicate(const StorageTable& table, const relmem::HwPredicate& p,
+                   uint64_t row) {
+  const double v = table.GetDouble(row, p.column);
+  switch (p.op) {
+    case relmem::CompareOp::kLt:
+      return v < p.double_operand;
+    case relmem::CompareOp::kLe:
+      return v <= p.double_operand;
+    case relmem::CompareOp::kGt:
+      return v > p.double_operand;
+    case relmem::CompareOp::kGe:
+      return v >= p.double_operand;
+    case relmem::CompareOp::kEq:
+      return v == p.double_operand;
+    case relmem::CompareOp::kNe:
+      return v != p.double_operand;
+  }
+  return false;
+}
+
+}  // namespace
+
+void RsEngine::RunScan(const StorageTable& table,
+                       const relmem::Geometry& geometry, ScanResult* result,
+                       double* decode_cost_total, uint64_t* values_touched) {
+  const layout::Schema& schema = table.schema();
+  const std::vector<uint32_t> source = geometry.SourceColumns(schema);
+  result->out_row_bytes = geometry.OutputRowBytes(schema);
+  const uint64_t end =
+      std::min<uint64_t>(geometry.end_row, table.num_rows());
+  result->data.reserve((end - geometry.begin_row) * result->out_row_bytes /
+                       4);
+  *decode_cost_total = 0;
+  *values_touched = 0;
+
+  double decode_per_row = 0;
+  for (uint32_t c : source) {
+    if (table.IsCompressed(c)) {
+      decode_per_row += table.codec(c)->decode_cost_per_value();
+    }
+  }
+
+  for (uint64_t row = geometry.begin_row; row < end; ++row) {
+    *values_touched += source.size();
+    *decode_cost_total += decode_per_row;
+    bool pass = true;
+    for (const relmem::HwPredicate& p : geometry.predicates) {
+      if (!EvalPredicate(table, p, row)) {
+        pass = false;
+        break;
+      }
+    }
+    if (!pass) continue;
+    ++result->rows_out;
+    for (uint32_t c : geometry.columns) {
+      // Output carries decoded fixed-width values.
+      switch (schema.type(c)) {
+        case layout::ColumnType::kInt32:
+        case layout::ColumnType::kDate: {
+          const int32_t v = static_cast<int32_t>(table.GetInt(row, c));
+          const uint8_t* p = reinterpret_cast<const uint8_t*>(&v);
+          result->data.insert(result->data.end(), p, p + 4);
+          break;
+        }
+        case layout::ColumnType::kInt64: {
+          const int64_t v = table.GetInt(row, c);
+          const uint8_t* p = reinterpret_cast<const uint8_t*>(&v);
+          result->data.insert(result->data.end(), p, p + 8);
+          break;
+        }
+        case layout::ColumnType::kDouble: {
+          const double v = table.GetDouble(row, c);
+          const uint8_t* p = reinterpret_cast<const uint8_t*>(&v);
+          result->data.insert(result->data.end(), p, p + 8);
+          break;
+        }
+        case layout::ColumnType::kChar:
+          RELFAB_CHECK(false) << "char projection through RS not supported";
+      }
+    }
+  }
+}
+
+StatusOr<ScanResult> RsEngine::NearStorageScan(
+    const StorageTable& table, const relmem::Geometry& geometry) {
+  RELFAB_RETURN_IF_ERROR(geometry.Validate(table.schema()));
+  ScanResult result;
+  double decode_cost = 0;
+  uint64_t values = 0;
+  RunScan(table, geometry, &result, &decode_cost, &values);
+
+  const SsdParams& p = ssd_->params();
+  result.pages_sensed = table.PagesFor(geometry.SourceColumns(table.schema()));
+  const double read_cycles = ssd_->ReadInternal(result.pages_sensed);
+  const double logic_cycles =
+      static_cast<double>(values) * p.storage_logic_cycles_per_value +
+      decode_cost;
+  result.pages_shipped = static_cast<uint64_t>(
+      std::ceil(static_cast<double>(result.rows_out) * result.out_row_bytes /
+                p.page_bytes));
+  const double ship_cycles = ssd_->ShipToHost(result.pages_shipped);
+  // Sense, in-storage processing and shipping form a pipeline.
+  result.cycles = std::max({read_cycles, logic_cycles, ship_cycles});
+  return result;
+}
+
+StatusOr<ScanResult> RsEngine::HostScan(const StorageTable& table,
+                                        const relmem::Geometry& geometry) {
+  RELFAB_RETURN_IF_ERROR(geometry.Validate(table.schema()));
+  ScanResult result;
+  double decode_cost = 0;
+  uint64_t values = 0;
+  RunScan(table, geometry, &result, &decode_cost, &values);
+
+  const SsdParams& p = ssd_->params();
+  result.pages_sensed = table.TotalPages();
+  result.pages_shipped = table.TotalPages();
+  const double read_cycles = ssd_->ReadInternal(result.pages_sensed);
+  const double ship_cycles = ssd_->ShipToHost(result.pages_shipped);
+  // The host decodes and filters in software as pages arrive.
+  const double cpu_cycles =
+      static_cast<double>(values) * p.host_cpu_cycles_per_value + decode_cost;
+  result.cycles = std::max({read_cycles, ship_cycles, cpu_cycles});
+  return result;
+}
+
+}  // namespace relfab::relstorage

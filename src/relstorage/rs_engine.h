@@ -1,0 +1,64 @@
+#ifndef RELFAB_RELSTORAGE_RS_ENGINE_H_
+#define RELFAB_RELSTORAGE_RS_ENGINE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/statusor.h"
+#include "relmem/geometry.h"
+#include "relstorage/ssd_model.h"
+#include "relstorage/storage_table.h"
+
+namespace relfab::relstorage {
+
+/// Result of scanning a storage table: packed output rows (projected
+/// columns of qualifying rows, decoded to plain fixed-width values) plus
+/// the storage-domain timing.
+struct ScanResult {
+  double cycles = 0;            // end-to-end elapsed (SSD + interface + CPU)
+  uint64_t rows_out = 0;
+  uint64_t pages_sensed = 0;    // flash pages read inside the device
+  uint64_t pages_shipped = 0;   // pages crossing the host interface
+  std::vector<uint8_t> data;    // packed output rows
+  uint32_t out_row_bytes = 0;
+};
+
+/// Relational Storage (paper §IV-D): Relational Fabric inside a
+/// computational SSD. The device senses the row-oriented pages with its
+/// full internal channel parallelism, evaluates projection/selection —
+/// decompressing scatter-accessible codecs on the fly — and ships only
+/// the packed relevant data over the (slower) external interface.
+///
+/// HostScan is the baseline: ship every page to the host and let the CPU
+/// project/filter/decode.
+class RsEngine {
+ public:
+  explicit RsEngine(SsdModel* ssd) : ssd_(ssd) {
+    RELFAB_CHECK(ssd != nullptr);
+  }
+
+  /// Near-storage scan: projection, selection and decompression execute
+  /// in the device; only packed results cross the interface.
+  StatusOr<ScanResult> NearStorageScan(const StorageTable& table,
+                                       const relmem::Geometry& geometry);
+
+  /// Host-side baseline: the whole table crosses the interface; the host
+  /// CPU does the projection/selection/decode work.
+  StatusOr<ScanResult> HostScan(const StorageTable& table,
+                                const relmem::Geometry& geometry);
+
+  SsdModel* ssd() const { return ssd_; }
+
+ private:
+  /// Shared functional part: evaluates the geometry and packs output
+  /// rows; returns per-value decode cost incurred for compressed columns.
+  static void RunScan(const StorageTable& table,
+                      const relmem::Geometry& geometry, ScanResult* result,
+                      double* decode_cost_total, uint64_t* values_touched);
+
+  SsdModel* ssd_;
+};
+
+}  // namespace relfab::relstorage
+
+#endif  // RELFAB_RELSTORAGE_RS_ENGINE_H_

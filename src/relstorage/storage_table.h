@@ -1,0 +1,73 @@
+#ifndef RELFAB_RELSTORAGE_STORAGE_TABLE_H_
+#define RELFAB_RELSTORAGE_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/statusor.h"
+#include "compress/codec.h"
+#include "layout/schema.h"
+
+namespace relfab::relstorage {
+
+/// A row-oriented table resident on the simulated SSD: packed rows laid
+/// out across flash pages, optionally with per-column compression
+/// (scatter-accessible codecs replace a column's bytes inside the row
+/// with bit-packed codes conceptually; here the codec owns the column
+/// and the page count reflects the saved bytes).
+class StorageTable {
+ public:
+  /// Builds an uncompressed storage table from packed row data.
+  StorageTable(layout::Schema schema, std::vector<uint8_t> row_data,
+               uint64_t num_rows, uint32_t page_bytes);
+
+  const layout::Schema& schema() const { return schema_; }
+  uint64_t num_rows() const { return num_rows_; }
+  uint32_t page_bytes() const { return page_bytes_; }
+
+  /// Pages occupied by the (possibly compressed) table.
+  uint64_t TotalPages() const;
+
+  /// Pages that contain any byte of the given source columns — what the
+  /// in-storage scan must sense. For row layouts every page holds every
+  /// column, so this equals TotalPages() unless compression shrank the
+  /// footprint.
+  uint64_t PagesFor(const std::vector<uint32_t>& columns) const;
+
+  /// Replaces an integer column's storage with `codec` (encodes current
+  /// values). The logical value of the column is unchanged.
+  Status CompressColumn(uint32_t col,
+                        std::unique_ptr<compress::ColumnCodec> codec);
+
+  bool IsCompressed(uint32_t col) const {
+    return codecs_[col] != nullptr;
+  }
+  const compress::ColumnCodec* codec(uint32_t col) const {
+    return codecs_[col].get();
+  }
+
+  /// Logical int64 value (decoding through the codec if compressed).
+  int64_t GetInt(uint64_t row, uint32_t col) const;
+  double GetDouble(uint64_t row, uint32_t col) const;
+
+  /// Bytes one row contributes on flash (compressed columns count their
+  /// average encoded width).
+  double EffectiveRowBytes() const;
+
+ private:
+  const uint8_t* FieldPtr(uint64_t row, uint32_t col) const {
+    return row_data_.data() + row * schema_.row_bytes() +
+           schema_.offset(col);
+  }
+
+  layout::Schema schema_;
+  std::vector<uint8_t> row_data_;
+  uint64_t num_rows_;
+  uint32_t page_bytes_;
+  std::vector<std::unique_ptr<compress::ColumnCodec>> codecs_;
+};
+
+}  // namespace relfab::relstorage
+
+#endif  // RELFAB_RELSTORAGE_STORAGE_TABLE_H_

@@ -1,0 +1,76 @@
+#ifndef RELFAB_SHARD_SHARDED_TABLE_H_
+#define RELFAB_SHARD_SHARDED_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/statusor.h"
+#include "layout/row_table.h"
+#include "layout/schema.h"
+#include "relmem/ephemeral.h"
+#include "relmem/rm_engine.h"
+#include "sim/memory_system.h"
+
+namespace relfab::shard {
+
+/// Range-sharded relation (paper §III-A): horizontal partitioning is a
+/// physical-design-time decision that Relational Fabric composes with —
+/// "the data system can request the desired column group on a sharding
+/// key range, and the Relational Fabric will directly return the
+/// corresponding data". Each shard is an independent row-oriented base
+/// table; vertical partitioning within a shard stays on-the-fly.
+///
+/// Shard i covers keys in [split[i-1], split[i]) with open ends at the
+/// extremes; the shard key must be an int64 column.
+class ShardedTable {
+ public:
+  /// `split_points` must be strictly increasing; n split points create
+  /// n+1 shards.
+  static StatusOr<ShardedTable> Create(layout::Schema schema,
+                                       uint32_t key_column,
+                                       std::vector<int64_t> split_points,
+                                       sim::MemorySystem* memory);
+
+  ShardedTable(ShardedTable&&) = default;
+  ShardedTable& operator=(ShardedTable&&) = default;
+
+  const layout::Schema& schema() const { return schema_; }
+  uint32_t key_column() const { return key_column_; }
+  uint32_t num_shards() const {
+    return static_cast<uint32_t>(shards_.size());
+  }
+  const layout::RowTable& shard(uint32_t i) const { return *shards_[i]; }
+  uint64_t num_rows() const;
+
+  /// Shard that owns `key`.
+  uint32_t ShardFor(int64_t key) const;
+
+  /// Routes a packed row to its shard by the embedded key.
+  void Append(const uint8_t* packed_row);
+
+  /// Shards intersecting the key range [lo, hi] (pruning).
+  std::vector<uint32_t> ShardsForRange(int64_t lo, int64_t hi) const;
+
+  /// One ephemeral view per shard intersecting [lo, hi]: inner shards
+  /// are shipped whole; boundary shards get residual key predicates
+  /// pushed into the fabric. Scanning the returned views in order yields
+  /// exactly the rows with key in [lo, hi] (shard-major order).
+  StatusOr<std::vector<relmem::EphemeralView>> ConfigureRange(
+      relmem::RmEngine* rm, const relmem::Geometry& base_geometry,
+      int64_t lo, int64_t hi) const;
+
+ private:
+  ShardedTable(layout::Schema schema, uint32_t key_column,
+               std::vector<int64_t> split_points,
+               sim::MemorySystem* memory);
+
+  layout::Schema schema_;
+  uint32_t key_column_;
+  std::vector<int64_t> split_points_;
+  std::vector<std::unique_ptr<layout::RowTable>> shards_;
+};
+
+}  // namespace relfab::shard
+
+#endif  // RELFAB_SHARD_SHARDED_TABLE_H_

@@ -1,0 +1,110 @@
+#ifndef RELFAB_SIM_CACHE_H_
+#define RELFAB_SIM_CACHE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace relfab::sim {
+
+/// Set-associative cache model with true-LRU replacement, tracked at
+/// cache-line granularity. Tags are full line addresses, so aliasing
+/// across the simulated address space cannot produce false hits.
+///
+/// The model tracks only presence (no dirty/writeback modelling): the
+/// paper's experiments are read-dominated scans, and writeback traffic
+/// for them is second-order.
+class CacheModel {
+ public:
+  /// `sets` and `ways` must be > 0; `sets` must be a power of two.
+  CacheModel(uint32_t sets, uint32_t ways)
+      : sets_(sets),
+        ways_(ways),
+        set_mask_(sets - 1),
+        tags_(static_cast<size_t>(sets) * ways, kInvalidTag),
+        lru_(static_cast<size_t>(sets) * ways, 0) {
+    RELFAB_CHECK(sets > 0 && (sets & (sets - 1)) == 0)
+        << "cache sets must be a power of two, got " << sets;
+    RELFAB_CHECK(ways > 0);
+  }
+
+  /// Looks up a line; on hit refreshes LRU and returns true. Does not
+  /// allocate on miss (use Insert for that), so victim caches / bypass
+  /// policies can be composed by the caller.
+  bool Access(uint64_t line_addr) {
+    const uint32_t set = SetOf(line_addr);
+    uint64_t* tags = &tags_[static_cast<size_t>(set) * ways_];
+    for (uint32_t w = 0; w < ways_; ++w) {
+      if (tags[w] == line_addr) {
+        Touch(set, w);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// True if the line is present; does not update LRU.
+  bool Contains(uint64_t line_addr) const {
+    const uint32_t set = SetOf(line_addr);
+    const uint64_t* tags = &tags_[static_cast<size_t>(set) * ways_];
+    for (uint32_t w = 0; w < ways_; ++w) {
+      if (tags[w] == line_addr) return true;
+    }
+    return false;
+  }
+
+  /// Installs a line, evicting the LRU way of its set if needed.
+  /// Inserting a line that is already present just refreshes its LRU.
+  void Insert(uint64_t line_addr) {
+    const uint32_t set = SetOf(line_addr);
+    uint64_t* tags = &tags_[static_cast<size_t>(set) * ways_];
+    uint32_t* lru = &lru_[static_cast<size_t>(set) * ways_];
+    uint32_t victim = 0;
+    uint32_t oldest = lru[0];
+    for (uint32_t w = 0; w < ways_; ++w) {
+      if (tags[w] == line_addr) {
+        Touch(set, w);
+        return;
+      }
+      if (lru[w] < oldest) {
+        oldest = lru[w];
+        victim = w;
+      }
+    }
+    tags[victim] = line_addr;
+    Touch(set, victim);
+  }
+
+  /// Drops every cached line.
+  void Flush() {
+    std::fill(tags_.begin(), tags_.end(), kInvalidTag);
+    std::fill(lru_.begin(), lru_.end(), 0u);
+    clock_ = 0;
+  }
+
+  uint32_t sets() const { return sets_; }
+  uint32_t ways() const { return ways_; }
+
+ private:
+  static constexpr uint64_t kInvalidTag = ~0ull;
+
+  uint32_t SetOf(uint64_t line_addr) const {
+    return static_cast<uint32_t>(line_addr) & set_mask_;
+  }
+
+  void Touch(uint32_t set, uint32_t way) {
+    lru_[static_cast<size_t>(set) * ways_ + way] = ++clock_;
+  }
+
+  uint32_t sets_;
+  uint32_t ways_;
+  uint32_t set_mask_;
+  uint32_t clock_ = 0;
+  std::vector<uint64_t> tags_;
+  std::vector<uint32_t> lru_;
+};
+
+}  // namespace relfab::sim
+
+#endif  // RELFAB_SIM_CACHE_H_

@@ -1,0 +1,65 @@
+#ifndef RELFAB_SIM_DRAM_H_
+#define RELFAB_SIM_DRAM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/params.h"
+
+namespace relfab::sim {
+
+/// DRAM bank/row-buffer model. Addresses map to banks by row interleaving
+/// (consecutive 2 KB rows rotate across banks), each bank keeps one open
+/// row; an access to the open row is a row-buffer hit, otherwise a
+/// precharge+activate (row miss) is charged.
+///
+/// Both the CPU demand path and the RM gather engine share this state, so
+/// fabric gathers warm/disturb the same row buffers the CPU sees.
+class DramModel {
+ public:
+  explicit DramModel(const SimParams& params)
+      : row_bytes_(params.dram_row_bytes),
+        hit_cycles_(params.dram_row_hit_cycles),
+        miss_cycles_(params.dram_row_miss_cycles),
+        open_rows_(params.dram_banks, kNoRow) {}
+
+  /// Charges one line access at byte address `addr`; returns the latency
+  /// and records whether it was a row hit.
+  double Access(uint64_t addr, bool* row_hit_out = nullptr) {
+    const uint64_t row = addr / row_bytes_;
+    const uint32_t bank = static_cast<uint32_t>(row % open_rows_.size());
+    const bool hit = open_rows_[bank] == row;
+    open_rows_[bank] = row;
+    if (hit) ++row_hits_;
+    else ++row_misses_;
+    if (row_hit_out != nullptr) *row_hit_out = hit;
+    return hit ? hit_cycles_ : miss_cycles_;
+  }
+
+  /// Closes all row buffers (e.g. after a long idle period).
+  void Reset() {
+    std::fill(open_rows_.begin(), open_rows_.end(), kNoRow);
+    row_hits_ = 0;
+    row_misses_ = 0;
+  }
+
+  uint32_t banks() const {
+    return static_cast<uint32_t>(open_rows_.size());
+  }
+  uint64_t row_hits() const { return row_hits_; }
+  uint64_t row_misses() const { return row_misses_; }
+
+ private:
+  static constexpr uint64_t kNoRow = ~0ull;
+
+  uint64_t row_bytes_;
+  double hit_cycles_;
+  double miss_cycles_;
+  uint64_t row_hits_ = 0;
+  uint64_t row_misses_ = 0;
+  std::vector<uint64_t> open_rows_;
+};
+
+}  // namespace relfab::sim
+
+#endif  // RELFAB_SIM_DRAM_H_

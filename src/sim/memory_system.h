@@ -1,0 +1,229 @@
+#ifndef RELFAB_SIM_MEMORY_SYSTEM_H_
+#define RELFAB_SIM_MEMORY_SYSTEM_H_
+
+#include <cstdint>
+
+#include "common/logging.h"
+#include "sim/cache.h"
+#include "sim/dram.h"
+#include "sim/params.h"
+#include "sim/prefetcher.h"
+#include "sim/stats.h"
+
+namespace relfab::sim {
+
+/// Trace-driven timing model of the platform's memory hierarchy.
+///
+/// The model keeps two clocks:
+///  * `cpu_cycles` — latency visible to the core: cache hits, exposed miss
+///    latency, explicit compute work, and pipeline stalls;
+///  * `channel_busy_cycles` — DRAM channel occupancy: every line moved
+///    from DRAM (demand or RM gather) charges a transfer slot.
+/// Elapsed time for a run is max(cpu, channel): a perfectly prefetched
+/// scan becomes bandwidth-bound, a pointer-chasing scan latency-bound.
+///
+/// Data itself lives in ordinary host memory; this class only assigns
+/// *simulated* addresses (via Allocate) and accounts for the cost of
+/// touching them. Addresses at or above kFabricBase model the Relational
+/// Memory fill buffer: they are cacheable but are produced by the fabric,
+/// so a demand miss on them costs a fabric read instead of a DRAM access
+/// and consumes no DRAM channel slot (the gather that produced them
+/// already did).
+class MemorySystem {
+ public:
+  /// Simulated addresses >= this value belong to the RM fill buffer.
+  static constexpr uint64_t kFabricBase = 1ull << 40;
+
+  explicit MemorySystem(const SimParams& params = SimParams::ZynqA53Defaults())
+      : params_(params),
+        l1_(params.l1_sets(), params.l1_ways),
+        l2_(params.l2_sets(), params.l2_ways),
+        prefetcher_(params),
+        dram_(params) {}
+
+  MemorySystem(const MemorySystem&) = delete;
+  MemorySystem& operator=(const MemorySystem&) = delete;
+
+  /// Reserves `bytes` of simulated address space (64 B aligned).
+  uint64_t Allocate(uint64_t bytes, MemClass mem_class = MemClass::kDram) {
+    uint64_t* brk =
+        mem_class == MemClass::kFabricBuffer ? &fabric_brk_ : &dram_brk_;
+    const uint64_t addr = *brk;
+    *brk += (bytes + params_.cache_line_bytes - 1) &
+            ~static_cast<uint64_t>(params_.cache_line_bytes - 1);
+    if (mem_class == MemClass::kDram) {
+      RELFAB_CHECK(*brk < kFabricBase) << "simulated DRAM exhausted";
+    }
+    return addr;
+  }
+
+  /// Charges a demand read of [addr, addr+bytes). bytes must be > 0.
+  void Read(uint64_t addr, uint64_t bytes) {
+    const uint64_t first = addr >> kLineShift;
+    const uint64_t last = (addr + bytes - 1) >> kLineShift;
+    for (uint64_t line = first; line <= last; ++line) AccessLine(line);
+  }
+
+  /// Charges a demand write (write-allocate, same path as Read; writeback
+  /// traffic is not modelled).
+  void Write(uint64_t addr, uint64_t bytes) { Read(addr, bytes); }
+
+  /// Charges pure compute work on the core.
+  void CpuWork(double cycles) { cpu_cycles_ += cycles; }
+
+  /// Charges a pipeline stall (e.g. waiting for the RM fill buffer).
+  void Stall(double cycles) { cpu_cycles_ += cycles; }
+
+  /// RM gather path: the fabric fetches one source line from DRAM.
+  /// Returns the raw bank latency; the caller overlaps latencies across
+  /// banks (fabric_gather_parallelism) when aggregating production time.
+  /// Charges channel bandwidth but does not touch the CPU caches — the
+  /// gather bypasses the core, which is exactly the "no cache pollution"
+  /// property of the paper.
+  double GatherLine(uint64_t addr, bool* row_hit) {
+    const double lat = dram_.Access(addr, row_hit);
+    channel_busy_cycles_ += params_.line_transfer_cycles;
+    ++stats_.dram_lines_gather;
+    return lat;
+  }
+
+  /// Bookkeeping hook for fill-buffer wrap-arounds (stats only; the
+  /// stall itself is charged by the caller via Stall()).
+  void NoteFabricRefill() { ++stats_.fabric_refills; }
+
+  // --- timing readout ---
+  double cpu_cycles() const { return cpu_cycles_; }
+  double channel_busy_cycles() const { return channel_busy_cycles_; }
+
+  /// Total simulated time so far: the core and the DRAM channel advance
+  /// concurrently, so the run takes as long as the busier of the two.
+  uint64_t ElapsedCycles() const {
+    const double e =
+        cpu_cycles_ > channel_busy_cycles_ ? cpu_cycles_ : channel_busy_cycles_;
+    return static_cast<uint64_t>(e);
+  }
+
+  /// Zeroes both clocks and the event counters; keeps cache/DRAM/prefetch
+  /// state (use between timed sections that share warmed state).
+  void ResetTiming() {
+    cpu_cycles_ = 0;
+    channel_busy_cycles_ = 0;
+    stats_ = MemStats{};
+    dram_row_hit_base_ = dram_.row_hits();
+    dram_row_miss_base_ = dram_.row_misses();
+  }
+
+  /// Cold-start: flushes caches, prefetch streams and row buffers, and
+  /// zeroes all clocks/counters. Allocations are preserved.
+  void ResetState() {
+    l1_.Flush();
+    l2_.Flush();
+    prefetcher_.Reset();
+    dram_.Reset();
+    ResetTiming();
+    dram_row_hit_base_ = 0;
+    dram_row_miss_base_ = 0;
+  }
+
+  /// Event counters since the last ResetTiming/ResetState.
+  MemStats stats() const {
+    MemStats s = stats_;
+    s.dram_row_hits = dram_.row_hits() - dram_row_hit_base_;
+    s.dram_row_misses = dram_.row_misses() - dram_row_miss_base_;
+    return s;
+  }
+
+  const SimParams& params() const { return params_; }
+
+ private:
+  static constexpr uint32_t kLineShift = 6;  // 64 B lines
+
+  static bool IsFabricLine(uint64_t line) {
+    return (line << kLineShift) >= kFabricBase;
+  }
+
+  void AccessLine(uint64_t line) {
+    if (l1_.Access(line)) {
+      cpu_cycles_ += params_.l1_hit_cycles;
+      ++stats_.l1_hits;
+      return;
+    }
+    ++stats_.l1_misses;
+    if (l2_.Access(line)) {
+      cpu_cycles_ += params_.l2_hit_cycles;
+      ++stats_.l2_hits;
+      l1_.Insert(line);
+      return;
+    }
+    ++stats_.l2_misses;
+    if (IsFabricLine(line)) {
+      cpu_cycles_ += params_.fabric_read_cycles;
+      ++stats_.fabric_reads;
+      l2_.Insert(line);
+      l1_.Insert(line);
+      return;
+    }
+    const bool covered = prefetcher_.OnDemandMiss(line);
+    const double lat = dram_.Access(line << kLineShift);
+    if (covered) {
+      cpu_cycles_ += params_.prefetch_covered_cycles;
+      ++stats_.prefetch_covered;
+    } else {
+      cpu_cycles_ += lat / params_.cpu_mlp;
+      ++stats_.prefetch_uncovered;
+    }
+    channel_busy_cycles_ += params_.line_transfer_cycles;
+    ++stats_.dram_lines_demand;
+    l2_.Insert(line);
+    l1_.Insert(line);
+  }
+
+  SimParams params_;
+  CacheModel l1_;
+  CacheModel l2_;
+  StreamPrefetcher prefetcher_;
+  DramModel dram_;
+  MemStats stats_;
+  double cpu_cycles_ = 0;
+  double channel_busy_cycles_ = 0;
+  uint64_t dram_brk_ = 1ull << 20;  // leave page zero unmapped
+  uint64_t fabric_brk_ = kFabricBase;
+  uint64_t dram_row_hit_base_ = 0;
+  uint64_t dram_row_miss_base_ = 0;
+};
+
+/// Charges sequential demand reads while skipping the per-access cost for
+/// bytes that stay within an already-touched cache line. Engines use this
+/// so a tight value-by-value loop performs one simulated access per line,
+/// not per value.
+class SequentialReader {
+ public:
+  explicit SequentialReader(MemorySystem* memory)
+      : memory_(memory) {}
+
+  /// Charges the read of [addr, addr+bytes); bytes that fall on lines the
+  /// stream already touched are free (the value sits in L1/a register —
+  /// that cost belongs to the engine's per-value CPU constant).
+  void Read(uint64_t addr, uint32_t bytes) {
+    const uint64_t first = addr >> 6;
+    const uint64_t last = (addr + bytes - 1) >> 6;
+    uint64_t begin = first;
+    if (last_line_ != kNoLine && first <= last_line_) begin = last_line_ + 1;
+    if (begin > last) return;
+    memory_->Read(begin << 6, ((last - begin) + 1) << 6);
+    last_line_ = last;
+  }
+
+  /// Forgets the current line (e.g. when jumping to a new region).
+  void Reset() { last_line_ = kNoLine; }
+
+ private:
+  static constexpr uint64_t kNoLine = ~0ull;
+
+  MemorySystem* memory_;
+  uint64_t last_line_ = kNoLine;
+};
+
+}  // namespace relfab::sim
+
+#endif  // RELFAB_SIM_MEMORY_SYSTEM_H_

@@ -1,0 +1,89 @@
+#ifndef RELFAB_SIM_PREFETCHER_H_
+#define RELFAB_SIM_PREFETCHER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/params.h"
+
+namespace relfab::sim {
+
+/// Hardware stream prefetcher model with a fixed number of tracked
+/// ascending streams (the Cortex-A53 tracks a small fixed set; the paper
+/// attributes the column engine's degradation beyond four concurrent
+/// column cursors to exactly this).
+///
+/// Behaviour: each demand L2 miss is matched against the stream table.
+/// A miss that lands within `prefetch_match_window` lines ahead of a
+/// tracked stream advances it; once a stream has made
+/// `prefetch_train_steps` consecutive steps its subsequent accesses are
+/// reported as *covered* (prefetch arrived in time). A miss matching no
+/// stream steals the least-recently-used entry, which is what destroys
+/// coverage when more streams are live than table entries.
+class StreamPrefetcher {
+ public:
+  explicit StreamPrefetcher(const SimParams& params)
+      : capacity_(params.prefetch_streams),
+        train_steps_(params.prefetch_train_steps),
+        window_(params.prefetch_match_window),
+        streams_(params.prefetch_streams) {}
+
+  /// Reports a demand miss for `line_addr`; returns true if a trained
+  /// stream covered it (the prefetched line was in flight or resident).
+  bool OnDemandMiss(uint64_t line_addr) {
+    ++tick_;
+    // Match against live streams.
+    for (Stream& s : streams_) {
+      if (!s.valid) continue;
+      if (line_addr >= s.next_line && line_addr < s.next_line + window_) {
+        s.next_line = line_addr + 1;
+        s.last_use = tick_;
+        if (s.confidence < train_steps_) {
+          ++s.confidence;
+          return false;  // still training
+        }
+        return true;
+      }
+    }
+    // No match: allocate, replacing the LRU entry.
+    Stream* victim = &streams_[0];
+    for (Stream& s : streams_) {
+      if (!s.valid) {
+        victim = &s;
+        break;
+      }
+      if (s.last_use < victim->last_use) victim = &s;
+    }
+    victim->valid = true;
+    victim->next_line = line_addr + 1;
+    victim->confidence = 0;
+    victim->last_use = tick_;
+    return false;
+  }
+
+  /// Forgets all streams (e.g. between queries).
+  void Reset() {
+    for (Stream& s : streams_) s = Stream{};
+    tick_ = 0;
+  }
+
+  uint32_t capacity() const { return capacity_; }
+
+ private:
+  struct Stream {
+    bool valid = false;
+    uint64_t next_line = 0;
+    uint32_t confidence = 0;
+    uint64_t last_use = 0;
+  };
+
+  uint32_t capacity_;
+  uint32_t train_steps_;
+  uint32_t window_;
+  uint64_t tick_ = 0;
+  std::vector<Stream> streams_;
+};
+
+}  // namespace relfab::sim
+
+#endif  // RELFAB_SIM_PREFETCHER_H_

@@ -1,0 +1,42 @@
+#include "sim/stats.h"
+
+#include <sstream>
+
+#include "common/format.h"
+
+namespace relfab::sim {
+
+std::string MemStats::ToString() const {
+  std::ostringstream os;
+  os << "L1: " << FormatCount(l1_hits) << " hits / " << FormatCount(l1_misses)
+     << " misses\n"
+     << "L2: " << FormatCount(l2_hits) << " hits / " << FormatCount(l2_misses)
+     << " misses\n"
+     << "prefetch: " << FormatCount(prefetch_covered) << " covered / "
+     << FormatCount(prefetch_uncovered) << " uncovered\n"
+     << "DRAM rows: " << FormatCount(dram_row_hits) << " hits / "
+     << FormatCount(dram_row_misses) << " misses\n"
+     << "DRAM traffic: demand " << FormatBytes(dram_lines_demand * 64)
+     << ", gather " << FormatBytes(dram_lines_gather * 64) << "\n"
+     << "fabric: " << FormatCount(fabric_reads) << " buffer reads, "
+     << FormatCount(fabric_refills) << " refills\n";
+  return os.str();
+}
+
+MemStats& MemStats::operator+=(const MemStats& o) {
+  l1_hits += o.l1_hits;
+  l1_misses += o.l1_misses;
+  l2_hits += o.l2_hits;
+  l2_misses += o.l2_misses;
+  fabric_reads += o.fabric_reads;
+  prefetch_covered += o.prefetch_covered;
+  prefetch_uncovered += o.prefetch_uncovered;
+  dram_row_hits += o.dram_row_hits;
+  dram_row_misses += o.dram_row_misses;
+  dram_lines_demand += o.dram_lines_demand;
+  dram_lines_gather += o.dram_lines_gather;
+  fabric_refills += o.fabric_refills;
+  return *this;
+}
+
+}  // namespace relfab::sim

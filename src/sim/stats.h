@@ -1,0 +1,45 @@
+#ifndef RELFAB_SIM_STATS_H_
+#define RELFAB_SIM_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace relfab::sim {
+
+/// Event counters for one simulation run. Cycle totals live on
+/// MemorySystem; these are the underlying hit/miss/traffic events.
+struct MemStats {
+  uint64_t l1_hits = 0;
+  uint64_t l1_misses = 0;
+  uint64_t l2_hits = 0;
+  uint64_t l2_misses = 0;
+  uint64_t fabric_reads = 0;        // demand lines served by the RM buffer
+  uint64_t prefetch_covered = 0;    // demand misses hidden by the prefetcher
+  uint64_t prefetch_uncovered = 0;  // demand misses exposed to DRAM latency
+  uint64_t dram_row_hits = 0;
+  uint64_t dram_row_misses = 0;
+  uint64_t dram_lines_demand = 0;   // lines moved for CPU demand misses
+  uint64_t dram_lines_gather = 0;   // lines moved by the RM gather engine
+  uint64_t fabric_refills = 0;      // fill-buffer wrap-arounds
+
+  uint64_t dram_lines_total() const {
+    return dram_lines_demand + dram_lines_gather;
+  }
+  uint64_t dram_bytes_total() const { return dram_lines_total() * 64; }
+
+  double l1_hit_rate() const {
+    uint64_t total = l1_hits + l1_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(l1_hits) /
+                            static_cast<double>(total);
+  }
+
+  /// Multi-line human-readable dump.
+  std::string ToString() const;
+
+  MemStats& operator+=(const MemStats& o);
+};
+
+}  // namespace relfab::sim
+
+#endif  // RELFAB_SIM_STATS_H_

@@ -1,0 +1,86 @@
+#include "tensor/matrix.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace relfab::tensor {
+
+StatusOr<Matrix> Matrix::Create(uint64_t rows, uint32_t cols,
+                                sim::MemorySystem* memory) {
+  if (cols == 0 || cols > 1024) {
+    return Status::InvalidArgument("matrix needs 1..1024 columns");
+  }
+  if (memory == nullptr) {
+    return Status::InvalidArgument("memory system is required");
+  }
+  return Matrix(rows, cols, memory);
+}
+
+Matrix::Matrix(uint64_t rows, uint32_t cols, sim::MemorySystem* memory)
+    : cols_(cols),
+      table_(std::make_unique<layout::RowTable>(
+          layout::Schema::Uniform(cols, layout::ColumnType::kDouble), memory,
+          rows)),
+      scratch_row_(static_cast<size_t>(cols) * 8) {}
+
+void Matrix::Set(uint64_t r, uint32_t c, double v) {
+  RELFAB_CHECK(r < table_->num_rows() && c < cols_);
+  std::memcpy(table_->MutableRowData(r) + table_->schema().offset(c), &v, 8);
+}
+
+void Matrix::AppendRow(const double* values) {
+  std::memcpy(scratch_row_.data(), values, scratch_row_.size());
+  table_->AppendRow(scratch_row_.data());
+}
+
+StatusOr<relmem::EphemeralView> Matrix::Slice(relmem::RmEngine* rm,
+                                              std::vector<uint32_t> columns,
+                                              uint64_t row_begin,
+                                              uint64_t row_end) const {
+  RELFAB_CHECK(rm != nullptr);
+  relmem::Geometry g;
+  g.columns = std::move(columns);
+  g.begin_row = row_begin;
+  g.end_row = row_end;
+  return rm->Configure(*table_, std::move(g));
+}
+
+double Matrix::SumColumnDirect(uint32_t col) const {
+  RELFAB_CHECK(col < cols_);
+  sim::MemorySystem* memory = table_->memory();
+  double sum = 0;
+  for (uint64_t r = 0; r < table_->num_rows(); ++r) {
+    memory->Read(table_->FieldAddress(r, col), 8);
+    memory->CpuWork(2.0);  // load + add in a tight loop
+    sum += table_->GetDouble(r, col);
+  }
+  return sum;
+}
+
+StatusOr<double> Matrix::SumColumnFabric(relmem::RmEngine* rm,
+                                         uint32_t col) const {
+  RELFAB_ASSIGN_OR_RETURN(relmem::EphemeralView view, Slice(rm, {col}));
+  sim::MemorySystem* memory = table_->memory();
+  double sum = 0;
+  for (relmem::EphemeralView::Cursor cur(&view); cur.Valid();
+       cur.Advance()) {
+    memory->CpuWork(2.0);
+    sum += cur.GetDouble(0);
+  }
+  return sum;
+}
+
+StatusOr<double> Matrix::DotColumnsFabric(relmem::RmEngine* rm, uint32_t a,
+                                          uint32_t b) const {
+  RELFAB_ASSIGN_OR_RETURN(relmem::EphemeralView view, Slice(rm, {a, b}));
+  sim::MemorySystem* memory = table_->memory();
+  double dot = 0;
+  for (relmem::EphemeralView::Cursor cur(&view); cur.Valid();
+       cur.Advance()) {
+    memory->CpuWork(3.0);  // two loads + fused multiply-add
+    dot += cur.GetDouble(0) * cur.GetDouble(1);
+  }
+  return dot;
+}
+
+}  // namespace relfab::tensor

@@ -1,0 +1,79 @@
+#ifndef RELFAB_TENSOR_MATRIX_H_
+#define RELFAB_TENSOR_MATRIX_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/statusor.h"
+#include "layout/row_table.h"
+#include "relmem/ephemeral.h"
+#include "relmem/rm_engine.h"
+#include "sim/memory_system.h"
+
+namespace relfab::tensor {
+
+/// Dense row-major matrix of doubles in simulated DRAM, sliceable
+/// through Relational Fabric. The paper's open question Q1 (§VII) notes
+/// that transparent data transformation "has great potential for other
+/// data-intensive applications over multi-dimensional data
+/// (matrix/tensor slicing and vectorized operations on matrix/tensor
+/// slices)" — a row-major matrix is exactly a relational table whose
+/// columns are the matrix columns, so ephemeral variables deliver dense
+/// column slices without a transpose.
+///
+/// The matrix is backed by a RowTable with one kDouble column per matrix
+/// column (at most 1024 columns).
+class Matrix {
+ public:
+  static StatusOr<Matrix> Create(uint64_t rows, uint32_t cols,
+                                 sim::MemorySystem* memory);
+
+  Matrix(Matrix&&) = default;
+  Matrix& operator=(Matrix&&) = default;
+
+  uint64_t rows() const { return table_->num_rows(); }
+  uint32_t cols() const { return cols_; }
+  const layout::RowTable& table() const { return *table_; }
+
+  double At(uint64_t r, uint32_t c) const {
+    return table_->GetDouble(r, c);
+  }
+  /// Host-side write (no sim charge; building the input is free, as with
+  /// table generation).
+  void Set(uint64_t r, uint32_t c, double v);
+
+  /// Appends a row of `cols()` doubles.
+  void AppendRow(const double* values);
+
+  /// Ephemeral slice: arbitrary column group over a row range, packed
+  /// dense by the fabric.
+  StatusOr<relmem::EphemeralView> Slice(relmem::RmEngine* rm,
+                                        std::vector<uint32_t> columns,
+                                        uint64_t row_begin = 0,
+                                        uint64_t row_end = ~0ull) const;
+
+  /// Baseline: sum of one column via direct strided accesses to the
+  /// row-major data (charges the simulator). The classic worst case the
+  /// fabric removes.
+  double SumColumnDirect(uint32_t col) const;
+
+  /// Same sum through an ephemeral slice.
+  StatusOr<double> SumColumnFabric(relmem::RmEngine* rm, uint32_t col) const;
+
+  /// Dot product of two column slices through one two-column ephemeral
+  /// view (a "vectorized operation on matrix slices").
+  StatusOr<double> DotColumnsFabric(relmem::RmEngine* rm, uint32_t a,
+                                    uint32_t b) const;
+
+ private:
+  Matrix(uint64_t rows, uint32_t cols, sim::MemorySystem* memory);
+
+  uint32_t cols_;
+  std::unique_ptr<layout::RowTable> table_;
+  std::vector<uint8_t> scratch_row_;
+};
+
+}  // namespace relfab::tensor
+
+#endif  // RELFAB_TENSOR_MATRIX_H_

@@ -1,0 +1,51 @@
+#ifndef RELFAB_TPCH_DBGEN_H_
+#define RELFAB_TPCH_DBGEN_H_
+
+#include <cstdint>
+
+#include "layout/row_table.h"
+#include "layout/schema.h"
+#include "sim/memory_system.h"
+
+namespace relfab::tpch {
+
+/// Days since 1992-01-01 (the TPC-H calendar start) for a civil date.
+int32_t DayNumber(int year, int month, int day);
+
+/// Fixed-width lineitem schema. Money is int64 cents; discount/tax are
+/// integer percent; dates are day numbers. 106-byte rows — the ratio of
+/// row width to the Q1/Q6 target-column widths matches the paper's
+/// Figure 7 data-size axis (e.g. 692 MB table for a 128 MB Q6 column
+/// group).
+layout::Schema LineitemSchema();
+
+/// Column indices in LineitemSchema (stable; tests rely on names too).
+struct LineitemCols {
+  static constexpr uint32_t kOrderKey = 0;
+  static constexpr uint32_t kPartKey = 1;
+  static constexpr uint32_t kSuppKey = 2;
+  static constexpr uint32_t kLineNumber = 3;
+  static constexpr uint32_t kQuantity = 4;
+  static constexpr uint32_t kExtendedPrice = 5;
+  static constexpr uint32_t kDiscount = 6;
+  static constexpr uint32_t kTax = 7;
+  static constexpr uint32_t kReturnFlag = 8;
+  static constexpr uint32_t kLineStatus = 9;
+  static constexpr uint32_t kShipDate = 10;
+  static constexpr uint32_t kCommitDate = 11;
+  static constexpr uint32_t kReceiptDate = 12;
+  static constexpr uint32_t kShipInstruct = 13;
+  static constexpr uint32_t kShipMode = 14;
+  static constexpr uint32_t kComment = 15;
+};
+
+/// Deterministically generates `num_rows` lineitem rows with the value
+/// distributions Q1 and Q6 depend on (quantity 1..50, discount 0..10%,
+/// tax 0..8%, ship dates across the 1992-1998 window, flag/status derived
+/// from dates as in dbgen).
+layout::RowTable GenerateLineitem(uint64_t num_rows, uint64_t seed,
+                                  sim::MemorySystem* memory);
+
+}  // namespace relfab::tpch
+
+#endif  // RELFAB_TPCH_DBGEN_H_

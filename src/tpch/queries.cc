@@ -1,0 +1,63 @@
+#include "tpch/queries.h"
+
+#include "tpch/dbgen.h"
+
+namespace relfab::tpch {
+
+using engine::AggFunc;
+using engine::AggSpec;
+using engine::QuerySpec;
+using relmem::CompareOp;
+using relmem::HwPredicate;
+
+QuerySpec MakeQ1Spec() {
+  QuerySpec q;
+  const int32_t qty = q.exprs.Column(LineitemCols::kQuantity);
+  const int32_t price = q.exprs.Column(LineitemCols::kExtendedPrice);
+  const int32_t disc = q.exprs.Column(LineitemCols::kDiscount);
+  const int32_t tax = q.exprs.Column(LineitemCols::kTax);
+  const int32_t one = q.exprs.Constant(1.0);
+  const int32_t pct = q.exprs.Constant(0.01);
+  // 1 - l_discount (as fraction)
+  const int32_t one_minus_disc =
+      q.exprs.Sub(one, q.exprs.Mul(disc, pct));
+  const int32_t one_plus_tax = q.exprs.Add(one, q.exprs.Mul(tax, pct));
+  const int32_t disc_price = q.exprs.Mul(price, one_minus_disc);
+  const int32_t charge = q.exprs.Mul(disc_price, one_plus_tax);
+
+  q.predicates.push_back(HwPredicate::Int(LineitemCols::kShipDate,
+                                          CompareOp::kLe,
+                                          DayNumber(1998, 12, 1) - 90));
+  q.aggregates = {
+      {AggFunc::kSum, qty},    {AggFunc::kSum, price},
+      {AggFunc::kSum, disc_price}, {AggFunc::kSum, charge},
+      {AggFunc::kAvg, qty},    {AggFunc::kAvg, price},
+      {AggFunc::kAvg, disc},   {AggFunc::kCount, -1},
+  };
+  q.group_by = {LineitemCols::kReturnFlag, LineitemCols::kLineStatus};
+  return q;
+}
+
+QuerySpec MakeQ6Spec() {
+  QuerySpec q;
+  const int32_t price = q.exprs.Column(LineitemCols::kExtendedPrice);
+  const int32_t disc = q.exprs.Column(LineitemCols::kDiscount);
+  // revenue in cents: price * (discount/100)
+  const int32_t revenue =
+      q.exprs.Mul(price, q.exprs.Mul(disc, q.exprs.Constant(0.01)));
+
+  q.predicates.push_back(HwPredicate::Int(
+      LineitemCols::kShipDate, CompareOp::kGe, DayNumber(1994, 1, 1)));
+  q.predicates.push_back(HwPredicate::Int(
+      LineitemCols::kShipDate, CompareOp::kLt, DayNumber(1995, 1, 1)));
+  q.predicates.push_back(
+      HwPredicate::Int(LineitemCols::kDiscount, CompareOp::kGe, 5));
+  q.predicates.push_back(
+      HwPredicate::Int(LineitemCols::kDiscount, CompareOp::kLe, 7));
+  q.predicates.push_back(
+      HwPredicate::Int(LineitemCols::kQuantity, CompareOp::kLt, 24));
+  q.aggregates = {{AggFunc::kSum, revenue}};
+  return q;
+}
+
+}  // namespace relfab::tpch

@@ -1,0 +1,41 @@
+#ifndef RELFAB_TPCH_QUERIES_H_
+#define RELFAB_TPCH_QUERIES_H_
+
+#include "engine/query.h"
+
+namespace relfab::tpch {
+
+/// TPC-H Q1 (pricing summary report) over LineitemSchema():
+///
+///   SELECT l_returnflag, l_linestatus,
+///          sum(l_quantity), sum(l_extendedprice),
+///          sum(l_extendedprice*(1-l_discount)),
+///          sum(l_extendedprice*(1-l_discount)*(1+l_tax)),
+///          avg(l_quantity), avg(l_extendedprice), avg(l_discount),
+///          count(*)
+///   FROM lineitem
+///   WHERE l_shipdate <= date '1998-12-01' - interval '90' day
+///   GROUP BY l_returnflag, l_linestatus
+///
+/// Discount/tax are stored as integer percent, so the expressions use
+/// (1 - d*0.01) / (1 + t*0.01). CPU-bound: eight aggregates with
+/// multi-column arithmetic per row (paper Fig. 7a: layouts perform
+/// similarly).
+engine::QuerySpec MakeQ1Spec();
+
+/// TPC-H Q6 (forecasting revenue change):
+///
+///   SELECT sum(l_extendedprice * l_discount)
+///   FROM lineitem
+///   WHERE l_shipdate >= date '1994-01-01'
+///     AND l_shipdate < date '1995-01-01'
+///     AND l_discount BETWEEN 0.06 - 0.01 AND 0.06 + 0.01
+///     AND l_quantity < 24
+///
+/// Movement-bound: a narrow predicate + a two-column product over a wide
+/// table (paper Fig. 7b: RM/COL clearly beat ROW).
+engine::QuerySpec MakeQ6Spec();
+
+}  // namespace relfab::tpch
+
+#endif  // RELFAB_TPCH_QUERIES_H_

@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/random.h"
+#include "compress/bitpack.h"
+#include "compress/delta.h"
+#include "compress/dictionary.h"
+#include "compress/huffman.h"
+#include "compress/rle.h"
+
+namespace relfab::compress {
+namespace {
+
+// ---------------------------------------------------------- bit packing
+
+TEST(BitPackTest, RoundTripAtVariousWidths) {
+  Random rng(1);
+  for (uint32_t bits : {1u, 3u, 7u, 8u, 13u, 31u, 33u, 63u, 64u}) {
+    std::vector<uint64_t> values(500);
+    for (auto& v : values) {
+      v = bits == 64 ? rng.NextU64() : rng.Uniform(1ull << bits);
+    }
+    BitPackedArray packed(values, bits);
+    for (size_t i = 0; i < values.size(); ++i) {
+      ASSERT_EQ(packed.Get(i), values[i]) << "bits=" << bits << " i=" << i;
+    }
+  }
+}
+
+TEST(BitPackTest, WidthZeroStoresNothing) {
+  BitPackedArray packed(std::vector<uint64_t>(100, 0), 0);
+  EXPECT_EQ(packed.bytes(), 0u);
+  EXPECT_EQ(packed.Get(50), 0u);
+}
+
+TEST(BitPackTest, BitsForBoundaries) {
+  EXPECT_EQ(BitPackedArray::BitsFor(0), 0u);
+  EXPECT_EQ(BitPackedArray::BitsFor(1), 1u);
+  EXPECT_EQ(BitPackedArray::BitsFor(255), 8u);
+  EXPECT_EQ(BitPackedArray::BitsFor(256), 9u);
+  EXPECT_EQ(BitPackedArray::BitsFor(~0ull), 64u);
+}
+
+// ------------------------------------------------------- codec fixtures
+
+enum class Dist { kLowCardinality, kSequential, kRunHeavy, kUniform };
+
+std::vector<int64_t> MakeValues(Dist dist, size_t n, uint64_t seed) {
+  Random rng(seed);
+  std::vector<int64_t> values(n);
+  switch (dist) {
+    case Dist::kLowCardinality:
+      for (auto& v : values) v = static_cast<int64_t>(rng.Uniform(16)) * 1000;
+      break;
+    case Dist::kSequential:
+      for (size_t i = 0; i < n; ++i) {
+        values[i] = static_cast<int64_t>(i) * 3 +
+                    static_cast<int64_t>(rng.Uniform(3));
+      }
+      break;
+    case Dist::kRunHeavy: {
+      int64_t current = 0;
+      for (auto& v : values) {
+        if (rng.Bernoulli(0.02)) current = static_cast<int64_t>(rng.Uniform(100));
+        v = current;
+      }
+      break;
+    }
+    case Dist::kUniform:
+      for (auto& v : values) {
+        v = static_cast<int64_t>(rng.NextU64() % 100000) - 50000;
+      }
+      break;
+  }
+  return values;
+}
+
+std::unique_ptr<ColumnCodec> MakeCodec(CodecKind kind) {
+  switch (kind) {
+    case CodecKind::kDictionary:
+      return std::make_unique<DictionaryCodec>();
+    case CodecKind::kDelta:
+      return std::make_unique<DeltaCodec>();
+    case CodecKind::kHuffman:
+      return std::make_unique<HuffmanCodec>();
+    case CodecKind::kRle:
+      return std::make_unique<RleCodec>();
+  }
+  return nullptr;
+}
+
+class CodecRoundTripTest
+    : public ::testing::TestWithParam<std::tuple<CodecKind, Dist>> {};
+
+TEST_P(CodecRoundTripTest, EveryPositionDecodesExactly) {
+  const auto [kind, dist] = GetParam();
+  const std::vector<int64_t> values = MakeValues(dist, 3000, 99);
+  auto codec = MakeCodec(kind);
+  ASSERT_TRUE(codec->Encode(values).ok());
+  ASSERT_EQ(codec->size(), values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    ASSERT_EQ(codec->ValueAt(i), values[i])
+        << CodecKindToString(kind) << " @" << i;
+  }
+}
+
+TEST_P(CodecRoundTripTest, RandomAccessOrderDoesNotMatter) {
+  const auto [kind, dist] = GetParam();
+  const std::vector<int64_t> values = MakeValues(dist, 1000, 5);
+  auto codec = MakeCodec(kind);
+  ASSERT_TRUE(codec->Encode(values).ok());
+  Random rng(17);
+  for (int i = 0; i < 500; ++i) {
+    const uint64_t pos = rng.Uniform(values.size());
+    ASSERT_EQ(codec->ValueAt(pos), values[pos]);
+  }
+}
+
+TEST_P(CodecRoundTripTest, ReEncodeReplacesState) {
+  const auto [kind, dist] = GetParam();
+  auto codec = MakeCodec(kind);
+  ASSERT_TRUE(codec->Encode(MakeValues(dist, 500, 1)).ok());
+  const std::vector<int64_t> second = MakeValues(dist, 700, 2);
+  ASSERT_TRUE(codec->Encode(second).ok());
+  EXPECT_EQ(codec->size(), 700u);
+  for (size_t i = 0; i < second.size(); ++i) {
+    ASSERT_EQ(codec->ValueAt(i), second[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCodecsAllDistributions, CodecRoundTripTest,
+    ::testing::Combine(::testing::Values(CodecKind::kDictionary,
+                                         CodecKind::kDelta,
+                                         CodecKind::kHuffman,
+                                         CodecKind::kRle),
+                       ::testing::Values(Dist::kLowCardinality,
+                                         Dist::kSequential, Dist::kRunHeavy,
+                                         Dist::kUniform)));
+
+// --------------------------------------------------- per-codec behaviour
+
+TEST(DictionaryTest, CompressesLowCardinalityColumns) {
+  const auto values = MakeValues(Dist::kLowCardinality, 10000, 3);
+  DictionaryCodec codec;
+  ASSERT_TRUE(codec.Encode(values).ok());
+  EXPECT_LE(codec.dictionary_size(), 16u);
+  // 16 symbols -> 4-bit codes: ~0.5 B/value vs 8 B raw.
+  EXPECT_LT(codec.encoded_bytes(), 10000u * 8 / 10);
+  EXPECT_TRUE(codec.scatter_accessible());
+}
+
+TEST(DictionaryTest, CodesAreOrderPreserving) {
+  DictionaryCodec codec;
+  ASSERT_TRUE(codec.Encode({30, 10, 20, 10}).ok());
+  // Sorted dictionary: 10 -> 0, 20 -> 1, 30 -> 2.
+  EXPECT_EQ(codec.CodeAt(0), 2u);
+  EXPECT_EQ(codec.CodeAt(1), 0u);
+  EXPECT_EQ(codec.CodeAt(2), 1u);
+  EXPECT_EQ(codec.CodeAt(3), 0u);
+}
+
+TEST(DictionaryTest, SingleValueColumnUsesZeroBits) {
+  DictionaryCodec codec;
+  ASSERT_TRUE(codec.Encode(std::vector<int64_t>(100, 7)).ok());
+  EXPECT_EQ(codec.ValueAt(99), 7);
+  EXPECT_LE(codec.encoded_bytes(), 8u);  // dictionary only
+}
+
+TEST(DeltaTest, CompressesSequentialColumns) {
+  const auto values = MakeValues(Dist::kSequential, 10000, 4);
+  DeltaCodec codec;
+  ASSERT_TRUE(codec.Encode(values).ok());
+  // Offsets within a 128-value block span ~384+2: ~9 bits/value.
+  EXPECT_LT(codec.encoded_bytes(), 10000u * 2);
+  EXPECT_EQ(codec.num_blocks(), (10000 + 127) / 128);
+}
+
+TEST(DeltaTest, HandlesNegativesAndConstantBlocks) {
+  DeltaCodec codec;
+  std::vector<int64_t> values(300, -42);
+  ASSERT_TRUE(codec.Encode(values).ok());
+  EXPECT_EQ(codec.ValueAt(0), -42);
+  EXPECT_EQ(codec.ValueAt(299), -42);
+  EXPECT_LT(codec.encoded_bytes(), 300u);  // just block frames
+}
+
+TEST(HuffmanTest, SkewedColumnsBeatFixedWidth) {
+  // 90% zeros: entropy << 1 bit/value for the hot symbol.
+  Random rng(8);
+  std::vector<int64_t> values(20000);
+  for (auto& v : values) {
+    v = rng.Bernoulli(0.9) ? 0 : static_cast<int64_t>(rng.Uniform(200));
+  }
+  HuffmanCodec codec;
+  ASSERT_TRUE(codec.Encode(values).ok());
+  EXPECT_LT(codec.encoded_bytes(), 20000u);  // < 1 B/value on average
+  for (size_t i = 0; i < values.size(); i += 97) {
+    ASSERT_EQ(codec.ValueAt(i), values[i]);
+  }
+}
+
+TEST(HuffmanTest, SingleSymbolColumn) {
+  HuffmanCodec codec;
+  ASSERT_TRUE(codec.Encode(std::vector<int64_t>(500, 9)).ok());
+  EXPECT_EQ(codec.num_symbols(), 1u);
+  EXPECT_EQ(codec.max_code_length(), 1u);
+  EXPECT_EQ(codec.ValueAt(499), 9);
+}
+
+TEST(HuffmanTest, RejectsEmptyInput) {
+  HuffmanCodec codec;
+  EXPECT_TRUE(codec.Encode({}).IsInvalidArgument());
+}
+
+TEST(HuffmanTest, CodeLengthsRespectFrequencies) {
+  // With symbol frequencies 1000 : 10 : 10, the hot symbol must not have
+  // the longest code.
+  std::vector<int64_t> values;
+  values.insert(values.end(), 1000, 1);
+  values.insert(values.end(), 10, 2);
+  values.insert(values.end(), 10, 3);
+  HuffmanCodec codec;
+  ASSERT_TRUE(codec.Encode(values).ok());
+  EXPECT_EQ(codec.num_symbols(), 3u);
+  EXPECT_LE(codec.max_code_length(), 2u);
+}
+
+TEST(RleTest, RunHeavyColumnsCollapse) {
+  const auto values = MakeValues(Dist::kRunHeavy, 10000, 6);
+  RleCodec codec;
+  ASSERT_TRUE(codec.Encode(values).ok());
+  EXPECT_LT(codec.num_runs(), 400u);  // ~2% switch rate
+  EXPECT_LT(codec.encoded_bytes(), 10000u * 8 / 10);
+}
+
+TEST(RleTest, IsNotScatterAccessible) {
+  RleCodec codec;
+  ASSERT_TRUE(codec.Encode(MakeValues(Dist::kRunHeavy, 1000, 7)).ok());
+  // The paper's point (§III-D): RLE positional decode needs a search, so
+  // it cannot back fabric-side projection out of the box.
+  EXPECT_FALSE(codec.scatter_accessible());
+  EXPECT_GT(codec.decode_cost_per_value(),
+            DictionaryCodec().decode_cost_per_value());
+}
+
+TEST(RleTest, WorstCaseDegeneratesToOneRunPerValue) {
+  std::vector<int64_t> values;
+  for (int i = 0; i < 100; ++i) values.push_back(i % 2);
+  RleCodec codec;
+  ASSERT_TRUE(codec.Encode(values).ok());
+  EXPECT_EQ(codec.num_runs(), 100u);
+}
+
+TEST(DictionaryTest, RangePredicatesEvaluateOnCodesWithoutDecoding) {
+  // Paper §VII Q2: operating directly on compressed data. The sorted
+  // dictionary makes codes order-preserving, so `v < X` becomes
+  // `code < LowerBoundCode(X)`.
+  const auto values = MakeValues(Dist::kUniform, 5000, 21);
+  DictionaryCodec codec;
+  ASSERT_TRUE(codec.Encode(values).ok());
+  for (int64_t threshold : {-40000, -1, 0, 12345, 99999}) {
+    for (size_t i = 0; i < values.size(); i += 13) {
+      ASSERT_EQ(codec.LessThanOnCodes(i, threshold),
+                values[i] < threshold)
+          << "i=" << i << " threshold=" << threshold;
+    }
+  }
+}
+
+TEST(DictionaryTest, BoundCodesBracketTheDictionary) {
+  DictionaryCodec codec;
+  ASSERT_TRUE(codec.Encode({10, 20, 20, 30}).ok());
+  EXPECT_EQ(codec.LowerBoundCode(5), 0u);
+  EXPECT_EQ(codec.LowerBoundCode(10), 0u);
+  EXPECT_EQ(codec.LowerBoundCode(11), 1u);
+  EXPECT_EQ(codec.UpperBoundCode(20), 2u);
+  EXPECT_EQ(codec.LowerBoundCode(31), 3u);  // == dictionary_size()
+}
+
+TEST(CodecKindTest, NamesAreStable) {
+  EXPECT_EQ(CodecKindToString(CodecKind::kDictionary), "dictionary");
+  EXPECT_EQ(CodecKindToString(CodecKind::kDelta), "delta");
+  EXPECT_EQ(CodecKindToString(CodecKind::kHuffman), "huffman");
+  EXPECT_EQ(CodecKindToString(CodecKind::kRle), "rle");
+}
+
+TEST(ScatterAccessibilityTest, MatchesThePaperTable) {
+  // §III-D: dictionary, delta and Huffman work with Relational Fabric;
+  // RLE does not.
+  EXPECT_TRUE(DictionaryCodec().scatter_accessible());
+  EXPECT_TRUE(DeltaCodec().scatter_accessible());
+  EXPECT_TRUE(HuffmanCodec().scatter_accessible());
+  EXPECT_FALSE(RleCodec().scatter_accessible());
+}
+
+}  // namespace
+}  // namespace relfab::compress

@@ -1,0 +1,265 @@
+#include <gtest/gtest.h>
+
+#include "core/relational_fabric.h"
+
+namespace relfab {
+namespace {
+
+using layout::ColumnType;
+using layout::RowBuilder;
+using layout::Schema;
+
+Schema SensorSchema() {
+  auto s = Schema::Create({{"site", ColumnType::kInt64, 0},
+                           {"temp", ColumnType::kInt32, 0},
+                           {"humidity", ColumnType::kInt32, 0},
+                           {"pressure", ColumnType::kInt32, 0}});
+  return std::move(s).value();
+}
+
+TEST(FabricTest, CreateAppendAndQuery) {
+  Fabric fabric;
+  auto* table = fabric.CreateTable("sensors", SensorSchema()).value();
+  RowBuilder b(&table->schema());
+  for (int i = 0; i < 100; ++i) {
+    b.Reset();
+    b.AddInt64(i % 10).AddInt32(20 + i % 5).AddInt32(50).AddInt32(1000);
+    table->AppendRow(b.Finish());
+  }
+  auto result = fabric.ExecuteSql("SELECT COUNT(*), AVG(temp) FROM sensors");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_DOUBLE_EQ(result->result.aggregates[0], 100.0);
+  EXPECT_NEAR(result->result.aggregates[1], 22.0, 0.1);
+}
+
+TEST(FabricTest, DuplicateTableNameRejected) {
+  Fabric fabric;
+  ASSERT_TRUE(fabric.CreateTable("t", SensorSchema()).ok());
+  EXPECT_EQ(fabric.CreateTable("t", SensorSchema()).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(FabricTest, GetTableAndMissingTable) {
+  Fabric fabric;
+  ASSERT_TRUE(fabric.CreateTable("t", SensorSchema()).ok());
+  EXPECT_TRUE(fabric.GetTable("t").ok());
+  EXPECT_TRUE(fabric.GetTable("missing").status().IsNotFound());
+  EXPECT_TRUE(fabric.ExecuteSql("SELECT COUNT(*) FROM missing")
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(FabricTest, ConfigureViewOverTable) {
+  Fabric fabric;
+  auto* table = fabric.CreateTable("t", SensorSchema()).value();
+  RowBuilder b(&table->schema());
+  for (int i = 0; i < 10; ++i) {
+    b.Reset();
+    b.AddInt64(i).AddInt32(i * 2).AddInt32(0).AddInt32(0);
+    table->AppendRow(b.Finish());
+  }
+  auto geometry = relmem::Geometry::Project(table->schema(), {"temp"});
+  ASSERT_TRUE(geometry.ok());
+  auto view = fabric.ConfigureView("t", *geometry);
+  ASSERT_TRUE(view.ok());
+  int64_t sum = 0;
+  for (relmem::EphemeralView::Cursor cur(&*view); cur.Valid();
+       cur.Advance()) {
+    sum += cur.GetInt(0);
+  }
+  EXPECT_EQ(sum, 90);  // 2 * (0+..+9)
+}
+
+TEST(FabricTest, MaterializeColumnarCopyEnablesColBackend) {
+  Fabric fabric;
+  auto* table = fabric.CreateTable("t", SensorSchema()).value();
+  RowBuilder b(&table->schema());
+  for (int i = 0; i < 1000; ++i) {
+    b.Reset();
+    b.AddInt64(i).AddInt32(i).AddInt32(i).AddInt32(i);
+    table->AppendRow(b.Finish());
+  }
+  auto before = fabric.ExplainSql("SELECT SUM(temp) FROM t");
+  ASSERT_TRUE(before.ok());
+  EXPECT_TRUE(std::isinf(before->est_cost_column));
+  ASSERT_TRUE(fabric.MaterializeColumnarCopy("t").ok());
+  ASSERT_TRUE(fabric.MaterializeColumnarCopy("t").ok());  // idempotent
+  auto after = fabric.ExplainSql("SELECT SUM(temp) FROM t");
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(std::isinf(after->est_cost_column));
+  EXPECT_TRUE(fabric.MaterializeColumnarCopy("missing").IsNotFound());
+}
+
+TEST(FabricTest, VersionedTableEndToEnd) {
+  Fabric fabric;
+  auto schema = Schema::Create({{"id", ColumnType::kInt64, 0},
+                                {"value", ColumnType::kInt64, 0}});
+  auto* vt = fabric.CreateVersionedTable("accounts", *schema, 0).value();
+  auto* tm = fabric.GetTransactionManager("accounts").value();
+
+  RowBuilder b(&vt->user_schema());
+  for (int64_t k = 0; k < 50; ++k) {
+    mvcc::Transaction txn = tm->Begin();
+    b.Reset();
+    b.AddInt64(k).AddInt64(k * 100);
+    ASSERT_TRUE(tm->Insert(&txn, b.Finish()).ok());
+    ASSERT_TRUE(tm->Commit(&txn).ok());
+  }
+  // Update half of them.
+  for (int64_t k = 0; k < 25; ++k) {
+    mvcc::Transaction txn = tm->Begin();
+    b.Reset();
+    b.AddInt64(k).AddInt64(0);
+    ASSERT_TRUE(tm->Update(&txn, k, b.Finish()).ok());
+    ASSERT_TRUE(tm->Commit(&txn).ok());
+  }
+
+  // Snapshot analytics through the fabric: sum of `value` at "now" via a
+  // hardware-filtered ephemeral view.
+  relmem::Geometry g;
+  g.columns = {1};
+  g.visibility = vt->SnapshotFilter(tm->current_ts());
+  auto view = fabric.ConfigureView("accounts", g);
+  ASSERT_TRUE(view.ok());
+  int64_t sum = 0;
+  uint64_t count = 0;
+  for (relmem::EphemeralView::Cursor cur(&*view); cur.Valid();
+       cur.Advance()) {
+    sum += cur.GetInt(0);
+    ++count;
+  }
+  EXPECT_EQ(count, 50u);
+  // keys 25..49 keep k*100; keys 0..24 were zeroed.
+  EXPECT_EQ(sum, 100 * (25 + 49) * 25 / 2);
+  // The base data holds history: 75 physical versions.
+  EXPECT_EQ(vt->num_versions(), 75u);
+}
+
+TEST(FabricTest, SqlOverVersionedTableScansAllVersions) {
+  // The catalog exposes the raw versioned rows (all versions); snapshot
+  // reads go through ConfigureView with a visibility filter instead.
+  Fabric fabric;
+  auto schema = Schema::Create({{"id", ColumnType::kInt64, 0},
+                                {"value", ColumnType::kInt64, 0}});
+  auto* vt = fabric.CreateVersionedTable("log", *schema, 0).value();
+  auto* tm = fabric.GetTransactionManager("log").value();
+  RowBuilder b(&vt->user_schema());
+  for (int64_t k = 0; k < 10; ++k) {
+    mvcc::Transaction txn = tm->Begin();
+    b.Reset();
+    b.AddInt64(k).AddInt64(k);
+    ASSERT_TRUE(tm->Insert(&txn, b.Finish()).ok());
+    ASSERT_TRUE(tm->Commit(&txn).ok());
+  }
+  auto result = fabric.ExecuteSql("SELECT COUNT(*) FROM log");
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->result.aggregates[0], 10.0);
+}
+
+TEST(FabricTest, AdoptTableRegistersExternallyBuiltData) {
+  Fabric fabric;
+  layout::RowTable table(SensorSchema(), &fabric.memory(), 4);
+  RowBuilder b(&table.schema());
+  b.AddInt64(1).AddInt32(2).AddInt32(3).AddInt32(4);
+  table.AppendRow(b.Finish());
+  ASSERT_TRUE(fabric.AdoptTable("adopted", std::move(table)).ok());
+  auto result = fabric.ExecuteSql("SELECT SUM(pressure) FROM adopted");
+  ASSERT_TRUE(result.ok());
+  EXPECT_DOUBLE_EQ(result->result.aggregates[0], 4.0);
+}
+
+TEST(FabricTest, AdoptRejectsForeignMemorySystem) {
+  Fabric fabric;
+  sim::MemorySystem other;
+  layout::RowTable table(SensorSchema(), &other, 4);
+  EXPECT_TRUE(fabric.AdoptTable("t", std::move(table))
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(FabricTest, IndexServesPointQueries) {
+  Fabric fabric;
+  auto* table = fabric.CreateTable("t", SensorSchema()).value();
+  RowBuilder b(&table->schema());
+  for (int i = 0; i < 20000; ++i) {
+    b.Reset();
+    b.AddInt64(i).AddInt32(i % 100).AddInt32(0).AddInt32(0);
+    table->AppendRow(b.Finish());
+  }
+  ASSERT_TRUE(fabric.CreateIndex("t", "site").ok());
+  EXPECT_EQ(fabric.CreateIndex("t", "site").code(),
+            StatusCode::kAlreadyExists);
+  EXPECT_TRUE(fabric.CreateIndex("t", "temp").IsInvalidArgument());
+  EXPECT_TRUE(fabric.CreateIndex("missing", "site").IsNotFound());
+
+  // Point query: the planner must pick the index and the answer must
+  // match the table.
+  fabric.memory().ResetState();
+  auto result =
+      fabric.ExecuteSql("SELECT SUM(temp) FROM t WHERE site = 12345");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->plan.backend, query::Backend::kIndex);
+  EXPECT_DOUBLE_EQ(result->result.aggregates[0], 12345 % 100);
+  EXPECT_EQ(result->result.rows_matched, 1u);
+  // The index path examined ~1 candidate, not 20000 rows.
+  EXPECT_LE(result->result.rows_scanned, 2u);
+
+  // A range scan must NOT use the index (paper §III-A: ranges go to the
+  // fabric).
+  auto range = fabric.ExplainSql("SELECT SUM(temp) FROM t WHERE site < 100");
+  ASSERT_TRUE(range.ok());
+  EXPECT_NE(range->backend, query::Backend::kIndex);
+}
+
+TEST(FabricTest, IndexAndScanAgreeOnPointQueries) {
+  Fabric fabric;
+  auto* table = fabric.CreateTable("t", SensorSchema()).value();
+  RowBuilder b(&table->schema());
+  for (int i = 0; i < 5000; ++i) {
+    b.Reset();
+    // Non-unique keys: each site has 5 rows.
+    b.AddInt64(i % 1000).AddInt32(i).AddInt32(0).AddInt32(0);
+    table->AppendRow(b.Finish());
+  }
+  ASSERT_TRUE(fabric.CreateIndex("t", "site").ok());
+  auto parsed = query::Parser(&fabric.catalog())
+                    .Parse("SELECT SUM(temp), COUNT(*) FROM t WHERE "
+                           "site = 77");
+  ASSERT_TRUE(parsed.ok());
+  auto plan = fabric.ExplainSql(
+      "SELECT SUM(temp), COUNT(*) FROM t WHERE site = 77");
+  ASSERT_TRUE(plan.ok());
+  query::Executor executor(&fabric.catalog(), &fabric.rm(),
+                           fabric.cost_model());
+  query::Plan via_index = *plan;
+  via_index.backend = query::Backend::kIndex;
+  query::Plan via_scan = *plan;
+  via_scan.backend = query::Backend::kRow;
+  fabric.memory().ResetState();
+  auto a = executor.Execute(via_index);
+  fabric.memory().ResetState();
+  auto s = executor.Execute(via_scan);
+  ASSERT_TRUE(a.ok() && s.ok());
+  EXPECT_EQ(a->rows_matched, s->rows_matched);
+  EXPECT_EQ(a->aggregates, s->aggregates);
+  EXPECT_LT(a->sim_cycles, s->sim_cycles / 50);  // point path is cheap
+}
+
+TEST(FabricTest, ExplainReportsAllThreeCosts) {
+  Fabric fabric;
+  auto* table = fabric.CreateTable("t", SensorSchema()).value();
+  RowBuilder b(&table->schema());
+  for (int i = 0; i < 100; ++i) {
+    b.Reset();
+    b.AddInt64(i).AddInt32(i).AddInt32(i).AddInt32(i);
+    table->AppendRow(b.Finish());
+  }
+  auto plan = fabric.ExplainSql("SELECT SUM(temp) FROM t WHERE site < 5");
+  ASSERT_TRUE(plan.ok());
+  EXPECT_GT(plan->est_cost_row, 0);
+  EXPECT_GT(plan->est_cost_rm, 0);
+  EXPECT_NE(plan->explanation.find("backend="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace relfab

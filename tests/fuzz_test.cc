@@ -1,0 +1,226 @@
+// Randomized differential testing: for random schemas, data, and query
+// shapes, all four engines (ROW volcano, COL vectorized in both modes,
+// RM with and without pushdown, HYBRID) must return identical answers.
+// Any divergence in filtering, expression evaluation, grouping, or
+// geometry handling shows up here even if no hand-written case covers it.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "engine/hybrid.h"
+#include "engine/rm_exec.h"
+#include "engine/vector_engine.h"
+#include "engine/volcano.h"
+#include "layout/column_table.h"
+#include "layout/row_table.h"
+#include "relmem/rm_engine.h"
+#include "sim/memory_system.h"
+
+namespace relfab {
+namespace {
+
+using engine::AggFunc;
+using engine::QueryResult;
+using engine::QuerySpec;
+using layout::ColumnType;
+using layout::RowBuilder;
+using layout::RowTable;
+using layout::Schema;
+
+Schema RandomSchema(Random* rng) {
+  const uint32_t n = 3 + static_cast<uint32_t>(rng->Uniform(10));
+  std::vector<layout::ColumnDef> cols;
+  for (uint32_t i = 0; i < n; ++i) {
+    layout::ColumnDef def;
+    def.name = "c" + std::to_string(i);
+    switch (rng->Uniform(4)) {
+      case 0:
+        def.type = ColumnType::kInt32;
+        break;
+      case 1:
+        def.type = ColumnType::kInt64;
+        break;
+      case 2:
+        def.type = ColumnType::kDouble;
+        break;
+      case 3:
+        def.type = ColumnType::kDate;
+        break;
+    }
+    cols.push_back(def);
+  }
+  // Always one char column for group keys.
+  cols.push_back({"tag", ColumnType::kChar, 4});
+  auto schema = Schema::Create(std::move(cols));
+  RELFAB_CHECK(schema.ok());
+  return std::move(schema).value();
+}
+
+RowTable RandomTable(const Schema& schema, uint64_t rows,
+                     sim::MemorySystem* memory, Random* rng) {
+  RowTable table(schema, memory, rows);
+  RowBuilder b(&table.schema());
+  const char* tags[] = {"aa", "bb", "cc", "dd"};
+  for (uint64_t r = 0; r < rows; ++r) {
+    b.Reset();
+    for (uint32_t c = 0; c < schema.num_columns(); ++c) {
+      switch (schema.type(c)) {
+        case ColumnType::kInt32:
+          b.AddInt32(static_cast<int32_t>(rng->UniformRange(-50, 50)));
+          break;
+        case ColumnType::kInt64:
+          b.AddInt64(rng->UniformRange(-1000, 1000));
+          break;
+        case ColumnType::kDouble:
+          // Small integer-valued doubles: products stay exact so all
+          // summation orders agree bit-for-bit within tolerance.
+          b.AddDouble(static_cast<double>(rng->UniformRange(-20, 20)));
+          break;
+        case ColumnType::kDate:
+          b.AddDate(static_cast<int32_t>(rng->Uniform(3000)));
+          break;
+        case ColumnType::kChar:
+          b.AddChar(tags[rng->Uniform(4)]);
+          break;
+      }
+    }
+    table.AppendRow(b.Finish());
+  }
+  return table;
+}
+
+std::vector<uint32_t> NumericColumns(const Schema& schema) {
+  std::vector<uint32_t> cols;
+  for (uint32_t c = 0; c < schema.num_columns(); ++c) {
+    if (schema.type(c) != ColumnType::kChar) cols.push_back(c);
+  }
+  return cols;
+}
+
+int32_t RandomExpr(QuerySpec* spec, const std::vector<uint32_t>& numeric,
+                   Random* rng, int depth) {
+  if (depth == 0 || rng->Bernoulli(0.4)) {
+    if (rng->Bernoulli(0.25)) {
+      return spec->exprs.Constant(
+          static_cast<double>(rng->UniformRange(-5, 5)));
+    }
+    return spec->exprs.Column(numeric[rng->Uniform(numeric.size())]);
+  }
+  const int32_t lhs = RandomExpr(spec, numeric, rng, depth - 1);
+  const int32_t rhs = RandomExpr(spec, numeric, rng, depth - 1);
+  switch (rng->Uniform(3)) {
+    case 0:
+      return spec->exprs.Add(lhs, rhs);
+    case 1:
+      return spec->exprs.Sub(lhs, rhs);
+    default:
+      return spec->exprs.Mul(lhs, rhs);
+  }
+}
+
+QuerySpec RandomQuery(const Schema& schema, Random* rng) {
+  QuerySpec spec;
+  const std::vector<uint32_t> numeric = NumericColumns(schema);
+  // Predicates: 0..4 conjuncts over numeric columns.
+  const uint64_t num_preds = rng->Uniform(5);
+  for (uint64_t i = 0; i < num_preds; ++i) {
+    engine::Predicate p;
+    p.column = numeric[rng->Uniform(numeric.size())];
+    p.op = static_cast<relmem::CompareOp>(rng->Uniform(6));
+    p.int_operand = rng->UniformRange(-40, 40);
+    p.double_operand = static_cast<double>(p.int_operand);
+    spec.predicates.push_back(p);
+  }
+  if (rng->Bernoulli(0.25)) {
+    // Pure projection query.
+    const uint64_t k = 1 + rng->Uniform(schema.num_columns());
+    for (uint64_t c = 0; c < k; ++c) {
+      spec.projection.push_back(static_cast<uint32_t>(c));
+    }
+    return spec;
+  }
+  const uint64_t num_aggs = 1 + rng->Uniform(4);
+  for (uint64_t i = 0; i < num_aggs; ++i) {
+    engine::AggSpec agg;
+    agg.func = static_cast<AggFunc>(rng->Uniform(5));
+    agg.expr = agg.func == AggFunc::kCount
+                   ? -1
+                   : RandomExpr(&spec, numeric, rng, 2);
+    spec.aggregates.push_back(agg);
+  }
+  if (rng->Bernoulli(0.4)) {
+    spec.group_by.push_back(schema.num_columns() - 1);  // tag column
+    std::vector<uint32_t> integral;
+    for (uint32_t c : numeric) {
+      if (schema.type(c) != ColumnType::kDouble) integral.push_back(c);
+    }
+    if (!integral.empty() && rng->Bernoulli(0.3)) {
+      spec.group_by.push_back(integral[rng->Uniform(integral.size())]);
+    }
+  }
+  return spec;
+}
+
+class EngineFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(EngineFuzzTest, AllEnginesAgreeOnRandomQueries) {
+  Random rng(static_cast<uint64_t>(GetParam()) * 7919 + 13);
+  sim::MemorySystem memory;
+  const Schema schema = RandomSchema(&rng);
+  const uint64_t rows = 200 + rng.Uniform(2000);
+  RowTable table = RandomTable(schema, rows, &memory, &rng);
+  layout::ColumnTable columns(table, &memory);
+  relmem::RmEngine rm(&memory);
+
+  for (int q = 0; q < 8; ++q) {
+    const QuerySpec spec = RandomQuery(schema, &rng);
+    SCOPED_TRACE("seed=" + std::to_string(GetParam()) + " query=" +
+                 std::to_string(q));
+    memory.ResetState();
+    engine::VolcanoEngine row_eng(&table);
+    auto reference = row_eng.Execute(spec);
+    ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+    memory.ResetState();
+    engine::VectorEngine fused(&columns);
+    auto col_fused = fused.Execute(spec);
+    ASSERT_TRUE(col_fused.ok());
+    EXPECT_TRUE(reference->SameAnswer(*col_fused, 1e-7))
+        << "COL fused\n" << reference->ToString() << "\n"
+        << col_fused->ToString();
+
+    memory.ResetState();
+    engine::VectorEngine caat(&columns, engine::CostModel::A53Defaults(),
+                              engine::VectorMode::kColumnAtATime);
+    auto col_caat = caat.Execute(spec);
+    ASSERT_TRUE(col_caat.ok());
+    EXPECT_TRUE(reference->SameAnswer(*col_caat, 1e-7)) << "COL caat";
+
+    memory.ResetState();
+    engine::RmExecEngine rm_sw(&table, &rm);
+    auto rm_soft = rm_sw.Execute(spec);
+    ASSERT_TRUE(rm_soft.ok());
+    EXPECT_TRUE(reference->SameAnswer(*rm_soft, 1e-7))
+        << "RM software\n" << reference->ToString() << "\n"
+        << rm_soft->ToString();
+
+    memory.ResetState();
+    engine::RmExecEngine rm_hw(&table, &rm,
+                               engine::CostModel::A53Defaults(),
+                               /*pushdown_selection=*/true);
+    auto rm_push = rm_hw.Execute(spec);
+    ASSERT_TRUE(rm_push.ok());
+    EXPECT_TRUE(reference->SameAnswer(*rm_push, 1e-7)) << "RM pushdown";
+
+    memory.ResetState();
+    engine::HybridEngine hybrid(&table, &rm);
+    auto hyb = hybrid.Execute(spec);
+    ASSERT_TRUE(hyb.ok());
+    EXPECT_TRUE(reference->SameAnswer(*hyb, 1e-7)) << "HYBRID";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzzTest, ::testing::Range(0, 24));
+
+}  // namespace
+}  // namespace relfab

@@ -1,0 +1,201 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "engine/code_cache.h"
+#include "engine/hybrid.h"
+#include "engine/rm_exec.h"
+#include "engine/volcano.h"
+#include "layout/row_table.h"
+#include "relmem/rm_engine.h"
+#include "sim/memory_system.h"
+
+namespace relfab::engine {
+namespace {
+
+using layout::ColumnType;
+using layout::RowBuilder;
+using layout::RowTable;
+using layout::Schema;
+
+class HybridTest : public ::testing::Test {
+ protected:
+  static constexpr uint64_t kRows = 50000;
+  static constexpr uint32_t kCols = 16;
+
+  HybridTest() : table_(Build()), rm_(&memory_) {}
+
+  RowTable Build() {
+    // int64 columns: a wide column group whose packing rate (not the
+    // fabric's row-parse rate) bounds RM production — the regime where
+    // the hybrid's narrow phase-1 stream pays off.
+    Schema schema = Schema::Uniform(kCols, ColumnType::kInt64);
+    RowTable table(std::move(schema), &memory_, kRows);
+    RowBuilder b(&table.schema());
+    Random rng(55);
+    for (uint64_t r = 0; r < kRows; ++r) {
+      b.Reset();
+      for (uint32_t c = 0; c < kCols; ++c) {
+        b.AddInt64(static_cast<int64_t>(rng.Uniform(1000)));
+      }
+      table.AppendRow(b.Finish());
+    }
+    return table;
+  }
+
+  /// p columns aggregated, filter c15 < permille.
+  QuerySpec Query(uint32_t p, int permille) {
+    QuerySpec spec;
+    for (uint32_t c = 0; c < p; ++c) {
+      spec.aggregates.push_back({AggFunc::kSum, spec.exprs.Column(c)});
+    }
+    spec.predicates.push_back(
+        Predicate::Int(15, relmem::CompareOp::kLt, permille));
+    return spec;
+  }
+
+  QueryResult Hybrid(const QuerySpec& q) {
+    memory_.ResetState();
+    HybridEngine eng(&table_, &rm_);
+    auto r = eng.Execute(q);
+    RELFAB_CHECK(r.ok()) << r.status().ToString();
+    return *r;
+  }
+  QueryResult Rm(const QuerySpec& q) {
+    memory_.ResetState();
+    RmExecEngine eng(&table_, &rm_);
+    auto r = eng.Execute(q);
+    RELFAB_CHECK(r.ok()) << r.status().ToString();
+    return *r;
+  }
+  QueryResult Row(const QuerySpec& q) {
+    memory_.ResetState();
+    VolcanoEngine eng(&table_);
+    auto r = eng.Execute(q);
+    RELFAB_CHECK(r.ok()) << r.status().ToString();
+    return *r;
+  }
+
+  sim::MemorySystem memory_;
+  RowTable table_;
+  relmem::RmEngine rm_;
+};
+
+TEST_F(HybridTest, MatchesOtherEnginesAcrossSelectivities) {
+  for (int permille : {0, 1, 50, 500, 1000}) {
+    const QuerySpec q = Query(6, permille);
+    const QueryResult hybrid = Hybrid(q);
+    const QueryResult row = Row(q);
+    EXPECT_TRUE(hybrid.SameAnswer(row)) << "permille " << permille;
+  }
+}
+
+TEST_F(HybridTest, MatchesOnGroupByAndProjection) {
+  QuerySpec grouped;
+  grouped.aggregates.push_back(
+      {AggFunc::kAvg, grouped.exprs.Column(2)});
+  grouped.group_by = {1};
+  grouped.predicates.push_back(
+      Predicate::Int(0, relmem::CompareOp::kLt, 10));
+  EXPECT_TRUE(Hybrid(grouped).SameAnswer(Row(grouped)));
+
+  QuerySpec projection;
+  projection.projection = {3, 4, 5};
+  projection.predicates.push_back(
+      Predicate::Int(1, relmem::CompareOp::kGe, 990));
+  EXPECT_TRUE(Hybrid(projection).SameAnswer(Row(projection)));
+}
+
+TEST_F(HybridTest, NoPredicatesDelegatesToRm) {
+  QuerySpec q;
+  q.aggregates.push_back({AggFunc::kSum, q.exprs.Column(0)});
+  const QueryResult hybrid = Hybrid(q);
+  const QueryResult rm = Rm(q);
+  EXPECT_TRUE(hybrid.SameAnswer(rm));
+  EXPECT_NEAR(static_cast<double>(hybrid.sim_cycles),
+              static_cast<double>(rm.sim_cycles),
+              0.02 * static_cast<double>(rm.sim_cycles));
+}
+
+TEST_F(HybridTest, WinsForSelectiveWideQueries) {
+  // 0.5% selectivity, 10 output columns: phase 2 touches few rows while
+  // pure RM ships 11 columns for every row.
+  const QuerySpec q = Query(10, 5);
+  EXPECT_LT(Hybrid(q).sim_cycles, Rm(q).sim_cycles);
+  EXPECT_LT(Hybrid(q).sim_cycles, Row(q).sim_cycles);
+}
+
+TEST_F(HybridTest, PureRmWinsWhenEverythingQualifies) {
+  // 100% selectivity: the hybrid pays the row-at-a-time fetch for every
+  // row; shipping packed groups is cheaper.
+  const QuerySpec q = Query(10, 1000);
+  EXPECT_GT(Hybrid(q).sim_cycles, Rm(q).sim_cycles);
+}
+
+// ------------------------------------------------------------ code cache
+
+TEST(CodeCacheTest, SignatureIsStructural) {
+  QuerySpec a;
+  a.aggregates.push_back({AggFunc::kSum, a.exprs.Column(3)});
+  a.predicates.push_back(Predicate::Int(1, relmem::CompareOp::kLt, 10));
+  QuerySpec b;
+  b.aggregates.push_back({AggFunc::kSum, b.exprs.Column(3)});
+  b.predicates.push_back(Predicate::Int(1, relmem::CompareOp::kLt, 10));
+  EXPECT_EQ(CodeCache::Signature(a), CodeCache::Signature(b));
+  b.predicates[0].op = relmem::CompareOp::kGe;
+  EXPECT_NE(CodeCache::Signature(a), CodeCache::Signature(b));
+  // Layout variants get distinct fragments (the legacy-system case).
+  EXPECT_NE(CodeCache::Signature(a, 0), CodeCache::Signature(a, 1));
+}
+
+TEST(CodeCacheTest, MissCompilesHitReuses) {
+  sim::MemorySystem memory;
+  CodeCache cache(&memory, 4, 1000.0);
+  EXPECT_FALSE(cache.Require(1));
+  const double after_miss = memory.cpu_cycles();
+  EXPECT_GE(after_miss, 1000.0);
+  EXPECT_TRUE(cache.Require(1));
+  EXPECT_LT(memory.cpu_cycles() - after_miss, 100.0);
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(CodeCacheTest, LruEvictionUnderPressure) {
+  sim::MemorySystem memory;
+  CodeCache cache(&memory, 2, 10.0);
+  cache.Require(1);
+  cache.Require(2);
+  cache.Require(1);  // 1 becomes MRU
+  cache.Require(3);  // evicts 2
+  EXPECT_TRUE(cache.Require(1));
+  EXPECT_TRUE(cache.Require(3));
+  EXPECT_FALSE(cache.Require(2));  // was evicted
+  EXPECT_EQ(cache.evictions(), 2u);
+}
+
+TEST(CodeCacheTest, SingleLayoutBuffersMoreQueries) {
+  // The §III-B argument quantified: with capacity for 8 fragments and a
+  // working set of 6 queries, the fabric system (1 fragment/query) never
+  // evicts, while a legacy adaptive system buffering 3 layout variants
+  // per query (18 fragments) thrashes.
+  sim::MemorySystem memory;
+  CodeCache fabric_cache(&memory, 8, 1000.0);
+  CodeCache legacy_cache(&memory, 8, 1000.0);
+  QuerySpec specs[6];
+  for (int i = 0; i < 6; ++i) {
+    specs[i].aggregates.push_back(
+        {AggFunc::kSum, specs[i].exprs.Column(static_cast<uint32_t>(i))});
+  }
+  for (int round = 0; round < 50; ++round) {
+    for (int i = 0; i < 6; ++i) {
+      fabric_cache.Require(CodeCache::Signature(specs[i]));
+      for (uint32_t layout = 0; layout < 3; ++layout) {
+        legacy_cache.Require(CodeCache::Signature(specs[i], layout));
+      }
+    }
+  }
+  EXPECT_GT(fabric_cache.hit_rate(), 0.95);
+  EXPECT_LT(legacy_cache.hit_rate(), 0.05);  // 18 fragments thrash 8 slots
+}
+
+}  // namespace
+}  // namespace relfab::engine

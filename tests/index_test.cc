@@ -1,0 +1,226 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/random.h"
+#include "index/btree.h"
+#include "index/hash_index.h"
+#include "sim/memory_system.h"
+
+namespace relfab::index {
+namespace {
+
+// ---------------------------------------------------------------- btree
+
+TEST(BTreeTest, EmptyTreeFindsNothing) {
+  sim::MemorySystem memory;
+  BTreeIndex tree(&memory);
+  EXPECT_TRUE(tree.Lookup(5).empty());
+  EXPECT_TRUE(tree.Range(0, 100).empty());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.height(), 1u);
+}
+
+TEST(BTreeTest, InsertAndLookup) {
+  sim::MemorySystem memory;
+  BTreeIndex tree(&memory);
+  tree.Insert(10, 100);
+  tree.Insert(20, 200);
+  tree.Insert(5, 50);
+  EXPECT_EQ(tree.Lookup(10), (std::vector<uint64_t>{100}));
+  EXPECT_EQ(tree.Lookup(5), (std::vector<uint64_t>{50}));
+  EXPECT_TRUE(tree.Lookup(15).empty());
+  EXPECT_EQ(tree.size(), 3u);
+}
+
+TEST(BTreeTest, SplitsKeepInvariants) {
+  sim::MemorySystem memory;
+  BTreeIndex tree(&memory, /*fanout=*/8);
+  for (int64_t k = 0; k < 1000; ++k) {
+    tree.Insert(k, static_cast<uint64_t>(k * 10));
+    if (k % 100 == 0) {
+      ASSERT_TRUE(tree.CheckInvariants()) << "k=" << k;
+    }
+  }
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_GT(tree.height(), 2u);
+  for (int64_t k = 0; k < 1000; ++k) {
+    ASSERT_EQ(tree.Lookup(k), (std::vector<uint64_t>{
+                                  static_cast<uint64_t>(k * 10)}));
+  }
+}
+
+TEST(BTreeTest, DescendingInsertsWork) {
+  sim::MemorySystem memory;
+  BTreeIndex tree(&memory, 8);
+  for (int64_t k = 500; k > 0; --k) tree.Insert(k, static_cast<uint64_t>(k));
+  EXPECT_TRUE(tree.CheckInvariants());
+  for (int64_t k = 1; k <= 500; ++k) {
+    ASSERT_EQ(tree.Lookup(k).size(), 1u) << k;
+  }
+}
+
+TEST(BTreeTest, RandomInsertsMatchReferenceMap) {
+  sim::MemorySystem memory;
+  BTreeIndex tree(&memory, 16);
+  std::multimap<int64_t, uint64_t> reference;
+  Random rng(77);
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t key = static_cast<int64_t>(rng.Uniform(800));
+    const uint64_t row = static_cast<uint64_t>(i);
+    tree.Insert(key, row);
+    reference.emplace(key, row);
+  }
+  ASSERT_TRUE(tree.CheckInvariants());
+  for (int64_t key = 0; key < 800; ++key) {
+    std::vector<uint64_t> expect;
+    auto [lo, hi] = reference.equal_range(key);
+    for (auto it = lo; it != hi; ++it) expect.push_back(it->second);
+    std::vector<uint64_t> got = tree.Lookup(key);
+    std::sort(expect.begin(), expect.end());
+    std::sort(got.begin(), got.end());
+    ASSERT_EQ(got, expect) << "key " << key;
+  }
+}
+
+TEST(BTreeTest, DuplicatesSurviveSplits) {
+  sim::MemorySystem memory;
+  BTreeIndex tree(&memory, 8);
+  // Long duplicate runs interleaved with other keys force duplicate
+  // spans across leaves.
+  for (int i = 0; i < 200; ++i) {
+    tree.Insert(42, static_cast<uint64_t>(i));
+    tree.Insert(i, 10000 + static_cast<uint64_t>(i));
+  }
+  ASSERT_TRUE(tree.CheckInvariants());
+  std::vector<uint64_t> dup = tree.Lookup(42);
+  std::sort(dup.begin(), dup.end());
+  ASSERT_EQ(dup.size(), 201u);  // 200 dups + the i==42 row
+  EXPECT_EQ(dup[0], 0u);
+  EXPECT_EQ(dup[199], 199u);
+  EXPECT_EQ(dup[200], 10042u);
+}
+
+TEST(BTreeTest, RangeScanReturnsKeysInOrder) {
+  sim::MemorySystem memory;
+  BTreeIndex tree(&memory, 8);
+  for (int64_t k = 0; k < 300; ++k) {
+    tree.Insert(k * 2, static_cast<uint64_t>(k));  // even keys only
+  }
+  const std::vector<uint64_t> rows = tree.Range(100, 120);
+  // keys 100..120 even: 100,102,...,120 -> rows 50..60
+  ASSERT_EQ(rows.size(), 11u);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    EXPECT_EQ(rows[i], 50 + i);
+  }
+  EXPECT_TRUE(tree.Range(121, 121).empty());
+  EXPECT_TRUE(tree.Range(50, 10).empty());  // inverted
+}
+
+TEST(BTreeTest, RangeSpansTheWholeTree) {
+  sim::MemorySystem memory;
+  BTreeIndex tree(&memory, 8);
+  for (int64_t k = 0; k < 500; ++k) tree.Insert(k, static_cast<uint64_t>(k));
+  EXPECT_EQ(tree.Range(std::numeric_limits<int64_t>::min(),
+                       std::numeric_limits<int64_t>::max())
+                .size(),
+            500u);
+}
+
+TEST(BTreeTest, PointLookupIsMuchCheaperThanScanning) {
+  sim::MemorySystem memory;
+  BTreeIndex tree(&memory, 64);
+  for (int64_t k = 0; k < 100000; ++k) {
+    tree.Insert(k, static_cast<uint64_t>(k));
+  }
+  memory.ResetState();
+  tree.Lookup(54321);
+  const uint64_t lookup_cycles = memory.ElapsedCycles();
+  // A handful of node reads: far below even a 1-cycle-per-row scan.
+  EXPECT_LT(lookup_cycles, 5000u);
+  EXPECT_GT(lookup_cycles, 0u);
+}
+
+class BTreeFanoutTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(BTreeFanoutTest, InvariantsAndHeightAcrossFanouts) {
+  sim::MemorySystem memory;
+  BTreeIndex tree(&memory, GetParam());
+  Random rng(GetParam());
+  for (int i = 0; i < 3000; ++i) {
+    tree.Insert(static_cast<int64_t>(rng.Uniform(1000000)),
+                static_cast<uint64_t>(i));
+  }
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_EQ(tree.size(), 3000u);
+  // height ~ log_fanout(n)
+  const double expected =
+      std::log(3000.0) / std::log(static_cast<double>(GetParam()) / 2);
+  EXPECT_LE(tree.height(), static_cast<uint32_t>(expected) + 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, BTreeFanoutTest,
+                         ::testing::Values(4u, 8u, 16u, 64u, 256u));
+
+// ----------------------------------------------------------- hash index
+
+TEST(HashIndexTest, InsertLookup) {
+  sim::MemorySystem memory;
+  HashIndex idx(&memory);
+  idx.Insert(7, 70);
+  idx.Insert(8, 80);
+  EXPECT_EQ(idx.Lookup(7), (std::vector<uint64_t>{70}));
+  EXPECT_TRUE(idx.Lookup(9).empty());
+}
+
+TEST(HashIndexTest, DuplicateKeys) {
+  sim::MemorySystem memory;
+  HashIndex idx(&memory);
+  idx.Insert(5, 1);
+  idx.Insert(5, 2);
+  idx.Insert(5, 3);
+  std::vector<uint64_t> rows = idx.Lookup(5);
+  std::sort(rows.begin(), rows.end());
+  EXPECT_EQ(rows, (std::vector<uint64_t>{1, 2, 3}));
+}
+
+TEST(HashIndexTest, GrowsAndKeepsEverything) {
+  sim::MemorySystem memory;
+  HashIndex idx(&memory, /*expected_keys=*/4);
+  for (int64_t k = 0; k < 10000; ++k) {
+    idx.Insert(k, static_cast<uint64_t>(k * 3));
+  }
+  EXPECT_GE(idx.capacity(), 20000u);
+  for (int64_t k = 0; k < 10000; ++k) {
+    ASSERT_EQ(idx.Lookup(k),
+              (std::vector<uint64_t>{static_cast<uint64_t>(k * 3)}));
+  }
+}
+
+TEST(HashIndexTest, NegativeAndExtremeKeys) {
+  sim::MemorySystem memory;
+  HashIndex idx(&memory);
+  idx.Insert(-1, 1);
+  idx.Insert(std::numeric_limits<int64_t>::min(), 2);
+  idx.Insert(std::numeric_limits<int64_t>::max(), 3);
+  EXPECT_EQ(idx.Lookup(-1).size(), 1u);
+  EXPECT_EQ(idx.Lookup(std::numeric_limits<int64_t>::min()).size(), 1u);
+  EXPECT_EQ(idx.Lookup(std::numeric_limits<int64_t>::max()).size(), 1u);
+}
+
+TEST(HashIndexTest, LookupChargesConstantProbes) {
+  sim::MemorySystem memory;
+  HashIndex idx(&memory, 100000);
+  for (int64_t k = 0; k < 100000; ++k) {
+    idx.Insert(k, static_cast<uint64_t>(k));
+  }
+  memory.ResetState();
+  idx.Lookup(4242);
+  // A couple of probes, each ~ one cache miss.
+  EXPECT_LT(memory.ElapsedCycles(), 1500u);
+}
+
+}  // namespace
+}  // namespace relfab::index

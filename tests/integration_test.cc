@@ -1,0 +1,218 @@
+// Cross-module integration scenarios: each test threads several
+// subsystems together the way a downstream application would.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "core/relational_fabric.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace relfab {
+namespace {
+
+using layout::ColumnType;
+using layout::RowBuilder;
+using layout::Schema;
+
+TEST(Integration, TpchThroughTheSqlFrontEnd) {
+  // Generate lineitem with the tpch module, adopt it into a Fabric, and
+  // run Q6 written as SQL; the answer must match the hand-built spec.
+  Fabric fabric;
+  layout::RowTable lineitem =
+      tpch::GenerateLineitem(30000, 7, &fabric.memory());
+  ASSERT_TRUE(fabric.AdoptTable("lineitem", std::move(lineitem)).ok());
+
+  auto sql = fabric.ExecuteSql(
+      "SELECT SUM(l_extendedprice * l_discount * 0.01) FROM lineitem "
+      "WHERE l_shipdate >= 731 AND l_shipdate < 1096 AND "
+      "l_discount >= 5 AND l_discount <= 7 AND l_quantity < 24");
+  ASSERT_TRUE(sql.ok()) << sql.status().ToString();
+
+  fabric.memory().ResetState();
+  engine::VolcanoEngine reference(fabric.GetTable("lineitem").value());
+  auto expected = reference.Execute(tpch::MakeQ6Spec());
+  ASSERT_TRUE(expected.ok());
+  EXPECT_EQ(sql->result.rows_matched, expected->rows_matched);
+  EXPECT_NEAR(sql->result.aggregates[0], expected->aggregates[0],
+              1e-6 * expected->aggregates[0]);
+}
+
+TEST(Integration, ShardedHtapWithFabricViews) {
+  // Range-sharded orders; per-shard versioning is overkill here, but the
+  // sharded column-group scan must compose with plain appends, pruning
+  // and residual predicates in one flow.
+  sim::MemorySystem memory;
+  auto schema = Schema::Create({{"order_id", ColumnType::kInt64, 0},
+                                {"amount", ColumnType::kInt32, 0},
+                                {"flag", ColumnType::kInt32, 0}});
+  auto table =
+      shard::ShardedTable::Create(*schema, 0, {1000, 2000, 3000}, &memory);
+  ASSERT_TRUE(table.ok());
+  RowBuilder b(&table->schema());
+  Random rng(3);
+  int64_t expected = 0;
+  for (int i = 0; i < 4000; ++i) {
+    const int64_t id = static_cast<int64_t>(rng.Uniform(4000));
+    const int32_t amount = static_cast<int32_t>(rng.Uniform(500));
+    const int32_t flag = static_cast<int32_t>(rng.Uniform(2));
+    b.Reset();
+    b.AddInt64(id).AddInt32(amount).AddInt32(flag);
+    table->Append(b.Finish());
+    if (id >= 500 && id <= 2500 && flag == 1) expected += amount;
+  }
+  relmem::RmEngine rm(&memory);
+  relmem::Geometry g;
+  g.columns = {1};
+  g.predicates.push_back(
+      relmem::HwPredicate::Int(2, relmem::CompareOp::kEq, 1));
+  auto views = table->ConfigureRange(&rm, g, 500, 2500);
+  ASSERT_TRUE(views.ok());
+  int64_t sum = 0;
+  for (relmem::EphemeralView& view : *views) {
+    for (relmem::EphemeralView::Cursor cur(&view); cur.Valid();
+         cur.Advance()) {
+      sum += cur.GetInt(0);
+    }
+  }
+  EXPECT_EQ(sum, expected);
+}
+
+TEST(Integration, MvccHistoryQueriedThroughSql) {
+  // Write history through transactions, then audit the raw version store
+  // with SQL (all versions) and the snapshot with a filtered view.
+  Fabric fabric;
+  auto schema = Schema::Create({{"id", ColumnType::kInt64, 0},
+                                {"v", ColumnType::kInt64, 0}});
+  auto* table = fabric.CreateVersionedTable("kv", *schema, 0).value();
+  auto* tm = fabric.GetTransactionManager("kv").value();
+  RowBuilder b(&table->user_schema());
+  for (int64_t k = 0; k < 100; ++k) {
+    mvcc::Transaction txn = tm->Begin();
+    b.Reset();
+    b.AddInt64(k).AddInt64(1);
+    ASSERT_TRUE(tm->Insert(&txn, b.Finish()).ok());
+    ASSERT_TRUE(tm->Commit(&txn).ok());
+  }
+  for (int64_t k = 0; k < 100; k += 2) {
+    mvcc::Transaction txn = tm->Begin();
+    b.Reset();
+    b.AddInt64(k).AddInt64(2);
+    ASSERT_TRUE(tm->Update(&txn, k, b.Finish()).ok());
+    ASSERT_TRUE(tm->Commit(&txn).ok());
+  }
+  // SQL over the raw store counts every version (150).
+  auto all = fabric.ExecuteSql("SELECT COUNT(*), SUM(v) FROM kv");
+  ASSERT_TRUE(all.ok());
+  EXPECT_DOUBLE_EQ(all->result.aggregates[0], 150.0);
+  EXPECT_DOUBLE_EQ(all->result.aggregates[1], 150 + 50 * 1.0);
+  // The snapshot sums only live versions: 50 ones + 50 twos.
+  relmem::Geometry g;
+  g.columns = {1};
+  g.visibility = table->SnapshotFilter(tm->current_ts());
+  auto view = fabric.ConfigureView("kv", g);
+  ASSERT_TRUE(view.ok());
+  int64_t live_sum = 0;
+  uint64_t live_count = 0;
+  for (relmem::EphemeralView::Cursor cur(&*view); cur.Valid();
+       cur.Advance()) {
+    live_sum += cur.GetInt(0);
+    ++live_count;
+  }
+  EXPECT_EQ(live_count, 100u);
+  EXPECT_EQ(live_sum, 150);
+}
+
+TEST(Integration, CompressedStorageToFabricPipeline) {
+  // §VII Q3: fabric on storage *and* in memory. The storage fabric
+  // decompresses and projects near the SSD; the result lands in a
+  // row table whose columns the memory fabric then slices further.
+  sim::MemorySystem memory;
+  layout::Schema schema =
+      layout::Schema::Uniform(8, ColumnType::kInt32);
+  std::vector<uint8_t> raw(100000 * schema.row_bytes());
+  Random rng(17);
+  for (size_t i = 0; i < raw.size(); i += 4) {
+    const int32_t v = static_cast<int32_t>(rng.Uniform(64));
+    std::memcpy(raw.data() + i, &v, 4);
+  }
+  relstorage::StorageTable storage(schema, std::move(raw), 100000, 4096);
+  ASSERT_TRUE(storage
+                  .CompressColumn(
+                      0, std::make_unique<compress::DictionaryCodec>())
+                  .ok());
+  relstorage::SsdModel ssd;
+  relstorage::RsEngine rs(&ssd);
+  relmem::Geometry storage_geometry;
+  storage_geometry.columns = {0, 3, 5};
+  auto shipped = rs.NearStorageScan(storage, storage_geometry);
+  ASSERT_TRUE(shipped.ok());
+
+  // Load the shipped packed rows into an in-memory row table.
+  auto mem_schema = layout::Schema::Uniform(3, ColumnType::kInt32);
+  layout::RowTable staged(std::move(mem_schema), &memory,
+                          shipped->rows_out);
+  for (uint64_t r = 0; r < shipped->rows_out; ++r) {
+    staged.AppendRow(shipped->data.data() + r * shipped->out_row_bytes);
+  }
+  // Memory-fabric slice of one of the staged columns.
+  relmem::RmEngine rm(&memory);
+  auto view = rm.Configure(staged, relmem::Geometry::FirstColumns(1));
+  ASSERT_TRUE(view.ok());
+  int64_t sum = 0;
+  for (relmem::EphemeralView::Cursor cur(&*view); cur.Valid();
+       cur.Advance()) {
+    sum += cur.GetInt(0);
+  }
+  // Cross-check against the storage table directly.
+  int64_t expected = 0;
+  for (uint64_t r = 0; r < storage.num_rows(); ++r) {
+    expected += storage.GetInt(r, 0);
+  }
+  EXPECT_EQ(sum, expected);
+}
+
+TEST(Integration, PlannerIndexAndFabricCooperate) {
+  // One table, three workloads: the planner should give each its
+  // natural access path (paper §III-A/B).
+  Fabric fabric;
+  auto schema = Schema::Create({
+      {"id", ColumnType::kInt64, 0},
+      {"a", ColumnType::kInt32, 0},
+      {"b", ColumnType::kInt32, 0},
+      {"c", ColumnType::kInt32, 0},
+      {"pad", ColumnType::kChar, 40},
+  });
+  auto* table = fabric.CreateTable("t", std::move(*schema)).value();
+  RowBuilder b(&table->schema());
+  for (int i = 0; i < 50000; ++i) {
+    b.Reset();
+    b.AddInt64(i)
+        .AddInt32(i % 100)
+        .AddInt32(i % 7)
+        .AddInt32(i % 13)
+        .AddChar("padding");
+    table->AppendRow(b.Finish());
+  }
+  ASSERT_TRUE(fabric.CreateIndex("t", "id").ok());
+
+  auto point = fabric.ExplainSql("SELECT SUM(a) FROM t WHERE id = 31415");
+  ASSERT_TRUE(point.ok());
+  EXPECT_EQ(point->backend, query::Backend::kIndex);
+
+  auto scan = fabric.ExplainSql("SELECT SUM(a), SUM(b) FROM t");
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan->backend, query::Backend::kRelationalMemory);
+
+  // Execute both and sanity-check the answers.
+  auto point_result =
+      fabric.ExecuteSql("SELECT SUM(a) FROM t WHERE id = 31415");
+  ASSERT_TRUE(point_result.ok());
+  EXPECT_DOUBLE_EQ(point_result->result.aggregates[0], 31415 % 100);
+  auto scan_result = fabric.ExecuteSql("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(scan_result.ok());
+  EXPECT_DOUBLE_EQ(scan_result->result.aggregates[0], 50000.0);
+}
+
+}  // namespace
+}  // namespace relfab

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "layout/column_table.h"
+#include "layout/row_table.h"
+#include "layout/schema.h"
+#include "sim/memory_system.h"
+
+namespace relfab::layout {
+namespace {
+
+Schema TestSchema() {
+  auto s = Schema::Create({
+      {"key", ColumnType::kInt64, 0},
+      {"qty", ColumnType::kInt32, 0},
+      {"price", ColumnType::kDouble, 0},
+      {"day", ColumnType::kDate, 0},
+      {"tag", ColumnType::kChar, 6},
+  });
+  return std::move(s).value();
+}
+
+TEST(SchemaTest, OffsetsArePacked) {
+  Schema s = TestSchema();
+  EXPECT_EQ(s.num_columns(), 5u);
+  EXPECT_EQ(s.offset(0), 0u);
+  EXPECT_EQ(s.offset(1), 8u);
+  EXPECT_EQ(s.offset(2), 12u);
+  EXPECT_EQ(s.offset(3), 20u);
+  EXPECT_EQ(s.offset(4), 24u);
+  EXPECT_EQ(s.row_bytes(), 30u);
+}
+
+TEST(SchemaTest, WidthsFollowTypes) {
+  Schema s = TestSchema();
+  EXPECT_EQ(s.width(0), 8u);
+  EXPECT_EQ(s.width(1), 4u);
+  EXPECT_EQ(s.width(2), 8u);
+  EXPECT_EQ(s.width(3), 4u);
+  EXPECT_EQ(s.width(4), 6u);
+}
+
+TEST(SchemaTest, IndexOfFindsColumns) {
+  Schema s = TestSchema();
+  EXPECT_EQ(*s.IndexOf("price"), 2u);
+  EXPECT_TRUE(s.IndexOf("nope").status().IsNotFound());
+}
+
+TEST(SchemaTest, RejectsEmpty) {
+  EXPECT_FALSE(Schema::Create({}).ok());
+}
+
+TEST(SchemaTest, RejectsDuplicateNames) {
+  auto s = Schema::Create({{"a", ColumnType::kInt32, 0},
+                           {"a", ColumnType::kInt64, 0}});
+  EXPECT_TRUE(s.status().IsInvalidArgument());
+}
+
+TEST(SchemaTest, RejectsEmptyName) {
+  auto s = Schema::Create({{"", ColumnType::kInt32, 0}});
+  EXPECT_TRUE(s.status().IsInvalidArgument());
+}
+
+TEST(SchemaTest, RejectsZeroWidthChar) {
+  auto s = Schema::Create({{"c", ColumnType::kChar, 0}});
+  EXPECT_TRUE(s.status().IsInvalidArgument());
+}
+
+TEST(SchemaTest, UniformBuildsNamedColumns) {
+  Schema s = Schema::Uniform(16, ColumnType::kInt32);
+  EXPECT_EQ(s.num_columns(), 16u);
+  EXPECT_EQ(s.row_bytes(), 64u);
+  EXPECT_EQ(s.column(3).name, "c3");
+}
+
+TEST(SchemaTest, EqualityIsStructural) {
+  EXPECT_TRUE(TestSchema() == TestSchema());
+  Schema other = Schema::Uniform(5, ColumnType::kInt32);
+  EXPECT_FALSE(TestSchema() == other);
+}
+
+TEST(SchemaTest, ToStringListsColumns) {
+  const std::string str = TestSchema().ToString();
+  EXPECT_NE(str.find("key:int64 @0"), std::string::npos);
+  EXPECT_NE(str.find("tag:char @24"), std::string::npos);
+}
+
+TEST(SchemaTest, IntegerTypePredicate) {
+  EXPECT_TRUE(IsIntegerType(ColumnType::kInt32));
+  EXPECT_TRUE(IsIntegerType(ColumnType::kInt64));
+  EXPECT_TRUE(IsIntegerType(ColumnType::kDate));
+  EXPECT_FALSE(IsIntegerType(ColumnType::kDouble));
+  EXPECT_FALSE(IsIntegerType(ColumnType::kChar));
+}
+
+class RowTableTest : public ::testing::Test {
+ protected:
+  RowTableTest() : table_(TestSchema(), &memory_, 4) {}
+
+  void Append(int64_t key, int32_t qty, double price, int32_t day,
+              std::string_view tag) {
+    RowBuilder b(&table_.schema());
+    b.AddInt64(key).AddInt32(qty).AddDouble(price).AddDate(day).AddChar(tag);
+    table_.AppendRow(b.Finish());
+  }
+
+  sim::MemorySystem memory_;
+  RowTable table_;
+};
+
+TEST_F(RowTableTest, AppendAndRead) {
+  Append(7, 3, 1.5, 100, "abc");
+  ASSERT_EQ(table_.num_rows(), 1u);
+  EXPECT_EQ(table_.GetInt(0, 0), 7);
+  EXPECT_EQ(table_.GetInt(0, 1), 3);
+  EXPECT_DOUBLE_EQ(table_.GetDouble(0, 2), 1.5);
+  EXPECT_EQ(table_.GetInt(0, 3), 100);
+  EXPECT_EQ(table_.GetChar(0, 4).substr(0, 3), "abc");
+}
+
+TEST_F(RowTableTest, CharFieldsPadWithZeros) {
+  Append(1, 1, 1.0, 1, "xy");
+  const std::string_view tag = table_.GetChar(0, 4);
+  EXPECT_EQ(tag.size(), 6u);
+  EXPECT_EQ(tag[2], '\0');
+  EXPECT_EQ(tag[5], '\0');
+}
+
+TEST_F(RowTableTest, CharFieldsTruncateToWidth) {
+  Append(1, 1, 1.0, 1, "longer-than-six");
+  EXPECT_EQ(table_.GetChar(0, 4), "longer");
+}
+
+TEST_F(RowTableTest, GetDoubleCoercesIntegers) {
+  Append(42, 9, 2.5, -3, "t");
+  EXPECT_DOUBLE_EQ(table_.GetDouble(0, 0), 42.0);
+  EXPECT_DOUBLE_EQ(table_.GetDouble(0, 3), -3.0);
+}
+
+TEST_F(RowTableTest, NegativeInt32SignExtends) {
+  Append(1, -17, 0.0, -365, "t");
+  EXPECT_EQ(table_.GetInt(0, 1), -17);
+  EXPECT_EQ(table_.GetInt(0, 3), -365);
+}
+
+TEST_F(RowTableTest, GrowsBeyondCapacity) {
+  for (int i = 0; i < 100; ++i) {
+    Append(i, i * 2, i * 0.5, i, "row");
+  }
+  EXPECT_EQ(table_.num_rows(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(table_.GetInt(i, 0), i);
+    EXPECT_EQ(table_.GetInt(i, 1), i * 2);
+  }
+}
+
+TEST_F(RowTableTest, AddressesAreContiguousRows) {
+  Append(1, 1, 1.0, 1, "a");
+  Append(2, 2, 2.0, 2, "b");
+  EXPECT_EQ(table_.RowAddress(1) - table_.RowAddress(0),
+            table_.row_bytes());
+  EXPECT_EQ(table_.FieldAddress(1, 2) - table_.RowAddress(1),
+            table_.schema().offset(2));
+}
+
+TEST(RowBuilderTest, TypeMismatchDies) {
+  sim::MemorySystem memory;
+  RowTable table(TestSchema(), &memory, 1);
+  RowBuilder b(&table.schema());
+  EXPECT_DEATH(b.AddInt32(1), "type mismatch");  // first field is int64
+}
+
+TEST(RowBuilderTest, IncompleteRowDies) {
+  sim::MemorySystem memory;
+  RowTable table(TestSchema(), &memory, 1);
+  RowBuilder b(&table.schema());
+  b.AddInt64(1);
+  EXPECT_DEATH(b.Finish(), "missing fields");
+}
+
+TEST(ColumnTableTest, MirrorsRowData) {
+  sim::MemorySystem memory;
+  RowTable rows(TestSchema(), &memory, 16);
+  Random rng(3);
+  RowBuilder b(&rows.schema());
+  for (int i = 0; i < 50; ++i) {
+    b.Reset();
+    b.AddInt64(i)
+        .AddInt32(static_cast<int32_t>(rng.Uniform(100)))
+        .AddDouble(rng.NextDouble())
+        .AddDate(static_cast<int32_t>(rng.Uniform(1000)))
+        .AddChar("tag");
+    rows.AppendRow(b.Finish());
+  }
+  ColumnTable cols(rows, &memory);
+  ASSERT_EQ(cols.num_rows(), rows.num_rows());
+  for (uint64_t r = 0; r < rows.num_rows(); ++r) {
+    EXPECT_EQ(cols.GetInt(0, r), rows.GetInt(r, 0));
+    EXPECT_EQ(cols.GetInt(1, r), rows.GetInt(r, 1));
+    EXPECT_DOUBLE_EQ(cols.GetDouble(2, r), rows.GetDouble(r, 2));
+    EXPECT_EQ(cols.GetInt(3, r), rows.GetInt(r, 3));
+    EXPECT_EQ(cols.GetChar(4, r), rows.GetChar(r, 4));
+  }
+}
+
+TEST(ColumnTableTest, ColumnsArePackedByWidth) {
+  sim::MemorySystem memory;
+  RowTable rows(TestSchema(), &memory, 4);
+  RowBuilder b(&rows.schema());
+  for (int i = 0; i < 4; ++i) {
+    b.Reset();
+    b.AddInt64(i).AddInt32(i).AddDouble(i).AddDate(i).AddChar("t");
+    rows.AppendRow(b.Finish());
+  }
+  ColumnTable cols(rows, &memory);
+  EXPECT_EQ(cols.ValueAddress(0, 1) - cols.ValueAddress(0, 0), 8u);
+  EXPECT_EQ(cols.ValueAddress(1, 1) - cols.ValueAddress(1, 0), 4u);
+  EXPECT_EQ(cols.column_bytes(1), 16u);
+}
+
+}  // namespace
+}  // namespace relfab::layout

@@ -1,0 +1,313 @@
+#include <gtest/gtest.h>
+
+#include "layout/row_table.h"
+#include "mvcc/transaction.h"
+#include "mvcc/versioned_table.h"
+#include "relmem/ephemeral.h"
+#include "relmem/rm_engine.h"
+#include "sim/memory_system.h"
+
+namespace relfab::mvcc {
+namespace {
+
+using layout::ColumnType;
+using layout::RowBuilder;
+using layout::Schema;
+
+class MvccTest : public ::testing::Test {
+ protected:
+  MvccTest() {
+    auto schema = Schema::Create({{"id", ColumnType::kInt64, 0},
+                                  {"balance", ColumnType::kInt64, 0}});
+    auto table = VersionedTable::Create(*schema, /*key_column=*/0, &memory_);
+    RELFAB_CHECK(table.ok());
+    table_ = std::make_unique<VersionedTable>(std::move(*table));
+    tm_ = std::make_unique<TransactionManager>(table_.get());
+  }
+
+  std::vector<uint8_t> Row(int64_t id, int64_t balance) {
+    RowBuilder b(&table_->user_schema());
+    b.AddInt64(id).AddInt64(balance);
+    const uint8_t* p = b.Finish();
+    return {p, p + table_->user_schema().row_bytes()};
+  }
+
+  int64_t BalanceOf(const std::vector<uint8_t>& row) {
+    int64_t v;
+    std::memcpy(&v, row.data() + 8, 8);
+    return v;
+  }
+
+  Status Insert(Transaction* txn, int64_t id, int64_t balance) {
+    return tm_->Insert(txn, Row(id, balance).data());
+  }
+  Status Update(Transaction* txn, int64_t id, int64_t balance) {
+    return tm_->Update(txn, id, Row(id, balance).data());
+  }
+
+  /// Commits a single-op transaction inserting (id, balance).
+  void MustInsert(int64_t id, int64_t balance) {
+    Transaction txn = tm_->Begin();
+    ASSERT_TRUE(Insert(&txn, id, balance).ok());
+    ASSERT_TRUE(tm_->Commit(&txn).ok());
+  }
+
+  uint64_t CountVisible(uint64_t read_ts) {
+    uint64_t count = 0;
+    for (uint64_t r = 0; r < table_->num_versions(); ++r) {
+      count += table_->Visible(r, read_ts) ? 1 : 0;
+    }
+    return count;
+  }
+
+  sim::MemorySystem memory_;
+  std::unique_ptr<VersionedTable> table_;
+  std::unique_ptr<TransactionManager> tm_;
+};
+
+TEST_F(MvccTest, SchemaGainsTimestampColumns) {
+  EXPECT_EQ(table_->rows().schema().num_columns(), 4u);
+  EXPECT_EQ(table_->rows().schema().column(2).name, "__begin_ts");
+  EXPECT_EQ(table_->rows().schema().column(3).name, "__end_ts");
+  EXPECT_EQ(table_->begin_ts_column(), 2u);
+  EXPECT_EQ(table_->end_ts_column(), 3u);
+}
+
+TEST_F(MvccTest, CreateRejectsBadKeyColumn) {
+  auto schema = Schema::Create({{"id", ColumnType::kInt32, 0}});
+  EXPECT_TRUE(VersionedTable::Create(*schema, 0, &memory_)
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(VersionedTable::Create(*schema, 5, &memory_)
+                  .status()
+                  .IsOutOfRange());
+}
+
+TEST_F(MvccTest, InsertBecomesVisibleAfterCommitOnly) {
+  Transaction writer = tm_->Begin();
+  ASSERT_TRUE(Insert(&writer, 1, 100).ok());
+  Transaction reader_before = tm_->Begin();
+  ASSERT_TRUE(tm_->Commit(&writer).ok());
+  Transaction reader_after = tm_->Begin();
+
+  EXPECT_TRUE(tm_->Read(reader_before, 1).status().IsNotFound());
+  auto row = tm_->Read(reader_after, 1);
+  ASSERT_TRUE(row.ok());
+  EXPECT_EQ(BalanceOf(*row), 100);
+}
+
+TEST_F(MvccTest, SnapshotReadsOldVersionDuringConcurrentUpdate) {
+  MustInsert(1, 100);
+  Transaction reader = tm_->Begin();  // snapshot at balance=100
+  Transaction writer = tm_->Begin();
+  ASSERT_TRUE(Update(&writer, 1, 200).ok());
+  ASSERT_TRUE(tm_->Commit(&writer).ok());
+  // The reader still sees the old version; a new reader sees the update.
+  EXPECT_EQ(BalanceOf(*tm_->Read(reader, 1)), 100);
+  Transaction fresh = tm_->Begin();
+  EXPECT_EQ(BalanceOf(*tm_->Read(fresh, 1)), 200);
+}
+
+TEST_F(MvccTest, WriteWriteConflictAborts) {
+  MustInsert(1, 100);
+  Transaction t1 = tm_->Begin();
+  Transaction t2 = tm_->Begin();
+  ASSERT_TRUE(Update(&t1, 1, 111).ok());
+  ASSERT_TRUE(Update(&t2, 1, 222).ok());
+  ASSERT_TRUE(tm_->Commit(&t1).ok());  // first committer wins
+  EXPECT_TRUE(tm_->Commit(&t2).IsAborted());
+  EXPECT_EQ(t2.state(), TxnState::kAborted);
+  Transaction check = tm_->Begin();
+  EXPECT_EQ(BalanceOf(*tm_->Read(check, 1)), 111);
+  EXPECT_EQ(tm_->aborts(), 1u);
+}
+
+TEST_F(MvccTest, DisjointWritersBothCommit) {
+  MustInsert(1, 10);
+  MustInsert(2, 20);
+  Transaction t1 = tm_->Begin();
+  Transaction t2 = tm_->Begin();
+  ASSERT_TRUE(Update(&t1, 1, 11).ok());
+  ASSERT_TRUE(Update(&t2, 2, 22).ok());
+  EXPECT_TRUE(tm_->Commit(&t1).ok());
+  EXPECT_TRUE(tm_->Commit(&t2).ok());
+}
+
+TEST_F(MvccTest, DeleteHidesKeyFromLaterSnapshots) {
+  MustInsert(1, 100);
+  Transaction before = tm_->Begin();
+  Transaction deleter = tm_->Begin();
+  ASSERT_TRUE(tm_->Delete(&deleter, 1).ok());
+  ASSERT_TRUE(tm_->Commit(&deleter).ok());
+  Transaction after = tm_->Begin();
+  EXPECT_TRUE(tm_->Read(before, 1).ok());  // old snapshot still sees it
+  EXPECT_TRUE(tm_->Read(after, 1).status().IsNotFound());
+}
+
+TEST_F(MvccTest, InsertDuplicateKeyFails) {
+  MustInsert(1, 100);
+  Transaction txn = tm_->Begin();
+  EXPECT_EQ(Insert(&txn, 1, 200).code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(MvccTest, ReinsertAfterDeleteWorks) {
+  MustInsert(1, 100);
+  Transaction deleter = tm_->Begin();
+  ASSERT_TRUE(tm_->Delete(&deleter, 1).ok());
+  ASSERT_TRUE(tm_->Commit(&deleter).ok());
+  MustInsert(1, 500);
+  Transaction reader = tm_->Begin();
+  EXPECT_EQ(BalanceOf(*tm_->Read(reader, 1)), 500);
+}
+
+TEST_F(MvccTest, UpdateMissingKeyFails) {
+  Transaction txn = tm_->Begin();
+  EXPECT_TRUE(Update(&txn, 99, 1).IsNotFound());
+  EXPECT_TRUE(tm_->Delete(&txn, 99).IsNotFound());
+}
+
+TEST_F(MvccTest, ReadOwnWrites) {
+  MustInsert(1, 100);
+  Transaction txn = tm_->Begin();
+  ASSERT_TRUE(Update(&txn, 1, 150).ok());
+  EXPECT_EQ(BalanceOf(*tm_->Read(txn, 1)), 150);  // own write wins
+  ASSERT_TRUE(tm_->Delete(&txn, 1).ok());
+  EXPECT_TRUE(tm_->Read(txn, 1).status().IsNotFound());
+}
+
+TEST_F(MvccTest, InsertThenDeleteInSameTxnLeavesNothing) {
+  Transaction txn = tm_->Begin();
+  ASSERT_TRUE(Insert(&txn, 5, 55).ok());
+  ASSERT_TRUE(tm_->Delete(&txn, 5).ok());
+  ASSERT_TRUE(tm_->Commit(&txn).ok());
+  Transaction reader = tm_->Begin();
+  EXPECT_TRUE(tm_->Read(reader, 5).status().IsNotFound());
+}
+
+TEST_F(MvccTest, DeleteThenInsertBecomesUpdate) {
+  MustInsert(1, 100);
+  Transaction txn = tm_->Begin();
+  ASSERT_TRUE(tm_->Delete(&txn, 1).ok());
+  ASSERT_TRUE(Insert(&txn, 1, 300).ok());
+  ASSERT_TRUE(tm_->Commit(&txn).ok());
+  Transaction reader = tm_->Begin();
+  EXPECT_EQ(BalanceOf(*tm_->Read(reader, 1)), 300);
+}
+
+TEST_F(MvccTest, AbortDiscardsBufferedWrites) {
+  MustInsert(1, 100);
+  Transaction txn = tm_->Begin();
+  ASSERT_TRUE(Update(&txn, 1, 999).ok());
+  tm_->Abort(&txn);
+  EXPECT_EQ(txn.state(), TxnState::kAborted);
+  Transaction reader = tm_->Begin();
+  EXPECT_EQ(BalanceOf(*tm_->Read(reader, 1)), 100);
+  EXPECT_TRUE(tm_->Commit(&txn).code() == StatusCode::kFailedPrecondition);
+}
+
+TEST_F(MvccTest, UpdatesAppendVersionsNotOverwrite) {
+  MustInsert(1, 100);
+  for (int i = 0; i < 5; ++i) {
+    Transaction txn = tm_->Begin();
+    ASSERT_TRUE(Update(&txn, 1, 100 + i).ok());
+    ASSERT_TRUE(tm_->Commit(&txn).ok());
+  }
+  // Base data is append-only: 6 physical versions of the key exist.
+  EXPECT_EQ(table_->num_versions(), 6u);
+  // Exactly one version is visible at any snapshot.
+  for (uint64_t ts = 1; ts <= tm_->current_ts(); ++ts) {
+    EXPECT_EQ(CountVisible(ts), 1u) << "ts " << ts;
+  }
+}
+
+TEST_F(MvccTest, TimeTravelThroughSnapshots) {
+  MustInsert(1, 100);  // ts 1
+  MustInsert(2, 200);  // ts 2
+  {
+    Transaction txn = tm_->Begin();
+    ASSERT_TRUE(Update(&txn, 1, 101).ok());
+    ASSERT_TRUE(tm_->Commit(&txn).ok());  // ts 3
+  }
+  {
+    Transaction txn = tm_->Begin();
+    ASSERT_TRUE(tm_->Delete(&txn, 2).ok());
+    ASSERT_TRUE(tm_->Commit(&txn).ok());  // ts 4
+  }
+  EXPECT_EQ(CountVisible(1), 1u);  // {1:100}
+  EXPECT_EQ(CountVisible(2), 2u);  // {1:100, 2:200}
+  EXPECT_EQ(CountVisible(3), 2u);  // {1:101, 2:200}
+  EXPECT_EQ(CountVisible(4), 1u);  // {1:101}
+}
+
+TEST_F(MvccTest, HardwareVisibilityFilterMatchesSoftware) {
+  // Build history, then compare the fabric's snapshot scan against the
+  // software Visible() check at every timestamp.
+  for (int64_t k = 1; k <= 20; ++k) MustInsert(k, k * 10);
+  for (int64_t k = 1; k <= 10; ++k) {
+    Transaction txn = tm_->Begin();
+    ASSERT_TRUE(Update(&txn, k, k * 10 + 1).ok());
+    ASSERT_TRUE(tm_->Commit(&txn).ok());
+  }
+  for (int64_t k = 1; k <= 5; ++k) {
+    Transaction txn = tm_->Begin();
+    ASSERT_TRUE(tm_->Delete(&txn, k).ok());
+    ASSERT_TRUE(tm_->Commit(&txn).ok());
+  }
+  relmem::RmEngine rm(&memory_);
+  for (uint64_t ts = 0; ts <= tm_->current_ts(); ++ts) {
+    relmem::Geometry g;
+    g.columns = {0, 1};
+    g.visibility = table_->SnapshotFilter(ts);
+    auto view = rm.Configure(table_->rows(), g);
+    ASSERT_TRUE(view.ok());
+    uint64_t hw_count = 0;
+    for (relmem::EphemeralView::Cursor cur(&*view); cur.Valid();
+         cur.Advance()) {
+      ++hw_count;
+    }
+    EXPECT_EQ(hw_count, CountVisible(ts)) << "ts " << ts;
+  }
+}
+
+TEST_F(MvccTest, SnapshotScanSumsConsistentState) {
+  // Transfer money between two accounts repeatedly; every snapshot must
+  // conserve the total (the classic SI invariant).
+  MustInsert(1, 500);
+  MustInsert(2, 500);
+  for (int i = 0; i < 10; ++i) {
+    Transaction txn = tm_->Begin();
+    const int64_t a = BalanceOf(*tm_->Read(txn, 1));
+    const int64_t b = BalanceOf(*tm_->Read(txn, 2));
+    ASSERT_TRUE(Update(&txn, 1, a - 10).ok());
+    ASSERT_TRUE(Update(&txn, 2, b + 10).ok());
+    ASSERT_TRUE(tm_->Commit(&txn).ok());
+  }
+  for (uint64_t ts = 2; ts <= tm_->current_ts(); ++ts) {
+    int64_t total = 0;
+    for (uint64_t r = 0; r < table_->num_versions(); ++r) {
+      if (table_->Visible(r, ts)) {
+        total += table_->rows().GetInt(r, 1);
+      }
+    }
+    EXPECT_EQ(total, 1000) << "snapshot " << ts;
+  }
+}
+
+TEST_F(MvccTest, VisibleVersionWalksTheChain) {
+  MustInsert(1, 100);  // ts1
+  {
+    Transaction txn = tm_->Begin();
+    ASSERT_TRUE(Update(&txn, 1, 200).ok());
+    ASSERT_TRUE(tm_->Commit(&txn).ok());  // ts2
+  }
+  auto v1 = table_->VisibleVersion(1, 1);
+  auto v2 = table_->VisibleVersion(1, 2);
+  ASSERT_TRUE(v1.ok());
+  ASSERT_TRUE(v2.ok());
+  EXPECT_NE(*v1, *v2);
+  EXPECT_TRUE(table_->VisibleVersion(1, 0).status().IsNotFound());
+  EXPECT_TRUE(table_->VisibleVersion(42, 9).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace relfab::mvcc

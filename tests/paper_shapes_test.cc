@@ -1,0 +1,341 @@
+// Property tests asserting the *shapes* of the paper's evaluation
+// (Figures 5, 6a, 6b, 7a, 7b) at reduced scale, so the calibration that
+// reproduces them cannot silently regress. The full-size sweeps live in
+// bench/.
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "engine/rm_exec.h"
+#include "engine/vector_engine.h"
+#include "engine/volcano.h"
+#include "layout/column_table.h"
+#include "layout/row_table.h"
+#include "relmem/rm_engine.h"
+#include "sim/memory_system.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace relfab {
+namespace {
+
+using engine::QuerySpec;
+using layout::ColumnType;
+using layout::RowBuilder;
+using layout::RowTable;
+using layout::Schema;
+
+class ShapeEnv {
+ public:
+  static constexpr uint64_t kRows = 128 * 1024;
+
+  ShapeEnv(uint32_t num_columns, uint64_t rows = kRows)
+      : table_(Build(num_columns, rows)),
+        columns_(table_, &memory_),
+        rm_(&memory_) {}
+
+  uint64_t Row(const QuerySpec& q) {
+    memory_.ResetState();
+    engine::VolcanoEngine eng(&table_);
+    return eng.Execute(q)->sim_cycles;
+  }
+  uint64_t Col(const QuerySpec& q) {
+    memory_.ResetState();
+    engine::VectorEngine eng(&columns_);
+    return eng.Execute(q)->sim_cycles;
+  }
+  uint64_t Rm(const QuerySpec& q) {
+    memory_.ResetState();
+    engine::RmExecEngine eng(&table_, &rm_);
+    return eng.Execute(q)->sim_cycles;
+  }
+
+ private:
+  RowTable Build(uint32_t num_columns, uint64_t rows) {
+    Schema schema = Schema::Uniform(num_columns, ColumnType::kInt32);
+    RowTable table(std::move(schema), &memory_, rows);
+    RowBuilder b(&table.schema());
+    Random rng(11);
+    for (uint64_t r = 0; r < rows; ++r) {
+      b.Reset();
+      for (uint32_t c = 0; c < num_columns; ++c) {
+        b.AddInt32(static_cast<int32_t>(rng.Uniform(100)));
+      }
+      table.AppendRow(b.Finish());
+    }
+    return table;
+  }
+
+  sim::MemorySystem memory_;
+  RowTable table_;
+  layout::ColumnTable columns_;
+  relmem::RmEngine rm_;
+};
+
+QuerySpec Projection(uint32_t k) {
+  QuerySpec q;
+  for (uint32_t c = 0; c < k; ++c) q.projection.push_back(c);
+  return q;
+}
+
+QuerySpec ProjectSelect(uint32_t p, uint32_t s) {
+  QuerySpec q;
+  for (uint32_t c = 0; c < p; ++c) q.projection.push_back(c);
+  for (uint32_t c = 0; c < s; ++c) {
+    q.predicates.push_back(
+        engine::Predicate::Int(10 + c, relmem::CompareOp::kLt, 95));
+  }
+  return q;
+}
+
+// ------------------------------------------------------------- figure 5
+
+TEST(Fig5Shape, RmBeatsRowAtEveryProjectivity) {
+  ShapeEnv env(16);  // 64-byte rows of 4-byte columns, as in the paper
+  for (uint32_t k = 1; k <= 11; ++k) {
+    EXPECT_LT(env.Rm(Projection(k)), env.Row(Projection(k))) << "k=" << k;
+  }
+}
+
+TEST(Fig5Shape, ColWinsUpToFourColumnsRmBeyond) {
+  ShapeEnv env(16);
+  for (uint32_t k = 1; k <= 4; ++k) {
+    EXPECT_LT(env.Col(Projection(k)), env.Rm(Projection(k))) << "k=" << k;
+  }
+  for (uint32_t k = 5; k <= 11; ++k) {
+    EXPECT_LT(env.Rm(Projection(k)), env.Col(Projection(k))) << "k=" << k;
+  }
+}
+
+TEST(Fig5Shape, ColDegradesSharplyPastThePrefetcherLimit) {
+  ShapeEnv env(16);
+  const uint64_t col4 = env.Col(Projection(4));
+  const uint64_t col5 = env.Col(Projection(5));
+  // The stream-table cliff: five concurrent cursors cost far more than
+  // four, not 25% more.
+  EXPECT_GT(static_cast<double>(col5) / static_cast<double>(col4), 1.6);
+}
+
+TEST(Fig5Shape, RowScanCostBarelyDependsOnProjectivity) {
+  // The row engine always drags whole rows through the hierarchy; its
+  // *memory* cost is flat in projectivity (CPU field costs still grow).
+  ShapeEnv env(16);
+  const uint64_t row1 = env.Row(Projection(1));
+  const uint64_t row11 = env.Row(Projection(11));
+  EXPECT_LT(static_cast<double>(row11) / static_cast<double>(row1), 4.0);
+}
+
+// ------------------------------------------------------------- figure 6
+
+TEST(Fig6aShape, RmBeatsRowAcrossTheGrid) {
+  ShapeEnv env(20);
+  for (uint32_t p : {1u, 4u, 10u}) {
+    for (uint32_t s : {1u, 4u, 10u}) {
+      const double speedup =
+          static_cast<double>(env.Row(ProjectSelect(p, s))) /
+          static_cast<double>(env.Rm(ProjectSelect(p, s)));
+      EXPECT_GT(speedup, 1.15) << "p=" << p << " s=" << s;
+      EXPECT_LT(speedup, 3.5) << "p=" << p << " s=" << s;
+    }
+  }
+}
+
+TEST(Fig6aShape, SpeedupShrinksAsQueriesTouchMoreColumns) {
+  ShapeEnv env(20);
+  const double narrow = static_cast<double>(env.Row(ProjectSelect(1, 4))) /
+                        static_cast<double>(env.Rm(ProjectSelect(1, 4)));
+  const double wide = static_cast<double>(env.Row(ProjectSelect(10, 10))) /
+                      static_cast<double>(env.Rm(ProjectSelect(10, 10)));
+  EXPECT_GT(narrow, wide);
+}
+
+TEST(Fig6bShape, ColWinsTheLowerLeftCorner) {
+  ShapeEnv env(20);
+  // Total referenced columns <= 4: columnar accesses beat RM.
+  EXPECT_LT(env.Col(ProjectSelect(1, 1)), env.Rm(ProjectSelect(1, 1)));
+  EXPECT_LT(env.Col(ProjectSelect(2, 1)), env.Rm(ProjectSelect(2, 1)));
+  EXPECT_LT(env.Col(ProjectSelect(1, 2)), env.Rm(ProjectSelect(1, 2)));
+  EXPECT_LT(env.Col(ProjectSelect(2, 2)), env.Rm(ProjectSelect(2, 2)));
+  EXPECT_LT(env.Col(ProjectSelect(3, 1)), env.Rm(ProjectSelect(3, 1)));
+}
+
+TEST(Fig6bShape, RmDominatesBeyondFourTotalColumns) {
+  ShapeEnv env(20);
+  for (auto [p, s] : {std::pair{4u, 1u}, {1u, 4u}, {3u, 3u}, {10u, 1u},
+                      {1u, 10u}, {10u, 10u}}) {
+    EXPECT_LT(env.Rm(ProjectSelect(p, s)), env.Col(ProjectSelect(p, s)))
+        << "p=" << p << " s=" << s;
+  }
+}
+
+TEST(Fig6bShape, RmAdvantageGrowsWithProjectivity) {
+  ShapeEnv env(20);
+  double prev = 0;
+  for (uint32_t p : {4u, 6u, 8u, 10u}) {
+    const double speedup =
+        static_cast<double>(env.Col(ProjectSelect(p, 1))) /
+        static_cast<double>(env.Rm(ProjectSelect(p, 1)));
+    EXPECT_GT(speedup, prev) << "p=" << p;
+    prev = speedup;
+  }
+  EXPECT_LT(prev, 3.0);  // ~2.2x in the paper
+}
+
+// ------------------------------------------------------------- figure 7
+
+class Fig7Env {
+ public:
+  explicit Fig7Env(uint64_t rows)
+      : table_(tpch::GenerateLineitem(rows, 1, &memory_)),
+        columns_(table_, &memory_),
+        rm_(&memory_) {}
+
+  uint64_t Row(const QuerySpec& q) {
+    memory_.ResetState();
+    engine::VolcanoEngine eng(&table_);
+    return eng.Execute(q)->sim_cycles;
+  }
+  uint64_t Col(const QuerySpec& q) {
+    memory_.ResetState();
+    engine::VectorEngine eng(&columns_);
+    return eng.Execute(q)->sim_cycles;
+  }
+  uint64_t Rm(const QuerySpec& q) {
+    memory_.ResetState();
+    engine::RmExecEngine eng(&table_, &rm_);
+    return eng.Execute(q)->sim_cycles;
+  }
+
+ private:
+  sim::MemorySystem memory_;
+  layout::RowTable table_;
+  layout::ColumnTable columns_;
+  relmem::RmEngine rm_;
+};
+
+TEST(Fig7Shape, Q1IsComputeBoundSoLayoutsLandClose) {
+  Fig7Env env(100000);
+  const QuerySpec q1 = tpch::MakeQ1Spec();
+  const uint64_t row = env.Row(q1);
+  const uint64_t col = env.Col(q1);
+  const uint64_t rm = env.Rm(q1);
+  // All three within a factor ~2 (the paper shows near-overlap; our
+  // interpreted volcano baseline trails somewhat — see EXPERIMENTS.md).
+  const uint64_t lo = std::min({row, col, rm});
+  const uint64_t hi = std::max({row, col, rm});
+  EXPECT_LT(static_cast<double>(hi) / static_cast<double>(lo), 2.0);
+}
+
+TEST(Fig7Shape, Q6IsMovementBoundSoColumnAccessWins) {
+  Fig7Env env(100000);
+  const QuerySpec q6 = tpch::MakeQ6Spec();
+  const uint64_t row = env.Row(q6);
+  const uint64_t col = env.Col(q6);
+  const uint64_t rm = env.Rm(q6);
+  // ROW drags 106-byte rows for a 20-byte column group: clearly slowest.
+  EXPECT_GT(static_cast<double>(row) / static_cast<double>(rm), 1.4);
+  EXPECT_GT(static_cast<double>(row) / static_cast<double>(col), 1.4);
+}
+
+TEST(Fig7Shape, Q6GapIsStableAcrossDataSizes) {
+  const QuerySpec q6 = tpch::MakeQ6Spec();
+  double prev_ratio = 0;
+  for (uint64_t rows : {50000ull, 100000ull, 200000ull}) {
+    Fig7Env env(rows);
+    const double ratio = static_cast<double>(env.Row(q6)) /
+                         static_cast<double>(env.Rm(q6));
+    if (prev_ratio != 0) {
+      EXPECT_NEAR(ratio, prev_ratio, prev_ratio * 0.25) << rows;
+    }
+    prev_ratio = ratio;
+  }
+}
+
+TEST(Fig7Shape, RuntimeScalesLinearlyWithDataSize) {
+  const QuerySpec q6 = tpch::MakeQ6Spec();
+  Fig7Env small(50000);
+  Fig7Env big(200000);
+  for (auto run : {&Fig7Env::Row, &Fig7Env::Col, &Fig7Env::Rm}) {
+    const double ratio = static_cast<double>((big.*run)(q6)) /
+                         static_cast<double>((small.*run)(q6));
+    EXPECT_NEAR(ratio, 4.0, 0.8);
+  }
+}
+
+// --------------------------------------------- supporting claims (§II)
+
+TEST(PaperClaims, RmShipsOnlyRelevantBytes) {
+  // §II: RM "pushes arbitrary subsets of columns in dense memory
+  // addresses", minimizing cache pollution. Check actual DRAM traffic:
+  // the ROW scan of 1 of 16 columns moves ~16x more demand bytes.
+  sim::MemorySystem memory;
+  Schema schema = Schema::Uniform(16, ColumnType::kInt32);
+  RowTable table(std::move(schema), &memory, 50000);
+  RowBuilder b(&table.schema());
+  for (uint64_t r = 0; r < 50000; ++r) {
+    b.Reset();
+    for (int c = 0; c < 16; ++c) b.AddInt32(1);
+    table.AppendRow(b.Finish());
+  }
+  QuerySpec q = Projection(1);
+
+  memory.ResetState();
+  engine::VolcanoEngine row_eng(&table);
+  ASSERT_TRUE(row_eng.Execute(q).ok());
+  const uint64_t row_lines = memory.stats().dram_lines_demand;
+
+  relmem::RmEngine rm(&memory);
+  memory.ResetState();
+  engine::RmExecEngine rm_eng(&table, &rm);
+  ASSERT_TRUE(rm_eng.Execute(q).ok());
+  // RM's CPU-side demand misses are served by the fill buffer, not DRAM.
+  EXPECT_EQ(memory.stats().dram_lines_demand, 0u);
+  EXPECT_GT(memory.stats().fabric_reads, 0u);
+  EXPECT_GT(row_lines, 0u);
+}
+
+TEST(PaperClaims, RmCausesLessCachePollution) {
+  // After scanning 1 of 16 columns, a working set that fits in L2 should
+  // survive under RM (only 4 B/row entered the cache) but be evicted by
+  // the ROW scan (64 B/row of pollution).
+  sim::MemorySystem memory;
+  Schema schema = Schema::Uniform(16, ColumnType::kInt32);
+  RowTable table(std::move(schema), &memory, 50000);  // 3.2 MB > L2
+  RowBuilder b(&table.schema());
+  for (uint64_t r = 0; r < 50000; ++r) {
+    b.Reset();
+    for (int c = 0; c < 16; ++c) b.AddInt32(1);
+    table.AppendRow(b.Finish());
+  }
+  const uint64_t ws_addr = memory.Allocate(256 * 1024);  // working set
+  const auto touch_ws = [&] {
+    for (uint64_t off = 0; off < 256 * 1024; off += 64) {
+      memory.Read(ws_addr + off, 8);
+    }
+  };
+  const QuerySpec q = Projection(1);
+  relmem::RmEngine rm(&memory);
+
+  // ROW scan between two working-set passes.
+  memory.ResetState();
+  touch_ws();
+  engine::VolcanoEngine row_eng(&table);
+  ASSERT_TRUE(row_eng.Execute(q).ok());
+  memory.ResetTiming();
+  touch_ws();
+  const uint64_t row_misses = memory.stats().l2_misses;
+
+  // RM scan between two working-set passes.
+  memory.ResetState();
+  touch_ws();
+  engine::RmExecEngine rm_eng(&table, &rm);
+  ASSERT_TRUE(rm_eng.Execute(q).ok());
+  memory.ResetTiming();
+  touch_ws();
+  const uint64_t rm_misses = memory.stats().l2_misses;
+
+  EXPECT_LT(rm_misses, row_misses / 2);
+}
+
+}  // namespace
+}  // namespace relfab

@@ -1,0 +1,427 @@
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "layout/row_table.h"
+#include "relmem/ephemeral.h"
+#include "relmem/geometry.h"
+#include "relmem/rm_engine.h"
+#include "sim/memory_system.h"
+
+namespace relfab::relmem {
+namespace {
+
+using layout::ColumnType;
+using layout::RowBuilder;
+using layout::RowTable;
+using layout::Schema;
+
+/// 8 int32 columns; column c of row r holds r * 10 + c.
+RowTable PatternTable(uint64_t rows, sim::MemorySystem* memory) {
+  Schema schema = Schema::Uniform(8, ColumnType::kInt32);
+  RowTable table(std::move(schema), memory, rows);
+  RowBuilder b(&table.schema());
+  for (uint64_t r = 0; r < rows; ++r) {
+    b.Reset();
+    for (uint32_t c = 0; c < 8; ++c) {
+      b.AddInt32(static_cast<int32_t>(r * 10 + c));
+    }
+    table.AppendRow(b.Finish());
+  }
+  return table;
+}
+
+// ------------------------------------------------------------- geometry
+
+TEST(GeometryTest, ProjectResolvesNames) {
+  sim::MemorySystem memory;
+  RowTable table = PatternTable(1, &memory);
+  auto g = Geometry::Project(table.schema(), {"c2", "c5"});
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->columns, (std::vector<uint32_t>{2, 5}));
+}
+
+TEST(GeometryTest, ProjectRejectsUnknownName) {
+  sim::MemorySystem memory;
+  RowTable table = PatternTable(1, &memory);
+  EXPECT_TRUE(Geometry::Project(table.schema(), {"zz"})
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(GeometryTest, ValidateRejectsEmptyAndDuplicates) {
+  Schema schema = Schema::Uniform(4, ColumnType::kInt32);
+  Geometry empty;
+  EXPECT_TRUE(empty.Validate(schema).IsInvalidArgument());
+  Geometry dup;
+  dup.columns = {1, 1};
+  EXPECT_TRUE(dup.Validate(schema).IsInvalidArgument());
+  Geometry oor;
+  oor.columns = {9};
+  EXPECT_TRUE(oor.Validate(schema).IsOutOfRange());
+}
+
+TEST(GeometryTest, ValidateRejectsBadPredicatesAndRange) {
+  Schema schema = Schema::Uniform(4, ColumnType::kInt32);
+  Geometry g = Geometry::FirstColumns(2);
+  g.predicates.push_back(HwPredicate::Int(7, CompareOp::kLt, 1));
+  EXPECT_TRUE(g.Validate(schema).IsOutOfRange());
+  g.predicates.clear();
+  g.begin_row = 10;
+  g.end_row = 5;
+  EXPECT_TRUE(g.Validate(schema).IsInvalidArgument());
+}
+
+TEST(GeometryTest, OutputRowBytesSumsWidths) {
+  auto schema = Schema::Create({{"a", ColumnType::kInt64, 0},
+                                {"b", ColumnType::kInt32, 0},
+                                {"c", ColumnType::kChar, 5}});
+  Geometry g;
+  g.columns = {0, 2};
+  EXPECT_EQ(g.OutputRowBytes(*schema), 13u);
+}
+
+TEST(GeometryTest, SourceColumnsIncludePredicatesAndTimestamps) {
+  Schema schema = Schema::Uniform(8, ColumnType::kInt32);
+  Geometry g;
+  g.columns = {5, 1};
+  g.predicates.push_back(HwPredicate::Int(3, CompareOp::kGt, 0));
+  g.visibility.enabled = true;
+  g.visibility.begin_ts_column = 6;
+  g.visibility.end_ts_column = 7;
+  // Sorted by offset, deduplicated.
+  EXPECT_EQ(g.SourceColumns(schema), (std::vector<uint32_t>{1, 3, 5, 6, 7}));
+}
+
+TEST(GeometryTest, ToStringMentionsEverything) {
+  Schema schema = Schema::Uniform(4, ColumnType::kInt32);
+  Geometry g = Geometry::FirstColumns(2);
+  g.predicates.push_back(HwPredicate::Int(3, CompareOp::kLe, 9));
+  const std::string s = g.ToString(schema);
+  EXPECT_NE(s.find("c0"), std::string::npos);
+  EXPECT_NE(s.find("c3<=9"), std::string::npos);
+}
+
+// ------------------------------------------------------ ephemeral views
+
+TEST(EphemeralViewTest, ProjectsTheRightValues) {
+  sim::MemorySystem memory;
+  RowTable table = PatternTable(100, &memory);
+  RmEngine rm(&memory);
+  Geometry g;
+  g.columns = {2, 5};
+  auto view = rm.Configure(table, g);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->num_rows(), 100u);
+  EXPECT_EQ(view->out_row_bytes(), 8u);
+  uint64_t r = 0;
+  for (EphemeralView::Cursor cur(&*view); cur.Valid(); cur.Advance(), ++r) {
+    EXPECT_EQ(cur.GetInt(0), static_cast<int64_t>(r * 10 + 2));
+    EXPECT_EQ(cur.GetInt(1), static_cast<int64_t>(r * 10 + 5));
+  }
+  EXPECT_EQ(r, 100u);
+}
+
+TEST(EphemeralViewTest, RowRangeClampsAndSlices) {
+  sim::MemorySystem memory;
+  RowTable table = PatternTable(50, &memory);
+  RmEngine rm(&memory);
+  Geometry g = Geometry::FirstColumns(1);
+  g.begin_row = 10;
+  g.end_row = 1000;  // clamped to 50
+  auto view = rm.Configure(table, g);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->num_rows(), 40u);
+  EphemeralView::Cursor cur(&*view);
+  EXPECT_EQ(cur.GetInt(0), 100);  // row 10, column 0
+}
+
+TEST(EphemeralViewTest, PredicatePushdownFiltersRows) {
+  sim::MemorySystem memory;
+  RowTable table = PatternTable(100, &memory);
+  RmEngine rm(&memory);
+  Geometry g;
+  g.columns = {0};
+  // c1 = r*10+1 < 301  =>  rows 0..29
+  g.predicates.push_back(HwPredicate::Int(1, CompareOp::kLt, 301));
+  auto view = rm.Configure(table, g);
+  ASSERT_TRUE(view.ok());
+  EXPECT_TRUE(view->has_pushdown());
+  uint64_t count = 0;
+  for (EphemeralView::Cursor cur(&*view); cur.Valid(); cur.Advance()) {
+    EXPECT_EQ(cur.GetInt(0) % 10, 0);
+    ++count;
+  }
+  EXPECT_EQ(count, 30u);
+}
+
+TEST(EphemeralViewTest, ConjunctionOfPredicates) {
+  sim::MemorySystem memory;
+  RowTable table = PatternTable(100, &memory);
+  RmEngine rm(&memory);
+  Geometry g;
+  g.columns = {3};
+  g.predicates.push_back(HwPredicate::Int(0, CompareOp::kGe, 200));  // r>=20
+  g.predicates.push_back(HwPredicate::Int(0, CompareOp::kLt, 300));  // r<30
+  auto view = rm.Configure(table, g);
+  ASSERT_TRUE(view.ok());
+  uint64_t count = 0;
+  for (EphemeralView::Cursor cur(&*view); cur.Valid(); cur.Advance()) {
+    ++count;
+  }
+  EXPECT_EQ(count, 10u);
+}
+
+TEST(EphemeralViewTest, EmptyResultIsValidCursor) {
+  sim::MemorySystem memory;
+  RowTable table = PatternTable(10, &memory);
+  RmEngine rm(&memory);
+  Geometry g;
+  g.columns = {0};
+  g.predicates.push_back(HwPredicate::Int(0, CompareOp::kLt, -1));
+  auto view = rm.Configure(table, g);
+  ASSERT_TRUE(view.ok());
+  EphemeralView::Cursor cur(&*view);
+  EXPECT_FALSE(cur.Valid());
+}
+
+TEST(EphemeralViewTest, SpansManyChunks) {
+  sim::SimParams params;
+  params.fabric_buffer_bytes = 16 * 1024;  // tiny buffer: many refills
+  sim::MemorySystem memory(params);
+  RowTable table = PatternTable(10000, &memory);
+  RmEngine rm(&memory);
+  Geometry g;
+  g.columns = {0, 1, 2, 3};
+  auto view = rm.Configure(table, g);
+  ASSERT_TRUE(view.ok());
+  uint64_t r = 0;
+  for (EphemeralView::Cursor cur(&*view); cur.Valid(); cur.Advance(), ++r) {
+    ASSERT_EQ(cur.GetInt(0), static_cast<int64_t>(r * 10)) << "row " << r;
+  }
+  EXPECT_EQ(r, 10000u);
+  EXPECT_GT(memory.stats().fabric_refills, 4u);
+}
+
+TEST(EphemeralViewTest, CursorRestartsFromTheTop) {
+  sim::MemorySystem memory;
+  RowTable table = PatternTable(20, &memory);
+  RmEngine rm(&memory);
+  auto view = rm.Configure(table, Geometry::FirstColumns(1));
+  ASSERT_TRUE(view.ok());
+  {
+    EphemeralView::Cursor cur(&*view);
+    cur.Advance();
+    EXPECT_EQ(cur.GetInt(0), 10);
+  }
+  EphemeralView::Cursor again(&*view);
+  EXPECT_EQ(again.GetInt(0), 0);
+}
+
+TEST(EphemeralViewTest, NumRowsDiesOnFilteredView) {
+  sim::MemorySystem memory;
+  RowTable table = PatternTable(10, &memory);
+  RmEngine rm(&memory);
+  Geometry g;
+  g.columns = {0};
+  g.predicates.push_back(HwPredicate::Int(0, CompareOp::kGt, 5));
+  auto view = rm.Configure(table, g);
+  ASSERT_TRUE(view.ok());
+  EXPECT_DEATH(view->num_rows(), "undefined for filtered views");
+}
+
+TEST(EphemeralViewTest, FieldMetadataExposed) {
+  sim::MemorySystem memory;
+  RowTable table = PatternTable(1, &memory);
+  RmEngine rm(&memory);
+  Geometry g;
+  g.columns = {4, 7};
+  auto view = rm.Configure(table, g);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->num_fields(), 2u);
+  EXPECT_EQ(view->field_name(0), "c4");
+  EXPECT_EQ(view->field_type(1), ColumnType::kInt32);
+  EXPECT_EQ(view->field_width(0), 4u);
+}
+
+// ------------------------------------------------------------ rm engine
+
+TEST(RmEngineTest, ConfigureValidatesGeometry) {
+  sim::MemorySystem memory;
+  RowTable table = PatternTable(4, &memory);
+  RmEngine rm(&memory);
+  Geometry bad;
+  bad.columns = {42};
+  EXPECT_FALSE(rm.Configure(table, bad).ok());
+  EXPECT_EQ(rm.num_configures(), 0u);
+}
+
+TEST(RmEngineTest, ConfigureChargesDescriptorCost) {
+  sim::MemorySystem memory;
+  RowTable table = PatternTable(4, &memory);
+  RmEngine rm(&memory);
+  memory.ResetTiming();
+  auto view = rm.Configure(table, Geometry::FirstColumns(1));
+  ASSERT_TRUE(view.ok());
+  EXPECT_DOUBLE_EQ(memory.cpu_cycles(),
+                   memory.params().fabric_configure_cycles);
+  EXPECT_EQ(rm.num_configures(), 1u);
+}
+
+TEST(RmEngineTest, GatherTouchesOnlyNeededLines) {
+  // 8 int32 columns = 32 B rows: two rows per line. Projecting any
+  // subset gathers each 64 B line exactly once.
+  sim::MemorySystem memory;
+  RowTable table = PatternTable(64, &memory);
+  RmEngine rm(&memory);
+  Geometry g = Geometry::FirstColumns(8);
+  auto view = rm.Configure(table, g);
+  ASSERT_TRUE(view.ok());
+  memory.ResetTiming();
+  for (EphemeralView::Cursor cur(&*view); cur.Valid(); cur.Advance()) {
+    cur.GetInt(0);
+  }
+  // 64 rows * 32 B = 2048 B = 32 lines.
+  EXPECT_EQ(memory.stats().dram_lines_gather, 32u);
+}
+
+TEST(RmEngineTest, GatherSkipsIrrelevantLinesOfWideRows) {
+  // 64 int32 columns = 256 B rows = 4 lines per row; projecting column 0
+  // only should gather ~1 line per row.
+  sim::MemorySystem memory;
+  Schema schema = Schema::Uniform(64, ColumnType::kInt32);
+  RowTable table(std::move(schema), &memory, 100);
+  RowBuilder b(&table.schema());
+  for (uint64_t r = 0; r < 100; ++r) {
+    b.Reset();
+    for (uint32_t c = 0; c < 64; ++c) b.AddInt32(static_cast<int32_t>(c));
+    table.AppendRow(b.Finish());
+  }
+  RmEngine rm(&memory);
+  auto view = rm.Configure(table, Geometry::FirstColumns(1));
+  ASSERT_TRUE(view.ok());
+  memory.ResetTiming();
+  for (EphemeralView::Cursor cur(&*view); cur.Valid(); cur.Advance()) {
+    cur.GetInt(0);
+  }
+  EXPECT_EQ(memory.stats().dram_lines_gather, 100u);  // 1 line per row
+}
+
+TEST(RmEngineTest, RowQualifiesMatchesVisibilityWindow) {
+  sim::MemorySystem memory;
+  auto schema = Schema::Create({{"v", ColumnType::kInt32, 0},
+                                {"begin", ColumnType::kInt64, 0},
+                                {"end", ColumnType::kInt64, 0}});
+  RowTable table(std::move(*schema), &memory, 4);
+  RowBuilder b(&table.schema());
+  // (begin, end): end==0 means open.
+  const int64_t windows[][2] = {{1, 0}, {5, 0}, {1, 4}, {3, 8}};
+  for (auto& w : windows) {
+    b.Reset();
+    b.AddInt32(0).AddInt64(w[0]).AddInt64(w[1]);
+    table.AppendRow(b.Finish());
+  }
+  Geometry g;
+  g.columns = {0};
+  g.visibility.enabled = true;
+  g.visibility.begin_ts_column = 1;
+  g.visibility.end_ts_column = 2;
+  g.visibility.read_ts = 4;
+  EXPECT_TRUE(RmEngine::RowQualifies(table, g, 0));   // [1, inf)
+  EXPECT_FALSE(RmEngine::RowQualifies(table, g, 1));  // [5, inf): future
+  EXPECT_FALSE(RmEngine::RowQualifies(table, g, 2));  // [1,4): dead at 4
+  EXPECT_TRUE(RmEngine::RowQualifies(table, g, 3));   // [3,8)
+}
+
+TEST(RmEngineTest, FabricAggregationMatchesSoftware) {
+  sim::MemorySystem memory;
+  RowTable table = PatternTable(500, &memory);
+  RmEngine rm(&memory);
+  Geometry g;
+  g.columns = {1, 3};
+  g.predicates.push_back(HwPredicate::Int(0, CompareOp::kGe, 1000));  // r>=100
+  std::vector<RmEngine::FabricAgg> aggs = {
+      {RmEngine::FabricAggOp::kCount, 0},
+      {RmEngine::FabricAggOp::kSum, 1},
+      {RmEngine::FabricAggOp::kMin, 3},
+      {RmEngine::FabricAggOp::kMax, 3},
+  };
+  auto result = rm.AggregateInFabric(table, g, aggs);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // Software ground truth.
+  double count = 0, sum = 0, mn = 0, mx = 0;
+  bool first = true;
+  for (uint64_t r = 0; r < 500; ++r) {
+    if (table.GetInt(r, 0) < 1000) continue;
+    count += 1;
+    sum += table.GetDouble(r, 1);
+    const double v = table.GetDouble(r, 3);
+    mn = first ? v : std::min(mn, v);
+    mx = first ? v : std::max(mx, v);
+    first = false;
+  }
+  EXPECT_DOUBLE_EQ(result->values[0], count);
+  EXPECT_DOUBLE_EQ(result->values[1], sum);
+  EXPECT_DOUBLE_EQ(result->values[2], mn);
+  EXPECT_DOUBLE_EQ(result->values[3], mx);
+  EXPECT_EQ(result->rows_scanned, 500u);
+  EXPECT_EQ(result->rows_matched, 400u);
+}
+
+TEST(RmEngineTest, FabricAggregationValidates) {
+  sim::MemorySystem memory;
+  RowTable table = PatternTable(10, &memory);
+  RmEngine rm(&memory);
+  Geometry g = Geometry::FirstColumns(2);
+  EXPECT_FALSE(rm.AggregateInFabric(table, g, {}).ok());
+  // Reduction column outside the geometry.
+  EXPECT_FALSE(
+      rm.AggregateInFabric(table, g, {{RmEngine::FabricAggOp::kSum, 7}})
+          .ok());
+  EXPECT_TRUE(
+      rm.AggregateInFabric(table, g, {{RmEngine::FabricAggOp::kSum, 1}})
+          .ok());
+}
+
+TEST(RmEngineTest, FabricAggregationShipsAlmostNothing) {
+  sim::MemorySystem memory;
+  RowTable table = PatternTable(20000, &memory);
+  RmEngine rm(&memory);
+  Geometry g = Geometry::FirstColumns(4);
+  memory.ResetState();
+  auto result = rm.AggregateInFabric(
+      table, g, {{RmEngine::FabricAggOp::kSum, 0}});
+  ASSERT_TRUE(result.ok());
+  const sim::MemStats stats = memory.stats();
+  // All movement is fabric-side gather; at most a line reaches the CPU.
+  EXPECT_GT(stats.dram_lines_gather, 0u);
+  EXPECT_EQ(stats.dram_lines_demand, 0u);
+  EXPECT_LE(stats.fabric_reads, 1u);
+}
+
+TEST(RmEngineTest, ProducerStallsWhenConsumerIsFaster) {
+  // A very narrow output over wide rows makes production the bottleneck;
+  // the elapsed time must include producer stalls.
+  sim::MemorySystem memory;
+  Schema schema = Schema::Uniform(32, ColumnType::kInt32);  // 128 B rows
+  RowTable table(std::move(schema), &memory, 5000);
+  RowBuilder b(&table.schema());
+  for (uint64_t r = 0; r < 5000; ++r) {
+    b.Reset();
+    for (uint32_t c = 0; c < 32; ++c) b.AddInt32(1);
+    table.AppendRow(b.Finish());
+  }
+  RmEngine rm(&memory);
+  auto view = rm.Configure(table, Geometry::FirstColumns(1));
+  ASSERT_TRUE(view.ok());
+  memory.ResetTiming();
+  for (EphemeralView::Cursor cur(&*view); cur.Valid(); cur.Advance()) {
+    cur.GetInt(0);
+  }
+  // Production floor: at least rows/fabric_rows_per_cycle fabric cycles.
+  const double parse_floor = 5000 / memory.params().fabric_rows_per_cycle *
+                             memory.params().fabric_clock_ratio;
+  EXPECT_GE(memory.ElapsedCycles(), static_cast<uint64_t>(parse_floor));
+}
+
+}  // namespace
+}  // namespace relfab::relmem

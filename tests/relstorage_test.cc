@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/random.h"
+#include "compress/dictionary.h"
+#include "compress/rle.h"
+#include "layout/schema.h"
+#include "relstorage/rs_engine.h"
+#include "relstorage/ssd_model.h"
+#include "relstorage/storage_table.h"
+
+namespace relfab::relstorage {
+namespace {
+
+using layout::ColumnType;
+using layout::Schema;
+
+/// 8 int32 columns; column c of row r holds (r * 8 + c) % 1000.
+StorageTable PatternStorage(uint64_t rows, uint32_t page_bytes = 4096) {
+  Schema schema = Schema::Uniform(8, ColumnType::kInt32);
+  std::vector<uint8_t> data(rows * schema.row_bytes());
+  for (uint64_t r = 0; r < rows; ++r) {
+    for (uint32_t c = 0; c < 8; ++c) {
+      const int32_t v = static_cast<int32_t>((r * 8 + c) % 1000);
+      std::memcpy(data.data() + r * schema.row_bytes() + c * 4, &v, 4);
+    }
+  }
+  return StorageTable(std::move(schema), std::move(data), rows, page_bytes);
+}
+
+int64_t SumFirstColumn(const ScanResult& result) {
+  int64_t sum = 0;
+  for (uint64_t r = 0; r < result.rows_out; ++r) {
+    int32_t v;
+    std::memcpy(&v, result.data.data() + r * result.out_row_bytes, 4);
+    sum += v;
+  }
+  return sum;
+}
+
+TEST(SsdModelTest, InternalReadsParallelizeAcrossChannels) {
+  SsdParams p;
+  SsdModel ssd(p);
+  const double one = ssd.ReadInternal(1);
+  const double eight = ssd.ReadInternal(p.channels);
+  // 8 pages across 8 channels take one wave, same as a single page.
+  EXPECT_DOUBLE_EQ(one, eight);
+  const double sixteen = ssd.ReadInternal(2 * p.channels);
+  EXPECT_GT(sixteen, eight);
+}
+
+TEST(SsdModelTest, ShippingSerializesOnTheInterface) {
+  SsdParams p;
+  SsdModel ssd(p);
+  EXPECT_DOUBLE_EQ(ssd.ShipToHost(10),
+                   10 * p.external_transfer_cycles);
+  EXPECT_EQ(ssd.pages_shipped(), 10u);
+}
+
+TEST(StorageTableTest, PagesReflectRowFootprint) {
+  StorageTable table = PatternStorage(1000);  // 32 KB of rows
+  EXPECT_EQ(table.TotalPages(), 8u);          // 4 KB pages
+  EXPECT_DOUBLE_EQ(table.EffectiveRowBytes(), 32.0);
+}
+
+TEST(StorageTableTest, GetValuesMatchPattern) {
+  StorageTable table = PatternStorage(100);
+  EXPECT_EQ(table.GetInt(0, 0), 0);
+  EXPECT_EQ(table.GetInt(10, 3), 83);
+  EXPECT_DOUBLE_EQ(table.GetDouble(10, 3), 83.0);
+}
+
+TEST(StorageTableTest, CompressionShrinksPages) {
+  StorageTable table = PatternStorage(10000);
+  const uint64_t before = table.TotalPages();
+  // Values < 1000 need 10 bits instead of 32.
+  ASSERT_TRUE(table
+                  .CompressColumn(0,
+                                  std::make_unique<compress::DictionaryCodec>())
+                  .ok());
+  ASSERT_TRUE(table.IsCompressed(0));
+  EXPECT_LT(table.TotalPages(), before);
+  // Logical values are unchanged.
+  EXPECT_EQ(table.GetInt(10, 0), 80);
+}
+
+TEST(StorageTableTest, CompressRejectsNonIntegerColumns) {
+  auto schema = Schema::Create({{"d", ColumnType::kDouble, 0}});
+  StorageTable table(std::move(*schema), std::vector<uint8_t>(80), 10, 4096);
+  EXPECT_TRUE(table
+                  .CompressColumn(0,
+                                  std::make_unique<compress::DictionaryCodec>())
+                  .IsInvalidArgument());
+  EXPECT_TRUE(table
+                  .CompressColumn(7,
+                                  std::make_unique<compress::DictionaryCodec>())
+                  .IsOutOfRange());
+}
+
+TEST(RsEngineTest, NearStorageAndHostProduceIdenticalOutput) {
+  StorageTable table = PatternStorage(5000);
+  SsdModel ssd;
+  RsEngine rs(&ssd);
+  relmem::Geometry g;
+  g.columns = {0, 5};
+  g.predicates.push_back(
+      relmem::HwPredicate::Int(2, relmem::CompareOp::kLt, 500));
+  auto near = rs.NearStorageScan(table, g);
+  auto host = rs.HostScan(table, g);
+  ASSERT_TRUE(near.ok());
+  ASSERT_TRUE(host.ok());
+  EXPECT_EQ(near->rows_out, host->rows_out);
+  EXPECT_EQ(near->data, host->data);
+  EXPECT_GT(near->rows_out, 0u);
+  EXPECT_EQ(SumFirstColumn(*near), SumFirstColumn(*host));
+}
+
+TEST(RsEngineTest, NearStorageShipsOnlyRelevantData) {
+  StorageTable table = PatternStorage(50000);
+  SsdModel ssd;
+  RsEngine rs(&ssd);
+  relmem::Geometry g;
+  g.columns = {0};  // 4 of 32 bytes per row
+  auto near = rs.NearStorageScan(table, g);
+  auto host = rs.HostScan(table, g);
+  ASSERT_TRUE(near.ok());
+  ASSERT_TRUE(host.ok());
+  EXPECT_LT(near->pages_shipped, host->pages_shipped / 4);
+  EXPECT_LT(near->cycles, host->cycles);
+}
+
+TEST(RsEngineTest, SelectionPushdownShrinksShipping) {
+  StorageTable table = PatternStorage(50000);
+  SsdModel ssd;
+  RsEngine rs(&ssd);
+  relmem::Geometry all;
+  all.columns = {0, 1, 2, 3, 4, 5, 6, 7};
+  relmem::Geometry filtered = all;
+  filtered.predicates.push_back(
+      relmem::HwPredicate::Int(0, relmem::CompareOp::kLt, 8));  // ~1/125
+  auto wide = rs.NearStorageScan(table, all);
+  auto narrow = rs.NearStorageScan(table, filtered);
+  ASSERT_TRUE(wide.ok());
+  ASSERT_TRUE(narrow.ok());
+  EXPECT_LT(narrow->pages_shipped, wide->pages_shipped / 50);
+}
+
+TEST(RsEngineTest, DecompressionOnTheFlyMatchesPlainScan) {
+  StorageTable plain = PatternStorage(20000);
+  StorageTable packed = PatternStorage(20000);
+  ASSERT_TRUE(packed
+                  .CompressColumn(0,
+                                  std::make_unique<compress::DictionaryCodec>())
+                  .ok());
+  SsdModel ssd;
+  RsEngine rs(&ssd);
+  relmem::Geometry g;
+  g.columns = {0, 1};
+  g.predicates.push_back(
+      relmem::HwPredicate::Int(0, relmem::CompareOp::kGe, 100));
+  auto a = rs.NearStorageScan(plain, g);
+  auto b = rs.NearStorageScan(packed, g);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->data, b->data);  // decoded output identical
+  EXPECT_LT(b->pages_sensed, a->pages_sensed);  // fewer flash pages
+}
+
+TEST(RsEngineTest, RowRangeRestrictsScan) {
+  StorageTable table = PatternStorage(1000);
+  SsdModel ssd;
+  RsEngine rs(&ssd);
+  relmem::Geometry g;
+  g.columns = {0};
+  g.begin_row = 100;
+  g.end_row = 200;
+  auto r = rs.NearStorageScan(table, g);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows_out, 100u);
+  int32_t first;
+  std::memcpy(&first, r->data.data(), 4);
+  EXPECT_EQ(first, 800);  // row 100, column 0
+}
+
+TEST(RsEngineTest, InvalidGeometryIsRejected) {
+  StorageTable table = PatternStorage(10);
+  SsdModel ssd;
+  RsEngine rs(&ssd);
+  relmem::Geometry g;
+  g.columns = {42};
+  EXPECT_FALSE(rs.NearStorageScan(table, g).ok());
+  EXPECT_FALSE(rs.HostScan(table, g).ok());
+}
+
+}  // namespace
+}  // namespace relfab::relstorage

@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "engine/rm_exec.h"
+#include "engine/vector_engine.h"
+#include "engine/volcano.h"
+#include "layout/column_table.h"
+#include "relmem/rm_engine.h"
+#include "sim/memory_system.h"
+#include "tpch/dbgen.h"
+#include "tpch/queries.h"
+
+namespace relfab::tpch {
+namespace {
+
+TEST(DayNumberTest, CalendarArithmetic) {
+  EXPECT_EQ(DayNumber(1992, 1, 1), 0);
+  EXPECT_EQ(DayNumber(1992, 1, 2), 1);
+  EXPECT_EQ(DayNumber(1992, 2, 1), 31);
+  EXPECT_EQ(DayNumber(1993, 1, 1), 366);  // 1992 is a leap year
+  EXPECT_EQ(DayNumber(1994, 1, 1) - DayNumber(1993, 1, 1), 365);
+  EXPECT_EQ(DayNumber(1998, 12, 1), 2526);
+  EXPECT_EQ(DayNumber(1991, 12, 31), -1);
+}
+
+TEST(LineitemSchemaTest, ShapeMatchesThePaperRatios) {
+  layout::Schema schema = LineitemSchema();
+  EXPECT_EQ(schema.num_columns(), 16u);
+  EXPECT_EQ(schema.row_bytes(), 106u);
+  // Q6 target columns: quantity(4) + extendedprice(8) + discount(4) +
+  // shipdate(4) = 20 B; table/target ratio ~5.3 as in Fig. 7b's axis.
+  EXPECT_EQ(schema.width(LineitemCols::kQuantity) +
+                schema.width(LineitemCols::kExtendedPrice) +
+                schema.width(LineitemCols::kDiscount) +
+                schema.width(LineitemCols::kShipDate),
+            20u);
+  EXPECT_EQ(*schema.IndexOf("l_shipdate"), LineitemCols::kShipDate);
+  EXPECT_EQ(*schema.IndexOf("l_returnflag"), LineitemCols::kReturnFlag);
+}
+
+class DbgenTest : public ::testing::Test {
+ protected:
+  static constexpr uint64_t kRows = 20000;
+  DbgenTest() : table_(GenerateLineitem(kRows, 42, &memory_)) {}
+
+  sim::MemorySystem memory_;
+  layout::RowTable table_;
+};
+
+TEST_F(DbgenTest, GeneratesRequestedRows) {
+  EXPECT_EQ(table_.num_rows(), kRows);
+}
+
+TEST_F(DbgenTest, DeterministicForSameSeed) {
+  sim::MemorySystem memory;
+  layout::RowTable again = GenerateLineitem(kRows, 42, &memory);
+  for (uint64_t r = 0; r < kRows; r += 997) {
+    EXPECT_EQ(table_.GetInt(r, LineitemCols::kQuantity),
+              again.GetInt(r, LineitemCols::kQuantity));
+    EXPECT_EQ(table_.GetInt(r, LineitemCols::kShipDate),
+              again.GetInt(r, LineitemCols::kShipDate));
+  }
+}
+
+TEST_F(DbgenTest, ValueDomainsMatchSpec) {
+  for (uint64_t r = 0; r < kRows; ++r) {
+    const int64_t qty = table_.GetInt(r, LineitemCols::kQuantity);
+    EXPECT_GE(qty, 1);
+    EXPECT_LE(qty, 50);
+    const int64_t disc = table_.GetInt(r, LineitemCols::kDiscount);
+    EXPECT_GE(disc, 0);
+    EXPECT_LE(disc, 10);
+    const int64_t tax = table_.GetInt(r, LineitemCols::kTax);
+    EXPECT_GE(tax, 0);
+    EXPECT_LE(tax, 8);
+    const int64_t price = table_.GetInt(r, LineitemCols::kExtendedPrice);
+    EXPECT_GE(price, qty * 90100);
+    EXPECT_LE(price, qty * 200000);
+    const char rf = table_.GetChar(r, LineitemCols::kReturnFlag)[0];
+    EXPECT_TRUE(rf == 'A' || rf == 'N' || rf == 'R');
+    const char ls = table_.GetChar(r, LineitemCols::kLineStatus)[0];
+    EXPECT_TRUE(ls == 'O' || ls == 'F');
+  }
+}
+
+TEST_F(DbgenTest, DateOrderingHolds) {
+  for (uint64_t r = 0; r < kRows; r += 7) {
+    const int64_t ship = table_.GetInt(r, LineitemCols::kShipDate);
+    const int64_t receipt = table_.GetInt(r, LineitemCols::kReceiptDate);
+    EXPECT_GT(receipt, ship);
+    EXPECT_LE(receipt - ship, 30);
+    EXPECT_GE(ship, DayNumber(1992, 1, 2));
+  }
+}
+
+TEST_F(DbgenTest, FlagStatusDerivedFromDates) {
+  const int32_t cutoff = DayNumber(1995, 6, 17);
+  for (uint64_t r = 0; r < kRows; r += 3) {
+    const int64_t ship = table_.GetInt(r, LineitemCols::kShipDate);
+    const int64_t receipt = table_.GetInt(r, LineitemCols::kReceiptDate);
+    const char rf = table_.GetChar(r, LineitemCols::kReturnFlag)[0];
+    const char ls = table_.GetChar(r, LineitemCols::kLineStatus)[0];
+    EXPECT_EQ(ls, ship > cutoff ? 'O' : 'F');
+    if (receipt > cutoff) {
+      EXPECT_EQ(rf, 'N');
+    } else {
+      EXPECT_TRUE(rf == 'A' || rf == 'R');
+    }
+  }
+}
+
+TEST_F(DbgenTest, Q6SelectivityNearTpchSpec) {
+  // TPC-H Q6 qualifies ~2% of lineitem.
+  engine::QuerySpec q6 = MakeQ6Spec();
+  engine::VolcanoEngine eng(&table_);
+  auto result = eng.Execute(q6);
+  ASSERT_TRUE(result.ok());
+  const double selectivity =
+      static_cast<double>(result->rows_matched) / kRows;
+  EXPECT_GT(selectivity, 0.010);
+  EXPECT_LT(selectivity, 0.030);
+}
+
+TEST_F(DbgenTest, Q1KeepsAlmostEverythingInFourGroups) {
+  engine::QuerySpec q1 = MakeQ1Spec();
+  engine::VolcanoEngine eng(&table_);
+  auto result = eng.Execute(q1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result->rows_matched, kRows * 95 / 100);
+  EXPECT_EQ(result->groups.size(), 4u);  // A/F, N/F, N/O, R/F
+  // count(*) is the last aggregate; the groups partition matched rows.
+  double total = 0;
+  for (const auto& [key, aggs] : result->groups) total += aggs.back();
+  EXPECT_DOUBLE_EQ(total, static_cast<double>(result->rows_matched));
+}
+
+TEST_F(DbgenTest, Q1AggregatesAreInternallyConsistent) {
+  engine::QuerySpec q1 = MakeQ1Spec();
+  engine::VolcanoEngine eng(&table_);
+  auto result = eng.Execute(q1);
+  ASSERT_TRUE(result.ok());
+  for (const auto& [key, aggs] : result->groups) {
+    const double sum_qty = aggs[0];
+    const double sum_price = aggs[1];
+    const double sum_disc_price = aggs[2];
+    const double sum_charge = aggs[3];
+    const double avg_qty = aggs[4];
+    const double avg_price = aggs[5];
+    const double count = aggs[7];
+    EXPECT_NEAR(avg_qty, sum_qty / count, 1e-9 * sum_qty);
+    EXPECT_NEAR(avg_price, sum_price / count, 1e-9 * sum_price);
+    // 0 <= discount <= 10% and 0 <= tax <= 8%:
+    EXPECT_LE(sum_disc_price, sum_price);
+    EXPECT_GE(sum_disc_price, 0.90 * sum_price - 1);
+    EXPECT_GE(sum_charge, sum_disc_price);
+    EXPECT_LE(sum_charge, 1.08 * sum_disc_price + 1);
+  }
+}
+
+TEST_F(DbgenTest, Q1AndQ6AgreeAcrossAllBackends) {
+  layout::ColumnTable columns(table_, &memory_);
+  relmem::RmEngine rm(&memory_);
+  for (const engine::QuerySpec& spec : {MakeQ1Spec(), MakeQ6Spec()}) {
+    memory_.ResetState();
+    engine::VolcanoEngine row_eng(&table_);
+    auto row = row_eng.Execute(spec);
+    memory_.ResetState();
+    engine::VectorEngine col_eng(&columns);
+    auto col = col_eng.Execute(spec);
+    memory_.ResetState();
+    engine::RmExecEngine rm_eng(&table_, &rm);
+    auto rmr = rm_eng.Execute(spec);
+    ASSERT_TRUE(row.ok() && col.ok() && rmr.ok());
+    EXPECT_TRUE(row->SameAnswer(*col));
+    EXPECT_TRUE(row->SameAnswer(*rmr));
+  }
+}
+
+TEST_F(DbgenTest, Q6IsMovementBoundSoRmAndColBeatRow) {
+  layout::ColumnTable columns(table_, &memory_);
+  relmem::RmEngine rm(&memory_);
+  const engine::QuerySpec q6 = MakeQ6Spec();
+  memory_.ResetState();
+  engine::VolcanoEngine row_eng(&table_);
+  const uint64_t row_cycles = row_eng.Execute(q6)->sim_cycles;
+  memory_.ResetState();
+  engine::VectorEngine col_eng(&columns);
+  const uint64_t col_cycles = col_eng.Execute(q6)->sim_cycles;
+  memory_.ResetState();
+  engine::RmExecEngine rm_eng(&table_, &rm);
+  const uint64_t rm_cycles = rm_eng.Execute(q6)->sim_cycles;
+  EXPECT_LT(rm_cycles, row_cycles);
+  EXPECT_LT(col_cycles, row_cycles);
+}
+
+}  // namespace
+}  // namespace relfab::tpch
