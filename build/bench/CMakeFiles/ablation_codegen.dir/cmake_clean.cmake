@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_codegen.dir/ablation_codegen.cc.o"
+  "CMakeFiles/ablation_codegen.dir/ablation_codegen.cc.o.d"
+  "ablation_codegen"
+  "ablation_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

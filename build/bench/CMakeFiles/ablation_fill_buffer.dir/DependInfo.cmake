@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_fill_buffer.cc" "bench/CMakeFiles/ablation_fill_buffer.dir/ablation_fill_buffer.cc.o" "gcc" "bench/CMakeFiles/ablation_fill_buffer.dir/ablation_fill_buffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/relfab_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/relfab_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/relfab_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/shard/CMakeFiles/relfab_shard.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/relfab_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/mvcc/CMakeFiles/relfab_mvcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/relstorage/CMakeFiles/relfab_relstorage.dir/DependInfo.cmake"
+  "/root/repo/build/src/compress/CMakeFiles/relfab_compress.dir/DependInfo.cmake"
+  "/root/repo/build/src/tpch/CMakeFiles/relfab_tpch.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/relfab_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/relmem/CMakeFiles/relfab_relmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/relfab_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/relfab_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/relfab_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fill_buffer.dir/ablation_fill_buffer.cc.o"
+  "CMakeFiles/ablation_fill_buffer.dir/ablation_fill_buffer.cc.o.d"
+  "ablation_fill_buffer"
+  "ablation_fill_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fill_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

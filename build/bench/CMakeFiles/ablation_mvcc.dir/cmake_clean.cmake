@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mvcc.dir/ablation_mvcc.cc.o"
+  "CMakeFiles/ablation_mvcc.dir/ablation_mvcc.cc.o.d"
+  "ablation_mvcc"
+  "ablation_mvcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mvcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_relstorage.dir/ablation_relstorage.cc.o"
+  "CMakeFiles/ablation_relstorage.dir/ablation_relstorage.cc.o.d"
+  "ablation_relstorage"
+  "ablation_relstorage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_relstorage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rmc.dir/ablation_rmc.cc.o"
+  "CMakeFiles/ablation_rmc.dir/ablation_rmc.cc.o.d"
+  "ablation_rmc"
+  "ablation_rmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

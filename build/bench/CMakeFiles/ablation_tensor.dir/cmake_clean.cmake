@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tensor.dir/ablation_tensor.cc.o"
+  "CMakeFiles/ablation_tensor.dir/ablation_tensor.cc.o.d"
+  "ablation_tensor"
+  "ablation_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

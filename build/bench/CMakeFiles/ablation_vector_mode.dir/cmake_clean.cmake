@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_vector_mode.dir/ablation_vector_mode.cc.o"
+  "CMakeFiles/ablation_vector_mode.dir/ablation_vector_mode.cc.o.d"
+  "ablation_vector_mode"
+  "ablation_vector_mode.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_vector_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

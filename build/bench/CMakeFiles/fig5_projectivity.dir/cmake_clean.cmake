@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_projectivity.dir/fig5_projectivity.cc.o"
+  "CMakeFiles/fig5_projectivity.dir/fig5_projectivity.cc.o.d"
+  "fig5_projectivity"
+  "fig5_projectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_projectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_heatmap.dir/fig6_heatmap.cc.o"
+  "CMakeFiles/fig6_heatmap.dir/fig6_heatmap.cc.o.d"
+  "fig6_heatmap"
+  "fig6_heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

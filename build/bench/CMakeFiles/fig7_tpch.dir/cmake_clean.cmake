@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_tpch.dir/fig7_tpch.cc.o"
+  "CMakeFiles/fig7_tpch.dir/fig7_tpch.cc.o.d"
+  "fig7_tpch"
+  "fig7_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

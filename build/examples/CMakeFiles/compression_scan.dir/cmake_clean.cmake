@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compression_scan.dir/compression_scan.cpp.o"
+  "CMakeFiles/compression_scan.dir/compression_scan.cpp.o.d"
+  "compression_scan"
+  "compression_scan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compression_scan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

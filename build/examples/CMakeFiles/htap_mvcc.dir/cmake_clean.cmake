@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/htap_mvcc.dir/htap_mvcc.cpp.o"
+  "CMakeFiles/htap_mvcc.dir/htap_mvcc.cpp.o.d"
+  "htap_mvcc"
+  "htap_mvcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/htap_mvcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matrix_slice.dir/matrix_slice.cpp.o"
+  "CMakeFiles/matrix_slice.dir/matrix_slice.cpp.o.d"
+  "matrix_slice"
+  "matrix_slice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matrix_slice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relational_storage_demo.dir/relational_storage_demo.cpp.o"
+  "CMakeFiles/relational_storage_demo.dir/relational_storage_demo.cpp.o.d"
+  "relational_storage_demo"
+  "relational_storage_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relational_storage_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

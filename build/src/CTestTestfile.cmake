@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("sim")
+subdirs("layout")
+subdirs("relmem")
+subdirs("engine")
+subdirs("index")
+subdirs("mvcc")
+subdirs("compress")
+subdirs("relstorage")
+subdirs("shard")
+subdirs("tensor")
+subdirs("query")
+subdirs("tpch")
+subdirs("core")

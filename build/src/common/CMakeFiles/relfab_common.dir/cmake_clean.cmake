@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relfab_common.dir/format.cc.o"
+  "CMakeFiles/relfab_common.dir/format.cc.o.d"
+  "CMakeFiles/relfab_common.dir/status.cc.o"
+  "CMakeFiles/relfab_common.dir/status.cc.o.d"
+  "librelfab_common.a"
+  "librelfab_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relfab_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/codec.cc" "src/compress/CMakeFiles/relfab_compress.dir/codec.cc.o" "gcc" "src/compress/CMakeFiles/relfab_compress.dir/codec.cc.o.d"
+  "/root/repo/src/compress/delta.cc" "src/compress/CMakeFiles/relfab_compress.dir/delta.cc.o" "gcc" "src/compress/CMakeFiles/relfab_compress.dir/delta.cc.o.d"
+  "/root/repo/src/compress/dictionary.cc" "src/compress/CMakeFiles/relfab_compress.dir/dictionary.cc.o" "gcc" "src/compress/CMakeFiles/relfab_compress.dir/dictionary.cc.o.d"
+  "/root/repo/src/compress/huffman.cc" "src/compress/CMakeFiles/relfab_compress.dir/huffman.cc.o" "gcc" "src/compress/CMakeFiles/relfab_compress.dir/huffman.cc.o.d"
+  "/root/repo/src/compress/rle.cc" "src/compress/CMakeFiles/relfab_compress.dir/rle.cc.o" "gcc" "src/compress/CMakeFiles/relfab_compress.dir/rle.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/relfab_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

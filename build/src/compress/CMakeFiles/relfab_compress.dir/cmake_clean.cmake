@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relfab_compress.dir/codec.cc.o"
+  "CMakeFiles/relfab_compress.dir/codec.cc.o.d"
+  "CMakeFiles/relfab_compress.dir/delta.cc.o"
+  "CMakeFiles/relfab_compress.dir/delta.cc.o.d"
+  "CMakeFiles/relfab_compress.dir/dictionary.cc.o"
+  "CMakeFiles/relfab_compress.dir/dictionary.cc.o.d"
+  "CMakeFiles/relfab_compress.dir/huffman.cc.o"
+  "CMakeFiles/relfab_compress.dir/huffman.cc.o.d"
+  "CMakeFiles/relfab_compress.dir/rle.cc.o"
+  "CMakeFiles/relfab_compress.dir/rle.cc.o.d"
+  "librelfab_compress.a"
+  "librelfab_compress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relfab_compress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

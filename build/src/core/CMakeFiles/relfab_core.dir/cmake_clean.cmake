@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relfab_core.dir/fabric.cc.o"
+  "CMakeFiles/relfab_core.dir/fabric.cc.o.d"
+  "librelfab_core.a"
+  "librelfab_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relfab_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/hybrid.cc" "src/engine/CMakeFiles/relfab_engine.dir/hybrid.cc.o" "gcc" "src/engine/CMakeFiles/relfab_engine.dir/hybrid.cc.o.d"
+  "/root/repo/src/engine/query.cc" "src/engine/CMakeFiles/relfab_engine.dir/query.cc.o" "gcc" "src/engine/CMakeFiles/relfab_engine.dir/query.cc.o.d"
+  "/root/repo/src/engine/rm_exec.cc" "src/engine/CMakeFiles/relfab_engine.dir/rm_exec.cc.o" "gcc" "src/engine/CMakeFiles/relfab_engine.dir/rm_exec.cc.o.d"
+  "/root/repo/src/engine/vector_engine.cc" "src/engine/CMakeFiles/relfab_engine.dir/vector_engine.cc.o" "gcc" "src/engine/CMakeFiles/relfab_engine.dir/vector_engine.cc.o.d"
+  "/root/repo/src/engine/volcano.cc" "src/engine/CMakeFiles/relfab_engine.dir/volcano.cc.o" "gcc" "src/engine/CMakeFiles/relfab_engine.dir/volcano.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/layout/CMakeFiles/relfab_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/relmem/CMakeFiles/relfab_relmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/relfab_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/relfab_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

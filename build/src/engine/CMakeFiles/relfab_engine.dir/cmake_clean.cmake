@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relfab_engine.dir/hybrid.cc.o"
+  "CMakeFiles/relfab_engine.dir/hybrid.cc.o.d"
+  "CMakeFiles/relfab_engine.dir/query.cc.o"
+  "CMakeFiles/relfab_engine.dir/query.cc.o.d"
+  "CMakeFiles/relfab_engine.dir/rm_exec.cc.o"
+  "CMakeFiles/relfab_engine.dir/rm_exec.cc.o.d"
+  "CMakeFiles/relfab_engine.dir/vector_engine.cc.o"
+  "CMakeFiles/relfab_engine.dir/vector_engine.cc.o.d"
+  "CMakeFiles/relfab_engine.dir/volcano.cc.o"
+  "CMakeFiles/relfab_engine.dir/volcano.cc.o.d"
+  "librelfab_engine.a"
+  "librelfab_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relfab_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

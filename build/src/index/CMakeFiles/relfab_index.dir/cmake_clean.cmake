@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relfab_index.dir/btree.cc.o"
+  "CMakeFiles/relfab_index.dir/btree.cc.o.d"
+  "librelfab_index.a"
+  "librelfab_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relfab_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

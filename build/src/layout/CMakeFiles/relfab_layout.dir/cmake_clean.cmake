@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relfab_layout.dir/column_table.cc.o"
+  "CMakeFiles/relfab_layout.dir/column_table.cc.o.d"
+  "CMakeFiles/relfab_layout.dir/row_table.cc.o"
+  "CMakeFiles/relfab_layout.dir/row_table.cc.o.d"
+  "CMakeFiles/relfab_layout.dir/schema.cc.o"
+  "CMakeFiles/relfab_layout.dir/schema.cc.o.d"
+  "librelfab_layout.a"
+  "librelfab_layout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relfab_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

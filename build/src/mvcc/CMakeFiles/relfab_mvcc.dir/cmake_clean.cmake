@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relfab_mvcc.dir/transaction.cc.o"
+  "CMakeFiles/relfab_mvcc.dir/transaction.cc.o.d"
+  "CMakeFiles/relfab_mvcc.dir/versioned_table.cc.o"
+  "CMakeFiles/relfab_mvcc.dir/versioned_table.cc.o.d"
+  "librelfab_mvcc.a"
+  "librelfab_mvcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relfab_mvcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/executor.cc" "src/query/CMakeFiles/relfab_query.dir/executor.cc.o" "gcc" "src/query/CMakeFiles/relfab_query.dir/executor.cc.o.d"
+  "/root/repo/src/query/lexer.cc" "src/query/CMakeFiles/relfab_query.dir/lexer.cc.o" "gcc" "src/query/CMakeFiles/relfab_query.dir/lexer.cc.o.d"
+  "/root/repo/src/query/parser.cc" "src/query/CMakeFiles/relfab_query.dir/parser.cc.o" "gcc" "src/query/CMakeFiles/relfab_query.dir/parser.cc.o.d"
+  "/root/repo/src/query/planner.cc" "src/query/CMakeFiles/relfab_query.dir/planner.cc.o" "gcc" "src/query/CMakeFiles/relfab_query.dir/planner.cc.o.d"
+  "/root/repo/src/query/stats.cc" "src/query/CMakeFiles/relfab_query.dir/stats.cc.o" "gcc" "src/query/CMakeFiles/relfab_query.dir/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/relfab_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/index/CMakeFiles/relfab_index.dir/DependInfo.cmake"
+  "/root/repo/build/src/relmem/CMakeFiles/relfab_relmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/relfab_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/relfab_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/relfab_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relfab_query.dir/executor.cc.o"
+  "CMakeFiles/relfab_query.dir/executor.cc.o.d"
+  "CMakeFiles/relfab_query.dir/lexer.cc.o"
+  "CMakeFiles/relfab_query.dir/lexer.cc.o.d"
+  "CMakeFiles/relfab_query.dir/parser.cc.o"
+  "CMakeFiles/relfab_query.dir/parser.cc.o.d"
+  "CMakeFiles/relfab_query.dir/planner.cc.o"
+  "CMakeFiles/relfab_query.dir/planner.cc.o.d"
+  "CMakeFiles/relfab_query.dir/stats.cc.o"
+  "CMakeFiles/relfab_query.dir/stats.cc.o.d"
+  "librelfab_query.a"
+  "librelfab_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relfab_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

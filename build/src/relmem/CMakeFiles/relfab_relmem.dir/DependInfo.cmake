@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/relmem/ephemeral.cc" "src/relmem/CMakeFiles/relfab_relmem.dir/ephemeral.cc.o" "gcc" "src/relmem/CMakeFiles/relfab_relmem.dir/ephemeral.cc.o.d"
+  "/root/repo/src/relmem/geometry.cc" "src/relmem/CMakeFiles/relfab_relmem.dir/geometry.cc.o" "gcc" "src/relmem/CMakeFiles/relfab_relmem.dir/geometry.cc.o.d"
+  "/root/repo/src/relmem/rm_engine.cc" "src/relmem/CMakeFiles/relfab_relmem.dir/rm_engine.cc.o" "gcc" "src/relmem/CMakeFiles/relfab_relmem.dir/rm_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/layout/CMakeFiles/relfab_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/relfab_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/relfab_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relfab_relmem.dir/ephemeral.cc.o"
+  "CMakeFiles/relfab_relmem.dir/ephemeral.cc.o.d"
+  "CMakeFiles/relfab_relmem.dir/geometry.cc.o"
+  "CMakeFiles/relfab_relmem.dir/geometry.cc.o.d"
+  "CMakeFiles/relfab_relmem.dir/rm_engine.cc.o"
+  "CMakeFiles/relfab_relmem.dir/rm_engine.cc.o.d"
+  "librelfab_relmem.a"
+  "librelfab_relmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relfab_relmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librelfab_relmem.a"
+)

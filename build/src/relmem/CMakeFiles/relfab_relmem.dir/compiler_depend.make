@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for relfab_relmem.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relfab_relstorage.dir/rs_engine.cc.o"
+  "CMakeFiles/relfab_relstorage.dir/rs_engine.cc.o.d"
+  "CMakeFiles/relfab_relstorage.dir/storage_table.cc.o"
+  "CMakeFiles/relfab_relstorage.dir/storage_table.cc.o.d"
+  "librelfab_relstorage.a"
+  "librelfab_relstorage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relfab_relstorage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

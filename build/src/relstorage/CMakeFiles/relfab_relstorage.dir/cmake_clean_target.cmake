@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librelfab_relstorage.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relfab_shard.dir/sharded_table.cc.o"
+  "CMakeFiles/relfab_shard.dir/sharded_table.cc.o.d"
+  "librelfab_shard.a"
+  "librelfab_shard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relfab_shard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relfab_sim.dir/stats.cc.o"
+  "CMakeFiles/relfab_sim.dir/stats.cc.o.d"
+  "librelfab_sim.a"
+  "librelfab_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relfab_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

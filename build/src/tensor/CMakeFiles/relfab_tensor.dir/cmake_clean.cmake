@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relfab_tensor.dir/matrix.cc.o"
+  "CMakeFiles/relfab_tensor.dir/matrix.cc.o.d"
+  "librelfab_tensor.a"
+  "librelfab_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relfab_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tpch/dbgen.cc" "src/tpch/CMakeFiles/relfab_tpch.dir/dbgen.cc.o" "gcc" "src/tpch/CMakeFiles/relfab_tpch.dir/dbgen.cc.o.d"
+  "/root/repo/src/tpch/queries.cc" "src/tpch/CMakeFiles/relfab_tpch.dir/queries.cc.o" "gcc" "src/tpch/CMakeFiles/relfab_tpch.dir/queries.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/engine/CMakeFiles/relfab_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/layout/CMakeFiles/relfab_layout.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/relfab_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/relmem/CMakeFiles/relfab_relmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/relfab_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

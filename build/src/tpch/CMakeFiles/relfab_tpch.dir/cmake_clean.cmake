@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relfab_tpch.dir/dbgen.cc.o"
+  "CMakeFiles/relfab_tpch.dir/dbgen.cc.o.d"
+  "CMakeFiles/relfab_tpch.dir/queries.cc.o"
+  "CMakeFiles/relfab_tpch.dir/queries.cc.o.d"
+  "librelfab_tpch.a"
+  "librelfab_tpch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relfab_tpch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relmem_test.dir/relmem_test.cc.o"
+  "CMakeFiles/relmem_test.dir/relmem_test.cc.o.d"
+  "relmem_test"
+  "relmem_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relmem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

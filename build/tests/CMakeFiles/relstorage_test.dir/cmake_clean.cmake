@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relstorage_test.dir/relstorage_test.cc.o"
+  "CMakeFiles/relstorage_test.dir/relstorage_test.cc.o.d"
+  "relstorage_test"
+  "relstorage_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relstorage_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

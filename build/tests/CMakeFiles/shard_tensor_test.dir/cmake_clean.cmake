@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shard_tensor_test.dir/shard_tensor_test.cc.o"
+  "CMakeFiles/shard_tensor_test.dir/shard_tensor_test.cc.o.d"
+  "shard_tensor_test"
+  "shard_tensor_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shard_tensor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
