@@ -82,6 +82,7 @@ struct Rig {
 int main(int argc, char** argv) {
   using namespace relfab;
   using namespace relfab::bench;
+  const std::string json_path = ConsumeJsonFlag(&argc, argv);
   benchmark::Initialize(&argc, argv);
 
   const uint64_t rows = FullScale() ? (1ull << 21) : (1ull << 19);
@@ -103,5 +104,13 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   results->PrintCycles("reduced columns");
   results->PrintSpeedupVs("reduced columns", "RM + CPU agg");
+
+  obs::Registry registry;
+  rig->memory.ExportTo(&registry);
+  rig->rm->ExportTo(&registry);
+  MaybeWriteReport(json_path, "ablation_aggregation", *results,
+                   {{"rows", std::to_string(rows)},
+                    {"full_scale", FullScale() ? "1" : "0"}},
+                   &registry);
   return 0;
 }

@@ -6,12 +6,15 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <map>
 #include <string>
 #include <vector>
 
 #include "common/logging.h"
+#include "obs/registry.h"
+#include "obs/report.h"
 
 namespace relfab::bench {
 
@@ -121,12 +124,68 @@ class ResultTable {
     }
   }
 
+  const std::vector<std::string>& series_order() const {
+    return series_order_;
+  }
+  const std::vector<std::string>& x_order() const { return x_order_; }
+
  private:
   std::string title_;
   std::vector<std::string> series_order_;
   std::vector<std::string> x_order_;
   std::map<std::string, std::map<std::string, uint64_t>> cells_;
 };
+
+/// Extracts `--json <path>` / `--json=<path>` from argv before
+/// benchmark::Initialize sees it (google-benchmark rejects unknown
+/// flags). Returns the path, or "" when the flag is absent.
+inline std::string ConsumeJsonFlag(int* argc, char** argv) {
+  std::string path;
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < *argc &&
+        argv[i + 1][0] != '-') {
+      path = argv[++i];
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      std::fprintf(stderr, "--json requires a path argument\n");
+      std::exit(2);
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      path = argv[i] + 7;
+    } else {
+      argv[out++] = argv[i];
+    }
+  }
+  *argc = out;
+  return path;
+}
+
+/// Emits the machine-readable run report (one JSON doc: config + every
+/// (series, x) cell + a metrics-registry snapshot) when `path` is
+/// non-empty. `metrics` may be null when the bench has no registry.
+inline void MaybeWriteReport(
+    const std::string& path, const std::string& bench_name,
+    const ResultTable& table,
+    const std::map<std::string, std::string>& config,
+    const obs::Registry* metrics) {
+  if (path.empty()) return;
+  obs::RunReport report(bench_name);
+  for (const auto& [key, value] : config) report.SetConfig(key, value);
+  for (const std::string& series : table.series_order()) {
+    for (const std::string& x : table.x_order()) {
+      if (table.Has(series, x)) {
+        report.AddResult(series, x, table.Get(series, x));
+      }
+    }
+  }
+  if (metrics != nullptr) report.SetMetrics(*metrics);
+  const Status status = report.WriteTo(path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "failed to write %s: %s\n", path.c_str(),
+                 status.ToString().c_str());
+    std::exit(1);
+  }
+  std::printf("\nwrote run report to %s\n", path.c_str());
+}
 
 /// Registers a deterministic simulation point as a google-benchmark
 /// benchmark: the lambda runs the simulated workload once and returns

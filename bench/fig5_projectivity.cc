@@ -52,6 +52,7 @@ engine::QuerySpec ProjectionQuery(uint32_t k) {
 int main(int argc, char** argv) {
   using namespace relfab;
   using namespace relfab::bench;
+  const std::string json_path = ConsumeJsonFlag(&argc, argv);
   benchmark::Initialize(&argc, argv);
 
   const uint64_t rows = FullScale() ? (1ull << 22) : (1ull << 20);
@@ -84,5 +85,17 @@ int main(int argc, char** argv) {
   benchmark::RunSpecifiedBenchmarks();
   results->PrintCycles("projectivity");
   results->PrintNormalized("projectivity", "ROW");
+
+  // Snapshot of the memory hierarchy after the last registered point
+  // (RM at max projectivity) — the gather/demand split it reports is the
+  // figure's data-movement story.
+  obs::Registry registry;
+  memory->ExportTo(&registry);
+  rm->ExportTo(&registry);
+  MaybeWriteReport(json_path, "fig5_projectivity", *results,
+                   {{"rows", std::to_string(rows)},
+                    {"table_columns", std::to_string(kTableColumns)},
+                    {"full_scale", FullScale() ? "1" : "0"}},
+                   &registry);
   return 0;
 }

@@ -41,6 +41,7 @@ struct Dataset {
 int main(int argc, char** argv) {
   using namespace relfab;
   using namespace relfab::bench;
+  const std::string json_path = ConsumeJsonFlag(&argc, argv);
   benchmark::Initialize(&argc, argv);
 
   const double scale = FullScale() ? 1.0 : 1.0 / 16.0;
@@ -111,5 +112,20 @@ int main(int argc, char** argv) {
   q1_results->PrintSpeedupVs("table size (target col)", "ROW");
   q6_results->PrintCycles("table size (target col)");
   q6_results->PrintSpeedupVs("table size (target col)", "ROW");
+
+  if (!json_path.empty()) {
+    // One report per query figure: "<path>" gets Q1, "<path>.q6.json"
+    // gets Q6, each with a registry snapshot after its last point.
+    obs::Registry registry;
+    memory->ExportTo(&registry);
+    rm->ExportTo(&registry);
+    const std::map<std::string, std::string> config = {
+        {"scale", FullScale() ? "1" : "1/16"},
+        {"sizes_mib", "2..128"}};
+    MaybeWriteReport(json_path, "fig7_tpch_q1", *q1_results, config,
+                     &registry);
+    MaybeWriteReport(json_path + ".q6.json", "fig7_tpch_q6", *q6_results,
+                     config, &registry);
+  }
   return 0;
 }

@@ -1,12 +1,17 @@
 // Interactive SQL shell over the Fabric: demonstrates the constructive
 // planner (§III-B). Two demo tables are preloaded; type SQL, get the
 // answer plus the plan (which backend the planner constructed and the
-// per-path cost estimates). `EXPLAIN <query>` plans without executing.
+// per-path cost estimates). `EXPLAIN <query>` plans without executing;
+// `EXPLAIN ANALYZE <query>` executes with per-operator attribution of
+// rows and simulator meters. Shell commands: `\metrics` prints the
+// stack-wide metrics registry, `\trace on|off` toggles span tracing,
+// `\trace <file>` writes the collected Chrome trace JSON (Perfetto).
 //
 // The `wide` table has a materialized columnar copy (legacy baseline);
 // `events` exists only in row format, as a Relational Fabric deployment
 // would keep it.
 
+#include <cctype>
 #include <cstdio>
 #include <iostream>
 #include <string>
@@ -69,9 +74,9 @@ void LoadDemoTables(relfab::Fabric* fabric) {
   }
 }
 
-void PrintResult(const relfab::Fabric::SqlResult& r) {
-  std::printf("plan: %s\n", r.plan.explanation.c_str());
-  const relfab::engine::QueryResult& q = r.result;
+void PrintResult(const relfab::query::Plan& plan,
+                 const relfab::engine::QueryResult& q) {
+  std::printf("plan: %s\n", plan.explanation.c_str());
   std::printf("rows: scanned=%llu matched=%llu  cycles=%llu\n",
               static_cast<unsigned long long>(q.rows_scanned),
               static_cast<unsigned long long>(q.rows_matched),
@@ -103,6 +108,88 @@ void PrintResult(const relfab::Fabric::SqlResult& r) {
   }
 }
 
+/// Case-insensitive keyword prefix match; on success sets `rest` to the
+/// remainder after the prefix.
+bool ConsumePrefix(const std::string& line, const char* prefix,
+                   std::string* rest) {
+  size_t i = 0;
+  while (prefix[i] != '\0') {
+    if (i >= line.size() ||
+        std::toupper(static_cast<unsigned char>(line[i])) != prefix[i]) {
+      return false;
+    }
+    ++i;
+  }
+  *rest = line.substr(i);
+  return true;
+}
+
+/// Executes one SQL statement (EXPLAIN [ANALYZE] or plain) and prints
+/// the outcome. Shared by the argv and interactive modes.
+void RunStatement(relfab::Fabric& fabric, const std::string& line) {
+  std::string rest;
+  if (ConsumePrefix(line, "EXPLAIN ANALYZE", &rest)) {
+    fabric.memory().ResetState();
+    auto analyzed = fabric.ExecuteSqlAnalyzed(rest);
+    if (!analyzed.ok()) {
+      std::printf("error: %s\n", analyzed.status().ToString().c_str());
+      return;
+    }
+    std::printf("plan: %s\n", analyzed->plan.explanation.c_str());
+    std::printf("%s", analyzed->profile.ToTable().c_str());
+    return;
+  }
+  if (ConsumePrefix(line, "EXPLAIN", &rest)) {
+    auto plan = fabric.ExplainSql(rest);
+    if (!plan.ok()) {
+      std::printf("error: %s\n", plan.status().ToString().c_str());
+    } else {
+      std::printf("plan: %s\n", plan->explanation.c_str());
+    }
+    return;
+  }
+  fabric.memory().ResetState();
+  auto result = fabric.ExecuteSql(line);
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  PrintResult(result->plan, result->result);
+}
+
+/// Handles a `\command`; returns false for `\q`.
+bool RunCommand(relfab::Fabric& fabric, const std::string& line) {
+  if (line == "\\q") return false;
+  if (line == "\\metrics") {
+    std::printf("%s", fabric.CollectMetrics().ToTable().c_str());
+    return true;
+  }
+  if (line == "\\trace on") {
+    fabric.EnableTracing(true);
+    std::printf("tracing on — run queries, then \\trace <file>\n");
+    return true;
+  }
+  if (line == "\\trace off") {
+    fabric.EnableTracing(false);
+    return true;
+  }
+  std::string path;
+  if (ConsumePrefix(line, "\\TRACE ", &path) && !path.empty()) {
+    auto status = fabric.tracer().WriteJson(path);
+    if (!status.ok()) {
+      std::printf("error: %s\n", status.ToString().c_str());
+    } else {
+      std::printf("wrote %zu span(s) to %s (load in Perfetto or "
+                  "chrome://tracing)\n",
+                  fabric.tracer().events().size(), path.c_str());
+    }
+    return true;
+  }
+  std::printf("unknown command; available: \\metrics, \\trace on|off, "
+              "\\trace <file>, \\q\n");
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -113,18 +200,21 @@ int main(int argc, char** argv) {
       "events (row base only)\n"
       "example: SELECT region, SUM(amount) FROM events WHERE kind < 3 "
       "GROUP BY region\n"
-      "prefix with EXPLAIN to plan only; quit with \\q or EOF\n\n");
+      "prefix with EXPLAIN to plan only, EXPLAIN ANALYZE for per-operator "
+      "meters\n"
+      "commands: \\metrics, \\trace on|off, \\trace <file>; quit with \\q "
+      "or EOF\n\n");
 
-  // Non-interactive mode: statements passed as arguments.
+  // Non-interactive mode: statements (or \commands) passed as arguments.
   if (argc > 1) {
     for (int i = 1; i < argc; ++i) {
       std::printf("> %s\n", argv[i]);
-      auto result = fabric.ExecuteSql(argv[i]);
-      if (!result.ok()) {
-        std::printf("error: %s\n", result.status().ToString().c_str());
-        continue;
+      const std::string line(argv[i]);
+      if (!line.empty() && line[0] == '\\') {
+        if (!RunCommand(fabric, line)) break;
+      } else {
+        RunStatement(fabric, line);
       }
-      PrintResult(*result);
     }
     return 0;
   }
@@ -133,25 +223,12 @@ int main(int argc, char** argv) {
   while (std::printf("fabric> "), std::fflush(stdout),
          std::getline(std::cin, line)) {
     if (line.empty()) continue;
-    if (line == "\\q" || line == "quit" || line == "exit") break;
-    const bool explain_only = line.rfind("EXPLAIN", 0) == 0 ||
-                              line.rfind("explain", 0) == 0;
-    if (explain_only) {
-      auto plan = fabric.ExplainSql(line.substr(7));
-      if (!plan.ok()) {
-        std::printf("error: %s\n", plan.status().ToString().c_str());
-      } else {
-        std::printf("plan: %s\n", plan->explanation.c_str());
-      }
+    if (line == "quit" || line == "exit") break;
+    if (line[0] == '\\') {
+      if (!RunCommand(fabric, line)) break;
       continue;
     }
-    fabric.memory().ResetState();
-    auto result = fabric.ExecuteSql(line);
-    if (!result.ok()) {
-      std::printf("error: %s\n", result.status().ToString().c_str());
-      continue;
-    }
-    PrintResult(*result);
+    RunStatement(fabric, line);
   }
   return 0;
 }

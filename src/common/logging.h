@@ -3,7 +3,9 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <sstream>
+#include <string>
 
 namespace relfab {
 namespace internal_logging {
@@ -33,14 +35,117 @@ class CheckFailStream {
   std::ostringstream stream_;
 };
 
-/// Converts the streamed CheckFailStream expression to void so the ternary
-/// in RELFAB_CHECK type-checks. operator& binds looser than operator<<.
+/// Converts a streamed expression to void so the ternaries in RELFAB_CHECK
+/// and RELFAB_LOG type-check. operator& binds looser than operator<<.
 struct Voidify {
-  void operator&(const CheckFailStream&) {}
+  template <typename T>
+  void operator&(const T&) {}
+};
+
+/// Streams `v` if the type supports operator<<, otherwise a placeholder
+/// (e.g. scoped enums in CHECK_EQ operands).
+template <typename T>
+auto StreamValue(std::ostream& os, const T& v, int)
+    -> decltype(os << v, void()) {
+  os << v;
+}
+template <typename T>
+void StreamValue(std::ostream& os, const T&, long) {  // NOLINT
+  os << "<unprintable>";
+}
+
+/// Evaluates a binary CHECK: null on success; on failure a message with
+/// the stringified expression *and both operand values*, e.g.
+/// "rows == expected (7 vs. 9)". Operands are evaluated exactly once.
+template <typename A, typename B, typename Cmp>
+std::unique_ptr<std::string> CheckOpMessage(const A& a, const B& b, Cmp cmp,
+                                            const char* exprtext) {
+  if (cmp(a, b)) return nullptr;
+  std::ostringstream os;
+  os << exprtext << " (";
+  StreamValue(os, a, 0);
+  os << " vs. ";
+  StreamValue(os, b, 0);
+  os << ")";
+  return std::make_unique<std::string>(os.str());
+}
+
+// Log severities usable as RELFAB_LOG(ERROR|WARN|INFO|DEBUG).
+inline constexpr int kLogERROR = 0;
+inline constexpr int kLogWARN = 1;
+inline constexpr int kLogINFO = 2;
+inline constexpr int kLogDEBUG = 3;
+
+/// Active threshold, read once from RELFAB_LOG_LEVEL (a number 0-3 or a
+/// name: error, warn, info, debug). Messages above it are discarded at
+/// the call site. Default: WARN.
+inline int LogThreshold() {
+  static const int threshold = [] {
+    const char* v = std::getenv("RELFAB_LOG_LEVEL");
+    if (v == nullptr || v[0] == '\0') return kLogWARN;
+    if (v[0] >= '0' && v[0] <= '9') {
+      const int n = std::atoi(v);
+      return n < kLogERROR ? kLogERROR : (n > kLogDEBUG ? kLogDEBUG : n);
+    }
+    switch (v[0]) {
+      case 'e': case 'E': return kLogERROR;
+      case 'w': case 'W': return kLogWARN;
+      case 'i': case 'I': return kLogINFO;
+      case 'd': case 'D': return kLogDEBUG;
+      default: return kLogWARN;
+    }
+  }();
+  return threshold;
+}
+
+/// One leveled log record; flushes to stderr on destruction. Kept simple
+/// on purpose: the simulator is single-threaded per run.
+class LogStream {
+ public:
+  LogStream(const char* file, int line, int level) {
+    static constexpr char kTag[] = {'E', 'W', 'I', 'D'};
+    // Basename keeps the prefix short without allocating.
+    const char* base = file;
+    for (const char* p = file; *p != '\0'; ++p) {
+      if (*p == '/') base = p + 1;
+    }
+    stream_ << '[' << kTag[level] << " relfab " << base << ':' << line
+            << "] ";
+  }
+
+  ~LogStream() { std::cerr << stream_.str() << '\n'; }
+
+  template <typename T>
+  LogStream& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
 };
 
 }  // namespace internal_logging
 }  // namespace relfab
+
+/// Leveled logging: RELFAB_LOG(INFO) << "loaded " << n << " rows";
+/// Severity is one of ERROR, WARN, INFO, DEBUG; records above the
+/// RELFAB_LOG_LEVEL threshold (default WARN) cost one predictable branch
+/// and stream nothing. Engines use this instead of raw std::cerr.
+#define RELFAB_LOG(severity)                                          \
+  (::relfab::internal_logging::kLog##severity >                       \
+   ::relfab::internal_logging::LogThreshold())                        \
+      ? (void)0                                                       \
+      : ::relfab::internal_logging::Voidify() &                       \
+            ::relfab::internal_logging::LogStream(                    \
+                __FILE__, __LINE__,                                   \
+                ::relfab::internal_logging::kLog##severity)
+
+/// True when RELFAB_LOG(severity) would emit (for guarding expensive
+/// message construction).
+#define RELFAB_LOG_ENABLED(severity)            \
+  (::relfab::internal_logging::kLog##severity <= \
+   ::relfab::internal_logging::LogThreshold())
 
 /// Aborts with a message if `cond` is false; supports streaming extra
 /// context: RELFAB_CHECK(n > 0) << "n=" << n. For internal invariants only;
@@ -51,14 +156,28 @@ struct Voidify {
                ::relfab::internal_logging::CheckFailStream(     \
                    __FILE__, __LINE__, #cond)
 
-#define RELFAB_CHECK_EQ(a, b) RELFAB_CHECK((a) == (b))
-#define RELFAB_CHECK_NE(a, b) RELFAB_CHECK((a) != (b))
-#define RELFAB_CHECK_LT(a, b) RELFAB_CHECK((a) < (b))
-#define RELFAB_CHECK_LE(a, b) RELFAB_CHECK((a) <= (b))
-#define RELFAB_CHECK_GT(a, b) RELFAB_CHECK((a) > (b))
-#define RELFAB_CHECK_GE(a, b) RELFAB_CHECK((a) >= (b))
+/// Binary checks that print both operand values on failure:
+/// "CHECK failed at f.cc:10: n == m (3 vs. 5)". The while-loop body runs
+/// at most once — CheckFailStream's destructor aborts the process.
+#define RELFAB_CHECK_OP_(op, a, b)                                        \
+  while (::std::unique_ptr<::std::string> relfab_check_msg =              \
+             ::relfab::internal_logging::CheckOpMessage(                  \
+                 (a), (b),                                                \
+                 [](const auto& x, const auto& y) { return x op y; },     \
+                 #a " " #op " " #b))                                      \
+  ::relfab::internal_logging::Voidify() &                                 \
+      ::relfab::internal_logging::CheckFailStream(                        \
+          __FILE__, __LINE__, relfab_check_msg->c_str())
+
+#define RELFAB_CHECK_EQ(a, b) RELFAB_CHECK_OP_(==, a, b)
+#define RELFAB_CHECK_NE(a, b) RELFAB_CHECK_OP_(!=, a, b)
+#define RELFAB_CHECK_LT(a, b) RELFAB_CHECK_OP_(<, a, b)
+#define RELFAB_CHECK_LE(a, b) RELFAB_CHECK_OP_(<=, a, b)
+#define RELFAB_CHECK_GT(a, b) RELFAB_CHECK_OP_(>, a, b)
+#define RELFAB_CHECK_GE(a, b) RELFAB_CHECK_OP_(>=, a, b)
 
 #ifdef NDEBUG
+// Compiled out: operands are never evaluated in release builds.
 #define RELFAB_DCHECK(cond) \
   while (false) RELFAB_CHECK(cond)
 #else

@@ -10,7 +10,13 @@ Fabric::Fabric(sim::SimParams sim_params, engine::CostModel cost_model)
       cost_model_(cost_model),
       parser_(&catalog_),
       planner_(&catalog_, sim_params, cost_model),
-      executor_(&catalog_, &rm_, cost_model) {}
+      executor_(&catalog_, &rm_, cost_model) {
+  tracer_.SetClock([this] { return memory_.ElapsedCycles(); });
+  // Components hold the tracer permanently; tracer_.enabled() gates all
+  // span work, so a disabled tracer costs one branch per span site.
+  executor_.set_tracer(&tracer_);
+  rm_.set_tracer(&tracer_);
+}
 
 StatusOr<layout::RowTable*> Fabric::CreateTable(const std::string& name,
                                                 layout::Schema schema,
@@ -138,6 +144,7 @@ StatusOr<mvcc::VersionedTable*> Fabric::CreateVersionedTable(
   RELFAB_RETURN_IF_ERROR(catalog_.Register(name, {&raw->rows(), nullptr}));
   versioned_[name] = std::move(owned);
   txn_managers_[name] = std::make_unique<mvcc::TransactionManager>(raw);
+  txn_managers_[name]->set_tracer(&tracer_);
   return raw;
 }
 
@@ -177,5 +184,37 @@ StatusOr<query::Plan> Fabric::ExplainSql(std::string_view sql) {
   RELFAB_ASSIGN_OR_RETURN(query::ParsedQuery parsed, parser_.Parse(sql));
   return planner_.MakePlan(parsed);
 }
+
+StatusOr<Fabric::AnalyzedSqlResult> Fabric::ExecuteSqlAnalyzed(
+    std::string_view sql) {
+  RELFAB_ASSIGN_OR_RETURN(query::ParsedQuery parsed, parser_.Parse(sql));
+  RELFAB_ASSIGN_OR_RETURN(query::Plan plan, planner_.MakePlan(parsed));
+  AnalyzedSqlResult analyzed;
+  RELFAB_ASSIGN_OR_RETURN(analyzed.result,
+                          executor_.Execute(plan, &analyzed.profile));
+  analyzed.plan = std::move(plan);
+  return analyzed;
+}
+
+obs::Registry& Fabric::CollectMetrics() {
+  memory_.ExportTo(&registry_);
+  rm_.ExportTo(&registry_);
+  if (!txn_managers_.empty()) {
+    // Sum across versioned tables: the registry describes the platform,
+    // not one table (per-table series can be added when needed).
+    uint64_t commits = 0, aborts = 0, clock = 0;
+    for (const auto& [name, mgr] : txn_managers_) {
+      commits += mgr->commits();
+      aborts += mgr->aborts();
+      clock += mgr->current_ts();
+    }
+    registry_.counter("mvcc.commits")->Set(commits);
+    registry_.counter("mvcc.aborts")->Set(aborts);
+    registry_.counter("mvcc.clock")->Set(clock);
+  }
+  return registry_;
+}
+
+void Fabric::EnableTracing(bool enabled) { tracer_.set_enabled(enabled); }
 
 }  // namespace relfab

@@ -14,6 +14,9 @@
 #include "layout/row_table.h"
 #include "mvcc/transaction.h"
 #include "mvcc/versioned_table.h"
+#include "obs/query_profile.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "query/catalog.h"
 #include "query/executor.h"
 #include "query/parser.h"
@@ -115,6 +118,36 @@ class Fabric {
   /// Plans without executing (EXPLAIN).
   StatusOr<query::Plan> ExplainSql(std::string_view sql);
 
+  struct AnalyzedSqlResult {
+    query::Plan plan;
+    engine::QueryResult result;
+    obs::QueryProfile profile;
+  };
+
+  /// EXPLAIN ANALYZE: executes like ExecuteSql but with per-operator
+  /// attribution of rows and simulator meters. The profile covers this
+  /// statement only (profiling reads the meters differentially).
+  StatusOr<AnalyzedSqlResult> ExecuteSqlAnalyzed(std::string_view sql);
+
+  // --- observability ---
+
+  /// The stack-wide metrics registry. CollectMetrics refreshes it from
+  /// every component; callers may also add their own series.
+  obs::Registry& registry() { return registry_; }
+
+  /// Snapshots every component's counters into registry() and returns it:
+  /// memory hierarchy ("sim.*"), RM engine ("rm.*") and each versioned
+  /// table's transaction manager ("mvcc.*", summed across tables).
+  obs::Registry& CollectMetrics();
+
+  /// The span tracer, clocked by the simulated memory clock. Disabled by
+  /// default; EnableTracing attaches it across the stack.
+  obs::Tracer& tracer() { return tracer_; }
+
+  /// Turns span collection on or off for the query executor, the RM
+  /// engine and all transaction managers.
+  void EnableTracing(bool enabled = true);
+
  private:
   sim::MemorySystem memory_;
   relmem::RmEngine rm_;
@@ -123,6 +156,8 @@ class Fabric {
   query::Parser parser_;
   query::Planner planner_;
   query::Executor executor_;
+  obs::Registry registry_;
+  obs::Tracer tracer_;
   std::map<std::string, std::unique_ptr<layout::RowTable>> tables_;
   std::map<std::string, std::unique_ptr<layout::ColumnTable>> column_copies_;
   std::map<std::string, std::unique_ptr<index::BTreeIndex>> indexes_;

@@ -34,6 +34,7 @@ StatusOr<QueryResult> HybridEngine::Execute(const QuerySpec& query) {
   RELFAB_RETURN_IF_ERROR(query.Validate(table_->schema()));
   if (query.predicates.empty()) {
     RmExecEngine rm_engine(table_, rm_, cost_);
+    rm_engine.set_profiler(prof_);
     return rm_engine.Execute(query);
   }
   sim::MemorySystem* memory = table_->memory();
@@ -54,6 +55,13 @@ StatusOr<QueryResult> HybridEngine::Execute(const QuerySpec& query) {
   std::vector<int32_t> field_of(schema.num_columns(), -1);
   for (size_t f = 0; f < geometry.columns.size(); ++f) {
     field_of[geometry.columns[f]] = static_cast<int32_t>(f);
+  }
+  // Phase 1 is one operator: configure + stream + predicate evaluation.
+  int op_select = -1;
+  if (prof_ != nullptr) {
+    op_select = prof_->AddOp("FabricSelect");
+    prof_->op(op_select).rows_in = table_->num_rows();
+    prof_->Switch(op_select);
   }
   RELFAB_ASSIGN_OR_RETURN(relmem::EphemeralView view,
                           rm_->Configure(*table_, std::move(geometry)));
@@ -77,12 +85,18 @@ StatusOr<QueryResult> HybridEngine::Execute(const QuerySpec& query) {
 
   // --- phase 2: row-at-a-time aggregation over the qualifying rows,
   // reading the output columns straight from the base rows ---
+  if (prof_ != nullptr) {
+    prof_->op(op_select).rows_out = qualifying.size();
+    // Hand the meter over; phase 2's operators attribute themselves.
+    prof_->Switch(-1);
+  }
   QuerySpec payload;
   payload.exprs = query.exprs;
   payload.aggregates = query.aggregates;
   payload.group_by = query.group_by;
   payload.projection = query.projection;
   VolcanoEngine row_engine(table_, cost_);
+  row_engine.set_profiler(prof_);
   RELFAB_ASSIGN_OR_RETURN(QueryResult result,
                           row_engine.ExecuteOnRowIds(payload, qualifying));
   // Report scan semantics of the whole query, not just phase 2.

@@ -5,6 +5,7 @@
 #include "engine/cost_model.h"
 #include "engine/query.h"
 #include "layout/row_table.h"
+#include "obs/query_profile.h"
 #include "relmem/rm_engine.h"
 
 namespace relfab::engine {
@@ -36,10 +37,15 @@ class HybridEngine {
   /// Queries without predicates degenerate to the pure RM plan.
   StatusOr<QueryResult> Execute(const QuerySpec& query);
 
+  /// Attaches a per-operator profiler (EXPLAIN ANALYZE). Null — the
+  /// default — keeps every profiling call site a single pointer test.
+  void set_profiler(obs::OpProfiler* profiler) { prof_ = profiler; }
+
  private:
   const layout::RowTable* table_;
   relmem::RmEngine* rm_;
   CostModel cost_;
+  obs::OpProfiler* prof_ = nullptr;
 };
 
 }  // namespace relfab::engine

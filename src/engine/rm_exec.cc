@@ -90,6 +90,21 @@ StatusOr<QueryResult> RmExecEngine::Execute(const QuerySpec& query) {
     field_of[geometry.columns[f]] = static_cast<int32_t>(f);
   }
 
+  // FabricScan covers configuration, chunk production and buffer refills;
+  // with pushdown the fabric also filters, so no Filter operator appears
+  // and the scan's rows_out drop below its rows_in.
+  int op_scan = -1, op_filter = -1, op_sink = -1;
+  const bool cpu_filter = !pushdown_ && !query.predicates.empty();
+  if (prof_ != nullptr) {
+    op_scan =
+        prof_->AddOp(pushdown_ ? "FabricScanFilter" : "FabricScan");
+    prof_->op(op_scan).rows_in = table_->num_rows();
+    if (cpu_filter) op_filter = prof_->AddOp("Filter");
+    op_sink =
+        prof_->AddOp(query.aggregates.empty() ? "Project" : "Aggregate");
+    prof_->Switch(op_scan);
+  }
+
   RELFAB_ASSIGN_OR_RETURN(relmem::EphemeralView view,
                           rm_->Configure(*table_, std::move(geometry)));
 
@@ -116,8 +131,20 @@ StatusOr<QueryResult> RmExecEngine::Execute(const QuerySpec& query) {
     return cur.GetInt(f);
   };
 
-  for (; cur.Valid(); cur.Advance()) {
+  // Cursor advancement (chunk production, refills) belongs to the scan
+  // operator; the body's buffer reads belong to whichever operator
+  // consumes them.
+  const auto advance = [&] {
+    if (prof_ != nullptr) prof_->Switch(op_scan);
+    cur.Advance();
+  };
+  for (; cur.Valid(); advance()) {
+    if (prof_ != nullptr) ++prof_->op(op_scan).rows_out;
     if (!pushdown_) {
+      if (prof_ != nullptr && cpu_filter) {
+        prof_->Switch(op_filter);
+        ++prof_->op(op_filter).rows_in;
+      }
       bool pass = true;
       for (const Predicate& p : query.predicates) {
         const double v = numeric(p.column);
@@ -125,6 +152,11 @@ StatusOr<QueryResult> RmExecEngine::Execute(const QuerySpec& query) {
         pass = pass && Compare(v, p);
       }
       if (!pass) continue;
+      if (prof_ != nullptr && cpu_filter) ++prof_->op(op_filter).rows_out;
+    }
+    if (prof_ != nullptr) {
+      prof_->Switch(op_sink);
+      ++prof_->op(op_sink).rows_in;
     }
     ++result.rows_matched;
     if (query.aggregates.empty()) {
@@ -165,6 +197,12 @@ StatusOr<QueryResult> RmExecEngine::Execute(const QuerySpec& query) {
     }
   }
 
+  if (prof_ != nullptr) {
+    prof_->Finish();
+    uint64_t out = result.rows_matched;
+    if (!query.aggregates.empty()) out = grouped ? groups.size() : 1;
+    prof_->op(op_sink).rows_out = out;
+  }
   FinalizeAggregates(query, flat_aggs, groups, &result);
   result.sim_cycles = memory->ElapsedCycles();
   return result;

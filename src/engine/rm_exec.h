@@ -5,6 +5,7 @@
 #include "engine/cost_model.h"
 #include "engine/query.h"
 #include "layout/row_table.h"
+#include "obs/query_profile.h"
 #include "relmem/rm_engine.h"
 
 namespace relfab::engine {
@@ -35,11 +36,16 @@ class RmExecEngine {
 
   bool pushdown_selection() const { return pushdown_; }
 
+  /// Attaches a per-operator profiler (EXPLAIN ANALYZE). Null — the
+  /// default — keeps every profiling call site a single pointer test.
+  void set_profiler(obs::OpProfiler* profiler) { prof_ = profiler; }
+
  private:
   const layout::RowTable* table_;
   relmem::RmEngine* rm_;
   CostModel cost_;
   bool pushdown_;
+  obs::OpProfiler* prof_ = nullptr;
 };
 
 }  // namespace relfab::engine

@@ -127,6 +127,17 @@ StatusOr<QueryResult> VectorEngine::ExecuteFused(const QuerySpec& query) {
   const uint64_t n = table_->num_rows();
   result.rows_scanned = n;
 
+  // The fused pass evaluates scan + selection in one operator; only the
+  // aggregate/projection sink is separable.
+  int op_scan = -1, op_sink = -1;
+  if (prof_ != nullptr) {
+    op_scan = prof_->AddOp(query.predicates.empty() ? "ColumnScan"
+                                                    : "ColumnScanFilter");
+    prof_->op(op_scan).rows_in = n;
+    op_sink =
+        prof_->AddOp(query.aggregates.empty() ? "Project" : "Aggregate");
+  }
+
   const bool grouped = !query.group_by.empty();
   const uint32_t out_fields = OutputFieldCount(query);
   std::vector<AggState> flat_aggs(query.aggregates.size());
@@ -137,9 +148,11 @@ StatusOr<QueryResult> VectorEngine::ExecuteFused(const QuerySpec& query) {
   };
 
   for (uint64_t batch = 0; batch < n; batch += cost_.batch_rows) {
+    if (prof_ != nullptr) prof_->Switch(op_scan);
     memory->CpuWork(cost_.batch_overhead_cycles);
     const uint64_t batch_end = std::min<uint64_t>(n, batch + cost_.batch_rows);
     for (uint64_t row = batch; row < batch_end; ++row) {
+      if (prof_ != nullptr) prof_->Switch(op_scan);
       // Vectorized predicate evaluation: all conjuncts computed (no
       // per-tuple short circuit), selection folded into a mask.
       bool pass = true;
@@ -149,6 +162,11 @@ StatusOr<QueryResult> VectorEngine::ExecuteFused(const QuerySpec& query) {
         pass = pass && Compare(v, p);
       }
       if (!pass) continue;
+      if (prof_ != nullptr) {
+        ++prof_->op(op_scan).rows_out;
+        prof_->Switch(op_sink);
+        ++prof_->op(op_sink).rows_in;
+      }
       ++result.rows_matched;
       current_row = row;
       // Tuple reconstruction: stitch the output fields of this position
@@ -196,6 +214,12 @@ StatusOr<QueryResult> VectorEngine::ExecuteFused(const QuerySpec& query) {
     }
   }
 
+  if (prof_ != nullptr) {
+    prof_->Finish();
+    uint64_t out = result.rows_matched;
+    if (!query.aggregates.empty()) out = grouped ? groups.size() : 1;
+    prof_->op(op_sink).rows_out = out;
+  }
   FinalizeAggregates(query, flat_aggs, groups, &result);
   result.sim_cycles = memory->ElapsedCycles();
   return result;
@@ -219,6 +243,15 @@ StatusOr<QueryResult> VectorEngine::ExecuteColumnAtATime(
     ColumnReader& reader = readers.at(p.column);
     std::vector<uint64_t> next;
     const uint64_t in_count = pi == 0 ? n : positions.size();
+    int op_select = -1;
+    if (prof_ != nullptr) {
+      // Each predicate pass is its own operator: one full sequential
+      // column stream refining the selection vector.
+      op_select = prof_->AddOp(
+          "Select(" + table_->schema().column(p.column).name + ")");
+      prof_->op(op_select).rows_in = in_count;
+      prof_->Switch(op_select);
+    }
     memory->CpuWork(cost_.batch_overhead_cycles *
                     (static_cast<double>(in_count) / cost_.batch_rows + 1));
     if (pi == 0) {
@@ -237,6 +270,7 @@ StatusOr<QueryResult> VectorEngine::ExecuteColumnAtATime(
       }
     }
     positions = std::move(next);
+    if (prof_ != nullptr) prof_->op(op_select).rows_out = positions.size();
   }
   result.rows_matched = positions.size();
 
@@ -250,6 +284,13 @@ StatusOr<QueryResult> VectorEngine::ExecuteColumnAtATime(
   const auto col_fn = [&](uint32_t col) {
     return readers.at(col).GetNumeric(current_row);
   };
+  int op_sink = -1;
+  if (prof_ != nullptr) {
+    op_sink =
+        prof_->AddOp(query.aggregates.empty() ? "Project" : "Aggregate");
+    prof_->op(op_sink).rows_in = positions.size();
+    prof_->Switch(op_sink);
+  }
   memory->CpuWork(cost_.batch_overhead_cycles *
                   (static_cast<double>(positions.size()) / cost_.batch_rows +
                    1));
@@ -296,6 +337,12 @@ StatusOr<QueryResult> VectorEngine::ExecuteColumnAtATime(
     }
   }
 
+  if (prof_ != nullptr) {
+    prof_->Finish();
+    uint64_t out = result.rows_matched;
+    if (!query.aggregates.empty()) out = grouped ? groups.size() : 1;
+    prof_->op(op_sink).rows_out = out;
+  }
   FinalizeAggregates(query, flat_aggs, groups, &result);
   result.sim_cycles = memory->ElapsedCycles();
   return result;

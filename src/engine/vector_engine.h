@@ -5,6 +5,7 @@
 #include "engine/cost_model.h"
 #include "engine/query.h"
 #include "layout/column_table.h"
+#include "obs/query_profile.h"
 
 namespace relfab::engine {
 
@@ -42,6 +43,10 @@ class VectorEngine {
   const layout::ColumnTable& table() const { return *table_; }
   VectorMode mode() const { return mode_; }
 
+  /// Attaches a per-operator profiler (EXPLAIN ANALYZE). Null — the
+  /// default — keeps every profiling call site a single pointer test.
+  void set_profiler(obs::OpProfiler* profiler) { prof_ = profiler; }
+
  private:
   StatusOr<QueryResult> ExecuteFused(const QuerySpec& query);
   StatusOr<QueryResult> ExecuteColumnAtATime(const QuerySpec& query);
@@ -49,6 +54,7 @@ class VectorEngine {
   const layout::ColumnTable* table_;
   CostModel cost_;
   VectorMode mode_;
+  obs::OpProfiler* prof_ = nullptr;
 };
 
 }  // namespace relfab::engine

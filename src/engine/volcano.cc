@@ -63,13 +63,16 @@ class TupleSource {
 class ScanOperator : public TupleSource {
  public:
   ScanOperator(const layout::RowTable* table, sim::MemorySystem* memory,
-               const CostModel* cost)
+               const CostModel* cost, obs::OpProfiler* prof, int op)
       : table_(table),
         num_rows_(table->num_rows()),
         memory_(memory),
-        cost_(cost) {}
+        cost_(cost),
+        prof_(prof),
+        op_(op) {}
 
   bool Next(uint64_t* row) override {
+    if (prof_ != nullptr) prof_->Switch(op_);
     memory_->CpuWork(cost_->volcano_next_cycles);
     if (next_ == num_rows_) return false;
     *row = next_;
@@ -78,6 +81,7 @@ class ScanOperator : public TupleSource {
     // needs it — the data movement Relational Fabric removes (Fig. 1).
     memory_->Read(table_->RowAddress(next_), table_->row_bytes());
     ++next_;
+    if (prof_ != nullptr) ++prof_->op(op_).rows_out;
     return true;
   }
 
@@ -87,23 +91,34 @@ class ScanOperator : public TupleSource {
   uint64_t next_ = 0;
   sim::MemorySystem* memory_;
   const CostModel* cost_;
+  obs::OpProfiler* prof_;
+  int op_;
 };
 
 class FilterOperator : public TupleSource {
  public:
   FilterOperator(TupleSource* child, const std::vector<Predicate>* predicates,
                  RowFieldReader* reader, sim::MemorySystem* memory,
-                 const CostModel* cost)
+                 const CostModel* cost, obs::OpProfiler* prof, int op)
       : child_(child),
         predicates_(predicates),
         reader_(reader),
         memory_(memory),
-        cost_(cost) {}
+        cost_(cost),
+        prof_(prof),
+        op_(op) {}
 
   bool Next(uint64_t* row) override {
     while (child_->Next(row)) {
+      if (prof_ != nullptr) {
+        prof_->Switch(op_);
+        ++prof_->op(op_).rows_in;
+      }
       memory_->CpuWork(cost_->volcano_next_cycles);
-      if (Qualifies(*row)) return true;
+      if (Qualifies(*row)) {
+        if (prof_ != nullptr) ++prof_->op(op_).rows_out;
+        return true;
+      }
     }
     return false;
   }
@@ -147,7 +162,20 @@ class FilterOperator : public TupleSource {
   RowFieldReader* reader_;
   sim::MemorySystem* memory_;
   const CostModel* cost_;
+  obs::OpProfiler* prof_;
+  int op_;
 };
+
+/// Sink rows_out: a projection emits every matched row; an ungrouped
+/// aggregate emits one row; a grouped aggregate one row per group.
+void OpStatsRowsOut(obs::OpProfiler* prof, int op, const QuerySpec& query,
+                    uint64_t rows_matched, size_t num_groups) {
+  uint64_t out = rows_matched;
+  if (!query.aggregates.empty()) {
+    out = query.group_by.empty() ? 1 : num_groups;
+  }
+  prof->op(op).rows_out = out;
+}
 
 }  // namespace
 
@@ -156,8 +184,18 @@ StatusOr<QueryResult> VolcanoEngine::Execute(const QuerySpec& query) {
   sim::MemorySystem* memory = table_->memory();
   RowFieldReader reader(table_, &cost_);
 
-  ScanOperator scan(table_, memory, &cost_);
-  FilterOperator filter(&scan, &query.predicates, &reader, memory, &cost_);
+  int op_scan = -1, op_filter = -1, op_sink = -1;
+  if (prof_ != nullptr) {
+    op_scan = prof_->AddOp("Scan");
+    prof_->op(op_scan).rows_in = table_->num_rows();
+    if (!query.predicates.empty()) op_filter = prof_->AddOp("Filter");
+    op_sink =
+        prof_->AddOp(query.aggregates.empty() ? "Project" : "Aggregate");
+  }
+
+  ScanOperator scan(table_, memory, &cost_, prof_, op_scan);
+  FilterOperator filter(&scan, &query.predicates, &reader, memory, &cost_,
+                        prof_, op_filter);
   TupleSource* top = query.predicates.empty()
                          ? static_cast<TupleSource*>(&scan)
                          : static_cast<TupleSource*>(&filter);
@@ -175,6 +213,10 @@ StatusOr<QueryResult> VolcanoEngine::Execute(const QuerySpec& query) {
 
   uint64_t row = 0;
   while (top->Next(&row)) {
+    if (prof_ != nullptr) {
+      prof_->Switch(op_sink);
+      ++prof_->op(op_sink).rows_in;
+    }
     ++result.rows_matched;
     current_row = row;
     if (query.aggregates.empty()) {
@@ -217,6 +259,11 @@ StatusOr<QueryResult> VolcanoEngine::Execute(const QuerySpec& query) {
     }
   }
 
+  if (prof_ != nullptr) {
+    prof_->Finish();
+    OpStatsRowsOut(prof_, op_sink, query, result.rows_matched,
+                   grouped ? groups.size() : 0);
+  }
   FinalizeAggregates(query, flat_aggs, groups, &result);
   result.sim_cycles = memory->ElapsedCycles();
   return result;
@@ -227,6 +274,16 @@ StatusOr<QueryResult> VolcanoEngine::ExecuteOnRowIds(
   RELFAB_RETURN_IF_ERROR(query.Validate(table_->schema()));
   sim::MemorySystem* memory = table_->memory();
   RowFieldReader reader(table_, &cost_);
+
+  int op_fetch = -1, op_sink = -1;
+  if (prof_ != nullptr) {
+    // The candidate loop fetches + filters in one pass; model it as one
+    // "IndexFetch" operator feeding the aggregate/projection sink.
+    op_fetch = prof_->AddOp("IndexFetch");
+    prof_->op(op_fetch).rows_in = rows.size();
+    op_sink =
+        prof_->AddOp(query.aggregates.empty() ? "Project" : "Aggregate");
+  }
 
   QueryResult result;
   result.rows_scanned = rows.size();
@@ -243,6 +300,7 @@ StatusOr<QueryResult> VolcanoEngine::ExecuteOnRowIds(
     if (row >= table_->num_rows()) {
       return Status::OutOfRange("candidate row out of range");
     }
+    if (prof_ != nullptr) prof_->Switch(op_fetch);
     memory->CpuWork(cost_.volcano_next_cycles);
     bool pass = true;
     for (const Predicate& p : query.predicates) {
@@ -275,6 +333,11 @@ StatusOr<QueryResult> VolcanoEngine::ExecuteOnRowIds(
       }
     }
     if (!pass) continue;
+    if (prof_ != nullptr) {
+      ++prof_->op(op_fetch).rows_out;
+      prof_->Switch(op_sink);
+      ++prof_->op(op_sink).rows_in;
+    }
     ++result.rows_matched;
     current_row = row;
     if (query.aggregates.empty()) {
@@ -315,6 +378,11 @@ StatusOr<QueryResult> VolcanoEngine::ExecuteOnRowIds(
     }
   }
 
+  if (prof_ != nullptr) {
+    prof_->Finish();
+    OpStatsRowsOut(prof_, op_sink, query, result.rows_matched,
+                   grouped ? groups.size() : 0);
+  }
   FinalizeAggregates(query, flat_aggs, groups, &result);
   result.sim_cycles = memory->ElapsedCycles();
   return result;

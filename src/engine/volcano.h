@@ -5,6 +5,7 @@
 #include "engine/cost_model.h"
 #include "engine/query.h"
 #include "layout/row_table.h"
+#include "obs/query_profile.h"
 
 namespace relfab::engine {
 
@@ -37,9 +38,14 @@ class VolcanoEngine {
   const layout::RowTable& table() const { return *table_; }
   const CostModel& cost_model() const { return cost_; }
 
+  /// Attaches a per-operator profiler (EXPLAIN ANALYZE). Null — the
+  /// default — keeps every profiling call site a single pointer test.
+  void set_profiler(obs::OpProfiler* profiler) { prof_ = profiler; }
+
  private:
   const layout::RowTable* table_;
   CostModel cost_;
+  obs::OpProfiler* prof_ = nullptr;
 };
 
 /// Packs a char field (<= 8 bytes) into an int64 group-key component.

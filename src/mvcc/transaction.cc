@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "common/logging.h"
+
 namespace relfab::mvcc {
 
 namespace {
@@ -122,12 +124,18 @@ StatusOr<std::vector<uint8_t>> TransactionManager::Read(
 
 Status TransactionManager::Commit(Transaction* txn) {
   RELFAB_RETURN_IF_ERROR(RequireActive(*txn));
+  obs::Span span(tracer_, "mvcc.commit", "mvcc");
+  span.AddArg("txn", txn->id());
+  span.AddArg("ops", static_cast<uint64_t>(txn->ops_.size()));
   // Validation: first committer wins. A write-write conflict exists if
   // any written key received a newer committed write after our snapshot.
   for (const Transaction::Op& op : txn->ops_) {
     if (table_->NewestWriteTs(op.key) > txn->read_ts_) {
       Abort(txn);
       ++aborts_;
+      span.AddArg("outcome", "abort");
+      RELFAB_LOG(DEBUG) << "txn " << txn->id()
+                        << " aborted: write-write conflict on key " << op.key;
       return Status::Aborted("write-write conflict on key " +
                              std::to_string(op.key));
     }
@@ -153,6 +161,8 @@ Status TransactionManager::Commit(Transaction* txn) {
   }
   txn->state_ = TxnState::kCommitted;
   ++commits_;
+  span.AddArg("outcome", "commit");
+  span.AddArg("commit_ts", commit_ts);
   return Status::Ok();
 }
 

@@ -8,6 +8,8 @@
 #include "common/status.h"
 #include "common/statusor.h"
 #include "mvcc/versioned_table.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace relfab::mvcc {
 
@@ -97,6 +99,18 @@ class TransactionManager {
   uint64_t commits() const { return commits_; }
   uint64_t aborts() const { return aborts_; }
 
+  /// Attaches a tracer; each Commit emits an "mvcc.commit" span with the
+  /// transaction id, op count and outcome. Null detaches.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Publishes transaction counters under "mvcc.*".
+  void ExportTo(obs::Registry* registry) const {
+    registry->counter("mvcc.begins")->Set(next_txn_id_);
+    registry->counter("mvcc.commits")->Set(commits_);
+    registry->counter("mvcc.aborts")->Set(aborts_);
+    registry->counter("mvcc.clock")->Set(clock_);
+  }
+
  private:
   int64_t KeyFromRow(const uint8_t* user_row) const {
     int64_t key = 0;
@@ -107,6 +121,7 @@ class TransactionManager {
   }
 
   VersionedTable* table_;
+  obs::Tracer* tracer_ = nullptr;
   uint64_t clock_ = 0;
   uint64_t next_txn_id_ = 0;
   uint64_t commits_ = 0;

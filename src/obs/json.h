@@ -1,0 +1,104 @@
+#ifndef RELFAB_OBS_JSON_H_
+#define RELFAB_OBS_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/statusor.h"
+
+namespace relfab::obs {
+
+/// Minimal JSON document model for the observability layer: registry
+/// snapshots, Chrome trace events and bench run reports are emitted and
+/// re-read through this type, so exports can be round-trip tested without
+/// an external dependency. Numbers are kept as double (every counter the
+/// layer emits fits exactly below 2^53).
+class Json {
+ public:
+  enum class Kind : uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : kind_(Kind::kNull) {}
+  Json(bool b) : kind_(Kind::kBool), bool_(b) {}                   // NOLINT
+  Json(double v) : kind_(Kind::kNumber), number_(v) {}             // NOLINT
+  Json(int64_t v)                                                  // NOLINT
+      : kind_(Kind::kNumber), number_(static_cast<double>(v)) {}
+  Json(uint64_t v)                                                 // NOLINT
+      : kind_(Kind::kNumber), number_(static_cast<double>(v)) {}
+  Json(int v) : kind_(Kind::kNumber), number_(v) {}                // NOLINT
+  Json(std::string s)                                              // NOLINT
+      : kind_(Kind::kString), string_(std::move(s)) {}
+  Json(const char* s) : kind_(Kind::kString), string_(s) {}        // NOLINT
+
+  static Json Array() {
+    Json j;
+    j.kind_ = Kind::kArray;
+    return j;
+  }
+  static Json Object() {
+    Json j;
+    j.kind_ = Kind::kObject;
+    return j;
+  }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool AsBool() const { return bool_; }
+  double AsNumber() const { return number_; }
+  uint64_t AsUint() const { return static_cast<uint64_t>(number_); }
+  const std::string& AsString() const { return string_; }
+  const std::vector<Json>& items() const { return items_; }
+  const std::map<std::string, Json>& members() const { return members_; }
+
+  /// Array append.
+  void Append(Json v) { items_.push_back(std::move(v)); }
+  size_t size() const {
+    return kind_ == Kind::kArray ? items_.size() : members_.size();
+  }
+
+  /// Object member access; Set inserts or overwrites.
+  void Set(const std::string& key, Json v) {
+    members_[key] = std::move(v);
+  }
+  bool Has(const std::string& key) const { return members_.count(key) > 0; }
+  /// Null when absent (kind checks double as presence checks).
+  const Json& at(const std::string& key) const {
+    static const Json kNull;
+    auto it = members_.find(key);
+    return it == members_.end() ? kNull : it->second;
+  }
+  const Json& at(size_t i) const { return items_[i]; }
+
+  /// Serializes compactly (indent < 0) or pretty-printed with `indent`
+  /// spaces per level.
+  std::string Dump(int indent = -1) const;
+
+  /// Parses a complete JSON document; trailing garbage is an error.
+  static StatusOr<Json> Parse(std::string_view text);
+
+  /// Escapes a string for embedding in hand-built JSON output.
+  static std::string Escape(std::string_view s);
+
+ private:
+  void DumpTo(std::string* out, int indent, int depth) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<Json> items_;
+  std::map<std::string, Json> members_;
+};
+
+}  // namespace relfab::obs
+
+#endif  // RELFAB_OBS_JSON_H_

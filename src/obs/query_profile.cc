@@ -1,0 +1,57 @@
+#include "obs/query_profile.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/format.h"
+
+namespace relfab::obs {
+
+std::string QueryProfile::ToTable() const {
+  std::ostringstream os;
+  os << "EXPLAIN ANALYZE (" << backend << " over '" << table
+     << "', total " << FormatCount(static_cast<uint64_t>(total_cycles))
+     << " cycles)\n";
+  char line[160];
+  std::snprintf(line, sizeof(line), "  %-18s %14s %14s %14s %12s %12s %10s\n",
+                "operator", "rows_in", "rows_out", "cpu_cycles",
+                "dram_demand", "dram_gather", "fab_reads");
+  os << line;
+  for (const OpStats& op : ops) {
+    std::snprintf(line, sizeof(line),
+                  "  %-18s %14s %14s %14s %12s %12s %10s\n", op.name.c_str(),
+                  FormatCount(op.rows_in).c_str(),
+                  FormatCount(op.rows_out).c_str(),
+                  FormatCount(static_cast<uint64_t>(op.cpu_cycles)).c_str(),
+                  FormatCount(op.dram_lines_demand).c_str(),
+                  FormatCount(op.dram_lines_gather).c_str(),
+                  FormatCount(op.fabric_reads).c_str());
+    os << line;
+  }
+  return os.str();
+}
+
+Json QueryProfile::ToJson() const {
+  Json doc = Json::Object();
+  doc.Set("backend", backend);
+  doc.Set("table", table);
+  doc.Set("total_cycles", total_cycles);
+  Json op_list = Json::Array();
+  for (const OpStats& op : ops) {
+    Json oj = Json::Object();
+    oj.Set("name", op.name);
+    oj.Set("rows_in", op.rows_in);
+    oj.Set("rows_out", op.rows_out);
+    oj.Set("cpu_cycles", op.cpu_cycles);
+    oj.Set("dram_lines_demand", op.dram_lines_demand);
+    oj.Set("dram_lines_gather", op.dram_lines_gather);
+    oj.Set("fabric_reads", op.fabric_reads);
+    oj.Set("l1_misses", op.l1_misses);
+    oj.Set("l2_misses", op.l2_misses);
+    op_list.Append(std::move(oj));
+  }
+  doc.Set("operators", std::move(op_list));
+  return doc;
+}
+
+}  // namespace relfab::obs

@@ -1,0 +1,108 @@
+#ifndef RELFAB_OBS_QUERY_PROFILE_H_
+#define RELFAB_OBS_QUERY_PROFILE_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace relfab::obs {
+
+/// One reading of the simulator's accumulating meters. Engines fill this
+/// from sim::MemorySystem; obs stays independent of the simulator so the
+/// same profile type can later carry storage- or shard-domain samples.
+struct MeterSample {
+  double cpu_cycles = 0;
+  double channel_busy_cycles = 0;
+  uint64_t dram_lines_demand = 0;
+  uint64_t dram_lines_gather = 0;
+  uint64_t fabric_reads = 0;
+  uint64_t l1_misses = 0;
+  uint64_t l2_misses = 0;
+};
+
+/// Per-operator execution statistics for one query (EXPLAIN ANALYZE).
+struct OpStats {
+  std::string name;
+  uint64_t rows_in = 0;
+  uint64_t rows_out = 0;
+  double cpu_cycles = 0;
+  uint64_t dram_lines_demand = 0;
+  uint64_t dram_lines_gather = 0;
+  uint64_t fabric_reads = 0;
+  uint64_t l1_misses = 0;
+  uint64_t l2_misses = 0;
+
+  uint64_t dram_lines_total() const {
+    return dram_lines_demand + dram_lines_gather;
+  }
+};
+
+/// Profile of one executed query: which backend ran, the operators it
+/// executed (in pipeline order, source first), and the run's totals.
+struct QueryProfile {
+  std::string backend;
+  std::string table;
+  std::vector<OpStats> ops;
+  double total_cycles = 0;  // elapsed (max of cpu and channel clocks)
+
+  /// EXPLAIN ANALYZE rendering: one row per operator.
+  std::string ToTable() const;
+  Json ToJson() const;
+};
+
+/// Attributes simulator deltas to operators via explicit switch points.
+/// Engines call Switch(op) when control enters an operator's work; the
+/// delta since the previous switch is credited to the previously active
+/// operator. This matches interleaved (volcano-style) execution, where
+/// per-operator work is scattered through the loop, without any per-tuple
+/// snapshotting beyond one meter read per switch.
+///
+/// A null profile disables everything: engines guard each call site with
+/// `if (prof)`, keeping the normal path free of profiling cost.
+class OpProfiler {
+ public:
+  OpProfiler(QueryProfile* out, std::function<MeterSample()> sampler)
+      : out_(out), sampler_(std::move(sampler)), last_(sampler_()) {}
+
+  /// Registers an operator; returns its handle.
+  int AddOp(std::string name) {
+    out_->ops.push_back(OpStats{});
+    out_->ops.back().name = std::move(name);
+    return static_cast<int>(out_->ops.size()) - 1;
+  }
+
+  /// Credits the meters advanced since the last call to the operator that
+  /// was active, then makes `op` active (-1 = no operator, e.g. teardown).
+  void Switch(int op) {
+    const MeterSample now = sampler_();
+    if (active_ >= 0) {
+      OpStats& s = out_->ops[static_cast<size_t>(active_)];
+      s.cpu_cycles += now.cpu_cycles - last_.cpu_cycles;
+      s.dram_lines_demand += now.dram_lines_demand - last_.dram_lines_demand;
+      s.dram_lines_gather += now.dram_lines_gather - last_.dram_lines_gather;
+      s.fabric_reads += now.fabric_reads - last_.fabric_reads;
+      s.l1_misses += now.l1_misses - last_.l1_misses;
+      s.l2_misses += now.l2_misses - last_.l2_misses;
+    }
+    last_ = now;
+    active_ = op;
+  }
+
+  /// Closes the active segment (call once when execution finishes).
+  void Finish() { Switch(-1); }
+
+  OpStats& op(int handle) { return out_->ops[static_cast<size_t>(handle)]; }
+
+ private:
+  QueryProfile* out_;
+  std::function<MeterSample()> sampler_;
+  MeterSample last_;
+  int active_ = -1;
+};
+
+}  // namespace relfab::obs
+
+#endif  // RELFAB_OBS_QUERY_PROFILE_H_

@@ -1,0 +1,174 @@
+#include "obs/registry.h"
+
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+#include "common/format.h"
+
+namespace relfab::obs {
+
+uint32_t Histogram::BucketFor(double v) {
+  if (!(v >= 1.0)) return 0;  // NaN and sub-1 values land in bucket 0
+  // Octave = floor(log2(v)); sub-bucket = linear position inside it.
+  const int exp = std::min(62, static_cast<int>(std::floor(std::log2(v))));
+  const double lower = std::ldexp(1.0, exp);
+  const uint32_t sub = std::min(
+      kSubBuckets - 1,
+      static_cast<uint32_t>((v - lower) / lower * kSubBuckets));
+  return std::min(kNumBuckets - 1,
+                  static_cast<uint32_t>(exp) * kSubBuckets + sub);
+}
+
+double Histogram::BucketLowerEdge(uint32_t b) {
+  const uint32_t exp = b / kSubBuckets;
+  const uint32_t sub = b % kSubBuckets;
+  const double lower = std::ldexp(1.0, static_cast<int>(exp));
+  return lower + lower * sub / kSubBuckets;
+}
+
+double Histogram::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q <= 0) return min();
+  if (q >= 1) return max();
+  const uint64_t rank = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  uint64_t seen = 0;
+  for (uint32_t b = 0; b < kNumBuckets; ++b) {
+    seen += buckets_[b];
+    if (seen >= rank) {
+      // Report the bucket's upper edge, clamped to the observed max.
+      const double upper = BucketLowerEdge(b + 1);
+      return upper < max_ ? upper : max_;
+    }
+  }
+  return max_;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+  for (uint32_t b = 0; b < kNumBuckets; ++b) buckets_[b] += other.buckets_[b];
+}
+
+void Registry::Reset() {
+  for (auto& [name, c] : counters_) c->Set(0);
+  for (auto& [name, g] : gauges_) g->Set(0);
+  for (auto& [name, h] : histograms_) *h = Histogram();
+}
+
+void Registry::MergeFrom(const Registry& other) {
+  for (const auto& [name, c] : other.counters_) {
+    counter(name)->Inc(c->value());
+  }
+  for (const auto& [name, g] : other.gauges_) gauge(name)->Set(g->value());
+  for (const auto& [name, h] : other.histograms_) {
+    histogram(name)->Merge(*h);
+  }
+}
+
+Json Registry::ToJson() const {
+  Json doc = Json::Object();
+  Json counters = Json::Object();
+  for (const auto& [name, c] : counters_) counters.Set(name, c->value());
+  Json gauges = Json::Object();
+  for (const auto& [name, g] : gauges_) gauges.Set(name, g->value());
+  Json histograms = Json::Object();
+  for (const auto& [name, h] : histograms_) {
+    Json hj = Json::Object();
+    hj.Set("count", h->count());
+    hj.Set("sum", h->sum());
+    hj.Set("min", h->min());
+    hj.Set("max", h->max());
+    hj.Set("mean", h->mean());
+    hj.Set("p50", h->Quantile(0.5));
+    hj.Set("p99", h->Quantile(0.99));
+    Json buckets = Json::Array();
+    for (uint32_t b = 0; b < Histogram::kNumBuckets; ++b) {
+      if (h->buckets()[b] == 0) continue;
+      Json pair = Json::Array();
+      pair.Append(Histogram::BucketLowerEdge(b));
+      pair.Append(h->buckets()[b]);
+      buckets.Append(std::move(pair));
+    }
+    hj.Set("buckets", std::move(buckets));
+    histograms.Set(name, std::move(hj));
+  }
+  doc.Set("counters", std::move(counters));
+  doc.Set("gauges", std::move(gauges));
+  doc.Set("histograms", std::move(histograms));
+  return doc;
+}
+
+Status Registry::FromJson(const Json& doc) {
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("registry snapshot must be an object");
+  }
+  for (const char* section : {"counters", "gauges", "histograms"}) {
+    if (doc.Has(section) && !doc.at(section).is_object()) {
+      return Status::InvalidArgument(std::string("registry section '") +
+                                     section + "' must be an object");
+    }
+  }
+  for (const auto& [name, v] : doc.at("counters").members()) {
+    if (!v.is_number()) {
+      return Status::InvalidArgument("counter '" + name + "' is not numeric");
+    }
+    counter(name)->Set(v.AsUint());
+  }
+  for (const auto& [name, v] : doc.at("gauges").members()) {
+    if (!v.is_number()) {
+      return Status::InvalidArgument("gauge '" + name + "' is not numeric");
+    }
+    gauge(name)->Set(v.AsNumber());
+  }
+  for (const auto& [name, hj] : doc.at("histograms").members()) {
+    if (!hj.is_object() || !hj.at("buckets").is_array()) {
+      return Status::InvalidArgument("histogram '" + name + "' is malformed");
+    }
+    Histogram* h = histogram(name);
+    *h = Histogram();
+    // Buckets were serialized by lower edge, and a lower edge maps back
+    // to its own bucket, so the bucket array restores exactly.
+    for (const Json& pair : hj.at("buckets").items()) {
+      if (!pair.is_array() || pair.size() != 2) {
+        return Status::InvalidArgument("histogram '" + name +
+                                       "' has a malformed bucket");
+      }
+      h->AddBucketCount(pair.at(0).AsNumber(), pair.at(1).AsUint());
+    }
+    h->RestoreMoments(hj.at("sum").AsNumber(), hj.at("min").AsNumber(),
+                      hj.at("max").AsNumber());
+  }
+  return Status::Ok();
+}
+
+std::string Registry::ToTable() const {
+  std::ostringstream os;
+  os << "=== metrics ===\n";
+  for (const auto& [name, c] : counters_) {
+    os << "  " << name;
+    for (size_t i = name.size(); i < 40; ++i) os << ' ';
+    os << ' ' << FormatCount(c->value()) << '\n';
+  }
+  for (const auto& [name, g] : gauges_) {
+    os << "  " << name;
+    for (size_t i = name.size(); i < 40; ++i) os << ' ';
+    os << ' ' << FormatDouble(g->value(), 4) << '\n';
+  }
+  for (const auto& [name, h] : histograms_) {
+    os << "  " << name;
+    for (size_t i = name.size(); i < 40; ++i) os << ' ';
+    os << " count=" << FormatCount(h->count())
+       << " mean=" << FormatDouble(h->mean(), 2)
+       << " p50=" << FormatDouble(h->Quantile(0.5), 2)
+       << " p99=" << FormatDouble(h->Quantile(0.99), 2)
+       << " max=" << FormatDouble(h->max(), 2) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace relfab::obs

@@ -1,0 +1,79 @@
+#include "obs/report.h"
+
+#include <cstdio>
+
+namespace relfab::obs {
+
+Json RunReport::ToJson() const {
+  Json doc = Json::Object();
+  doc.Set("schema_version", 1);
+  doc.Set("bench", name_);
+  Json config = Json::Object();
+  for (const auto& [k, v] : config_) config.Set(k, v);
+  doc.Set("config", std::move(config));
+  Json results = Json::Array();
+  for (const Result& r : results_) {
+    Json rj = Json::Object();
+    rj.Set("series", r.series);
+    rj.Set("x", r.x);
+    rj.Set("sim_cycles", r.sim_cycles);
+    results.Append(std::move(rj));
+  }
+  doc.Set("results", std::move(results));
+  doc.Set("metrics", metrics_);
+  return doc;
+}
+
+Status RunReport::WriteTo(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open report file '" + path + "'");
+  }
+  const std::string text = ToJson().Dump(1);
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (written != text.size()) {
+    return Status::Internal("short write to report file '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+Status RunReport::Validate(const Json& doc) {
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("report must be a JSON object");
+  }
+  if (!doc.at("schema_version").is_number() ||
+      doc.at("schema_version").AsUint() != 1) {
+    return Status::InvalidArgument("report schema_version must be 1");
+  }
+  if (!doc.at("bench").is_string() || doc.at("bench").AsString().empty()) {
+    return Status::InvalidArgument("report 'bench' must be a non-empty string");
+  }
+  if (!doc.at("config").is_object()) {
+    return Status::InvalidArgument("report 'config' must be an object");
+  }
+  for (const auto& [k, v] : doc.at("config").members()) {
+    if (!v.is_string()) {
+      return Status::InvalidArgument("config value '" + k +
+                                     "' must be a string");
+    }
+  }
+  if (!doc.at("results").is_array()) {
+    return Status::InvalidArgument("report 'results' must be an array");
+  }
+  for (const Json& r : doc.at("results").items()) {
+    if (!r.is_object() || !r.at("series").is_string() ||
+        !r.at("x").is_string() || !r.at("sim_cycles").is_number()) {
+      return Status::InvalidArgument(
+          "each result needs string 'series'/'x' and numeric 'sim_cycles'");
+    }
+  }
+  if (!doc.at("metrics").is_object()) {
+    return Status::InvalidArgument("report 'metrics' must be an object");
+  }
+  // The metrics snapshot must itself be a loadable registry document.
+  Registry probe;
+  return probe.FromJson(doc.at("metrics"));
+}
+
+}  // namespace relfab::obs

@@ -1,0 +1,50 @@
+#include "obs/trace.h"
+
+#include <cstdio>
+
+namespace relfab::obs {
+
+Json Tracer::ToJson() const {
+  Json events = Json::Array();
+  for (const Event& e : events_) {
+    Json ev = Json::Object();
+    ev.Set("name", e.name);
+    ev.Set("cat", e.category);
+    ev.Set("ph", "X");  // complete event: ts + dur
+    ev.Set("ts", e.start_cycles);
+    ev.Set("dur", e.duration_cycles);
+    ev.Set("pid", 1);
+    ev.Set("tid", 1);
+    if (!e.args.empty()) {
+      Json args = Json::Object();
+      for (const auto& [k, v] : e.args) args.Set(k, v);
+      ev.Set("args", std::move(args));
+    }
+    events.Append(std::move(ev));
+  }
+  Json doc = Json::Object();
+  doc.Set("traceEvents", std::move(events));
+  // One simulated cycle is reported in the microsecond field; tell the
+  // viewer to display raw numbers at fine granularity.
+  doc.Set("displayTimeUnit", "ns");
+  Json meta = Json::Object();
+  meta.Set("clock", "simulated-cycles");
+  doc.Set("otherData", std::move(meta));
+  return doc;
+}
+
+Status Tracer::WriteJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open trace file '" + path + "'");
+  }
+  const std::string text = ToJson().Dump(1);
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (written != text.size()) {
+    return Status::Internal("short write to trace file '" + path + "'");
+  }
+  return Status::Ok();
+}
+
+}  // namespace relfab::obs

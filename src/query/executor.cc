@@ -4,14 +4,47 @@
 #include "engine/rm_exec.h"
 #include "engine/vector_engine.h"
 #include "engine/volcano.h"
+#include "sim/memory_system.h"
 
 namespace relfab::query {
 
-StatusOr<engine::QueryResult> Executor::Execute(const Plan& plan) const {
+StatusOr<engine::QueryResult> Executor::Execute(
+    const Plan& plan, obs::QueryProfile* profile) const {
   RELFAB_ASSIGN_OR_RETURN(TableEntry entry, catalog_->Lookup(plan.table));
+
+  obs::Span span(tracer_, "query.execute", "query");
+  span.AddArg("backend", std::string(BackendToString(plan.backend)));
+  span.AddArg("table", plan.table);
+
+  if (profile == nullptr) {
+    auto result = Dispatch(plan, entry, nullptr);
+    if (result.ok()) span.AddArg("rows_matched", result->rows_matched);
+    return result;
+  }
+
+  profile->backend = std::string(BackendToString(plan.backend));
+  profile->table = plan.table;
+  sim::MemorySystem* memory =
+      plan.backend == Backend::kColumn && entry.columns != nullptr
+          ? entry.columns->memory()
+          : entry.rows->memory();
+  obs::OpProfiler prof(profile, [memory] { return memory->Sample(); });
+  auto result = Dispatch(plan, entry, &prof);
+  prof.Finish();  // engines already Finish(); this closes error paths
+  if (result.ok()) {
+    profile->total_cycles = result->sim_cycles;
+    span.AddArg("rows_matched", result->rows_matched);
+  }
+  return result;
+}
+
+StatusOr<engine::QueryResult> Executor::Dispatch(const Plan& plan,
+                                                 const TableEntry& entry,
+                                                 obs::OpProfiler* prof) const {
   switch (plan.backend) {
     case Backend::kRow: {
       engine::VolcanoEngine eng(entry.rows, cost_);
+      eng.set_profiler(prof);
       return eng.Execute(plan.spec);
     }
     case Backend::kColumn: {
@@ -21,14 +54,17 @@ StatusOr<engine::QueryResult> Executor::Execute(const Plan& plan) const {
             "' has no materialized columnar copy");
       }
       engine::VectorEngine eng(entry.columns, cost_);
+      eng.set_profiler(prof);
       return eng.Execute(plan.spec);
     }
     case Backend::kRelationalMemory: {
       engine::RmExecEngine eng(entry.rows, rm_, cost_);
+      eng.set_profiler(prof);
       return eng.Execute(plan.spec);
     }
     case Backend::kHybrid: {
       engine::HybridEngine eng(entry.rows, rm_, cost_);
+      eng.set_profiler(prof);
       return eng.Execute(plan.spec);
     }
     case Backend::kIndex: {
@@ -49,9 +85,18 @@ StatusOr<engine::QueryResult> Executor::Execute(const Plan& plan) const {
             "plan chose INDEX without an equality predicate on the "
             "indexed column");
       }
+      int op_lookup = -1;
+      if (prof != nullptr) op_lookup = prof->AddOp("IndexLookup");
+      if (prof != nullptr) prof->Switch(op_lookup);
       const std::vector<uint64_t> candidates =
           entry.key_index->Lookup(point->int_operand);
+      if (prof != nullptr) {
+        prof->op(op_lookup).rows_in = 1;  // one probed key
+        prof->op(op_lookup).rows_out = candidates.size();
+        prof->Switch(-1);
+      }
       engine::VolcanoEngine eng(entry.rows, cost_);
+      eng.set_profiler(prof);
       return eng.ExecuteOnRowIds(plan.spec, candidates);
     }
   }

@@ -4,6 +4,8 @@
 #include "common/statusor.h"
 #include "engine/cost_model.h"
 #include "engine/query.h"
+#include "obs/query_profile.h"
+#include "obs/trace.h"
 #include "query/catalog.h"
 #include "query/planner.h"
 #include "relmem/rm_engine.h"
@@ -20,12 +22,26 @@ class Executor {
     RELFAB_CHECK(catalog != nullptr && rm != nullptr);
   }
 
-  StatusOr<engine::QueryResult> Execute(const Plan& plan) const;
+  /// Executes the plan. When `profile` is non-null (EXPLAIN ANALYZE) the
+  /// chosen engine attributes simulator meters to its operators and the
+  /// profile is filled in; when null, execution carries zero profiling
+  /// cost. When a tracer is attached, the run is wrapped in a
+  /// "query.execute" span.
+  StatusOr<engine::QueryResult> Execute(
+      const Plan& plan, obs::QueryProfile* profile = nullptr) const;
+
+  /// Attaches a tracer for query spans. Null detaches.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
  private:
+  StatusOr<engine::QueryResult> Dispatch(const Plan& plan,
+                                         const TableEntry& entry,
+                                         obs::OpProfiler* prof) const;
+
   const Catalog* catalog_;
   relmem::RmEngine* rm_;
   engine::CostModel cost_;
+  obs::Tracer* tracer_ = nullptr;
 };
 
 }  // namespace relfab::query

@@ -82,6 +82,7 @@ StatusOr<RmEngine::FabricAggResult> RmEngine::AggregateInFabric(
   memory_->CpuWork(params_.fabric_configure_cycles);
   ++num_configures_;
 
+  obs::Span span(tracer_, "rm.aggregate", "relmem");
   const layout::Schema& schema = table.schema();
   const std::vector<uint32_t> source = geometry.SourceColumns(schema);
   FabricAggResult result;
@@ -150,6 +151,7 @@ RmEngine::ChunkResult RmEngine::ProduceChunk(
     uint64_t end_row, uint64_t max_out_rows, uint8_t* out,
     uint32_t out_row_bytes) {
   const layout::Schema& schema = table.schema();
+  obs::Span span(tracer_, "rm.gather.chunk", "relmem");
   ChunkResult result;
   double gather_cycles = 0;
   double parse_rows = 0;
@@ -191,6 +193,11 @@ RmEngine::ChunkResult RmEngine::ProduceChunk(
   }
 
   result.next_input_row = row;
+  ++chunks_produced_;
+  rows_parsed_ += row - input_row;
+  rows_packed_ += result.out_rows;
+  span.AddArg("rows_in", row - input_row);
+  span.AddArg("rows_out", result.out_rows);
   const double out_lines =
       static_cast<double>(result.out_rows * out_row_bytes + 63) / 64.0;
   const double parse_cycles = parse_rows / params_.fabric_rows_per_cycle *

@@ -6,6 +6,8 @@
 
 #include "common/statusor.h"
 #include "layout/row_table.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "relmem/ephemeral.h"
 #include "relmem/geometry.h"
 #include "sim/memory_system.h"
@@ -98,11 +100,31 @@ class RmEngine {
 
   sim::MemorySystem* memory() const { return memory_; }
   uint64_t num_configures() const { return num_configures_; }
+  uint64_t chunks_produced() const { return chunks_produced_; }
+  uint64_t rows_parsed() const { return rows_parsed_; }
+  uint64_t rows_packed() const { return rows_packed_; }
+
+  /// Attaches a tracer; each produced chunk and in-fabric aggregation
+  /// emits a span ("rm.gather.chunk" / "rm.aggregate"). Null detaches.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Publishes the engine's production counters under "rm.*", plus a
+  /// chunk-size histogram when chunks were produced.
+  void ExportTo(obs::Registry* registry) const {
+    registry->counter("rm.configures")->Set(num_configures_);
+    registry->counter("rm.chunks_produced")->Set(chunks_produced_);
+    registry->counter("rm.rows_parsed")->Set(rows_parsed_);
+    registry->counter("rm.rows_packed")->Set(rows_packed_);
+  }
 
  private:
   sim::MemorySystem* memory_;
   const sim::SimParams& params_;
+  obs::Tracer* tracer_ = nullptr;
   uint64_t num_configures_ = 0;
+  uint64_t chunks_produced_ = 0;
+  uint64_t rows_parsed_ = 0;   // source rows run through the filter stage
+  uint64_t rows_packed_ = 0;   // qualifying rows packed into fill buffers
 };
 
 }  // namespace relfab::relmem

@@ -30,6 +30,25 @@ bool EvalPredicate(const StorageTable& table, const relmem::HwPredicate& p,
 
 }  // namespace
 
+void RsEngine::EmitScanEvent(const char* name,
+                             const ScanResult& result) const {
+  if (tracer_ == nullptr || !tracer_->enabled()) return;
+  obs::Tracer::Event event;
+  event.name = name;
+  event.category = "relstorage";
+  // The SSD runs in its own clock domain; anchor the event at the
+  // tracer's current time and report the storage cycles as duration.
+  event.start_cycles = tracer_->Now();
+  event.duration_cycles = static_cast<uint64_t>(result.cycles);
+  event.depth = tracer_->depth();
+  event.args.emplace_back("rows_out", std::to_string(result.rows_out));
+  event.args.emplace_back("pages_sensed",
+                          std::to_string(result.pages_sensed));
+  event.args.emplace_back("pages_shipped",
+                          std::to_string(result.pages_shipped));
+  tracer_->Emit(std::move(event));
+}
+
 void RsEngine::RunScan(const StorageTable& table,
                        const relmem::Geometry& geometry, ScanResult* result,
                        double* decode_cost_total, uint64_t* values_touched) {
@@ -111,6 +130,11 @@ StatusOr<ScanResult> RsEngine::NearStorageScan(
   const double ship_cycles = ssd_->ShipToHost(result.pages_shipped);
   // Sense, in-storage processing and shipping form a pipeline.
   result.cycles = std::max({read_cycles, logic_cycles, ship_cycles});
+  ++near_scans_;
+  near_pages_sensed_ += result.pages_sensed;
+  near_pages_shipped_ += result.pages_shipped;
+  rows_out_ += result.rows_out;
+  EmitScanEvent("rs.near_scan", result);
   return result;
 }
 
@@ -131,6 +155,10 @@ StatusOr<ScanResult> RsEngine::HostScan(const StorageTable& table,
   const double cpu_cycles =
       static_cast<double>(values) * p.host_cpu_cycles_per_value + decode_cost;
   result.cycles = std::max({read_cycles, ship_cycles, cpu_cycles});
+  ++host_scans_;
+  host_pages_shipped_ += result.pages_shipped;
+  rows_out_ += result.rows_out;
+  EmitScanEvent("rs.host_scan", result);
   return result;
 }
 

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "common/statusor.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "relmem/geometry.h"
 #include "relstorage/ssd_model.h"
 #include "relstorage/storage_table.h"
@@ -49,6 +51,26 @@ class RsEngine {
 
   SsdModel* ssd() const { return ssd_; }
 
+  uint64_t near_scans() const { return near_scans_; }
+  uint64_t host_scans() const { return host_scans_; }
+
+  /// Attaches a tracer; each scan emits a complete event ("rs.near_scan" /
+  /// "rs.host_scan") whose duration is the scan's storage-domain cycles.
+  /// Null detaches.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
+  /// Publishes cumulative scan counters under "rs.*". Pages are split by
+  /// scan kind because the near/host page ratio *is* the paper's
+  /// data-movement argument for computational storage.
+  void ExportTo(obs::Registry* registry) const {
+    registry->counter("rs.near_scans")->Set(near_scans_);
+    registry->counter("rs.host_scans")->Set(host_scans_);
+    registry->counter("rs.near.pages_sensed")->Set(near_pages_sensed_);
+    registry->counter("rs.near.pages_shipped")->Set(near_pages_shipped_);
+    registry->counter("rs.host.pages_shipped")->Set(host_pages_shipped_);
+    registry->counter("rs.rows_out")->Set(rows_out_);
+  }
+
  private:
   /// Shared functional part: evaluates the geometry and packs output
   /// rows; returns per-value decode cost incurred for compressed columns.
@@ -56,7 +78,17 @@ class RsEngine {
                       const relmem::Geometry& geometry, ScanResult* result,
                       double* decode_cost_total, uint64_t* values_touched);
 
+  /// Emits one storage-domain complete event (no-op without a tracer).
+  void EmitScanEvent(const char* name, const ScanResult& result) const;
+
   SsdModel* ssd_;
+  obs::Tracer* tracer_ = nullptr;
+  uint64_t near_scans_ = 0;
+  uint64_t host_scans_ = 0;
+  uint64_t near_pages_sensed_ = 0;
+  uint64_t near_pages_shipped_ = 0;
+  uint64_t host_pages_shipped_ = 0;
+  uint64_t rows_out_ = 0;
 };
 
 }  // namespace relfab::relstorage

@@ -4,6 +4,8 @@
 #include <cstdint>
 
 #include "common/logging.h"
+#include "obs/query_profile.h"
+#include "obs/registry.h"
 #include "sim/cache.h"
 #include "sim/dram.h"
 #include "sim/params.h"
@@ -131,6 +133,53 @@ class MemorySystem {
     s.dram_row_hits = dram_.row_hits() - dram_row_hit_base_;
     s.dram_row_misses = dram_.row_misses() - dram_row_miss_base_;
     return s;
+  }
+
+  /// One reading of the accumulating meters for per-operator attribution
+  /// (obs::OpProfiler); cheaper than a full stats() snapshot.
+  obs::MeterSample Sample() const {
+    obs::MeterSample s;
+    s.cpu_cycles = cpu_cycles_;
+    s.channel_busy_cycles = channel_busy_cycles_;
+    s.dram_lines_demand = stats_.dram_lines_demand;
+    s.dram_lines_gather = stats_.dram_lines_gather;
+    s.fabric_reads = stats_.fabric_reads;
+    s.l1_misses = stats_.l1_misses;
+    s.l2_misses = stats_.l2_misses;
+    return s;
+  }
+
+  /// Publishes the memory hierarchy's counters into `registry` under
+  /// "sim.*": MemStats events, both clocks, DRAM bank/row-buffer state
+  /// and the prefetcher's stream-table statistics. This is the metrics
+  /// spine of the observability layer — every component exports through a
+  /// Registry so one snapshot describes a whole run.
+  void ExportTo(obs::Registry* registry) const {
+    const MemStats s = stats();
+    registry->Set("sim.cpu_cycles", cpu_cycles_);
+    registry->Set("sim.channel_busy_cycles", channel_busy_cycles_);
+    registry->Set("sim.elapsed_cycles",
+                  static_cast<double>(ElapsedCycles()));
+    registry->counter("sim.l1.hits")->Set(s.l1_hits);
+    registry->counter("sim.l1.misses")->Set(s.l1_misses);
+    registry->counter("sim.l2.hits")->Set(s.l2_hits);
+    registry->counter("sim.l2.misses")->Set(s.l2_misses);
+    registry->Set("sim.l1.hit_rate", s.l1_hit_rate());
+    registry->Set("sim.l2.hit_rate", s.l2_hit_rate());
+    registry->counter("sim.prefetch.covered")->Set(s.prefetch_covered);
+    registry->counter("sim.prefetch.uncovered")->Set(s.prefetch_uncovered);
+    registry->Set("sim.prefetch.coverage", s.prefetch_coverage());
+    registry->counter("sim.prefetch.stream_allocs")
+        ->Set(prefetcher_.allocations());
+    registry->counter("sim.prefetch.stream_steals")->Set(prefetcher_.steals());
+    registry->counter("sim.dram.row_hits")->Set(s.dram_row_hits);
+    registry->counter("sim.dram.row_misses")->Set(s.dram_row_misses);
+    registry->Set("sim.dram.banks", dram_.banks());
+    registry->counter("sim.dram.lines_demand")->Set(s.dram_lines_demand);
+    registry->counter("sim.dram.lines_gather")->Set(s.dram_lines_gather);
+    registry->counter("sim.dram.bytes_total")->Set(s.dram_bytes_total());
+    registry->counter("sim.fabric.buffer_reads")->Set(s.fabric_reads);
+    registry->counter("sim.fabric.refills")->Set(s.fabric_refills);
   }
 
   const SimParams& params() const { return params_; }

@@ -54,6 +54,8 @@ class StreamPrefetcher {
       }
       if (s.last_use < victim->last_use) victim = &s;
     }
+    ++allocations_;
+    if (victim->valid) ++steals_;
     victim->valid = true;
     victim->next_line = line_addr + 1;
     victim->confidence = 0;
@@ -65,9 +67,16 @@ class StreamPrefetcher {
   void Reset() {
     for (Stream& s : streams_) s = Stream{};
     tick_ = 0;
+    allocations_ = 0;
+    steals_ = 0;
   }
 
   uint32_t capacity() const { return capacity_; }
+  /// Stream-table allocations since Reset (new streams started).
+  uint64_t allocations() const { return allocations_; }
+  /// Allocations that evicted a live stream — the thrash signature when
+  /// more concurrent cursors are live than table entries.
+  uint64_t steals() const { return steals_; }
 
  private:
   struct Stream {
@@ -81,6 +90,8 @@ class StreamPrefetcher {
   uint32_t train_steps_;
   uint32_t window_;
   uint64_t tick_ = 0;
+  uint64_t allocations_ = 0;
+  uint64_t steals_ = 0;
   std::vector<Stream> streams_;
 };
 

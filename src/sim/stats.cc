@@ -9,11 +9,12 @@ namespace relfab::sim {
 std::string MemStats::ToString() const {
   std::ostringstream os;
   os << "L1: " << FormatCount(l1_hits) << " hits / " << FormatCount(l1_misses)
-     << " misses\n"
+     << " misses (" << FormatDouble(l1_hit_rate() * 100, 1) << "% hit)\n"
      << "L2: " << FormatCount(l2_hits) << " hits / " << FormatCount(l2_misses)
-     << " misses\n"
+     << " misses (" << FormatDouble(l2_hit_rate() * 100, 1) << "% hit)\n"
      << "prefetch: " << FormatCount(prefetch_covered) << " covered / "
-     << FormatCount(prefetch_uncovered) << " uncovered\n"
+     << FormatCount(prefetch_uncovered) << " uncovered ("
+     << FormatDouble(prefetch_coverage() * 100, 1) << "% coverage)\n"
      << "DRAM rows: " << FormatCount(dram_row_hits) << " hits / "
      << FormatCount(dram_row_misses) << " misses\n"
      << "DRAM traffic: demand " << FormatBytes(dram_lines_demand * 64)

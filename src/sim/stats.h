@@ -34,6 +34,21 @@ struct MemStats {
                             static_cast<double>(total);
   }
 
+  double l2_hit_rate() const {
+    uint64_t total = l2_hits + l2_misses;
+    return total == 0 ? 0.0
+                      : static_cast<double>(l2_hits) /
+                            static_cast<double>(total);
+  }
+
+  /// Fraction of DRAM-bound demand misses the prefetcher hid.
+  double prefetch_coverage() const {
+    uint64_t total = prefetch_covered + prefetch_uncovered;
+    return total == 0 ? 0.0
+                      : static_cast<double>(prefetch_covered) /
+                            static_cast<double>(total);
+  }
+
   /// Multi-line human-readable dump.
   std::string ToString() const;
 

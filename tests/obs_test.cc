@@ -1,0 +1,390 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "common/logging.h"
+#include "obs/json.h"
+#include "obs/query_profile.h"
+#include "obs/registry.h"
+#include "obs/report.h"
+#include "obs/trace.h"
+
+namespace relfab::obs {
+namespace {
+
+// ---------------------------------------------------------------- Json
+
+TEST(JsonTest, ParseDumpRoundTrip) {
+  const char* text =
+      R"({"a": 1, "b": [true, false, null, "s\n\"quoted\""], "c": {"d": 2.5}})";
+  auto doc = Json::Parse(text);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_TRUE(doc->is_object());
+  EXPECT_EQ(doc->at("a").AsUint(), 1u);
+  ASSERT_TRUE(doc->at("b").is_array());
+  EXPECT_EQ(doc->at("b").size(), 4u);
+  EXPECT_TRUE(doc->at("b").at(0).AsBool());
+  EXPECT_TRUE(doc->at("b").at(2).is_null());
+  EXPECT_EQ(doc->at("b").at(3).AsString(), "s\n\"quoted\"");
+  EXPECT_DOUBLE_EQ(doc->at("c").at("d").AsNumber(), 2.5);
+
+  // Dump must parse back to an equivalent document, compact and pretty.
+  for (int indent : {-1, 2}) {
+    auto again = Json::Parse(doc->Dump(indent));
+    ASSERT_TRUE(again.ok());
+    EXPECT_EQ(again->Dump(), doc->Dump());
+  }
+}
+
+TEST(JsonTest, ParseErrors) {
+  EXPECT_FALSE(Json::Parse("").ok());
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("[1,]").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\": 1} trailing").ok());
+  EXPECT_FALSE(Json::Parse("'single'").ok());
+}
+
+TEST(JsonTest, AbsentKeyIsNull) {
+  Json obj = Json::Object();
+  obj.Set("x", 1);
+  EXPECT_TRUE(obj.at("missing").is_null());
+  EXPECT_FALSE(obj.Has("missing"));
+  EXPECT_TRUE(obj.Has("x"));
+}
+
+// ------------------------------------------------------------ Registry
+
+TEST(RegistryTest, CountersGaugesHistograms) {
+  Registry reg;
+  Counter* c = reg.counter("sim.l1.hits");
+  c->Inc();
+  c->Inc(9);
+  EXPECT_EQ(c->value(), 10u);
+  // Same name -> same instrument.
+  EXPECT_EQ(reg.counter("sim.l1.hits"), c);
+
+  reg.Set("sim.l1.hit_rate", 0.75);
+  EXPECT_DOUBLE_EQ(reg.gauge("sim.l1.hit_rate")->value(), 0.75);
+
+  for (int i = 1; i <= 100; ++i) reg.Observe("rm.chunk_rows", i);
+  Histogram* h = reg.histogram("rm.chunk_rows");
+  EXPECT_EQ(h->count(), 100u);
+  EXPECT_DOUBLE_EQ(h->sum(), 5050.0);
+  EXPECT_DOUBLE_EQ(h->min(), 1.0);
+  EXPECT_DOUBLE_EQ(h->max(), 100.0);
+  EXPECT_DOUBLE_EQ(h->mean(), 50.5);
+  // Log-linear sketch: the quantile is an upper bound with < 1/kSubBuckets
+  // relative error.
+  EXPECT_GE(h->Quantile(0.5), 50.0);
+  EXPECT_LE(h->Quantile(0.5), 50.0 * (1.0 + 1.0 / Histogram::kSubBuckets));
+  EXPECT_LE(h->Quantile(1.0), 100.0 * (1.0 + 1.0 / Histogram::kSubBuckets));
+}
+
+TEST(RegistryTest, ResetZeroesButKeepsHandles) {
+  Registry reg;
+  Counter* c = reg.counter("a");
+  c->Inc(5);
+  reg.Observe("h", 3.0);
+  reg.Set("g", 1.5);
+  reg.Reset();
+  EXPECT_EQ(c->value(), 0u);
+  EXPECT_EQ(reg.counter("a"), c);  // handle survives
+  EXPECT_EQ(reg.histogram("h")->count(), 0u);
+  EXPECT_DOUBLE_EQ(reg.gauge("g")->value(), 0.0);
+}
+
+TEST(RegistryTest, MergeAccumulatesCountersAndHistograms) {
+  Registry a;
+  Registry b;
+  a.Add("n", 3);
+  b.Add("n", 4);
+  b.Add("only_b", 7);
+  a.Set("g", 1.0);
+  b.Set("g", 2.0);
+  for (int i = 0; i < 10; ++i) a.Observe("h", 1.0);
+  for (int i = 0; i < 5; ++i) b.Observe("h", 100.0);
+
+  a.MergeFrom(b);
+  EXPECT_EQ(a.counter("n")->value(), 7u);
+  EXPECT_EQ(a.counter("only_b")->value(), 7u);
+  EXPECT_DOUBLE_EQ(a.gauge("g")->value(), 2.0);  // gauges: latest reading
+  Histogram* h = a.histogram("h");
+  EXPECT_EQ(h->count(), 15u);
+  EXPECT_DOUBLE_EQ(h->sum(), 10.0 + 500.0);
+  EXPECT_DOUBLE_EQ(h->min(), 1.0);
+  EXPECT_DOUBLE_EQ(h->max(), 100.0);
+}
+
+TEST(RegistryTest, JsonRoundTrip) {
+  Registry reg;
+  reg.Add("sim.l1.hits", 12345);
+  reg.Add("rm.configures", 3);
+  reg.Set("sim.l1.hit_rate", 0.875);
+  for (int i = 1; i <= 1000; ++i) reg.Observe("lat", i * 7.0);
+
+  const Json snapshot = reg.ToJson();
+  // Snapshot survives a serialize/parse cycle.
+  auto parsed = Json::Parse(snapshot.Dump(2));
+  ASSERT_TRUE(parsed.ok());
+
+  Registry restored;
+  ASSERT_TRUE(restored.FromJson(*parsed).ok());
+  EXPECT_EQ(restored.counter("sim.l1.hits")->value(), 12345u);
+  EXPECT_EQ(restored.counter("rm.configures")->value(), 3u);
+  EXPECT_DOUBLE_EQ(restored.gauge("sim.l1.hit_rate")->value(), 0.875);
+  const Histogram* h = restored.histogram("lat");
+  EXPECT_EQ(h->count(), 1000u);
+  EXPECT_DOUBLE_EQ(h->sum(), reg.histogram("lat")->sum());
+  EXPECT_DOUBLE_EQ(h->min(), 7.0);
+  EXPECT_DOUBLE_EQ(h->max(), 7000.0);
+  // Buckets restored exactly -> identical quantiles and second snapshot.
+  EXPECT_DOUBLE_EQ(h->Quantile(0.9), reg.histogram("lat")->Quantile(0.9));
+  EXPECT_EQ(restored.ToJson().Dump(), snapshot.Dump());
+}
+
+TEST(RegistryTest, FromJsonRejectsMalformed) {
+  Registry reg;
+  EXPECT_FALSE(reg.FromJson(Json("not an object")).ok());
+  auto bad = Json::Parse(R"({"counters": [1, 2]})");
+  ASSERT_TRUE(bad.ok());
+  EXPECT_FALSE(reg.FromJson(*bad).ok());
+}
+
+TEST(RegistryTest, ToTableGroupsByPrefix) {
+  Registry reg;
+  reg.Add("sim.l1.hits", 1);
+  reg.Add("rm.rows", 2);
+  const std::string table = reg.ToTable();
+  EXPECT_NE(table.find("sim.l1.hits"), std::string::npos);
+  EXPECT_NE(table.find("rm.rows"), std::string::npos);
+}
+
+// -------------------------------------------------------------- Tracer
+
+TEST(TracerTest, DisabledTracerRecordsNothing) {
+  Tracer tracer;  // disabled by default
+  {
+    Span outer(&tracer, "outer");
+    outer.AddArg("k", std::string("v"));
+    Span inner(&tracer, "inner");
+  }
+  EXPECT_TRUE(tracer.events().empty());
+  EXPECT_EQ(tracer.depth(), 0u);
+
+  // Null tracer is equally inert.
+  Span span(nullptr, "nothing");
+  span.AddArg("k", uint64_t{1});
+}
+
+TEST(TracerTest, NestedSpansRecordDepthAndTiming) {
+  uint64_t clock = 0;
+  Tracer tracer;
+  tracer.SetClock([&clock] { return clock; });
+  tracer.set_enabled(true);
+
+  {
+    Span outer(&tracer, "query.execute", "query");
+    outer.AddArg("backend", std::string("RM"));
+    clock = 100;
+    {
+      Span inner(&tracer, "rm.gather.chunk", "relmem");
+      EXPECT_EQ(tracer.depth(), 2u);
+      clock = 250;
+    }
+    clock = 400;
+  }
+  EXPECT_EQ(tracer.depth(), 0u);
+
+  // Inner span closes first (RAII), so it is emitted first.
+  ASSERT_EQ(tracer.events().size(), 2u);
+  const Tracer::Event& inner = tracer.events()[0];
+  const Tracer::Event& outer = tracer.events()[1];
+  EXPECT_EQ(inner.name, "rm.gather.chunk");
+  EXPECT_EQ(inner.depth, 1u);
+  EXPECT_EQ(inner.start_cycles, 100u);
+  EXPECT_EQ(inner.duration_cycles, 150u);
+  EXPECT_EQ(outer.name, "query.execute");
+  EXPECT_EQ(outer.depth, 0u);
+  EXPECT_EQ(outer.start_cycles, 0u);
+  EXPECT_EQ(outer.duration_cycles, 400u);
+  // Correct nesting: inner is contained in [outer.start, outer.end].
+  EXPECT_GE(inner.start_cycles, outer.start_cycles);
+  EXPECT_LE(inner.start_cycles + inner.duration_cycles,
+            outer.start_cycles + outer.duration_cycles);
+  ASSERT_EQ(outer.args.size(), 1u);
+  EXPECT_EQ(outer.args[0].first, "backend");
+  EXPECT_EQ(outer.args[0].second, "RM");
+}
+
+TEST(TracerTest, ClockStaysMonotonicAcrossResets) {
+  uint64_t clock = 1000;
+  Tracer tracer;
+  tracer.SetClock([&clock] { return clock; });
+  tracer.set_enabled(true);
+  { Span s(&tracer, "first"); clock = 2000; }
+  clock = 0;  // simulated ResetTiming between queries
+  Span s(&tracer, "second");
+  clock = 50;
+  s.End();
+  ASSERT_EQ(tracer.events().size(), 2u);
+  // The second span must not start before the first ended.
+  EXPECT_GE(tracer.events()[1].start_cycles, 2000u);
+  EXPECT_EQ(tracer.events()[1].duration_cycles, 50u);
+}
+
+TEST(TracerTest, ToJsonIsWellFormedChromeTrace) {
+  uint64_t clock = 0;
+  Tracer tracer;
+  tracer.SetClock([&clock] { return clock; });
+  tracer.set_enabled(true);
+  {
+    Span outer(&tracer, "a", "cat1");
+    clock = 10;
+    Span inner(&tracer, "b", "cat2");
+    inner.AddArg("rows", uint64_t{42});
+    clock = 20;
+  }
+
+  const Json doc = tracer.ToJson();
+  auto parsed = Json::Parse(doc.Dump(1));
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const Json& events = parsed->at("traceEvents");
+  ASSERT_TRUE(events.is_array());
+  ASSERT_EQ(events.size(), 2u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    const Json& e = events.at(i);
+    EXPECT_TRUE(e.at("name").is_string());
+    EXPECT_TRUE(e.at("cat").is_string());
+    EXPECT_EQ(e.at("ph").AsString(), "X");
+    EXPECT_TRUE(e.at("ts").is_number());
+    EXPECT_TRUE(e.at("dur").is_number());
+    EXPECT_TRUE(e.at("pid").is_number());
+    EXPECT_TRUE(e.at("tid").is_number());
+  }
+  EXPECT_EQ(events.at(0).at("args").at("rows").AsString(), "42");
+}
+
+// ---------------------------------------------------------- OpProfiler
+
+TEST(OpProfilerTest, SwitchAttributesMeterDeltas) {
+  MeterSample meters;
+  QueryProfile profile;
+  OpProfiler prof(&profile, [&meters] { return meters; });
+
+  const int scan = prof.AddOp("Scan");
+  const int agg = prof.AddOp("Aggregate");
+
+  prof.Switch(scan);
+  meters.cpu_cycles += 100;
+  meters.dram_lines_demand += 7;
+  prof.Switch(agg);
+  meters.cpu_cycles += 40;
+  prof.Switch(scan);
+  meters.cpu_cycles += 60;
+  meters.dram_lines_gather += 3;
+  prof.Finish();
+
+  ASSERT_EQ(profile.ops.size(), 2u);
+  EXPECT_EQ(profile.ops[0].name, "Scan");
+  EXPECT_DOUBLE_EQ(profile.ops[0].cpu_cycles, 160.0);
+  EXPECT_EQ(profile.ops[0].dram_lines_demand, 7u);
+  EXPECT_EQ(profile.ops[0].dram_lines_gather, 3u);
+  EXPECT_EQ(profile.ops[0].dram_lines_total(), 10u);
+  EXPECT_DOUBLE_EQ(profile.ops[1].cpu_cycles, 40.0);
+
+  profile.backend = "ROW";
+  profile.table = "t";
+  const std::string table = profile.ToTable();
+  EXPECT_NE(table.find("Scan"), std::string::npos);
+  EXPECT_NE(table.find("Aggregate"), std::string::npos);
+  auto parsed = Json::Parse(profile.ToJson().Dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->at("operators").size(), 2u);
+}
+
+// ------------------------------------------------------------- Reports
+
+TEST(RunReportTest, ToJsonValidates) {
+  RunReport report("fig5_projectivity");
+  report.SetConfig("rows", uint64_t{1024});
+  report.SetConfig("full_scale", "0");
+  report.AddResult("ROW", "1", 1000);
+  report.AddResult("RM", "1", 400);
+  Registry reg;
+  reg.Add("sim.l1.hits", 5);
+  report.SetMetrics(reg);
+
+  const Json doc = report.ToJson();
+  EXPECT_TRUE(RunReport::Validate(doc).ok());
+  EXPECT_EQ(doc.at("schema_version").AsUint(), 1u);
+  EXPECT_EQ(doc.at("bench").AsString(), "fig5_projectivity");
+  EXPECT_EQ(doc.at("results").size(), 2u);
+  EXPECT_EQ(doc.at("results").at(1).at("sim_cycles").AsUint(), 400u);
+  EXPECT_EQ(doc.at("config").at("rows").AsString(), "1024");
+  EXPECT_EQ(doc.at("metrics").at("counters").at("sim.l1.hits").AsUint(), 5u);
+
+  // Validate survives a serialize/parse cycle (what the CI job does).
+  auto parsed = Json::Parse(doc.Dump(1));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(RunReport::Validate(*parsed).ok());
+}
+
+TEST(RunReportTest, ValidateRejectsMalformed) {
+  EXPECT_FALSE(RunReport::Validate(Json("nope")).ok());
+  EXPECT_FALSE(RunReport::Validate(Json::Object()).ok());
+
+  RunReport report("x");
+  report.AddResult("s", "1", 2);
+  Json doc = report.ToJson();
+  doc.Set("schema_version", 99);
+  EXPECT_FALSE(RunReport::Validate(doc).ok());
+
+  Json doc2 = report.ToJson();
+  Json results = Json::Array();
+  results.Append(Json("not an object"));
+  doc2.Set("results", std::move(results));
+  EXPECT_FALSE(RunReport::Validate(doc2).ok());
+}
+
+// ------------------------------------------------------------- Logging
+
+using ObsCheckDeathTest = ::testing::Test;
+
+TEST(ObsCheckDeathTest, CheckEqPrintsBothOperands) {
+  const int n = 3;
+  const int m = 5;
+  EXPECT_DEATH(RELFAB_CHECK_EQ(n, m), "n == m \\(3 vs. 5\\)");
+  EXPECT_DEATH(RELFAB_CHECK_GT(n, m), "n > m \\(3 vs. 5\\)");
+  const std::string a = "left";
+  EXPECT_DEATH(RELFAB_CHECK_NE(a, a), "left vs. left");
+}
+
+TEST(ObsCheckDeathTest, CheckOpStreamsExtraContext) {
+  EXPECT_DEATH(RELFAB_CHECK_EQ(1, 2) << "extra " << 42, "extra 42");
+}
+
+TEST(ObsCheckTest, PassingChecksEvaluateOperandsOnce) {
+  int evals = 0;
+  auto bump = [&evals] { return ++evals; };
+  RELFAB_CHECK_EQ(bump(), 1);
+  EXPECT_EQ(evals, 1);
+  RELFAB_CHECK_LE(1, 1);
+  RELFAB_CHECK_GE(2, 1);
+  RELFAB_CHECK_LT(1, 2);
+}
+
+TEST(ObsCheckTest, DcheckMatchesBuildMode) {
+  int evals = 0;
+#ifdef NDEBUG
+  // Compiled out: the condition must not even be evaluated.
+  RELFAB_DCHECK(++evals > 0);
+  EXPECT_EQ(evals, 0);
+#else
+  RELFAB_DCHECK(++evals > 0);
+  EXPECT_EQ(evals, 1);
+#endif
+}
+
+}  // namespace
+}  // namespace relfab::obs
