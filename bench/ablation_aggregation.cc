@@ -6,8 +6,6 @@
 // fabric, and (c) by the row engine — sweeping the number of reduced
 // columns.
 
-#include <benchmark/benchmark.h>
-
 #include <memory>
 
 #include "bench/bench_util.h"
@@ -51,7 +49,9 @@ struct Rig {
   uint64_t RunCpu(uint32_t k) {
     memory.ResetState();
     engine::RmExecEngine eng(table.get(), rm.get());
-    return eng.Execute(SumQuery(k))->sim_cycles;
+    const uint64_t c = eng.Execute(SumQuery(k))->sim_cycles;
+    NoteSimLines(memory);
+    return c;
   }
   uint64_t RunFabric(uint32_t k) {
     memory.ResetState();
@@ -62,13 +62,16 @@ struct Rig {
     }
     auto result = rm->AggregateInFabric(*table, g, aggs);
     RELFAB_CHECK(result.ok());
-    benchmark::DoNotOptimize(result->values[0]);
+    DoNotOptimize(result->values[0]);
+    NoteSimLines(memory);
     return memory.ElapsedCycles();
   }
   uint64_t RunRow(uint32_t k) {
     memory.ResetState();
     engine::VolcanoEngine eng(table.get());
-    return eng.Execute(SumQuery(k))->sim_cycles;
+    const uint64_t c = eng.Execute(SumQuery(k))->sim_cycles;
+    NoteSimLines(memory);
+    return c;
   }
 
   sim::MemorySystem memory;
@@ -82,35 +85,37 @@ struct Rig {
 int main(int argc, char** argv) {
   using namespace relfab;
   using namespace relfab::bench;
-  const std::string json_path = ConsumeJsonFlag(&argc, argv);
-  benchmark::Initialize(&argc, argv);
+  const BenchArgs args = ParseBenchArgs(&argc, argv);
 
   const uint64_t rows = FullScale() ? (1ull << 21) : (1ull << 19);
-  auto* rig = new Rig(rows);
-  auto* results = new ResultTable(
+  PerWorker<Rig> rigs([rows] { return std::make_unique<Rig>(rows); });
+  ResultTable results(
       "Ablation A14: k-column SUM — CPU over ephemeral group vs in-fabric "
       "reduction vs row scan (" + std::to_string(rows) + " rows)");
 
   for (uint32_t k : {1u, 2u, 4u, 8u, 12u}) {
     const std::string x = std::to_string(k) + " cols";
-    RegisterSimBenchmark("agg/row/" + x, results, "ROW", x,
-                         [=] { return rig->RunRow(k); });
-    RegisterSimBenchmark("agg/rm_cpu/" + x, results, "RM + CPU agg", x,
-                         [=] { return rig->RunCpu(k); });
-    RegisterSimBenchmark("agg/fabric/" + x, results, "fabric agg", x,
-                         [=] { return rig->RunFabric(k); });
+    RegisterSimBenchmark("agg/row/" + x, &results, "ROW", x,
+                         [&rigs, k] { return rigs.Get().RunRow(k); });
+    RegisterSimBenchmark("agg/rm_cpu/" + x, &results, "RM + CPU agg", x,
+                         [&rigs, k] { return rigs.Get().RunCpu(k); });
+    RegisterSimBenchmark("agg/fabric/" + x, &results, "fabric agg", x,
+                         [&rigs, k] { return rigs.Get().RunFabric(k); });
   }
 
-  benchmark::RunSpecifiedBenchmarks();
-  results->PrintCycles("reduced columns");
-  results->PrintSpeedupVs("reduced columns", "RM + CPU agg");
+  const int last_worker = RunSweep(args);
+  if (args.list) return 0;
+  results.PrintCycles("reduced columns");
+  results.PrintSpeedupVs("reduced columns", "RM + CPU agg");
 
+  std::map<std::string, std::string> config{{"rows", std::to_string(rows)}};
+  AddStandardConfig(&config, args);
   obs::Registry registry;
-  rig->memory.ExportTo(&registry);
-  rig->rm->ExportTo(&registry);
-  MaybeWriteReport(json_path, "ablation_aggregation", *results,
-                   {{"rows", std::to_string(rows)},
-                    {"full_scale", FullScale() ? "1" : "0"}},
+  if (Rig* rig = rigs.ForWorker(last_worker)) {
+    rig->memory.ExportTo(&registry);
+    rig->rm->ExportTo(&registry);
+  }
+  MaybeWriteReport(args.json_path, "ablation_aggregation", results, config,
                    &registry);
   return 0;
 }

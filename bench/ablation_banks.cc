@@ -6,8 +6,6 @@
 // gathering viable. Wide 256-byte rows with a scattered 2-column group
 // keep the scan gather-bound so the effect is visible end to end.
 
-#include <benchmark/benchmark.h>
-
 #include <memory>
 
 #include "bench/bench_util.h"
@@ -20,6 +18,9 @@
 namespace relfab::bench {
 namespace {
 
+// Builds the whole rig inside the cell: every invocation simulates on a
+// fresh MemorySystem, so cells are trivially order- and
+// thread-independent.
 uint64_t RunWithBanks(uint32_t parallelism, uint64_t rows) {
   sim::SimParams params;
   params.fabric_gather_parallelism = parallelism;
@@ -41,7 +42,9 @@ uint64_t RunWithBanks(uint32_t parallelism, uint64_t rows) {
   engine::RmExecEngine eng(&table, &rm);
   engine::QuerySpec spec;
   spec.projection = {0, 32};  // two far-apart columns: 2 lines per row
-  return eng.Execute(spec)->sim_cycles;
+  const uint64_t cycles = eng.Execute(spec)->sim_cycles;
+  NoteSimLines(memory);
+  return cycles;
 }
 
 }  // namespace
@@ -50,20 +53,26 @@ uint64_t RunWithBanks(uint32_t parallelism, uint64_t rows) {
 int main(int argc, char** argv) {
   using namespace relfab;
   using namespace relfab::bench;
-  benchmark::Initialize(&argc, argv);
+  const BenchArgs args = ParseBenchArgs(&argc, argv);
 
   const uint64_t rows = FullScale() ? (1ull << 20) : (1ull << 18);
-  auto* results = new ResultTable(
+  ResultTable results(
       "Ablation A2: RM gather parallelism (256 B rows, scattered 2-column "
       "group, " + std::to_string(rows) + " rows)");
 
   for (uint32_t banks : {1u, 2u, 4u, 8u, 16u}) {
     const std::string x = std::to_string(banks) + " banks";
-    RegisterSimBenchmark("banks/" + x, results, "RM", x,
+    RegisterSimBenchmark("banks/" + x, &results, "RM", x,
                          [=] { return RunWithBanks(banks, rows); });
   }
 
-  benchmark::RunSpecifiedBenchmarks();
-  results->PrintCycles("gather parallelism");
+  RunSweep(args);
+  if (args.list) return 0;
+  results.PrintCycles("gather parallelism");
+
+  std::map<std::string, std::string> config{{"rows", std::to_string(rows)}};
+  AddStandardConfig(&config, args);
+  MaybeWriteReport(args.json_path, "ablation_banks", results, config,
+                   /*metrics=*/nullptr);
   return 0;
 }

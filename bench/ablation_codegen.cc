@@ -7,7 +7,7 @@
 // reports total compilation stalls for both regimes across fragment
 // budgets.
 
-#include <benchmark/benchmark.h>
+#include <mutex>
 
 #include "bench/bench_util.h"
 #include "common/random.h"
@@ -32,7 +32,8 @@ engine::QuerySpec MakeQuery(int id) {
 }
 
 /// Streams a Zipf-ish ad-hoc workload through a fragment cache; returns
-/// the simulated cycles spent compiling + looking up.
+/// the simulated cycles spent compiling + looking up. Owns its
+/// MemorySystem, so every cell simulates from identical state.
 uint64_t RunWorkload(uint32_t capacity, uint32_t layouts_per_query,
                      double* hit_rate) {
   sim::MemorySystem memory;
@@ -54,6 +55,7 @@ uint64_t RunWorkload(uint32_t capacity, uint32_t layouts_per_query,
     cache.Require(engine::CodeCache::Signature(spec, layout));
   }
   *hit_rate = cache.hit_rate();
+  NoteSimLines(memory);
   return memory.ElapsedCycles();
 }
 
@@ -63,39 +65,52 @@ uint64_t RunWorkload(uint32_t capacity, uint32_t layouts_per_query,
 int main(int argc, char** argv) {
   using namespace relfab;
   using namespace relfab::bench;
-  benchmark::Initialize(&argc, argv);
+  const BenchArgs args = ParseBenchArgs(&argc, argv);
 
-  auto* results = new ResultTable(
+  ResultTable results(
       "Ablation A13: compilation stalls over " +
       std::to_string(kStatements) + " ad-hoc statements (" +
       std::to_string(kDistinctQueries) + " distinct queries)");
-  auto* hit_rates = new std::map<std::string, std::pair<double, double>>;
+  // Side output filled from concurrent sweep workers.
+  std::mutex rates_mu;
+  std::map<std::string, std::pair<double, double>> hit_rates;
 
   for (uint32_t capacity : {8u, 16u, 24u, 48u, 96u}) {
     const std::string x = std::to_string(capacity) + " slots";
-    RegisterSimBenchmark("codegen/fabric/" + x, results, "fabric (1 layout)",
-                         x, [=] {
+    RegisterSimBenchmark("codegen/fabric/" + x, &results, "fabric (1 layout)",
+                         x, [&, capacity, x] {
                            double rate = 0;
                            const uint64_t c = RunWorkload(capacity, 1, &rate);
-                           (*hit_rates)[x].first = rate;
+                           std::lock_guard<std::mutex> lock(rates_mu);
+                           hit_rates[x].first = rate;
                            return c;
                          });
     RegisterSimBenchmark(
-        "codegen/legacy/" + x, results,
-        "legacy (" + std::to_string(kLegacyLayouts) + " layouts)", x, [=] {
+        "codegen/legacy/" + x, &results,
+        "legacy (" + std::to_string(kLegacyLayouts) + " layouts)", x,
+        [&, capacity, x] {
           double rate = 0;
           const uint64_t c = RunWorkload(capacity, kLegacyLayouts, &rate);
-          (*hit_rates)[x].second = rate;
+          std::lock_guard<std::mutex> lock(rates_mu);
+          hit_rates[x].second = rate;
           return c;
         });
   }
 
-  benchmark::RunSpecifiedBenchmarks();
-  results->PrintCycles("fragment budget");
+  RunSweep(args);
+  if (args.list) return 0;
+  results.PrintCycles("fragment budget");
   std::printf("\nfragment hit rates (fabric vs legacy):\n");
-  for (const auto& [x, rates] : *hit_rates) {
+  for (const auto& [x, rates] : hit_rates) {
     std::printf("%-10s %5.1f%% vs %5.1f%%\n", x.c_str(),
                 100 * rates.first, 100 * rates.second);
   }
+
+  std::map<std::string, std::string> config{
+      {"statements", std::to_string(kStatements)},
+      {"distinct_queries", std::to_string(kDistinctQueries)}};
+  AddStandardConfig(&config, args);
+  MaybeWriteReport(args.json_path, "ablation_codegen", results, config,
+                   /*metrics=*/nullptr);
   return 0;
 }

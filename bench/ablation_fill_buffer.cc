@@ -4,9 +4,8 @@
 // size and reports the refill count and the end-to-end cost of an
 // RM scan, showing the re-arm overhead amortizing away.
 
-#include <benchmark/benchmark.h>
-
 #include <memory>
+#include <mutex>
 
 #include "bench/bench_util.h"
 #include "common/random.h"
@@ -24,6 +23,8 @@ engine::QuerySpec WideProjection() {
   return spec;
 }
 
+// Builds the whole rig inside the cell: every invocation simulates on a
+// fresh MemorySystem, so cells are order- and thread-independent.
 uint64_t RunWithBuffer(uint64_t buffer_bytes, uint64_t rows,
                        uint64_t* refills) {
   sim::SimParams params;
@@ -46,6 +47,7 @@ uint64_t RunWithBuffer(uint64_t buffer_bytes, uint64_t rows,
   engine::RmExecEngine eng(&table, &rm);
   const uint64_t cycles = eng.Execute(WideProjection())->sim_cycles;
   *refills = memory.stats().fabric_refills;
+  NoteSimLines(memory);
   return cycles;
 }
 
@@ -55,30 +57,39 @@ uint64_t RunWithBuffer(uint64_t buffer_bytes, uint64_t rows,
 int main(int argc, char** argv) {
   using namespace relfab;
   using namespace relfab::bench;
-  benchmark::Initialize(&argc, argv);
+  const BenchArgs args = ParseBenchArgs(&argc, argv);
 
   const uint64_t rows = FullScale() ? (1ull << 21) : (1ull << 19);
-  auto* results = new ResultTable("Ablation A1: fill-buffer size (" +
-                                  std::to_string(rows) + " rows, 8 of 16 "
-                                  "columns projected)");
-  auto* refill_counts = new std::map<std::string, uint64_t>;
+  ResultTable results("Ablation A1: fill-buffer size (" +
+                      std::to_string(rows) + " rows, 8 of 16 "
+                      "columns projected)");
+  // Side output filled from concurrent sweep workers.
+  std::mutex refill_mu;
+  std::map<std::string, uint64_t> refill_counts;
 
   for (uint64_t kib : {16ull, 64ull, 256ull, 1024ull, 2048ull, 8192ull}) {
     const std::string x = std::to_string(kib) + " KiB";
-    RegisterSimBenchmark("fill_buffer/" + x, results, "RM", x, [=] {
+    RegisterSimBenchmark("fill_buffer/" + x, &results, "RM", x, [&, kib, x] {
       uint64_t refills = 0;
       const uint64_t cycles = RunWithBuffer(kib * 1024, rows, &refills);
-      (*refill_counts)[x] = refills;
+      std::lock_guard<std::mutex> lock(refill_mu);
+      refill_counts[x] = refills;
       return cycles;
     });
   }
 
-  benchmark::RunSpecifiedBenchmarks();
-  results->PrintCycles("buffer size");
+  RunSweep(args);
+  if (args.list) return 0;
+  results.PrintCycles("buffer size");
   std::printf("\nrefills per scan:\n");
-  for (const auto& [x, n] : *refill_counts) {
+  for (const auto& [x, n] : refill_counts) {
     std::printf("%-12s %llu\n", x.c_str(),
                 static_cast<unsigned long long>(n));
   }
+
+  std::map<std::string, std::string> config{{"rows", std::to_string(rows)}};
+  AddStandardConfig(&config, args);
+  MaybeWriteReport(args.json_path, "ablation_fill_buffer", results, config,
+                   /*metrics=*/nullptr);
   return 0;
 }

@@ -5,8 +5,6 @@
 // wins selective wide queries, pure RM wins unselective ones, and the
 // row scan never wins a scan-shaped query.
 
-#include <benchmark/benchmark.h>
-
 #include <memory>
 
 #include "bench/bench_util.h"
@@ -61,35 +59,58 @@ struct Rig {
 int main(int argc, char** argv) {
   using namespace relfab;
   using namespace relfab::bench;
-  benchmark::Initialize(&argc, argv);
+  const BenchArgs args = ParseBenchArgs(&argc, argv);
 
   const uint64_t rows = FullScale() ? (1ull << 21) : (1ull << 19);
-  auto* rig = new Rig(rows);
-  auto* results = new ResultTable(
+  PerWorker<Rig> rigs([rows] { return std::make_unique<Rig>(rows); });
+  ResultTable results(
       "Ablation A12: hybrid (column-select + row-fetch) vs pure RM vs "
       "row scan — 10-column sum, selectivity sweep (" +
       std::to_string(rows) + " rows)");
 
   for (int permille : {1, 5, 20, 100, 300, 600, 1000}) {
     const std::string x = std::to_string(permille / 10.0) + "%";
-    RegisterSimBenchmark("hybrid/row/" + x, results, "ROW", x, [=] {
-      rig->memory.ResetState();
-      engine::VolcanoEngine eng(rig->table.get());
-      return eng.Execute(rig->Query(permille))->sim_cycles;
-    });
-    RegisterSimBenchmark("hybrid/rm/" + x, results, "RM", x, [=] {
-      rig->memory.ResetState();
-      engine::RmExecEngine eng(rig->table.get(), rig->rm.get());
-      return eng.Execute(rig->Query(permille))->sim_cycles;
-    });
-    RegisterSimBenchmark("hybrid/hybrid/" + x, results, "HYBRID", x, [=] {
-      rig->memory.ResetState();
-      engine::HybridEngine eng(rig->table.get(), rig->rm.get());
-      return eng.Execute(rig->Query(permille))->sim_cycles;
-    });
+    RegisterSimBenchmark("hybrid/row/" + x, &results, "ROW", x,
+                         [&rigs, permille] {
+                           Rig& rig = rigs.Get();
+                           rig.memory.ResetState();
+                           engine::VolcanoEngine eng(rig.table.get());
+                           const uint64_t c =
+                               eng.Execute(rig.Query(permille))->sim_cycles;
+                           NoteSimLines(rig.memory);
+                           return c;
+                         });
+    RegisterSimBenchmark("hybrid/rm/" + x, &results, "RM", x,
+                         [&rigs, permille] {
+                           Rig& rig = rigs.Get();
+                           rig.memory.ResetState();
+                           engine::RmExecEngine eng(rig.table.get(),
+                                                    rig.rm.get());
+                           const uint64_t c =
+                               eng.Execute(rig.Query(permille))->sim_cycles;
+                           NoteSimLines(rig.memory);
+                           return c;
+                         });
+    RegisterSimBenchmark("hybrid/hybrid/" + x, &results, "HYBRID", x,
+                         [&rigs, permille] {
+                           Rig& rig = rigs.Get();
+                           rig.memory.ResetState();
+                           engine::HybridEngine eng(rig.table.get(),
+                                                    rig.rm.get());
+                           const uint64_t c =
+                               eng.Execute(rig.Query(permille))->sim_cycles;
+                           NoteSimLines(rig.memory);
+                           return c;
+                         });
   }
 
-  benchmark::RunSpecifiedBenchmarks();
-  results->PrintCycles("selectivity");
+  RunSweep(args);
+  if (args.list) return 0;
+  results.PrintCycles("selectivity");
+
+  std::map<std::string, std::string> config{{"rows", std::to_string(rows)}};
+  AddStandardConfig(&config, args);
+  MaybeWriteReport(args.json_path, "ablation_hybrid", results, config,
+                   /*metrics=*/nullptr);
   return 0;
 }

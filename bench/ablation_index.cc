@@ -6,8 +6,6 @@
 // ranges; the RM column-group scan takes over as the range widens, and
 // the full volcano scan is dominated everywhere.
 
-#include <benchmark/benchmark.h>
-
 #include <memory>
 
 #include "bench/bench_util.h"
@@ -72,19 +70,25 @@ struct Rig {
     memory.ResetState();
     const std::vector<uint64_t> rows = index->Range(lo, hi);
     engine::VolcanoEngine eng(table.get());
-    return eng.ExecuteOnRowIds(RangeQuery(lo, hi), rows)->sim_cycles;
+    const uint64_t c = eng.ExecuteOnRowIds(RangeQuery(lo, hi), rows)->sim_cycles;
+    NoteSimLines(memory);
+    return c;
   }
   uint64_t RunRm(int64_t lo, int64_t hi) {
     memory.ResetState();
     engine::RmExecEngine eng(table.get(), rm.get(),
                              engine::CostModel::A53Defaults(),
                              /*pushdown_selection=*/true);
-    return eng.Execute(RangeQuery(lo, hi))->sim_cycles;
+    const uint64_t c = eng.Execute(RangeQuery(lo, hi))->sim_cycles;
+    NoteSimLines(memory);
+    return c;
   }
   uint64_t RunRow(int64_t lo, int64_t hi) {
     memory.ResetState();
     engine::VolcanoEngine eng(table.get());
-    return eng.Execute(RangeQuery(lo, hi))->sim_cycles;
+    const uint64_t c = eng.Execute(RangeQuery(lo, hi))->sim_cycles;
+    NoteSimLines(memory);
+    return c;
   }
 
   uint64_t num_rows;
@@ -100,11 +104,11 @@ struct Rig {
 int main(int argc, char** argv) {
   using namespace relfab;
   using namespace relfab::bench;
-  benchmark::Initialize(&argc, argv);
+  const BenchArgs args = ParseBenchArgs(&argc, argv);
 
   const uint64_t rows = FullScale() ? (1ull << 21) : (1ull << 19);
-  auto* rig = new Rig(rows);
-  auto* results = new ResultTable(
+  PerWorker<Rig> rigs([rows] { return std::make_unique<Rig>(rows); });
+  ResultTable results(
       "Ablation A9: key-range sum — B+-tree vs RM column access vs row "
       "scan (" + std::to_string(rows) + " rows)");
 
@@ -114,15 +118,21 @@ int main(int argc, char** argv) {
     const int64_t lo = static_cast<int64_t>(rows / 3);
     const int64_t hi = lo + static_cast<int64_t>(width) - 1;
     const std::string x = std::to_string(width) + " keys";
-    RegisterSimBenchmark("index/btree/" + x, results, "INDEX", x,
-                         [=] { return rig->RunIndex(lo, hi); });
-    RegisterSimBenchmark("index/rm/" + x, results, "RM", x,
-                         [=] { return rig->RunRm(lo, hi); });
-    RegisterSimBenchmark("index/row/" + x, results, "ROW", x,
-                         [=] { return rig->RunRow(lo, hi); });
+    RegisterSimBenchmark("index/btree/" + x, &results, "INDEX", x,
+                         [&rigs, lo, hi] { return rigs.Get().RunIndex(lo, hi); });
+    RegisterSimBenchmark("index/rm/" + x, &results, "RM", x,
+                         [&rigs, lo, hi] { return rigs.Get().RunRm(lo, hi); });
+    RegisterSimBenchmark("index/row/" + x, &results, "ROW", x,
+                         [&rigs, lo, hi] { return rigs.Get().RunRow(lo, hi); });
   }
 
-  benchmark::RunSpecifiedBenchmarks();
-  results->PrintCycles("range width");
+  RunSweep(args);
+  if (args.list) return 0;
+  results.PrintCycles("range width");
+
+  std::map<std::string, std::string> config{{"rows", std::to_string(rows)}};
+  AddStandardConfig(&config, args);
+  MaybeWriteReport(args.json_path, "ablation_index", results, config,
+                   /*metrics=*/nullptr);
   return 0;
 }

@@ -5,8 +5,6 @@
 // the comparison happens in the transformer and only live rows' columns
 // reach the CPU. The win grows with the dead-version fraction.
 
-#include <benchmark/benchmark.h>
-
 #include <memory>
 
 #include "bench/bench_util.h"
@@ -74,7 +72,8 @@ struct Rig {
         sum += rows.GetInt(r, 1);
       }
     }
-    benchmark::DoNotOptimize(sum);
+    DoNotOptimize(sum);
+    NoteSimLines(memory);
     return memory.ElapsedCycles();
   }
 
@@ -94,7 +93,8 @@ struct Rig {
       memory.CpuWork(2.0 + 1.5);
       sum += cur.GetInt(0);
     }
-    benchmark::DoNotOptimize(sum);
+    DoNotOptimize(sum);
+    NoteSimLines(memory);
     return memory.ElapsedCycles();
   }
 
@@ -109,25 +109,35 @@ struct Rig {
 int main(int argc, char** argv) {
   using namespace relfab;
   using namespace relfab::bench;
-  benchmark::Initialize(&argc, argv);
+  const BenchArgs args = ParseBenchArgs(&argc, argv);
 
   const uint64_t keys = FullScale() ? 200000 : 50000;
-  auto* results = new ResultTable(
+  ResultTable results(
       "Ablation A5: snapshot scan, software vs in-fabric timestamp "
       "filtering (" + std::to_string(keys) + " live keys)");
 
+  // One worker-private rig per dead-version fraction.
+  std::vector<std::unique_ptr<PerWorker<Rig>>> rigs;
   for (int updates : {0, 1, 3, 7}) {
-    auto* rig = new Rig(keys, updates);
+    rigs.push_back(std::make_unique<PerWorker<Rig>>(
+        [keys, updates] { return std::make_unique<Rig>(keys, updates); }));
+    PerWorker<Rig>* rig = rigs.back().get();
     const std::string x =
         std::to_string(100 * updates / (updates + 1)) + "% dead";
-    RegisterSimBenchmark("mvcc/sw/" + x, results, "software ts check", x,
-                         [=] { return rig->SoftwareScan(); });
-    RegisterSimBenchmark("mvcc/hw/" + x, results, "fabric ts check", x,
-                         [=] { return rig->HardwareScan(); });
+    RegisterSimBenchmark("mvcc/sw/" + x, &results, "software ts check", x,
+                         [rig] { return rig->Get().SoftwareScan(); });
+    RegisterSimBenchmark("mvcc/hw/" + x, &results, "fabric ts check", x,
+                         [rig] { return rig->Get().HardwareScan(); });
   }
 
-  benchmark::RunSpecifiedBenchmarks();
-  results->PrintCycles("dead-version fraction");
-  results->PrintSpeedupVs("dead-version fraction", "software ts check");
+  RunSweep(args);
+  if (args.list) return 0;
+  results.PrintCycles("dead-version fraction");
+  results.PrintSpeedupVs("dead-version fraction", "software ts check");
+
+  std::map<std::string, std::string> config{{"keys", std::to_string(keys)}};
+  AddStandardConfig(&config, args);
+  MaybeWriteReport(args.json_path, "ablation_mvcc", results, config,
+                   /*metrics=*/nullptr);
   return 0;
 }

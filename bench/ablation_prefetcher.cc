@@ -4,8 +4,6 @@
 // table capacity moves the columnar engine's cliff exactly to that
 // capacity, while RM (one dense stream) is insensitive to it.
 
-#include <benchmark/benchmark.h>
-
 #include <memory>
 
 #include "bench/bench_util.h"
@@ -63,42 +61,63 @@ engine::QuerySpec Projection(uint32_t k) {
 int main(int argc, char** argv) {
   using namespace relfab;
   using namespace relfab::bench;
-  benchmark::Initialize(&argc, argv);
+  const BenchArgs args = ParseBenchArgs(&argc, argv);
 
   const uint64_t rows = FullScale() ? (1ull << 20) : (1ull << 18);
-  auto* results = new ResultTable(
+  ResultTable results(
       "Ablation A3: COL cycles vs projectivity for different prefetcher "
       "stream capacities (" + std::to_string(rows) + " rows); RM@4 shown "
       "for reference");
 
+  // One worker-private rig per stream-capacity variant: a worker builds
+  // only the variants whose cells it happens to run.
+  std::vector<std::unique_ptr<PerWorker<Rig>>> rigs;
   for (uint32_t streams : {2u, 4u, 8u}) {
-    auto* rig = new Rig(streams, rows);
+    rigs.push_back(std::make_unique<PerWorker<Rig>>(
+        [streams, rows] { return std::make_unique<Rig>(streams, rows); }));
+    PerWorker<Rig>* rig = rigs.back().get();
     const std::string series = "COL(pf=" + std::to_string(streams) + ")";
     for (uint32_t k = 1; k <= 12; ++k) {
       const std::string x = std::to_string(k);
-      RegisterSimBenchmark("prefetch/" + series + "/k" + x, results, series,
-                           x, [=] {
-                             rig->memory.ResetState();
-                             engine::VectorEngine eng(rig->columns.get());
-                             return eng.Execute(Projection(k))->sim_cycles;
+      RegisterSimBenchmark("prefetch/" + series + "/k" + x, &results, series,
+                           x, [rig, k] {
+                             Rig& r = rig->Get();
+                             r.memory.ResetState();
+                             engine::VectorEngine eng(r.columns.get());
+                             const uint64_t c =
+                                 eng.Execute(Projection(k))->sim_cycles;
+                             NoteSimLines(r.memory);
+                             return c;
                            });
     }
   }
   {
-    auto* rig = new Rig(4, rows);
+    rigs.push_back(std::make_unique<PerWorker<Rig>>(
+        [rows] { return std::make_unique<Rig>(4, rows); }));
+    PerWorker<Rig>* rig = rigs.back().get();
     for (uint32_t k = 1; k <= 12; ++k) {
       const std::string x = std::to_string(k);
-      RegisterSimBenchmark("prefetch/RM/k" + x, results, "RM(pf=4)", x,
-                           [=] {
-                             rig->memory.ResetState();
-                             engine::RmExecEngine eng(rig->table.get(),
-                                                      rig->rm.get());
-                             return eng.Execute(Projection(k))->sim_cycles;
+      RegisterSimBenchmark("prefetch/RM/k" + x, &results, "RM(pf=4)", x,
+                           [rig, k] {
+                             Rig& r = rig->Get();
+                             r.memory.ResetState();
+                             engine::RmExecEngine eng(r.table.get(),
+                                                      r.rm.get());
+                             const uint64_t c =
+                                 eng.Execute(Projection(k))->sim_cycles;
+                             NoteSimLines(r.memory);
+                             return c;
                            });
     }
   }
 
-  benchmark::RunSpecifiedBenchmarks();
-  results->PrintCycles("projectivity");
+  RunSweep(args);
+  if (args.list) return 0;
+  results.PrintCycles("projectivity");
+
+  std::map<std::string, std::string> config{{"rows", std::to_string(rows)}};
+  AddStandardConfig(&config, args);
+  MaybeWriteReport(args.json_path, "ablation_prefetcher", results, config,
+                   /*metrics=*/nullptr);
   return 0;
 }

@@ -5,9 +5,8 @@
 // whenever the projected fraction is small and converges to the host
 // path as the query touches the whole row.
 
-#include <benchmark/benchmark.h>
-
 #include <cstring>
+#include <memory>
 
 #include "bench/bench_util.h"
 #include "common/random.h"
@@ -30,19 +29,27 @@ relstorage::StorageTable BuildTable(uint64_t rows) {
                                   4096);
 }
 
+/// Worker-private storage stack (table + SSD model + engine) so sweep
+/// workers never share device state.
+struct Rig {
+  relstorage::StorageTable table;
+  relstorage::SsdModel ssd;
+  relstorage::RsEngine rs{&ssd};
+
+  explicit Rig(uint64_t rows) : table(BuildTable(rows)) {}
+};
+
 }  // namespace
 }  // namespace relfab::bench
 
 int main(int argc, char** argv) {
   using namespace relfab;
   using namespace relfab::bench;
-  benchmark::Initialize(&argc, argv);
+  const BenchArgs args = ParseBenchArgs(&argc, argv);
 
   const uint64_t rows = FullScale() ? 2000000 : 500000;
-  auto* table = new relstorage::StorageTable(BuildTable(rows));
-  auto* ssd = new relstorage::SsdModel();
-  auto* rs = new relstorage::RsEngine(ssd);
-  auto* results = new ResultTable(
+  PerWorker<Rig> rigs([rows] { return std::make_unique<Rig>(rows); });
+  ResultTable results(
       "Ablation A7: near-storage projection vs host scan (" +
       std::to_string(rows) + " rows of 16 columns)");
 
@@ -50,21 +57,30 @@ int main(int argc, char** argv) {
     relmem::Geometry g;
     for (uint32_t c = 0; c < k; ++c) g.columns.push_back(c);
     const std::string x = std::to_string(k) + " cols";
-    RegisterSimBenchmark("relstorage/host/" + x, results, "host scan", x,
-                         [=] {
-                           auto r = rs->HostScan(*table, g);
+    RegisterSimBenchmark("relstorage/host/" + x, &results, "host scan", x,
+                         [&rigs, g] {
+                           Rig& rig = rigs.Get();
+                           auto r = rig.rs.HostScan(rig.table, g);
                            RELFAB_CHECK(r.ok());
                            return static_cast<uint64_t>(r->cycles);
                          });
-    RegisterSimBenchmark("relstorage/rs/" + x, results, "RS scan", x, [=] {
-      auto r = rs->NearStorageScan(*table, g);
-      RELFAB_CHECK(r.ok());
-      return static_cast<uint64_t>(r->cycles);
-    });
+    RegisterSimBenchmark("relstorage/rs/" + x, &results, "RS scan", x,
+                         [&rigs, g] {
+                           Rig& rig = rigs.Get();
+                           auto r = rig.rs.NearStorageScan(rig.table, g);
+                           RELFAB_CHECK(r.ok());
+                           return static_cast<uint64_t>(r->cycles);
+                         });
   }
 
-  benchmark::RunSpecifiedBenchmarks();
-  results->PrintCycles("projected columns");
-  results->PrintSpeedupVs("projected columns", "host scan");
+  RunSweep(args);
+  if (args.list) return 0;
+  results.PrintCycles("projected columns");
+  results.PrintSpeedupVs("projected columns", "host scan");
+
+  std::map<std::string, std::string> config{{"rows", std::to_string(rows)}};
+  AddStandardConfig(&config, args);
+  MaybeWriteReport(args.json_path, "ablation_relstorage", results, config,
+                   /*metrics=*/nullptr);
   return 0;
 }

@@ -5,8 +5,6 @@
 // only the placement parameters change. RMC lifts the fabric production
 // floor that dominates narrow column groups.
 
-#include <benchmark/benchmark.h>
-
 #include <memory>
 
 #include "bench/bench_util.h"
@@ -42,7 +40,9 @@ struct Rig {
     engine::QuerySpec spec;
     for (uint32_t c = 0; c < k; ++c) spec.projection.push_back(c);
     engine::RmExecEngine eng(table.get(), rm.get());
-    return eng.Execute(spec)->sim_cycles;
+    const uint64_t c = eng.Execute(spec)->sim_cycles;
+    NoteSimLines(memory);
+    return c;
   }
 
   sim::MemorySystem memory;
@@ -56,26 +56,36 @@ struct Rig {
 int main(int argc, char** argv) {
   using namespace relfab;
   using namespace relfab::bench;
-  benchmark::Initialize(&argc, argv);
+  const BenchArgs args = ParseBenchArgs(&argc, argv);
 
   const uint64_t rows = FullScale() ? (1ull << 21) : (1ull << 19);
-  auto* pl_rig = new Rig(sim::SimParams::ZynqA53Defaults(), rows);
-  auto* rmc_rig =
-      new Rig(sim::SimParams::RelationalMemoryControllerDefaults(), rows);
-  auto* results = new ResultTable(
+  PerWorker<Rig> pl_rigs([rows] {
+    return std::make_unique<Rig>(sim::SimParams::ZynqA53Defaults(), rows);
+  });
+  PerWorker<Rig> rmc_rigs([rows] {
+    return std::make_unique<Rig>(
+        sim::SimParams::RelationalMemoryControllerDefaults(), rows);
+  });
+  ResultTable results(
       "Ablation A10: RM in programmable logic vs in the memory controller "
       "(projection sweep, " + std::to_string(rows) + " rows)");
 
   for (uint32_t k = 1; k <= 11; ++k) {
     const std::string x = std::to_string(k);
-    RegisterSimBenchmark("rmc/pl/k" + x, results, "RM (PL fabric)", x,
-                         [=] { return pl_rig->Run(k); });
-    RegisterSimBenchmark("rmc/mc/k" + x, results, "RMC (controller)", x,
-                         [=] { return rmc_rig->Run(k); });
+    RegisterSimBenchmark("rmc/pl/k" + x, &results, "RM (PL fabric)", x,
+                         [&pl_rigs, k] { return pl_rigs.Get().Run(k); });
+    RegisterSimBenchmark("rmc/mc/k" + x, &results, "RMC (controller)", x,
+                         [&rmc_rigs, k] { return rmc_rigs.Get().Run(k); });
   }
 
-  benchmark::RunSpecifiedBenchmarks();
-  results->PrintCycles("projectivity");
-  results->PrintSpeedupVs("projectivity", "RM (PL fabric)");
+  RunSweep(args);
+  if (args.list) return 0;
+  results.PrintCycles("projectivity");
+  results.PrintSpeedupVs("projectivity", "RM (PL fabric)");
+
+  std::map<std::string, std::string> config{{"rows", std::to_string(rows)}};
+  AddStandardConfig(&config, args);
+  MaybeWriteReport(args.json_path, "ablation_rmc", results, config,
+                   /*metrics=*/nullptr);
   return 0;
 }

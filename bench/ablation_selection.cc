@@ -8,8 +8,6 @@
 // bottleneck, and it additionally removes the cache pollution of
 // non-qualifying rows.
 
-#include <benchmark/benchmark.h>
-
 #include <memory>
 
 #include "bench/bench_util.h"
@@ -63,36 +61,50 @@ engine::QuerySpec Query(int permille) {
 int main(int argc, char** argv) {
   using namespace relfab;
   using namespace relfab::bench;
-  benchmark::Initialize(&argc, argv);
+  const BenchArgs args = ParseBenchArgs(&argc, argv);
 
   const uint64_t rows = FullScale() ? (1ull << 21) : (1ull << 19);
-  auto* rig = new Rig(rows);
-  auto* results = new ResultTable(
+  PerWorker<Rig> rigs([rows] { return std::make_unique<Rig>(rows); });
+  ResultTable results(
       "Ablation A4: selection in software vs pushed into the fabric (" +
       std::to_string(rows) + " rows, 4-column sum)");
 
   for (int permille : {1, 10, 100, 300, 500, 800, 1000}) {
     const std::string x = std::to_string(permille / 10.0) + "%";
-    RegisterSimBenchmark("selection/sw/" + x, results, "RM software", x,
-                         [=] {
-                           rig->memory.ResetState();
-                           engine::RmExecEngine eng(rig->table.get(),
-                                                    rig->rm.get());
-                           return eng.Execute(Query(permille))->sim_cycles;
+    RegisterSimBenchmark("selection/sw/" + x, &results, "RM software", x,
+                         [&rigs, permille] {
+                           Rig& rig = rigs.Get();
+                           rig.memory.ResetState();
+                           engine::RmExecEngine eng(rig.table.get(),
+                                                    rig.rm.get());
+                           const uint64_t c =
+                               eng.Execute(Query(permille))->sim_cycles;
+                           NoteSimLines(rig.memory);
+                           return c;
                          });
-    RegisterSimBenchmark("selection/hw/" + x, results, "RM pushdown", x,
-                         [=] {
-                           rig->memory.ResetState();
+    RegisterSimBenchmark("selection/hw/" + x, &results, "RM pushdown", x,
+                         [&rigs, permille] {
+                           Rig& rig = rigs.Get();
+                           rig.memory.ResetState();
                            engine::RmExecEngine eng(
-                               rig->table.get(), rig->rm.get(),
+                               rig.table.get(), rig.rm.get(),
                                engine::CostModel::A53Defaults(),
                                /*pushdown_selection=*/true);
-                           return eng.Execute(Query(permille))->sim_cycles;
+                           const uint64_t c =
+                               eng.Execute(Query(permille))->sim_cycles;
+                           NoteSimLines(rig.memory);
+                           return c;
                          });
   }
 
-  benchmark::RunSpecifiedBenchmarks();
-  results->PrintCycles("selectivity");
-  results->PrintSpeedupVs("selectivity", "RM software");
+  RunSweep(args);
+  if (args.list) return 0;
+  results.PrintCycles("selectivity");
+  results.PrintSpeedupVs("selectivity", "RM software");
+
+  std::map<std::string, std::string> config{{"rows", std::to_string(rows)}};
+  AddStandardConfig(&config, args);
+  MaybeWriteReport(args.json_path, "ablation_selection", results, config,
+                   /*metrics=*/nullptr);
   return 0;
 }

@@ -5,8 +5,6 @@
 // a row-major matrix is the canonical strided worst case; the fabric
 // ships the slice densely. The wider the matrix, the larger the win.
 
-#include <benchmark/benchmark.h>
-
 #include <memory>
 
 #include "bench/bench_util.h"
@@ -38,37 +36,51 @@ struct Rig {
 int main(int argc, char** argv) {
   using namespace relfab;
   using namespace relfab::bench;
-  benchmark::Initialize(&argc, argv);
+  const BenchArgs args = ParseBenchArgs(&argc, argv);
 
   const uint64_t total_doubles = FullScale() ? (1ull << 23) : (1ull << 21);
-  auto* results = new ResultTable(
+  ResultTable results(
       "Ablation A11: column-slice sum of a row-major matrix (constant "
       "total size, growing width)");
 
+  // One worker-private rig per matrix shape.
+  std::vector<std::unique_ptr<PerWorker<Rig>>> rigs;
   for (uint32_t cols : {8u, 16u, 32u, 64u, 128u, 256u}) {
     const uint64_t rows = total_doubles / cols;
-    auto* rig = new Rig(cols, rows);
+    rigs.push_back(std::make_unique<PerWorker<Rig>>(
+        [cols, rows] { return std::make_unique<Rig>(cols, rows); }));
+    PerWorker<Rig>* rig = rigs.back().get();
     const std::string x = std::to_string(rows) + "x" + std::to_string(cols);
-    RegisterSimBenchmark("tensor/direct/" + x, results, "strided CPU", x,
-                         [=] {
-                           rig->memory.ResetState();
-                           benchmark::DoNotOptimize(
-                               rig->matrix->SumColumnDirect(cols / 2));
-                           return rig->memory.ElapsedCycles();
+    RegisterSimBenchmark("tensor/direct/" + x, &results, "strided CPU", x,
+                         [rig, cols] {
+                           Rig& r = rig->Get();
+                           r.memory.ResetState();
+                           DoNotOptimize(r.matrix->SumColumnDirect(cols / 2));
+                           NoteSimLines(r.memory);
+                           return r.memory.ElapsedCycles();
                          });
-    RegisterSimBenchmark("tensor/fabric/" + x, results, "fabric slice", x,
-                         [=] {
-                           rig->memory.ResetState();
-                           auto sum = rig->matrix->SumColumnFabric(
-                               rig->rm.get(), cols / 2);
+    RegisterSimBenchmark("tensor/fabric/" + x, &results, "fabric slice", x,
+                         [rig, cols] {
+                           Rig& r = rig->Get();
+                           r.memory.ResetState();
+                           auto sum = r.matrix->SumColumnFabric(r.rm.get(),
+                                                               cols / 2);
                            RELFAB_CHECK(sum.ok());
-                           benchmark::DoNotOptimize(*sum);
-                           return rig->memory.ElapsedCycles();
+                           DoNotOptimize(*sum);
+                           NoteSimLines(r.memory);
+                           return r.memory.ElapsedCycles();
                          });
   }
 
-  benchmark::RunSpecifiedBenchmarks();
-  results->PrintCycles("matrix shape");
-  results->PrintSpeedupVs("matrix shape", "strided CPU");
+  RunSweep(args);
+  if (args.list) return 0;
+  results.PrintCycles("matrix shape");
+  results.PrintSpeedupVs("matrix shape", "strided CPU");
+
+  std::map<std::string, std::string> config{
+      {"total_doubles", std::to_string(total_doubles)}};
+  AddStandardConfig(&config, args);
+  MaybeWriteReport(args.json_path, "ablation_tensor", results, config,
+                   /*metrics=*/nullptr);
   return 0;
 }

@@ -6,8 +6,6 @@
 // This bench quantifies when each strategy wins — context for how much
 // of COL's Figure 5/6 penalty is engine policy vs hardware limit.
 
-#include <benchmark/benchmark.h>
-
 #include <memory>
 
 #include "bench/bench_util.h"
@@ -59,11 +57,11 @@ engine::QuerySpec Query(uint32_t preds, int permille) {
 int main(int argc, char** argv) {
   using namespace relfab;
   using namespace relfab::bench;
-  benchmark::Initialize(&argc, argv);
+  const BenchArgs args = ParseBenchArgs(&argc, argv);
 
   const uint64_t rows = FullScale() ? (1ull << 20) : (1ull << 18);
-  auto* rig = new Rig(rows);
-  auto* results = new ResultTable(
+  PerWorker<Rig> rigs([rows] { return std::make_unique<Rig>(rows); });
+  ResultTable results(
       "Ablation A8: fused lockstep vs column-at-a-time (sum of c0, "
       "conjuncts of varying count/selectivity, " + std::to_string(rows) +
       " rows)");
@@ -73,26 +71,42 @@ int main(int argc, char** argv) {
       const std::string x = std::to_string(preds) + " preds @" +
                             std::to_string(permille / 10) + "%";
       RegisterSimBenchmark(
-          "vector_mode/fused/" + x, results, "fused", x, [=] {
-            rig->memory.ResetState();
-            engine::VectorEngine eng(rig->columns.get(),
+          "vector_mode/fused/" + x, &results, "fused", x,
+          [&rigs, preds, permille] {
+            Rig& rig = rigs.Get();
+            rig.memory.ResetState();
+            engine::VectorEngine eng(rig.columns.get(),
                                      engine::CostModel::A53Defaults(),
                                      engine::VectorMode::kFusedLockstep);
-            return eng.Execute(Query(preds, permille))->sim_cycles;
+            const uint64_t c =
+                eng.Execute(Query(preds, permille))->sim_cycles;
+            NoteSimLines(rig.memory);
+            return c;
           });
       RegisterSimBenchmark(
-          "vector_mode/caat/" + x, results, "column-at-a-time", x, [=] {
-            rig->memory.ResetState();
-            engine::VectorEngine eng(rig->columns.get(),
+          "vector_mode/caat/" + x, &results, "column-at-a-time", x,
+          [&rigs, preds, permille] {
+            Rig& rig = rigs.Get();
+            rig.memory.ResetState();
+            engine::VectorEngine eng(rig.columns.get(),
                                      engine::CostModel::A53Defaults(),
                                      engine::VectorMode::kColumnAtATime);
-            return eng.Execute(Query(preds, permille))->sim_cycles;
+            const uint64_t c =
+                eng.Execute(Query(preds, permille))->sim_cycles;
+            NoteSimLines(rig.memory);
+            return c;
           });
     }
   }
 
-  benchmark::RunSpecifiedBenchmarks();
-  results->PrintCycles("conjuncts @ per-conjunct selectivity");
-  results->PrintSpeedupVs("conjuncts @ per-conjunct selectivity", "fused");
+  RunSweep(args);
+  if (args.list) return 0;
+  results.PrintCycles("conjuncts @ per-conjunct selectivity");
+  results.PrintSpeedupVs("conjuncts @ per-conjunct selectivity", "fused");
+
+  std::map<std::string, std::string> config{{"rows", std::to_string(rows)}};
+  AddStandardConfig(&config, args);
+  MaybeWriteReport(args.json_path, "ablation_vector_mode", results, config,
+                   /*metrics=*/nullptr);
   return 0;
 }

@@ -1,25 +1,30 @@
 #ifndef RELFAB_BENCH_BENCH_UTIL_H_
 #define RELFAB_BENCH_BENCH_UTIL_H_
 
-#include <benchmark/benchmark.h>
-
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <functional>
 #include <map>
+#include <memory>
+#include <mutex>
+#include <regex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/logging.h"
 #include "obs/registry.h"
 #include "obs/report.h"
+#include "sim/memory_system.h"
 
 namespace relfab::bench {
 
 /// CPU frequency of the modelled platform; converts simulated cycles to
-/// the manual time reported to google-benchmark.
+/// the wall-clock estimates printed next to cycle counts.
 inline constexpr double kCpuHz = 1.5e9;
 
 /// True when the RELFAB_FULL environment variable asks for paper-scale
@@ -30,13 +35,41 @@ inline bool FullScale() {
   return v != nullptr && v[0] != '\0' && v[0] != '0';
 }
 
-/// Collects (series, x-label) -> simulated cycles and prints a
-/// paper-style table after the benchmarks ran.
+/// Keeps `value` alive in the eyes of the optimizer (replacement for
+/// benchmark::DoNotOptimize now that the harness is self-contained).
+template <typename T>
+inline void DoNotOptimize(T const& value) {
+#if defined(__GNUC__) || defined(__clang__)
+  asm volatile("" : : "r,m"(value) : "memory");
+#else
+  volatile const T* sink = &value;
+  (void)sink;
+#endif
+}
+
+/// Collects (series, x-label) -> measurement and prints a paper-style
+/// table after the sweep ran. Cell registration (which fixes row/column
+/// order) happens single-threaded before the sweep; Add() is
+/// mutex-guarded so SweepRunner workers can fill cells concurrently, and
+/// the printed/reported order depends only on registration order — never
+/// on worker scheduling.
 class ResultTable {
  public:
+  /// One filled sweep cell. `host_wall_ms` is the real time the cell's
+  /// simulation took on the host; `sim_lines` is the number of cache
+  /// lines the simulated run touched (0 when the bench did not note it).
+  struct Cell {
+    uint64_t sim_cycles = 0;
+    double host_wall_ms = 0;
+    uint64_t sim_lines = 0;
+  };
+
   explicit ResultTable(std::string title) : title_(std::move(title)) {}
 
-  void Add(const std::string& series, const std::string& x, uint64_t cycles) {
+  /// Fixes the position of a (series, x) cell in the output order.
+  /// Idempotent; called by SweepRunner::Register before workers start.
+  void Reserve(const std::string& series, const std::string& x) {
+    std::lock_guard<std::mutex> lock(mu_);
     if (std::find(x_order_.begin(), x_order_.end(), x) == x_order_.end()) {
       x_order_.push_back(x);
     }
@@ -44,13 +77,30 @@ class ResultTable {
         series_order_.end()) {
       series_order_.push_back(series);
     }
-    cells_[series][x] = cycles;
+  }
+
+  void Add(const std::string& series, const std::string& x, uint64_t cycles,
+           double host_wall_ms = 0, uint64_t sim_lines = 0) {
+    Reserve(series, x);
+    std::lock_guard<std::mutex> lock(mu_);
+    cells_[series][x] = Cell{cycles, host_wall_ms, sim_lines};
   }
 
   uint64_t Get(const std::string& series, const std::string& x) const {
-    return cells_.at(series).at(x);
+    return GetCell(series, x).sim_cycles;
   }
+
+  Cell GetCell(const std::string& series, const std::string& x) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto sit = cells_.find(series);
+    RELFAB_CHECK(sit != cells_.end() && sit->second.count(x) > 0)
+        << "ResultTable '" << title_ << "' has no cell (series='" << series
+        << "', x='" << x << "')";
+    return sit->second.at(x);
+  }
+
   bool Has(const std::string& series, const std::string& x) const {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = cells_.find(series);
     return it != cells_.end() && it->second.count(x) > 0;
   }
@@ -133,18 +183,33 @@ class ResultTable {
   std::string title_;
   std::vector<std::string> series_order_;
   std::vector<std::string> x_order_;
-  std::map<std::string, std::map<std::string, uint64_t>> cells_;
+  std::map<std::string, std::map<std::string, Cell>> cells_;
+  mutable std::mutex mu_;
 };
 
-/// Extracts `--json <path>` / `--json=<path>` from argv before
-/// benchmark::Initialize sees it (google-benchmark rejects unknown
-/// flags). Returns the path, or "" when the flag is absent.
+/// Parsed harness command line. The sweep harness owns its (tiny) flag
+/// surface now that google-benchmark is gone:
+///   --threads N       worker threads (default: hardware concurrency)
+///   --filter REGEX    run only cells whose name matches (partial match)
+///   --list            print registered cell names and exit
+///   --json PATH       write the machine-readable run report to PATH
+struct BenchArgs {
+  int threads = 0;  // 0: pick hardware concurrency at run time
+  std::string filter;
+  std::string json_path;
+  bool list = false;
+};
+
+/// Extracts `--json <path>` / `--json=<path>` from argv. Returns the
+/// path, or "" when the flag is absent. Paths starting with '-' are
+/// rejected: they are almost always a misplaced flag (e.g. `--json
+/// --threads`), and silently creating a file literally named "-foo"
+/// loses the report.
 inline std::string ConsumeJsonFlag(int* argc, char** argv) {
   std::string path;
   int out = 1;
   for (int i = 1; i < *argc; ++i) {
-    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < *argc &&
-        argv[i + 1][0] != '-') {
+    if (std::strcmp(argv[i], "--json") == 0 && i + 1 < *argc) {
       path = argv[++i];
     } else if (std::strcmp(argv[i], "--json") == 0) {
       std::fprintf(stderr, "--json requires a path argument\n");
@@ -156,12 +221,257 @@ inline std::string ConsumeJsonFlag(int* argc, char** argv) {
     }
   }
   *argc = out;
+  if (!path.empty() && path[0] == '-') {
+    std::fprintf(stderr,
+                 "--json path '%s' starts with '-': looks like a misplaced "
+                 "flag, refusing to treat it as a file name\n",
+                 path.c_str());
+    std::exit(2);
+  }
   return path;
 }
+
+/// Parses the full harness flag surface (including --json via
+/// ConsumeJsonFlag). Unknown flags are an error so typos fail loudly.
+inline BenchArgs ParseBenchArgs(int* argc, char** argv) {
+  BenchArgs args;
+  args.json_path = ConsumeJsonFlag(argc, argv);
+  int out = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* a = argv[i];
+    auto value = [&](const char* flag, const char* inline_prefix,
+                     std::string* dst) -> bool {
+      if (std::strcmp(a, flag) == 0) {
+        if (i + 1 >= *argc) {
+          std::fprintf(stderr, "%s requires an argument\n", flag);
+          std::exit(2);
+        }
+        *dst = argv[++i];
+        return true;
+      }
+      const size_t n = std::strlen(inline_prefix);
+      if (std::strncmp(a, inline_prefix, n) == 0) {
+        *dst = a + n;
+        return true;
+      }
+      return false;
+    };
+    std::string v;
+    if (value("--threads", "--threads=", &v)) {
+      args.threads = std::atoi(v.c_str());
+      if (args.threads < 1) {
+        std::fprintf(stderr, "--threads must be >= 1, got '%s'\n", v.c_str());
+        std::exit(2);
+      }
+    } else if (value("--filter", "--filter=", &args.filter)) {
+    } else if (std::strcmp(a, "--list") == 0) {
+      args.list = true;
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", a);
+      std::exit(2);
+    }
+    (void)out;
+  }
+  *argc = 1;
+  return args;
+}
+
+namespace internal {
+/// Worker slot of the thread executing the current sweep cell
+/// (0 when outside a sweep, so single-threaded code paths — including
+/// cell registration and everything before RunSweep — share slot 0).
+inline thread_local int g_worker_slot = 0;
+}  // namespace internal
+
+/// Lazily builds one `T` per SweepRunner worker. Cells running on
+/// different workers therefore never share simulation state — each
+/// worker owns a private MemorySystem, tables and engines — which is
+/// what makes the sweep embarrassingly parallel without any locking in
+/// the simulation itself. Combined with MemorySystem::ResetState()'s
+/// guarantee that a cell's cycles do not depend on what ran before it on
+/// the same rig, every cell reports the same cycles at any thread count.
+template <typename T>
+class PerWorker {
+ public:
+  explicit PerWorker(std::function<std::unique_ptr<T>()> factory)
+      : factory_(std::move(factory)) {}
+
+  /// The calling worker's instance (built on first use).
+  T& Get() {
+    const int slot = internal::g_worker_slot;
+    std::lock_guard<std::mutex> lock(mu_);
+    if (static_cast<size_t>(slot) >= instances_.size()) {
+      instances_.resize(slot + 1);
+    }
+    if (!instances_[slot]) instances_[slot] = factory_();
+    return *instances_[slot];
+  }
+
+  /// The instance of an explicit worker slot, or nullptr if that worker
+  /// never built one. Used after the sweep to snapshot metrics from the
+  /// rig that ran a particular cell.
+  T* ForWorker(int slot) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (slot < 0 || static_cast<size_t>(slot) >= instances_.size()) {
+      return nullptr;
+    }
+    return instances_[slot].get();
+  }
+
+ private:
+  std::function<std::unique_ptr<T>()> factory_;
+  std::vector<std::unique_ptr<T>> instances_;
+  std::mutex mu_;
+};
+
+/// Deterministic parallel sweep executor. Cells are registered
+/// single-threaded (fixing their ResultTable position), then executed by
+/// a pool of workers pulling from an atomic queue in registration order.
+/// Because every cell simulates on worker-private state (see PerWorker)
+/// and MemorySystem cells are order-independent after ResetState(), the
+/// simulated cycles of every cell are bit-identical at any --threads
+/// value; only host_wall_ms varies.
+class SweepRunner {
+ public:
+  struct CellSpec {
+    std::string name;
+    ResultTable* table;
+    std::string series;
+    std::string x;
+    std::function<uint64_t()> run;
+  };
+
+  void Register(std::string name, ResultTable* table, std::string series,
+                std::string x, std::function<uint64_t()> run) {
+    table->Reserve(series, x);
+    cells_.push_back(CellSpec{std::move(name), table, std::move(series),
+                              std::move(x), std::move(run)});
+  }
+
+  /// Runs all registered cells honoring `args` (filter/threads/list).
+  /// Returns the worker slot that executed the last registered cell (the
+  /// traditional source of the post-run metrics snapshot), or -1 if no
+  /// cell ran.
+  int Run(const BenchArgs& args) {
+    std::vector<size_t> selected;
+    if (args.filter.empty()) {
+      for (size_t i = 0; i < cells_.size(); ++i) selected.push_back(i);
+    } else {
+      const std::regex re(args.filter);
+      for (size_t i = 0; i < cells_.size(); ++i) {
+        if (std::regex_search(cells_[i].name, re)) selected.push_back(i);
+      }
+    }
+    if (args.list) {
+      for (size_t i : selected) std::printf("%s\n", cells_[i].name.c_str());
+      return -1;
+    }
+    if (selected.empty()) {
+      std::fprintf(stderr, "no cells match filter '%s'\n",
+                   args.filter.c_str());
+      return -1;
+    }
+    int threads = args.threads;
+    if (threads < 1) {
+      threads = static_cast<int>(std::thread::hardware_concurrency());
+      if (threads < 1) threads = 1;
+    }
+    if (static_cast<size_t>(threads) > selected.size()) {
+      threads = static_cast<int>(selected.size());
+    }
+
+    last_cell_worker_ = -1;
+    const size_t last_index = selected.back();
+    std::atomic<size_t> next{0};
+    auto worker = [&](int slot) {
+      internal::g_worker_slot = slot;
+      for (;;) {
+        const size_t pick = next.fetch_add(1);
+        if (pick >= selected.size()) break;
+        CellSpec& cell = cells_[selected[pick]];
+        const auto t0 = std::chrono::steady_clock::now();
+        last_cell_lines() = 0;
+        const uint64_t cycles = cell.run();
+        const uint64_t lines = last_cell_lines();
+        const double host_ms =
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        cell.table->Add(cell.series, cell.x, cycles, host_ms, lines);
+        if (selected[pick] == last_index) {
+          std::lock_guard<std::mutex> lock(mu_);
+          last_cell_worker_ = slot;
+        }
+      }
+      internal::g_worker_slot = 0;
+    };
+    if (threads == 1) {
+      // Run on the caller's thread: benches stay trivially debuggable
+      // under --threads 1 and single-threaded sanitizer runs see no
+      // thread machinery at all.
+      worker(0);
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(threads);
+      for (int t = 0; t < threads; ++t) pool.emplace_back(worker, t);
+      for (std::thread& t : pool) t.join();
+    }
+    return last_cell_worker_;
+  }
+
+  size_t num_registered() const { return cells_.size(); }
+
+  /// Thread-local count of simulated cache lines the current cell
+  /// touched; set by NoteSimLines inside the cell body.
+  static uint64_t& last_cell_lines() {
+    static thread_local uint64_t lines = 0;
+    return lines;
+  }
+
+ private:
+  std::vector<CellSpec> cells_;
+  std::mutex mu_;
+  int last_cell_worker_ = -1;
+};
+
+/// Process-wide runner used by RegisterSimBenchmark / RunSweep so bench
+/// mains keep the one-liner registration style.
+inline SweepRunner& Runner() {
+  static SweepRunner runner;
+  return runner;
+}
+
+/// Records how many cache lines the simulation behind the current cell
+/// touched (demand + gather), feeding the report's
+/// sim_lines_per_host_sec throughput figure. Call just before returning
+/// from a cell body, after the workload ran.
+inline void NoteSimLines(const sim::MemorySystem& memory) {
+  const sim::MemStats s = memory.stats();
+  SweepRunner::last_cell_lines() =
+      s.l1_hits + s.l1_misses + s.dram_lines_gather;
+}
+
+/// Registers one deterministic simulation point: the lambda runs the
+/// simulated workload once and returns simulated cycles, which become
+/// the table cell. The harness measures the host wall time around the
+/// call and stores it alongside.
+inline void RegisterSimBenchmark(const std::string& name, ResultTable* table,
+                                 const std::string& series,
+                                 const std::string& x,
+                                 std::function<uint64_t()> run) {
+  Runner().Register(name, table, series, x, std::move(run));
+}
+
+/// Executes every registered benchmark cell. Returns the worker slot of
+/// the last registered cell (for post-run metrics snapshots via
+/// PerWorker::ForWorker), or -1 when nothing ran (e.g. --list).
+inline int RunSweep(const BenchArgs& args) { return Runner().Run(args); }
 
 /// Emits the machine-readable run report (one JSON doc: config + every
 /// (series, x) cell + a metrics-registry snapshot) when `path` is
 /// non-empty. `metrics` may be null when the bench has no registry.
+/// Every report records the sweep's thread count and fast-path mode so a
+/// result can always be traced back to how it was produced.
 inline void MaybeWriteReport(
     const std::string& path, const std::string& bench_name,
     const ResultTable& table,
@@ -173,7 +483,9 @@ inline void MaybeWriteReport(
   for (const std::string& series : table.series_order()) {
     for (const std::string& x : table.x_order()) {
       if (table.Has(series, x)) {
-        report.AddResult(series, x, table.Get(series, x));
+        const ResultTable::Cell cell = table.GetCell(series, x);
+        report.AddResult(series, x, cell.sim_cycles, cell.host_wall_ms,
+                         cell.sim_lines);
       }
     }
   }
@@ -187,27 +499,17 @@ inline void MaybeWriteReport(
   std::printf("\nwrote run report to %s\n", path.c_str());
 }
 
-/// Registers a deterministic simulation point as a google-benchmark
-/// benchmark: the lambda runs the simulated workload once and returns
-/// simulated cycles, which become both the reported manual time and the
-/// table cell.
-inline void RegisterSimBenchmark(const std::string& name, ResultTable* table,
-                                 const std::string& series,
-                                 const std::string& x,
-                                 std::function<uint64_t()> run) {
-  benchmark::RegisterBenchmark(
-      name.c_str(),
-      [table, series, x, run](benchmark::State& state) {
-        for (auto _ : state) {
-          const uint64_t cycles = run();
-          state.SetIterationTime(static_cast<double>(cycles) / kCpuHz);
-          state.counters["sim_cycles"] = static_cast<double>(cycles);
-          table->Add(series, x, cycles);
-        }
-      })
-      ->UseManualTime()
-      ->Iterations(1)
-      ->Unit(benchmark::kMillisecond);
+/// Standard config entries every bench report should carry.
+inline void AddStandardConfig(std::map<std::string, std::string>* config,
+                              const BenchArgs& args) {
+  (*config)["threads"] = std::to_string(
+      args.threads < 1
+          ? static_cast<int>(std::thread::hardware_concurrency())
+          : args.threads);
+  const char* fp = std::getenv("RELFAB_SIM_FAST_PATH");
+  (*config)["fast_path"] =
+      (fp == nullptr || fp[0] == '\0' || fp[0] != '0') ? "1" : "0";
+  (*config)["full_scale"] = FullScale() ? "1" : "0";
 }
 
 }  // namespace relfab::bench

@@ -6,8 +6,6 @@
 // for <= 4 columns; RM overtakes COL beyond 4 columns (prefetch-stream
 // exhaustion + tuple reconstruction) and always beats ROW.
 
-#include <benchmark/benchmark.h>
-
 #include "bench/bench_util.h"
 #include "common/random.h"
 #include "engine/rm_exec.h"
@@ -46,56 +44,80 @@ engine::QuerySpec ProjectionQuery(uint32_t k) {
   return spec;
 }
 
+/// Everything one sweep cell needs; each SweepRunner worker builds its
+/// own (identical) instance, so cells never share simulation state.
+struct Rig {
+  sim::MemorySystem memory;
+  layout::RowTable table;
+  layout::ColumnTable columns;
+  relmem::RmEngine rm;
+
+  explicit Rig(uint64_t rows)
+      : table(BuildTable(rows, &memory)), columns(table, &memory), rm(&memory) {}
+};
+
 }  // namespace
 }  // namespace relfab::bench
 
 int main(int argc, char** argv) {
   using namespace relfab;
   using namespace relfab::bench;
-  const std::string json_path = ConsumeJsonFlag(&argc, argv);
-  benchmark::Initialize(&argc, argv);
+  const BenchArgs args = ParseBenchArgs(&argc, argv);
 
   const uint64_t rows = FullScale() ? (1ull << 22) : (1ull << 20);
-  auto* memory = new sim::MemorySystem();
-  auto* table = new layout::RowTable(BuildTable(rows, memory));
-  auto* columns = new layout::ColumnTable(*table, memory);
-  auto* rm = new relmem::RmEngine(memory);
-  auto* results = new ResultTable("Figure 5: projectivity sweep (" +
-                                  std::to_string(rows) + " rows)");
+  PerWorker<Rig> rigs([rows] { return std::make_unique<Rig>(rows); });
+  ResultTable results("Figure 5: projectivity sweep (" + std::to_string(rows) +
+                      " rows)");
 
   for (uint32_t k = 1; k <= kMaxProjectivity; ++k) {
     const std::string x = std::to_string(k);
-    RegisterSimBenchmark("fig5/ROW/proj:" + x, results, "ROW", x, [=] {
-      memory->ResetState();
-      engine::VolcanoEngine eng(table);
-      return eng.Execute(ProjectionQuery(k))->sim_cycles;
+    RegisterSimBenchmark("fig5/ROW/proj:" + x, &results, "ROW", x, [&, k] {
+      Rig& rig = rigs.Get();
+      rig.memory.ResetState();
+      engine::VolcanoEngine eng(&rig.table);
+      const uint64_t cycles = eng.Execute(ProjectionQuery(k))->sim_cycles;
+      NoteSimLines(rig.memory);
+      return cycles;
     });
-    RegisterSimBenchmark("fig5/COL/proj:" + x, results, "COL", x, [=] {
-      memory->ResetState();
-      engine::VectorEngine eng(columns);
-      return eng.Execute(ProjectionQuery(k))->sim_cycles;
+    RegisterSimBenchmark("fig5/COL/proj:" + x, &results, "COL", x, [&, k] {
+      Rig& rig = rigs.Get();
+      rig.memory.ResetState();
+      engine::VectorEngine eng(&rig.columns);
+      const uint64_t cycles = eng.Execute(ProjectionQuery(k))->sim_cycles;
+      NoteSimLines(rig.memory);
+      return cycles;
     });
-    RegisterSimBenchmark("fig5/RM/proj:" + x, results, "RM", x, [=] {
-      memory->ResetState();
-      engine::RmExecEngine eng(table, rm);
-      return eng.Execute(ProjectionQuery(k))->sim_cycles;
+    RegisterSimBenchmark("fig5/RM/proj:" + x, &results, "RM", x, [&, k] {
+      Rig& rig = rigs.Get();
+      rig.memory.ResetState();
+      engine::RmExecEngine eng(&rig.table, &rig.rm);
+      const uint64_t cycles = eng.Execute(ProjectionQuery(k))->sim_cycles;
+      NoteSimLines(rig.memory);
+      return cycles;
     });
   }
 
-  benchmark::RunSpecifiedBenchmarks();
-  results->PrintCycles("projectivity");
-  results->PrintNormalized("projectivity", "ROW");
+  const int last_worker = RunSweep(args);
+  if (args.list) return 0;
+  results.PrintCycles("projectivity");
+  results.PrintNormalized("projectivity", "ROW");
 
   // Snapshot of the memory hierarchy after the last registered point
   // (RM at max projectivity) — the gather/demand split it reports is the
-  // figure's data-movement story.
+  // figure's data-movement story. Taken from the rig of whichever worker
+  // ran that cell; with --threads > 1 the snapshot's counters cover the
+  // subset of cells that worker happened to run, so diff tooling
+  // compares `results` only.
+  std::map<std::string, std::string> config{
+      {"rows", std::to_string(rows)},
+      {"table_columns", std::to_string(kTableColumns)}};
+  AddStandardConfig(&config, args);
   obs::Registry registry;
-  memory->ExportTo(&registry);
-  rm->ExportTo(&registry);
-  MaybeWriteReport(json_path, "fig5_projectivity", *results,
-                   {{"rows", std::to_string(rows)},
-                    {"table_columns", std::to_string(kTableColumns)},
-                    {"full_scale", FullScale() ? "1" : "0"}},
+  if (Rig* rig = rigs.ForWorker(last_worker)) {
+    rig->memory.ExportTo(&registry);
+    rig->rm.ExportTo(&registry);
+  }
+  MaybeWriteReport(args.json_path, "fig5_projectivity", results, config,
                    &registry);
   return 0;
 }

@@ -8,8 +8,6 @@
 // the lower-left corner (few total columns, ratio < 1); RM dominates
 // once the query touches more than ~4 columns (up to ~2x).
 
-#include <benchmark/benchmark.h>
-
 #include <cstdio>
 
 #include "bench/bench_util.h"
@@ -58,9 +56,26 @@ engine::QuerySpec GridQuery(uint32_t p, uint32_t s) {
   return spec;
 }
 
-uint64_t g_cycles[3][kGrid + 1][kGrid + 1];  // engine, p, s
+/// One worker's private copy of the base data and engines: cells on
+/// different SweepRunner workers never share simulation state.
+struct Rig {
+  sim::MemorySystem memory;
+  layout::RowTable table;
+  layout::ColumnTable columns;
+  relmem::RmEngine rm;
 
-void PrintHeatmap(const char* title, int num, int den) {
+  explicit Rig(uint64_t rows)
+      : table(BuildTable(rows, &memory)),
+        columns(table, &memory),
+        rm(&memory) {}
+};
+
+std::string GridLabel(uint32_t p, uint32_t s) {
+  return "p" + std::to_string(p) + "/s" + std::to_string(s);
+}
+
+void PrintHeatmap(const ResultTable& results, const char* title,
+                  const std::string& num, const std::string& den) {
   std::printf("\n=== %s ===\n", title);
   std::printf("sel\\proj");
   for (uint32_t p = 1; p <= kGrid; ++p) std::printf(" %6u", p);
@@ -68,8 +83,9 @@ void PrintHeatmap(const char* title, int num, int den) {
   for (uint32_t s = kGrid; s >= 1; --s) {
     std::printf("%8u", s);
     for (uint32_t p = 1; p <= kGrid; ++p) {
-      std::printf(" %6.2f", static_cast<double>(g_cycles[num][p][s]) /
-                                static_cast<double>(g_cycles[den][p][s]));
+      const std::string x = GridLabel(p, s);
+      std::printf(" %6.2f", static_cast<double>(results.Get(num, x)) /
+                                static_cast<double>(results.Get(den, x)));
     }
     std::printf("\n");
   }
@@ -81,45 +97,58 @@ void PrintHeatmap(const char* title, int num, int den) {
 int main(int argc, char** argv) {
   using namespace relfab;
   using namespace relfab::bench;
-  benchmark::Initialize(&argc, argv);
+  const BenchArgs args = ParseBenchArgs(&argc, argv);
 
   const uint64_t rows = FullScale() ? (1ull << 21) : (1ull << 19);
-  auto* memory = new sim::MemorySystem();
-  auto* table = new layout::RowTable(BuildTable(rows, memory));
-  auto* columns = new layout::ColumnTable(*table, memory);
-  auto* rm = new relmem::RmEngine(memory);
-  auto* results = new ResultTable("Figure 6 grid");
+  PerWorker<Rig> rigs([rows] { return std::make_unique<Rig>(rows); });
+  ResultTable results("Figure 6 grid");
 
   for (uint32_t p = 1; p <= kGrid; ++p) {
     for (uint32_t s = 1; s <= kGrid; ++s) {
-      const std::string x = "p" + std::to_string(p) + "/s" +
-                            std::to_string(s);
-      RegisterSimBenchmark("fig6/ROW/" + x, results, "ROW", x, [=] {
-        memory->ResetState();
-        engine::VolcanoEngine eng(table);
+      const std::string x = GridLabel(p, s);
+      RegisterSimBenchmark("fig6/ROW/" + x, &results, "ROW", x, [&, p, s] {
+        Rig& rig = rigs.Get();
+        rig.memory.ResetState();
+        engine::VolcanoEngine eng(&rig.table);
         const uint64_t c = eng.Execute(GridQuery(p, s))->sim_cycles;
-        g_cycles[0][p][s] = c;
+        NoteSimLines(rig.memory);
         return c;
       });
-      RegisterSimBenchmark("fig6/COL/" + x, results, "COL", x, [=] {
-        memory->ResetState();
-        engine::VectorEngine eng(columns);
+      RegisterSimBenchmark("fig6/COL/" + x, &results, "COL", x, [&, p, s] {
+        Rig& rig = rigs.Get();
+        rig.memory.ResetState();
+        engine::VectorEngine eng(&rig.columns);
         const uint64_t c = eng.Execute(GridQuery(p, s))->sim_cycles;
-        g_cycles[1][p][s] = c;
+        NoteSimLines(rig.memory);
         return c;
       });
-      RegisterSimBenchmark("fig6/RM/" + x, results, "RM", x, [=] {
-        memory->ResetState();
-        engine::RmExecEngine eng(table, rm);
+      RegisterSimBenchmark("fig6/RM/" + x, &results, "RM", x, [&, p, s] {
+        Rig& rig = rigs.Get();
+        rig.memory.ResetState();
+        engine::RmExecEngine eng(&rig.table, &rig.rm);
         const uint64_t c = eng.Execute(GridQuery(p, s))->sim_cycles;
-        g_cycles[2][p][s] = c;
+        NoteSimLines(rig.memory);
         return c;
       });
     }
   }
 
-  benchmark::RunSpecifiedBenchmarks();
-  PrintHeatmap("Figure 6a: speedup RM vs ROW", 0, 2);
-  PrintHeatmap("Figure 6b: speedup RM vs COL", 1, 2);
+  const int last_worker = RunSweep(args);
+  if (args.list) return 0;
+  PrintHeatmap(results, "Figure 6a: speedup RM vs ROW", "ROW", "RM");
+  PrintHeatmap(results, "Figure 6b: speedup RM vs COL", "COL", "RM");
+
+  std::map<std::string, std::string> config{
+      {"rows", std::to_string(rows)},
+      {"table_columns", std::to_string(kTableColumns)},
+      {"grid", std::to_string(kGrid)}};
+  AddStandardConfig(&config, args);
+  obs::Registry registry;
+  if (Rig* rig = rigs.ForWorker(last_worker)) {
+    rig->memory.ExportTo(&registry);
+    rig->rm.ExportTo(&registry);
+  }
+  MaybeWriteReport(args.json_path, "fig6_heatmap", results, config,
+                   &registry);
   return 0;
 }

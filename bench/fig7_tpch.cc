@@ -10,8 +10,6 @@
 // Default sizes are scaled down 16x from the paper's 2..128 MB target
 // columns; set RELFAB_FULL=1 for paper scale.
 
-#include <benchmark/benchmark.h>
-
 #include <map>
 #include <memory>
 #include <vector>
@@ -35,22 +33,42 @@ struct Dataset {
   std::unique_ptr<layout::ColumnTable> columns;
 };
 
+/// One worker's private copy of every dataset size plus the memory
+/// system and RM engine: workers never share simulation state, so the
+/// sweep parallelizes without any locking in the simulator.
+struct Rig {
+  sim::MemorySystem memory;
+  relmem::RmEngine rm{&memory};
+  std::map<uint64_t, Dataset> datasets;
+
+  Rig(const std::vector<uint64_t>& target_mib, double scale) {
+    for (uint64_t mib : target_mib) {
+      const uint64_t rows = static_cast<uint64_t>(
+          scale * static_cast<double>(mib) * 1024 * 1024 / 20.0);
+      Dataset ds;
+      ds.rows = std::make_unique<layout::RowTable>(
+          tpch::GenerateLineitem(rows, /*seed=*/mib, &memory));
+      ds.columns = std::make_unique<layout::ColumnTable>(*ds.rows, &memory);
+      datasets[mib] = std::move(ds);
+    }
+  }
+};
+
 }  // namespace
 }  // namespace relfab::bench
 
 int main(int argc, char** argv) {
   using namespace relfab;
   using namespace relfab::bench;
-  const std::string json_path = ConsumeJsonFlag(&argc, argv);
-  benchmark::Initialize(&argc, argv);
+  const BenchArgs args = ParseBenchArgs(&argc, argv);
 
   const double scale = FullScale() ? 1.0 : 1.0 / 16.0;
   const std::vector<uint64_t> target_mib = {2, 4, 8, 16, 32, 64, 128};
 
-  auto* memory = new sim::MemorySystem();
-  auto* rm = new relmem::RmEngine(memory);
-  auto* q1_results = new ResultTable("Figure 7a: TPC-H Q1");
-  auto* q6_results = new ResultTable("Figure 7b: TPC-H Q6");
+  PerWorker<Rig> rigs(
+      [&] { return std::make_unique<Rig>(target_mib, scale); });
+  ResultTable q1_results("Figure 7a: TPC-H Q1");
+  ResultTable q6_results("Figure 7b: TPC-H Q6");
 
   struct QueryDef {
     const char* name;
@@ -58,74 +76,75 @@ int main(int argc, char** argv) {
     uint32_t target_row_bytes;  // bytes per row the query touches
     ResultTable* results;
   };
-  auto* defs = new std::vector<QueryDef>;
-  defs->push_back({"Q1", tpch::MakeQ1Spec(), 26, q1_results});
-  defs->push_back({"Q6", tpch::MakeQ6Spec(), 20, q6_results});
+  std::vector<QueryDef> defs;
+  defs.push_back({"Q1", tpch::MakeQ1Spec(), 26, &q1_results});
+  defs.push_back({"Q6", tpch::MakeQ6Spec(), 20, &q6_results});
 
-  // Generate the largest dataset once per size (shared by Q1 and Q6:
-  // row counts are derived from the Q6 target width so the x-axis labels
-  // stay comparable across queries).
-  auto* datasets = new std::map<uint64_t, Dataset>;
-  for (uint64_t mib : target_mib) {
-    const uint64_t rows = static_cast<uint64_t>(
-        scale * static_cast<double>(mib) * 1024 * 1024 / 20.0);
-    Dataset ds;
-    ds.rows = std::make_unique<layout::RowTable>(
-        tpch::GenerateLineitem(rows, /*seed=*/mib, memory));
-    ds.columns = std::make_unique<layout::ColumnTable>(*ds.rows, memory);
-    (*datasets)[mib] = std::move(ds);
-  }
+  // Row counts are derived from the Q6 target width for every size so
+  // the x-axis labels stay comparable across queries. The table size
+  // label needs a built dataset; build one on the registration thread
+  // (slot 0) — workers reuse it or build their own.
+  Rig& label_rig = rigs.Get();
 
-  for (const QueryDef& def : *defs) {
+  for (const QueryDef& def : defs) {
     for (uint64_t mib : target_mib) {
-      const Dataset& ds = datasets->at(mib);
       const uint64_t table_mib =
-          ds.rows->data_bytes() / (1024 * 1024);
+          label_rig.datasets.at(mib).rows->data_bytes() / (1024 * 1024);
       const std::string x = std::to_string(table_mib) + "MiB(" +
                             std::to_string(mib) + ")";
       const std::string base =
           std::string("fig7/") + def.name + "/" + x;
       const engine::QuerySpec* spec = &def.spec;
       ResultTable* results = def.results;
-      const layout::RowTable* rows_tbl = ds.rows.get();
-      const layout::ColumnTable* cols_tbl = ds.columns.get();
-      RegisterSimBenchmark(base + "/ROW", results, "ROW", x, [=] {
-        memory->ResetState();
-        engine::VolcanoEngine eng(rows_tbl);
-        return eng.Execute(*spec)->sim_cycles;
+      RegisterSimBenchmark(base + "/ROW", results, "ROW", x, [&, spec, mib] {
+        Rig& rig = rigs.Get();
+        rig.memory.ResetState();
+        engine::VolcanoEngine eng(rig.datasets.at(mib).rows.get());
+        const uint64_t c = eng.Execute(*spec)->sim_cycles;
+        NoteSimLines(rig.memory);
+        return c;
       });
-      RegisterSimBenchmark(base + "/COL", results, "COL", x, [=] {
-        memory->ResetState();
-        engine::VectorEngine eng(cols_tbl);
-        return eng.Execute(*spec)->sim_cycles;
+      RegisterSimBenchmark(base + "/COL", results, "COL", x, [&, spec, mib] {
+        Rig& rig = rigs.Get();
+        rig.memory.ResetState();
+        engine::VectorEngine eng(rig.datasets.at(mib).columns.get());
+        const uint64_t c = eng.Execute(*spec)->sim_cycles;
+        NoteSimLines(rig.memory);
+        return c;
       });
-      RegisterSimBenchmark(base + "/RM", results, "RM", x, [=] {
-        memory->ResetState();
-        engine::RmExecEngine eng(rows_tbl, rm);
-        return eng.Execute(*spec)->sim_cycles;
+      RegisterSimBenchmark(base + "/RM", results, "RM", x, [&, spec, mib] {
+        Rig& rig = rigs.Get();
+        rig.memory.ResetState();
+        engine::RmExecEngine eng(rig.datasets.at(mib).rows.get(), &rig.rm);
+        const uint64_t c = eng.Execute(*spec)->sim_cycles;
+        NoteSimLines(rig.memory);
+        return c;
       });
     }
   }
 
-  benchmark::RunSpecifiedBenchmarks();
-  q1_results->PrintCycles("table size (target col)");
-  q1_results->PrintSpeedupVs("table size (target col)", "ROW");
-  q6_results->PrintCycles("table size (target col)");
-  q6_results->PrintSpeedupVs("table size (target col)", "ROW");
+  const int last_worker = RunSweep(args);
+  if (args.list) return 0;
+  q1_results.PrintCycles("table size (target col)");
+  q1_results.PrintSpeedupVs("table size (target col)", "ROW");
+  q6_results.PrintCycles("table size (target col)");
+  q6_results.PrintSpeedupVs("table size (target col)", "ROW");
 
-  if (!json_path.empty()) {
+  if (!args.json_path.empty()) {
     // One report per query figure: "<path>" gets Q1, "<path>.q6.json"
     // gets Q6, each with a registry snapshot after its last point.
     obs::Registry registry;
-    memory->ExportTo(&registry);
-    rm->ExportTo(&registry);
-    const std::map<std::string, std::string> config = {
-        {"scale", FullScale() ? "1" : "1/16"},
-        {"sizes_mib", "2..128"}};
-    MaybeWriteReport(json_path, "fig7_tpch_q1", *q1_results, config,
+    if (Rig* rig = rigs.ForWorker(last_worker)) {
+      rig->memory.ExportTo(&registry);
+      rig->rm.ExportTo(&registry);
+    }
+    std::map<std::string, std::string> config = {
+        {"scale", FullScale() ? "1" : "1/16"}, {"sizes_mib", "2..128"}};
+    AddStandardConfig(&config, args);
+    MaybeWriteReport(args.json_path, "fig7_tpch_q1", q1_results, config,
                      &registry);
-    MaybeWriteReport(json_path + ".q6.json", "fig7_tpch_q6", *q6_results,
-                     config, &registry);
+    MaybeWriteReport(args.json_path + ".q6.json", "fig7_tpch_q6",
+                     q6_results, config, &registry);
   }
   return 0;
 }

@@ -6,7 +6,7 @@ namespace relfab::obs {
 
 Json RunReport::ToJson() const {
   Json doc = Json::Object();
-  doc.Set("schema_version", 1);
+  doc.Set("schema_version", 2);
   doc.Set("bench", name_);
   Json config = Json::Object();
   for (const auto& [k, v] : config_) config.Set(k, v);
@@ -17,6 +17,10 @@ Json RunReport::ToJson() const {
     rj.Set("series", r.series);
     rj.Set("x", r.x);
     rj.Set("sim_cycles", r.sim_cycles);
+    rj.Set("host_wall_ms", r.host_wall_ms);
+    if (r.lines_per_sec >= 0) {
+      rj.Set("sim_lines_per_host_sec", r.lines_per_sec);
+    }
     results.Append(std::move(rj));
   }
   doc.Set("results", std::move(results));
@@ -43,8 +47,8 @@ Status RunReport::Validate(const Json& doc) {
     return Status::InvalidArgument("report must be a JSON object");
   }
   if (!doc.at("schema_version").is_number() ||
-      doc.at("schema_version").AsUint() != 1) {
-    return Status::InvalidArgument("report schema_version must be 1");
+      doc.at("schema_version").AsUint() != 2) {
+    return Status::InvalidArgument("report schema_version must be 2");
   }
   if (!doc.at("bench").is_string() || doc.at("bench").AsString().empty()) {
     return Status::InvalidArgument("report 'bench' must be a non-empty string");
@@ -63,9 +67,16 @@ Status RunReport::Validate(const Json& doc) {
   }
   for (const Json& r : doc.at("results").items()) {
     if (!r.is_object() || !r.at("series").is_string() ||
-        !r.at("x").is_string() || !r.at("sim_cycles").is_number()) {
+        !r.at("x").is_string() || !r.at("sim_cycles").is_number() ||
+        !r.at("host_wall_ms").is_number()) {
       return Status::InvalidArgument(
-          "each result needs string 'series'/'x' and numeric 'sim_cycles'");
+          "each result needs string 'series'/'x' and numeric "
+          "'sim_cycles'/'host_wall_ms'");
+    }
+    if (!r.at("sim_lines_per_host_sec").is_null() &&
+        !r.at("sim_lines_per_host_sec").is_number()) {
+      return Status::InvalidArgument(
+          "'sim_lines_per_host_sec' must be numeric when present");
     }
   }
   if (!doc.at("metrics").is_object()) {

@@ -28,10 +28,21 @@ class RunReport {
     config_[key] = std::to_string(value);
   }
 
-  /// One measured point: a (series, x) cell with its simulated cycles.
+  /// One measured point: a (series, x) cell with its simulated cycles,
+  /// the host wall-clock time the cell's simulation took, and — when the
+  /// bench noted how many cache lines the cell simulated — the derived
+  /// simulation throughput. `host_wall_ms` is real time and therefore
+  /// machine- and load-dependent; tooling that diffs reports for
+  /// correctness must compare sim_cycles only (tools/compare_bench_json.py
+  /// does exactly that).
   void AddResult(const std::string& series, const std::string& x,
-                 uint64_t sim_cycles) {
-    results_.push_back({series, x, sim_cycles});
+                 uint64_t sim_cycles, double host_wall_ms = 0.0,
+                 uint64_t sim_lines = 0) {
+    double lines_per_sec = -1.0;
+    if (sim_lines > 0 && host_wall_ms > 0) {
+      lines_per_sec = static_cast<double>(sim_lines) / (host_wall_ms / 1e3);
+    }
+    results_.push_back({series, x, sim_cycles, host_wall_ms, lines_per_sec});
   }
 
   /// Attaches the final registry snapshot.
@@ -51,6 +62,8 @@ class RunReport {
     std::string series;
     std::string x;
     uint64_t sim_cycles;
+    double host_wall_ms = 0.0;
+    double lines_per_sec = -1.0;  // < 0: bench did not note sim lines
   };
 
   std::string name_;

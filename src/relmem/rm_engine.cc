@@ -31,6 +31,58 @@ bool EvalPredicate(const layout::RowTable& table, const HwPredicate& p,
   return false;
 }
 
+/// Accumulates a gather loop's deduplicated line stream into maximal
+/// consecutive runs and charges each run through
+/// MemorySystem::GatherRun instead of per-line GatherLine calls.
+///
+/// Exactness: the per-run charge `len * transfer + misses * (miss_lat /
+/// parallelism)` re-associates the reference loop's additions into
+/// `cycles_`, which starts at zero and only ever accumulates dyadic
+/// rationals (6.0 and miss_lat/parallelism, a power-of-two division of
+/// an integer) — every partial sum is exactly representable, so any
+/// association order yields the same bits. GatherRun replays the DRAM
+/// row-buffer state and channel/gather counters in closed form. Only
+/// used when the fast path is on; the per-line loop remains the
+/// reference the equivalence tests compare against.
+class GatherBatcher {
+ public:
+  GatherBatcher(sim::MemorySystem* memory, const sim::SimParams& params)
+      : memory_(memory),
+        transfer_(params.line_transfer_cycles),
+        miss_per_line_(params.dram_row_miss_cycles /
+                       params.fabric_gather_parallelism) {}
+
+  /// Adds one (already deduplicated) line to the pending run.
+  void Add(uint64_t line) {
+    if (run_len_ > 0 && line == run_start_ + run_len_) {
+      ++run_len_;
+      return;
+    }
+    Flush();
+    run_start_ = line;
+    run_len_ = 1;
+  }
+
+  /// Charges the pending run; must be called before reading cycles().
+  void Flush() {
+    if (run_len_ == 0) return;
+    const uint64_t misses = memory_->GatherRun(run_start_ << 6, run_len_);
+    cycles_ += transfer_ * static_cast<double>(run_len_) +
+               miss_per_line_ * static_cast<double>(misses);
+    run_len_ = 0;
+  }
+
+  double cycles() const { return cycles_; }
+
+ private:
+  sim::MemorySystem* memory_;
+  double transfer_;
+  double miss_per_line_;
+  uint64_t run_start_ = 0;
+  uint64_t run_len_ = 0;
+  double cycles_ = 0;
+};
+
 }  // namespace
 
 bool RmEngine::RowQualifies(const layout::RowTable& table, const Geometry& g,
@@ -91,6 +143,8 @@ StatusOr<RmEngine::FabricAggResult> RmEngine::AggregateInFabric(
 
   double gather_cycles = 0;
   uint64_t last_line = ~0ull;
+  const bool batched = memory_->fast_path();
+  GatherBatcher batcher(memory_, params_);
   for (uint64_t row = geometry.begin_row; row < geometry.end_row; ++row) {
     ++result.rows_scanned;
     for (uint32_t c : source) {
@@ -99,11 +153,15 @@ StatusOr<RmEngine::FabricAggResult> RmEngine::AggregateInFabric(
       const uint64_t last_needed = (addr + schema.width(c) - 1) >> 6;
       for (uint64_t line = first_line; line <= last_needed; ++line) {
         if (line == last_line) continue;
-        bool row_hit = false;
-        const double lat = memory_->GatherLine(line << 6, &row_hit);
-        gather_cycles += params_.line_transfer_cycles;
-        if (!row_hit) {
-          gather_cycles += lat / params_.fabric_gather_parallelism;
+        if (batched) {
+          batcher.Add(line);
+        } else {
+          bool row_hit = false;
+          const double lat = memory_->GatherLine(line << 6, &row_hit);
+          gather_cycles += params_.line_transfer_cycles;
+          if (!row_hit) {
+            gather_cycles += lat / params_.fabric_gather_parallelism;
+          }
         }
         last_line = line;
       }
@@ -135,6 +193,10 @@ StatusOr<RmEngine::FabricAggResult> RmEngine::AggregateInFabric(
     }
   }
 
+  if (batched) {
+    batcher.Flush();
+    gather_cycles = batcher.cycles();
+  }
   // Pipeline: gather vs row parse vs the (trivially pipelined) reduce.
   const double parse_cycles =
       static_cast<double>(result.rows_scanned) /
@@ -157,6 +219,8 @@ RmEngine::ChunkResult RmEngine::ProduceChunk(
   double parse_rows = 0;
   uint64_t last_line = ~0ull;
   uint64_t row = input_row;
+  const bool batched = memory_->fast_path();
+  GatherBatcher batcher(memory_, params_);
 
   for (; row < end_row && result.out_rows < max_out_rows; ++row) {
     parse_rows += 1;
@@ -169,13 +233,18 @@ RmEngine::ChunkResult RmEngine::ProduceChunk(
       const uint64_t last = (addr + schema.width(c) - 1) >> 6;
       for (uint64_t line = first; line <= last; ++line) {
         if (line == last_line) continue;
-        bool row_hit = false;
-        const double lat = memory_->GatherLine(line << 6, &row_hit);
-        // An open-row access streams at channel rate; a row open exposes
-        // its latency divided across the concurrently driven banks.
-        gather_cycles += params_.line_transfer_cycles;
-        if (!row_hit) {
-          gather_cycles += lat / params_.fabric_gather_parallelism;
+        if (batched) {
+          batcher.Add(line);
+        } else {
+          bool row_hit = false;
+          const double lat = memory_->GatherLine(line << 6, &row_hit);
+          // An open-row access streams at channel rate; a row open
+          // exposes its latency divided across the concurrently driven
+          // banks.
+          gather_cycles += params_.line_transfer_cycles;
+          if (!row_hit) {
+            gather_cycles += lat / params_.fabric_gather_parallelism;
+          }
         }
         last_line = line;
       }
@@ -192,6 +261,10 @@ RmEngine::ChunkResult RmEngine::ProduceChunk(
     ++result.out_rows;
   }
 
+  if (batched) {
+    batcher.Flush();
+    gather_cycles = batcher.cycles();
+  }
   result.next_input_row = row;
   ++chunks_produced_;
   rows_parsed_ += row - input_row;

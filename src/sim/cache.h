@@ -44,6 +44,24 @@ class CacheModel {
     return false;
   }
 
+  /// Debug helper: true if the line is present *and* carries the most
+  /// recent LRU stamp of its set. Used to validate the precondition of
+  /// MemorySystem::ReadL1Resident (skipping a Touch is only exact for a
+  /// line that is already the MRU of its set).
+  bool IsMruOfSet(uint64_t line_addr) const {
+    const uint32_t set = SetOf(line_addr);
+    const uint64_t* tags = &tags_[static_cast<size_t>(set) * ways_];
+    const uint32_t* lru = &lru_[static_cast<size_t>(set) * ways_];
+    uint32_t newest = 0;
+    bool found = false;
+    for (uint32_t w = 0; w < ways_; ++w) {
+      if (tags[w] == kInvalidTag) continue;
+      if (!found || lru[w] > lru[newest]) newest = w;
+      found = true;
+    }
+    return found && tags[newest] == line_addr;
+  }
+
   /// True if the line is present; does not update LRU.
   bool Contains(uint64_t line_addr) const {
     const uint32_t set = SetOf(line_addr);
@@ -76,6 +94,71 @@ class CacheModel {
     Touch(set, victim);
   }
 
+  /// Bulk-installs `n` consecutive lines starting at `first_line`,
+  /// reproducing exactly the state `n` successive Insert calls would
+  /// leave — same tags, same LRU stamps, same final clock — in
+  /// O(touched_sets * ways) instead of O(n * ways).
+  ///
+  /// Precondition: none of the lines is currently present (the fast
+  /// path only uses this for lines above the cold watermark, which have
+  /// never been inserted since the last Flush).
+  ///
+  /// Why this is exact: consecutive lines rotate round-robin over the
+  /// sets, so the lines landing in one set form an arithmetic
+  /// progression with stride `sets_`. Insert evicts the way with the
+  /// strictly smallest LRU stamp (ties resolved to the lowest way
+  /// index), and every newly inserted line is stamped ahead of all
+  /// existing ways — so the k-th insert into a set lands in the k-th
+  /// way of the set's pre-existing (stamp, way-index) ascending order,
+  /// wrapping round-robin after `ways_` inserts. The final occupant of
+  /// the j-th victim way is therefore the *last* line whose in-set
+  /// index is congruent to j (mod ways_), stamped with the clock value
+  /// it would have received in the sequential replay.
+  void InsertRun(uint64_t first_line, uint64_t n) {
+    RELFAB_DCHECK(n > 0);
+    RELFAB_DCHECK(!Contains(first_line) && !Contains(first_line + n - 1))
+        << "InsertRun precondition: lines must be absent";
+    // The closed form costs O(touched_sets * ways^2) for the per-set
+    // victim sort; the sequential replay costs O(n * ways). Bulk only
+    // pays off once each set absorbs a couple of lines, so short runs
+    // (and unusual geometries) replay sequentially — the results are
+    // identical either way.
+    if (ways_ > kMaxBulkWays ||
+        n < static_cast<uint64_t>(sets_) * ways_ / 2) {
+      for (uint64_t i = 0; i < n; ++i) Insert(first_line + i);
+      return;
+    }
+    const uint64_t touched_sets = n < sets_ ? n : sets_;
+    for (uint64_t i = 0; i < touched_sets; ++i) {
+      const uint64_t line0 = first_line + i;  // first run line in this set
+      const uint32_t set = SetOf(line0);
+      const uint64_t k = 1 + (n - 1 - i) / sets_;  // run lines in this set
+      uint64_t* tags = &tags_[static_cast<size_t>(set) * ways_];
+      uint32_t* lru = &lru_[static_cast<size_t>(set) * ways_];
+      // Victim order: ways sorted ascending by (stamp, way index).
+      uint32_t order[kMaxBulkWays];
+      for (uint32_t w = 0; w < ways_; ++w) {
+        uint32_t j = w;
+        while (j > 0 && lru[w] < lru[order[j - 1]]) {
+          order[j] = order[j - 1];
+          --j;
+        }
+        order[j] = w;
+      }
+      const uint32_t fill = k < ways_ ? static_cast<uint32_t>(k) : ways_;
+      for (uint32_t j = 0; j < fill; ++j) {
+        // Largest in-set index < k congruent to j (mod ways_): the line
+        // that ends up owning the j-th victim way.
+        const uint64_t kj = (k - 1) - ((k - 1 - j) % ways_);
+        const uint64_t line = line0 + kj * sets_;
+        tags[order[j]] = line;
+        lru[order[j]] =
+            clock_ + static_cast<uint32_t>(line - first_line) + 1;
+      }
+    }
+    clock_ += static_cast<uint32_t>(n);
+  }
+
   /// Drops every cached line.
   void Flush() {
     std::fill(tags_.begin(), tags_.end(), kInvalidTag);
@@ -88,6 +171,9 @@ class CacheModel {
 
  private:
   static constexpr uint64_t kInvalidTag = ~0ull;
+  /// Stack bound for InsertRun's per-set victim ordering; geometries
+  /// with more ways fall back to the sequential replay.
+  static constexpr uint32_t kMaxBulkWays = 64;
 
   uint32_t SetOf(uint64_t line_addr) const {
     return static_cast<uint32_t>(line_addr) & set_mask_;

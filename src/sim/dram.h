@@ -36,6 +36,52 @@ class DramModel {
     return hit ? hit_cycles_ : miss_cycles_;
   }
 
+  /// Bulk equivalent of `n` sequential line accesses starting at `addr`
+  /// with stride `line_bytes`; returns the number of row misses and
+  /// leaves hit/miss counters and open-row state exactly as the
+  /// per-line replay would.
+  ///
+  /// Closed form: the run touches rows row_first..row_last. Only the
+  /// first touch of each row can miss; within the first min(rows, banks)
+  /// rows the outcome depends on the pre-run open row of that bank, and
+  /// every later row necessarily misses because its bank's open row was
+  /// set to `row - banks` earlier in the same run. The final open row of
+  /// each touched bank is its largest touched row, i.e. one of the last
+  /// min(rows, banks) rows (consecutive rows occupy distinct banks).
+  double AccessRun(uint64_t addr, uint64_t n, uint64_t line_bytes,
+                   uint64_t* misses_out) {
+    if (row_bytes_ % line_bytes != 0) {  // lines could straddle rows
+      uint64_t misses = 0;
+      double lat = 0;
+      for (uint64_t i = 0; i < n; ++i) {
+        bool hit = false;
+        lat += Access(addr + i * line_bytes, &hit);
+        if (!hit) ++misses;
+      }
+      if (misses_out != nullptr) *misses_out = misses;
+      return lat;
+    }
+    const uint64_t row_first = addr / row_bytes_;
+    const uint64_t row_last = (addr + (n - 1) * line_bytes) / row_bytes_;
+    const uint64_t banks = open_rows_.size();
+    const uint64_t rows_touched = row_last - row_first + 1;
+    const uint64_t probe = rows_touched < banks ? rows_touched : banks;
+    uint64_t misses = 0;
+    for (uint64_t r = row_first; r < row_first + probe; ++r) {
+      if (open_rows_[r % banks] != r) ++misses;
+    }
+    misses += rows_touched - probe;
+    for (uint64_t b = 0; b < probe; ++b) {
+      const uint64_t r = row_last - b;
+      open_rows_[r % banks] = r;
+    }
+    row_misses_ += misses;
+    row_hits_ += n - misses;
+    if (misses_out != nullptr) *misses_out = misses;
+    return miss_cycles_ * static_cast<double>(misses) +
+           hit_cycles_ * static_cast<double>(n - misses);
+  }
+
   /// Closes all row buffers (e.g. after a long idle period).
   void Reset() {
     std::fill(open_rows_.begin(), open_rows_.end(), kNoRow);

@@ -63,6 +63,45 @@ class StreamPrefetcher {
     return false;
   }
 
+  /// Bulk equivalent of `n` OnDemandMiss calls for the consecutive lines
+  /// [first, first+n): succeeds — advancing the matching stream and the
+  /// use clock exactly as the per-line replay would — only when every
+  /// one of those misses is *provably* covered by the same fully trained
+  /// stream. Returns false (leaving all state untouched) when that can't
+  /// be proven cheaply; the caller then falls back to per-line replay.
+  ///
+  /// Conditions checked, and why each is required for exactness:
+  ///  * the first matching stream `s` (same first-match scan order as
+  ///    OnDemandMiss) contains `first` in its window — after advancing,
+  ///    `s.next_line` equals each subsequent line exactly, so `s` keeps
+  ///    matching every line of the run;
+  ///  * `s.confidence == train_steps` — already trained, so every line
+  ///    reports covered and confidence stays saturated;
+  ///  * no *earlier* stream's window intersects [first, first+n) — an
+  ///    earlier stream would preempt the match mid-run and diverge.
+  ///    Later streams are never consulted because `s` matches first.
+  bool TryAdvanceRun(uint64_t first, uint64_t n) {
+    for (size_t i = 0; i < streams_.size(); ++i) {
+      Stream& s = streams_[i];
+      if (!s.valid) continue;
+      if (first >= s.next_line && first < s.next_line + window_) {
+        if (s.confidence < train_steps_) return false;
+        for (size_t j = 0; j < i; ++j) {
+          const Stream& e = streams_[j];
+          if (e.valid && e.next_line < first + n &&
+              first < e.next_line + window_) {
+            return false;
+          }
+        }
+        tick_ += n;
+        s.next_line = first + n;
+        s.last_use = tick_;
+        return true;
+      }
+    }
+    return false;
+  }
+
   /// Forgets all streams (e.g. between queries).
   void Reset() {
     for (Stream& s : streams_) s = Stream{};

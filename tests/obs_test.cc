@@ -309,18 +309,25 @@ TEST(RunReportTest, ToJsonValidates) {
   RunReport report("fig5_projectivity");
   report.SetConfig("rows", uint64_t{1024});
   report.SetConfig("full_scale", "0");
-  report.AddResult("ROW", "1", 1000);
-  report.AddResult("RM", "1", 400);
+  report.AddResult("ROW", "1", 1000, /*host_wall_ms=*/2.5,
+                   /*sim_lines=*/5000);
+  report.AddResult("RM", "1", 400, /*host_wall_ms=*/1.25);
   Registry reg;
   reg.Add("sim.l1.hits", 5);
   report.SetMetrics(reg);
 
   const Json doc = report.ToJson();
   EXPECT_TRUE(RunReport::Validate(doc).ok());
-  EXPECT_EQ(doc.at("schema_version").AsUint(), 1u);
+  EXPECT_EQ(doc.at("schema_version").AsUint(), 2u);
   EXPECT_EQ(doc.at("bench").AsString(), "fig5_projectivity");
   EXPECT_EQ(doc.at("results").size(), 2u);
   EXPECT_EQ(doc.at("results").at(1).at("sim_cycles").AsUint(), 400u);
+  // v2: host wall time is mandatory; the throughput figure appears only
+  // when the bench noted the simulated line count.
+  EXPECT_EQ(doc.at("results").at(0).at("host_wall_ms").AsNumber(), 2.5);
+  EXPECT_EQ(doc.at("results").at(0).at("sim_lines_per_host_sec").AsNumber(),
+            5000 / 2.5e-3);
+  EXPECT_TRUE(doc.at("results").at(1).at("sim_lines_per_host_sec").is_null());
   EXPECT_EQ(doc.at("config").at("rows").AsString(), "1024");
   EXPECT_EQ(doc.at("metrics").at("counters").at("sim.l1.hits").AsUint(), 5u);
 

@@ -27,8 +27,8 @@ def validate_structurally(path: str, doc: object) -> None:
     """Mirror of obs::RunReport::Validate for schema-less environments."""
     if not isinstance(doc, dict):
         fail(path, "report must be a JSON object")
-    if doc.get("schema_version") != 1:
-        fail(path, "schema_version must be 1")
+    if doc.get("schema_version") != 2:
+        fail(path, "schema_version must be 2")
     if not isinstance(doc.get("bench"), str) or not doc["bench"]:
         fail(path, "'bench' must be a non-empty string")
     config = doc.get("config")
@@ -44,6 +44,13 @@ def validate_structurally(path: str, doc: object) -> None:
                 or not isinstance(r.get("sim_cycles"), (int, float))
                 or r["sim_cycles"] < 0):
             fail(path, f"bad result entry: {r!r}")
+        if (not isinstance(r.get("host_wall_ms"), (int, float))
+                or r["host_wall_ms"] < 0):
+            fail(path, f"result missing numeric host_wall_ms: {r!r}")
+        lps = r.get("sim_lines_per_host_sec")
+        if lps is not None and (not isinstance(lps, (int, float))
+                                or lps < 0):
+            fail(path, f"bad sim_lines_per_host_sec: {r!r}")
     metrics = doc.get("metrics")
     if not isinstance(metrics, dict):
         fail(path, "'metrics' must be an object")
