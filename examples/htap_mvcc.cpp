@@ -31,14 +31,24 @@ int main() {
       fabric.CreateVersionedTable("accounts", *schema, /*key=*/0).value();
   auto* tm = fabric.GetTransactionManager("accounts").value();
 
-  // OLTP: seed accounts.
+  // OLTP: seed accounts. Like any MVCC application, an aborted commit
+  // (a conflict — or an injected fault when $RELFAB_FAULTS arms
+  // mvcc.commit) is handled by rerunning the transaction.
   layout::RowBuilder row(&accounts->user_schema());
   for (int64_t id = 0; id < kAccounts; ++id) {
-    mvcc::Transaction txn = tm->Begin();
-    row.Reset();
-    row.AddInt64(id).AddInt64(1000).AddInt32(static_cast<int32_t>(id % 16))
-        .AddInt32(0);
-    if (!tm->Insert(&txn, row.Finish()).ok() || !tm->Commit(&txn).ok()) {
+    bool committed = false;
+    for (int attempt = 0; attempt < 100 && !committed; ++attempt) {
+      mvcc::Transaction txn = tm->Begin();
+      row.Reset();
+      row.AddInt64(id).AddInt64(1000).AddInt32(static_cast<int32_t>(id % 16))
+          .AddInt32(0);
+      if (!tm->Insert(&txn, row.Finish()).ok()) {
+        std::fprintf(stderr, "seeding failed\n");
+        return 1;
+      }
+      committed = tm->Commit(&txn).ok();
+    }
+    if (!committed) {
       std::fprintf(stderr, "seeding failed\n");
       return 1;
     }
@@ -46,17 +56,25 @@ int main() {
 
   // OLAP helper: total balance at a snapshot, computed through an
   // ephemeral column group {balance} with the MVCC filter in hardware.
+  // Injected fabric faults can kill the view configuration or truncate
+  // the chunk stream (view.status()); the reader retries rather than
+  // trusting a partial scan.
   const auto total_at = [&](uint64_t read_ts) -> long long {
-    relmem::Geometry g;
-    g.columns = {1};
-    g.visibility = accounts->SnapshotFilter(read_ts);
-    auto view = fabric.ConfigureView("accounts", g);
-    long long total = 0;
-    for (relmem::EphemeralView::Cursor cur(&*view); cur.Valid();
-         cur.Advance()) {
-      total += cur.GetInt(0);
+    for (int attempt = 0; attempt < 100; ++attempt) {
+      relmem::Geometry g;
+      g.columns = {1};
+      g.visibility = accounts->SnapshotFilter(read_ts);
+      auto view = fabric.ConfigureView("accounts", g);
+      if (!view.ok()) continue;
+      long long total = 0;
+      for (relmem::EphemeralView::Cursor cur(&*view); cur.Valid();
+           cur.Advance()) {
+        total += cur.GetInt(0);
+      }
+      if (view->status().ok()) return total;
     }
-    return total;
+    std::fprintf(stderr, "snapshot scan never completed\n");
+    return -1;
   };
 
   const uint64_t seeded_ts = tm->current_ts();

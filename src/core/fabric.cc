@@ -16,6 +16,24 @@ Fabric::Fabric(sim::SimParams sim_params, engine::CostModel cost_model)
   // span work, so a disabled tracer costs one branch per span site.
   executor_.set_tracer(&tracer_);
   rm_.set_tracer(&tracer_);
+  // $RELFAB_FAULTS arms chaos/fault injection for the whole stack; a
+  // malformed spec is an operator error and aborts with the parse
+  // message. Unset leaves every component's injector pointer null (the
+  // zero-overhead happy path).
+  std::unique_ptr<faults::FaultInjector> env_injector =
+      faults::FaultInjector::FromEnvOrDie();
+  if (env_injector != nullptr) ArmFaults(env_injector->plan());
+}
+
+void Fabric::ArmFaults(faults::FaultPlan plan) {
+  injector_ =
+      plan.armed() ? std::make_unique<faults::FaultInjector>(std::move(plan))
+                   : nullptr;
+  faults::FaultInjector* raw = injector_.get();
+  memory_.set_fault_injector(raw);
+  rm_.set_fault_injector(raw);
+  executor_.set_fault_injector(raw);
+  for (auto& [name, mgr] : txn_managers_) mgr->set_fault_injector(raw);
 }
 
 StatusOr<layout::RowTable*> Fabric::CreateTable(const std::string& name,
@@ -145,6 +163,7 @@ StatusOr<mvcc::VersionedTable*> Fabric::CreateVersionedTable(
   versioned_[name] = std::move(owned);
   txn_managers_[name] = std::make_unique<mvcc::TransactionManager>(raw);
   txn_managers_[name]->set_tracer(&tracer_);
+  txn_managers_[name]->set_fault_injector(injector_.get());
   return raw;
 }
 
@@ -212,6 +231,7 @@ obs::Registry& Fabric::CollectMetrics() {
     registry_.counter("mvcc.aborts")->Set(aborts);
     registry_.counter("mvcc.clock")->Set(clock);
   }
+  if (injector_ != nullptr) injector_->ExportTo(&registry_);
   return registry_;
 }
 

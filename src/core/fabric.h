@@ -9,6 +9,8 @@
 #include "common/statusor.h"
 #include "engine/cost_model.h"
 #include "engine/query.h"
+#include "faults/fault_plan.h"
+#include "faults/injector.h"
 #include "index/btree.h"
 #include "layout/column_table.h"
 #include "layout/row_table.h"
@@ -148,6 +150,19 @@ class Fabric {
   /// engine and all transaction managers.
   void EnableTracing(bool enabled = true);
 
+  // --- fault injection ---
+
+  /// Arms the given fault plan across the whole stack (DRAM ECC, RM
+  /// descriptor/stall/gather, MVCC commit; RS arming is per-RsEngine —
+  /// storage rigs own their SsdModel). An unarmed (empty) plan disarms.
+  /// The constructor calls this automatically with $RELFAB_FAULTS, so
+  /// most callers never touch it; tests use it to arm plans directly.
+  void ArmFaults(faults::FaultPlan plan);
+
+  /// The active injector; nullptr when unarmed. Fault counters are
+  /// folded into CollectMetrics() under "faults.*".
+  faults::FaultInjector* fault_injector() { return injector_.get(); }
+
  private:
   sim::MemorySystem memory_;
   relmem::RmEngine rm_;
@@ -158,6 +173,7 @@ class Fabric {
   query::Executor executor_;
   obs::Registry registry_;
   obs::Tracer tracer_;
+  std::unique_ptr<faults::FaultInjector> injector_;
   std::map<std::string, std::unique_ptr<layout::RowTable>> tables_;
   std::map<std::string, std::unique_ptr<layout::ColumnTable>> column_copies_;
   std::map<std::string, std::unique_ptr<index::BTreeIndex>> indexes_;

@@ -1,9 +1,12 @@
 #ifndef RELFAB_ENGINE_HYBRID_H_
 #define RELFAB_ENGINE_HYBRID_H_
 
+#include <vector>
+
 #include "common/statusor.h"
 #include "engine/cost_model.h"
 #include "engine/query.h"
+#include "faults/injector.h"
 #include "layout/row_table.h"
 #include "obs/query_profile.h"
 #include "relmem/rm_engine.h"
@@ -41,11 +44,28 @@ class HybridEngine {
   /// default — keeps every profiling call site a single pointer test.
   void set_profiler(obs::OpProfiler* profiler) { prof_ = profiler; }
 
+  /// Used only to account degradations ("hybrid.*" fallback counters);
+  /// the injection itself happens inside RmEngine / MemorySystem.
+  void set_fault_injector(faults::FaultInjector* injector) {
+    injector_ = injector;
+  }
+
  private:
+  /// Graceful degradation of phase 1: evaluates the selection for source
+  /// rows [resume_row, num_rows) on the host row path (volcano-style
+  /// tuple materialization + predicate evaluation), appending qualifying
+  /// row ids. Functionally identical to the fabric selection, so the
+  /// query's answer is unchanged — only the cycles differ.
+  void HostSelectRemainder(const QuerySpec& query, uint64_t resume_row,
+                           std::vector<uint64_t>* qualifying) const;
+
+  void RecordFallback(const Status& cause, const char* where) const;
+
   const layout::RowTable* table_;
   relmem::RmEngine* rm_;
   CostModel cost_;
   obs::OpProfiler* prof_ = nullptr;
+  faults::FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace relfab::engine

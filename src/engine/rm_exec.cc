@@ -197,6 +197,14 @@ StatusOr<QueryResult> RmExecEngine::Execute(const QuerySpec& query) {
     }
   }
 
+  if (!view.status().ok()) {
+    // The stream died on an injected fabric fault after exhausting its
+    // retries. This engine is the pure-RM path: it has no host fallback
+    // of its own, so the error propagates (HybridEngine / the executor
+    // degrade to the row scan).
+    if (prof_ != nullptr) prof_->Finish();
+    return view.status();
+  }
   if (prof_ != nullptr) {
     prof_->Finish();
     uint64_t out = result.rows_matched;

@@ -1,0 +1,46 @@
+#include "faults/retry.h"
+
+#include <algorithm>
+
+namespace relfab::faults {
+
+double RetryPolicy::BackoffFor(uint32_t retry_index) const {
+  double backoff = initial_backoff_cycles;
+  for (uint32_t i = 0; i < retry_index; ++i) {
+    backoff *= backoff_multiplier;
+    if (backoff >= max_backoff_cycles) return max_backoff_cycles;
+  }
+  return std::min(backoff, max_backoff_cycles);
+}
+
+Status InjectAndRetry(FaultInjector* injector, int site,
+                      const RetryPolicy& policy,
+                      const std::function<void(double)>& charge,
+                      std::string_view what, obs::Tracer* tracer) {
+  if (injector == nullptr || site < 0) return Status::Ok();
+  const FaultRule& rule = injector->rule(site);
+  for (uint32_t attempt = 1;; ++attempt) {
+    if (!injector->ShouldInject(site)) return Status::Ok();
+    charge(rule.penalty_cycles);
+    if (rule.kind == FaultKind::kStall) return Status::Ok();
+    if (rule.kind == FaultKind::kConflict) {
+      return injector->MakeError(site, what);
+    }
+    const double backoff = policy.BackoffFor(attempt - 1);
+    if (attempt >= policy.max_attempts ||
+        !injector->ConsumeRetryBudget(site, backoff, policy.budget_cycles)) {
+      injector->NoteExhausted(site);
+      return injector->MakeError(site, what);
+    }
+    {
+      obs::Span span(tracer, "faults.retry", "faults");
+      span.AddArg("site", rule.site);
+      span.AddArg("attempt", static_cast<uint64_t>(attempt));
+      span.AddArg("backoff_cycles", static_cast<uint64_t>(backoff));
+      charge(backoff);
+    }
+    injector->NoteRetry(site);
+  }
+}
+
+}  // namespace relfab::faults

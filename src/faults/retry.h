@@ -1,0 +1,50 @@
+#ifndef RELFAB_FAULTS_RETRY_H_
+#define RELFAB_FAULTS_RETRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+#include "common/status.h"
+#include "faults/injector.h"
+#include "obs/trace.h"
+
+namespace relfab::faults {
+
+/// Retry discipline measured in *simulated* cycles: attempts are spaced
+/// by capped exponential backoff, and each site has a cumulative backoff
+/// budget so a persistently failing component cannot consume unbounded
+/// simulated time before the caller degrades to the host path.
+struct RetryPolicy {
+  uint32_t max_attempts = 4;            // total tries (1 + retries)
+  double initial_backoff_cycles = 2048;
+  double backoff_multiplier = 2.0;
+  double max_backoff_cycles = 1 << 16;
+  double budget_cycles = 1 << 20;       // per-site, injector lifetime
+
+  /// Backoff charged before retry number `retry_index` (0-based).
+  double BackoffFor(uint32_t retry_index) const;
+};
+
+/// The standard injection-point protocol, wrapped around a simulated
+/// operation that has already been charged: draws the site's fault; on a
+/// fault charges the penalty via `charge` (the caller decides which
+/// clock/accumulator the cycles land on) and, for retryable kinds,
+/// charges backoff and redraws up to the policy's attempt/budget limits.
+///
+/// Returns Ok when no fault fires, the fault is a pure stall, or a retry
+/// eventually clears it; otherwise the site's mapped error. kConflict
+/// faults surface immediately (transactions restart, machinery does not
+/// retry them). With a null injector or unarmed site: Ok, zero cost.
+///
+/// Every retry emits a "faults.retry" span (site/attempt/backoff args)
+/// when `tracer` is enabled, so attempts render on the caller's
+/// timeline.
+Status InjectAndRetry(FaultInjector* injector, int site,
+                      const RetryPolicy& policy,
+                      const std::function<void(double)>& charge,
+                      std::string_view what, obs::Tracer* tracer = nullptr);
+
+}  // namespace relfab::faults
+
+#endif  // RELFAB_FAULTS_RETRY_H_

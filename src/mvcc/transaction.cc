@@ -127,6 +127,25 @@ Status TransactionManager::Commit(Transaction* txn) {
   obs::Span span(tracer_, "mvcc.commit", "mvcc");
   span.AddArg("txn", txn->id());
   span.AddArg("ops", static_cast<uint64_t>(txn->ops_.size()));
+  if (injector_ != nullptr) {
+    // Injected commit faults fire before validation: a kConflict rule
+    // mimics losing the first-committer race; retryable kinds stall the
+    // simulated clock and, once exhausted, kill the commit with an
+    // I/O-class error. Either way the transaction rolls back and the
+    // commit clock does not move, so replaying the same fault plan
+    // reproduces the same version history bit for bit.
+    Status st = faults::InjectAndRetry(
+        injector_, commit_site_, retry_,
+        [this](double cycles) { table_->rows().memory()->Stall(cycles); },
+        "commit of txn " + std::to_string(txn->id()), tracer_);
+    if (!st.ok()) {
+      Abort(txn);
+      ++aborts_;
+      span.AddArg("outcome", "abort");
+      span.AddArg("fault", st.ToString());
+      return st;
+    }
+  }
   // Validation: first committer wins. A write-write conflict exists if
   // any written key received a newer committed write after our snapshot.
   for (const Transaction::Op& op : txn->ops_) {

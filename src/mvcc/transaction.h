@@ -7,6 +7,8 @@
 
 #include "common/status.h"
 #include "common/statusor.h"
+#include "faults/injector.h"
+#include "faults/retry.h"
 #include "mvcc/versioned_table.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
@@ -103,6 +105,22 @@ class TransactionManager {
   /// transaction id, op count and outcome. Null detaches.
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Arms "mvcc.commit" injection: Commit draws the site before
+  /// validation. A kConflict rule aborts the transaction like a real
+  /// write-write conflict (kAborted); retryable kinds stall the simulated
+  /// clock per the retry policy and, when exhausted, abort the
+  /// transaction with the mapped I/O-class Status. The commit clock only
+  /// advances on successful commits, so a replayed fault plan yields the
+  /// same version history. Null disarms.
+  void set_fault_injector(faults::FaultInjector* injector) {
+    injector_ = injector;
+    commit_site_ = injector == nullptr ? faults::FaultInjector::kNoSite
+                                       : injector->Site("mvcc.commit");
+  }
+  void set_retry_policy(const faults::RetryPolicy& policy) {
+    retry_ = policy;
+  }
+
   /// Publishes transaction counters under "mvcc.*".
   void ExportTo(obs::Registry* registry) const {
     registry->counter("mvcc.begins")->Set(next_txn_id_);
@@ -122,6 +140,9 @@ class TransactionManager {
 
   VersionedTable* table_;
   obs::Tracer* tracer_ = nullptr;
+  faults::FaultInjector* injector_ = nullptr;
+  faults::RetryPolicy retry_;
+  int commit_site_ = faults::FaultInjector::kNoSite;
   uint64_t clock_ = 0;
   uint64_t next_txn_id_ = 0;
   uint64_t commits_ = 0;

@@ -12,6 +12,9 @@ std::string QueryProfile::ToTable() const {
   os << "EXPLAIN ANALYZE (" << backend << " over '" << table
      << "', total " << FormatCount(static_cast<uint64_t>(total_cycles))
      << " cycles)\n";
+  if (!fallback.empty()) {
+    os << "  degraded: " << fallback << "\n";
+  }
   char line[160];
   std::snprintf(line, sizeof(line), "  %-18s %14s %14s %14s %12s %12s %10s\n",
                 "operator", "rows_in", "rows_out", "cpu_cycles",
@@ -36,6 +39,7 @@ Json QueryProfile::ToJson() const {
   doc.Set("backend", backend);
   doc.Set("table", table);
   doc.Set("total_cycles", total_cycles);
+  if (!fallback.empty()) doc.Set("fallback", fallback);
   Json op_list = Json::Array();
   for (const OpStats& op : ops) {
     Json oj = Json::Object();

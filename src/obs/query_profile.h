@@ -47,6 +47,10 @@ struct QueryProfile {
   std::string table;
   std::vector<OpStats> ops;
   double total_cycles = 0;  // elapsed (max of cpu and channel clocks)
+  /// Non-empty when the fabric path failed mid-query and execution
+  /// degraded to the host row-scan path; records why (EXPLAIN ANALYZE
+  /// prints it as a "degraded:" line).
+  std::string fallback;
 
   /// EXPLAIN ANALYZE rendering: one row per operator.
   std::string ToTable() const;
@@ -93,6 +97,11 @@ class OpProfiler {
 
   /// Closes the active segment (call once when execution finishes).
   void Finish() { Switch(-1); }
+
+  /// Records that the remaining work was re-planned onto the host path.
+  void NoteFallback(std::string reason) {
+    out_->fallback = std::move(reason);
+  }
 
   OpStats& op(int handle) { return out_->ops[static_cast<size_t>(handle)]; }
 

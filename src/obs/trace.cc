@@ -6,6 +6,29 @@ namespace relfab::obs {
 
 Json Tracer::ToJson() const {
   Json events = Json::Array();
+  // Thread-name metadata rows so extra tracks render with their names.
+  {
+    Json meta = Json::Object();
+    meta.Set("name", "thread_name");
+    meta.Set("ph", "M");
+    meta.Set("pid", 1);
+    meta.Set("tid", 1);
+    Json args = Json::Object();
+    args.Set("name", "sim (CPU)");
+    meta.Set("args", std::move(args));
+    events.Append(std::move(meta));
+  }
+  for (uint32_t i = 0; i < tracks_.size(); ++i) {
+    Json meta = Json::Object();
+    meta.Set("name", "thread_name");
+    meta.Set("ph", "M");
+    meta.Set("pid", 1);
+    meta.Set("tid", static_cast<uint64_t>(i) + 2);
+    Json args = Json::Object();
+    args.Set("name", tracks_[i]);
+    meta.Set("args", std::move(args));
+    events.Append(std::move(meta));
+  }
   for (const Event& e : events_) {
     Json ev = Json::Object();
     ev.Set("name", e.name);
@@ -14,7 +37,7 @@ Json Tracer::ToJson() const {
     ev.Set("ts", e.start_cycles);
     ev.Set("dur", e.duration_cycles);
     ev.Set("pid", 1);
-    ev.Set("tid", 1);
+    ev.Set("tid", static_cast<uint64_t>(e.track) + 1);
     if (!e.args.empty()) {
       Json args = Json::Object();
       for (const auto& [k, v] : e.args) args.Set(k, v);

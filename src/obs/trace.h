@@ -29,6 +29,7 @@ class Tracer {
     uint64_t start_cycles = 0;
     uint64_t duration_cycles = 0;
     uint32_t depth = 0;  // nesting level at emission (0 = top level)
+    uint32_t track = 0;  // 0 = main simulated-CPU track (see RegisterTrack)
     std::vector<std::pair<std::string, std::string>> args;
   };
 
@@ -61,6 +62,22 @@ class Tracer {
     events_.push_back(std::move(event));
   }
 
+  /// Registers a named timeline separate from the main simulated-CPU
+  /// track (track 0). Events carrying the returned id render as their own
+  /// row in the trace viewer — components with an independent clock
+  /// domain (the RS device pipeline, say) get a real timeline instead of
+  /// being folded into the CPU one. Idempotent per name.
+  uint32_t RegisterTrack(const std::string& name) {
+    for (uint32_t i = 0; i < tracks_.size(); ++i) {
+      if (tracks_[i] == name) return i + 1;
+    }
+    tracks_.push_back(name);
+    return static_cast<uint32_t>(tracks_.size());
+  }
+
+  /// Names of registered extra tracks (index i is track id i + 1).
+  const std::vector<std::string>& tracks() const { return tracks_; }
+
   const std::vector<Event>& events() const { return events_; }
   void Clear() {
     events_.clear();
@@ -86,6 +103,7 @@ class Tracer {
   mutable uint64_t offset_ = 0;
   uint32_t depth_ = 0;
   std::vector<Event> events_;
+  std::vector<std::string> tracks_;
 };
 
 /// RAII span: records [construction, destruction) as one complete event.

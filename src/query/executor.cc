@@ -38,6 +38,31 @@ StatusOr<engine::QueryResult> Executor::Execute(
   return result;
 }
 
+StatusOr<engine::QueryResult> Executor::FallbackToRowScan(
+    const Plan& plan, const TableEntry& entry, const Status& cause,
+    obs::OpProfiler* prof) const {
+  // Graceful degradation (the Polynesia/Farview rule: the offload path
+  // must degrade to the host path when the accelerator is unavailable):
+  // the fabric plan died on an I/O-class fault after its retries, so the
+  // query re-runs start-to-finish on the host row engine. The failed
+  // attempt's simulated cycles stay on the clock, and the rerun starts
+  // from the query's beginning because the failed engine's partial
+  // aggregate state is not recoverable.
+  if (injector_ != nullptr) {
+    injector_->NoteFallback("query." +
+                            std::string(BackendToString(plan.backend)));
+  }
+  if (prof != nullptr) {
+    prof->Switch(-1);
+    prof->NoteFallback(cause.ToString() + "; query re-run on ROW backend");
+  }
+  obs::Span span(tracer_, "query.fallback", "query");
+  span.AddArg("cause", cause.ToString());
+  engine::VolcanoEngine eng(entry.rows, cost_);
+  eng.set_profiler(prof);
+  return eng.Execute(plan.spec);
+}
+
 StatusOr<engine::QueryResult> Executor::Dispatch(const Plan& plan,
                                                  const TableEntry& entry,
                                                  obs::OpProfiler* prof) const {
@@ -60,12 +85,24 @@ StatusOr<engine::QueryResult> Executor::Dispatch(const Plan& plan,
     case Backend::kRelationalMemory: {
       engine::RmExecEngine eng(entry.rows, rm_, cost_);
       eng.set_profiler(prof);
-      return eng.Execute(plan.spec);
+      StatusOr<engine::QueryResult> result = eng.Execute(plan.spec);
+      if (result.ok() || !faults::IsFabricFault(result.status())) {
+        return result;
+      }
+      return FallbackToRowScan(plan, entry, result.status(), prof);
     }
     case Backend::kHybrid: {
       engine::HybridEngine eng(entry.rows, rm_, cost_);
       eng.set_profiler(prof);
-      return eng.Execute(plan.spec);
+      eng.set_fault_injector(injector_);
+      StatusOr<engine::QueryResult> result = eng.Execute(plan.spec);
+      if (result.ok() || !faults::IsFabricFault(result.status())) {
+        return result;
+      }
+      // The hybrid engine degrades internally; this only triggers when
+      // even its internal recovery could not finish (e.g. a fault on the
+      // delegated pure-RM plan that it chose not to retry).
+      return FallbackToRowScan(plan, entry, result.status(), prof);
     }
     case Backend::kIndex: {
       if (entry.key_index == nullptr) {

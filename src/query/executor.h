@@ -4,6 +4,7 @@
 #include "common/statusor.h"
 #include "engine/cost_model.h"
 #include "engine/query.h"
+#include "faults/injector.h"
 #include "obs/query_profile.h"
 #include "obs/trace.h"
 #include "query/catalog.h"
@@ -33,15 +34,30 @@ class Executor {
   /// Attaches a tracer for query spans. Null detaches.
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Arms graceful degradation accounting: when a fabric-path plan (RM /
+  /// HYBRID) fails with a fabric fault, the executor re-runs the query
+  /// on the host ROW backend and records the fallback here (the
+  /// degradation itself happens with or without an injector).
+  void set_fault_injector(faults::FaultInjector* injector) {
+    injector_ = injector;
+  }
+
  private:
   StatusOr<engine::QueryResult> Dispatch(const Plan& plan,
                                          const TableEntry& entry,
                                          obs::OpProfiler* prof) const;
 
+  /// Completes a fabric-failed query on the host row engine.
+  StatusOr<engine::QueryResult> FallbackToRowScan(const Plan& plan,
+                                                  const TableEntry& entry,
+                                                  const Status& cause,
+                                                  obs::OpProfiler* prof) const;
+
   const Catalog* catalog_;
   relmem::RmEngine* rm_;
   engine::CostModel cost_;
   obs::Tracer* tracer_ = nullptr;
+  faults::FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace relfab::query

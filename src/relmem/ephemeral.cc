@@ -39,6 +39,7 @@ void EphemeralView::RestartStream() {
   input_cursor_ = begin_row_;
   first_chunk_ = true;
   chunk_rows_ = 0;
+  status_ = Status::Ok();
   LoadNextChunk();
 }
 
@@ -52,6 +53,16 @@ void EphemeralView::LoadNextChunk() {
   RmEngine::ChunkResult r = engine_->ProduceChunk(
       *table_, geometry_, source_columns_, input_cursor_, end_row_,
       chunk_capacity_rows_, chunk_data_.data(), out_row_bytes_);
+  if (!r.status.ok()) {
+    // The fabric gave up on this chunk after exhausting its retries. The
+    // attempts' simulated time is real even though no rows arrived; the
+    // input cursor stays put (ProduceChunk faults before gathering), so
+    // callers can resume at input_row() on the host path.
+    mem->Stall(r.producer_cycles);
+    status_ = std::move(r.status);
+    chunk_rows_ = 0;
+    return;
+  }
   input_cursor_ = r.next_input_row;
   chunk_rows_ = r.out_rows;
   if (chunk_rows_ == 0 && input_cursor_ >= end_row_) {

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "common/status.h"
 #include "layout/row_table.h"
 #include "layout/schema.h"
 #include "relmem/geometry.h"
@@ -146,6 +147,17 @@ class EphemeralView {
 
   sim::MemorySystem* memory() const { return table_->memory(); }
 
+  /// Non-OK when the stream stopped on an injected fabric fault instead
+  /// of end-of-input: the cursor went invalid early. Engines must check
+  /// this after every scan loop; a fabric-fault status means the rows
+  /// from input_row() onward were never produced and can be recovered on
+  /// the host path.
+  const Status& status() const { return status_; }
+
+  /// First source row the stream has not consumed — on a faulted stream,
+  /// the exact resume point for host-side continuation.
+  uint64_t input_row() const { return input_cursor_; }
+
  private:
   friend class RmEngine;
   friend class Cursor;
@@ -179,6 +191,7 @@ class EphemeralView {
   uint64_t input_cursor_ = 0;
   double cpu_at_last_refill_ = 0;
   bool first_chunk_ = true;
+  Status status_;  // non-OK: production died on an injected fault
 };
 
 }  // namespace relfab::relmem

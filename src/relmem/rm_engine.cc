@@ -106,6 +106,12 @@ StatusOr<EphemeralView> RmEngine::Configure(const layout::RowTable& table,
   RELFAB_RETURN_IF_ERROR(geometry.Validate(table.schema()));
   geometry.end_row = std::min(geometry.end_row, table.num_rows());
   geometry.begin_row = std::min(geometry.begin_row, geometry.end_row);
+  // Descriptor programming can find the fabric unavailable; the retry
+  // stalls the core (it is the CPU that waits on the config interface).
+  RELFAB_RETURN_IF_ERROR(faults::InjectAndRetry(
+      injector_, config_site_, retry_,
+      [this](double cycles) { memory_->Stall(cycles); },
+      "ephemeral-view descriptor programming", tracer_));
   memory_->CpuWork(params_.fabric_configure_cycles);
   ++num_configures_;
   return EphemeralView(&table, this, std::move(geometry));
@@ -131,10 +137,30 @@ StatusOr<RmEngine::FabricAggResult> RmEngine::AggregateInFabric(
   }
   geometry.end_row = std::min(geometry.end_row, table.num_rows());
   geometry.begin_row = std::min(geometry.begin_row, geometry.end_row);
+  RELFAB_RETURN_IF_ERROR(faults::InjectAndRetry(
+      injector_, config_site_, retry_,
+      [this](double cycles) { memory_->Stall(cycles); },
+      "in-fabric aggregation descriptor", tracer_));
   memory_->CpuWork(params_.fabric_configure_cycles);
   ++num_configures_;
 
   obs::Span span(tracer_, "rm.aggregate", "relmem");
+  // The whole aggregation is one fabric operation: draw its stall and
+  // gather faults up front (before any bandwidth is spent), charging
+  // penalties/backoff as pipeline stalls.
+  {
+    const auto charge = [this](double cycles) { memory_->Stall(cycles); };
+    Status st = faults::InjectAndRetry(injector_, stall_site_, retry_, charge,
+                                       "in-fabric aggregation", tracer_);
+    if (st.ok()) {
+      st = faults::InjectAndRetry(injector_, gather_site_, retry_, charge,
+                                  "in-fabric aggregation gather", tracer_);
+    }
+    if (!st.ok()) {
+      span.AddArg("fault", st.ToString());
+      return st;
+    }
+  }
   const layout::Schema& schema = table.schema();
   const std::vector<uint32_t> source = geometry.SourceColumns(schema);
   FabricAggResult result;
@@ -215,6 +241,27 @@ RmEngine::ChunkResult RmEngine::ProduceChunk(
   const layout::Schema& schema = table.schema();
   obs::Span span(tracer_, "rm.gather.chunk", "relmem");
   ChunkResult result;
+  result.next_input_row = input_row;
+  // Faults fire at the head of the chunk, before any line is gathered:
+  // on failure the caller resumes at exactly `input_row`, and the
+  // penalty/backoff cycles ride in producer_cycles like any other
+  // pipeline time.
+  if (injector_ != nullptr) {
+    const auto charge = [&result](double cycles) {
+      result.producer_cycles += cycles;
+    };
+    result.status = faults::InjectAndRetry(
+        injector_, stall_site_, retry_, charge, "chunk production", tracer_);
+    if (result.status.ok()) {
+      result.status = faults::InjectAndRetry(injector_, gather_site_, retry_,
+                                             charge, "bank-parallel gather",
+                                             tracer_);
+    }
+    if (!result.status.ok()) {
+      span.AddArg("fault", result.status.ToString());
+      return result;
+    }
+  }
   double gather_cycles = 0;
   double parse_rows = 0;
   uint64_t last_line = ~0ull;
@@ -278,8 +325,9 @@ RmEngine::ChunkResult RmEngine::ProduceChunk(
   const double pack_cycles = out_lines * params_.fabric_pack_cycles_per_line *
                              params_.fabric_clock_ratio;
   // The three stages are pipelined: the chunk takes as long as the
-  // slowest stage.
-  result.producer_cycles =
+  // slowest stage. Injected-fault penalties (already in producer_cycles)
+  // are serial head-of-chunk time, so they add on top.
+  result.producer_cycles +=
       std::max(gather_cycles, std::max(parse_cycles, pack_cycles));
   return result;
 }

@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "common/statusor.h"
+#include "faults/injector.h"
+#include "faults/retry.h"
 #include "layout/row_table.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
@@ -41,11 +43,17 @@ class RmEngine {
   StatusOr<EphemeralView> Configure(const layout::RowTable& table,
                                     Geometry geometry);
 
-  /// Result of producing one fill-buffer chunk.
+  /// Result of producing one fill-buffer chunk. On a non-OK status no
+  /// rows were produced and `next_input_row` equals the requested
+  /// `input_row` (the fault fires before any gathering), so the caller
+  /// can resume the remaining work — e.g. on the host path —
+  /// exactly where the fabric gave up. `producer_cycles` still carries
+  /// the simulated cost of the failed attempts and backoff.
   struct ChunkResult {
     uint64_t out_rows = 0;        // rows packed into the chunk
     uint64_t next_input_row = 0;  // where the next chunk resumes
     double producer_cycles = 0;   // fabric pipeline time (CPU cycles)
+    Status status;                // non-OK: fabric fault, retries spent
   };
 
   /// Transforms source rows [input_row, end_row) into packed output rows
@@ -108,6 +116,23 @@ class RmEngine {
   /// emits a span ("rm.gather.chunk" / "rm.aggregate"). Null detaches.
   void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
+  /// Arms fault injection at the engine's sites ("rm.config",
+  /// "rm.stall", "rm.gather"); null disarms. Handles resolve here so the
+  /// production hot path pays one pointer test when unarmed.
+  void set_fault_injector(faults::FaultInjector* injector) {
+    injector_ = injector;
+    config_site_ = injector == nullptr ? faults::FaultInjector::kNoSite
+                                       : injector->Site("rm.config");
+    stall_site_ = injector == nullptr ? faults::FaultInjector::kNoSite
+                                      : injector->Site("rm.stall");
+    gather_site_ = injector == nullptr ? faults::FaultInjector::kNoSite
+                                       : injector->Site("rm.gather");
+  }
+  void set_retry_policy(const faults::RetryPolicy& policy) {
+    retry_ = policy;
+  }
+  faults::FaultInjector* fault_injector() const { return injector_; }
+
   /// Publishes the engine's production counters under "rm.*", plus a
   /// chunk-size histogram when chunks were produced.
   void ExportTo(obs::Registry* registry) const {
@@ -121,6 +146,11 @@ class RmEngine {
   sim::MemorySystem* memory_;
   const sim::SimParams& params_;
   obs::Tracer* tracer_ = nullptr;
+  faults::FaultInjector* injector_ = nullptr;
+  faults::RetryPolicy retry_;
+  int config_site_ = faults::FaultInjector::kNoSite;
+  int stall_site_ = faults::FaultInjector::kNoSite;
+  int gather_site_ = faults::FaultInjector::kNoSite;
   uint64_t num_configures_ = 0;
   uint64_t chunks_produced_ = 0;
   uint64_t rows_parsed_ = 0;   // source rows run through the filter stage

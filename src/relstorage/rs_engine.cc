@@ -30,23 +30,38 @@ bool EvalPredicate(const StorageTable& table, const relmem::HwPredicate& p,
 
 }  // namespace
 
-void RsEngine::EmitScanEvent(const char* name,
-                             const ScanResult& result) const {
+void RsEngine::EmitScanEvent(const char* name, const ScanResult& result) {
   if (tracer_ == nullptr || !tracer_->enabled()) return;
   obs::Tracer::Event event;
   event.name = name;
   event.category = "relstorage";
-  // The SSD runs in its own clock domain; anchor the event at the
-  // tracer's current time and report the storage cycles as duration.
-  event.start_cycles = tracer_->Now();
+  // The SSD runs in its own clock domain; scans render back-to-back on
+  // the dedicated storage track, each anchored at the engine's own
+  // monotonic storage clock rather than mapped onto the CPU timeline.
+  event.start_cycles = static_cast<uint64_t>(storage_now_);
   event.duration_cycles = static_cast<uint64_t>(result.cycles);
-  event.depth = tracer_->depth();
+  event.depth = 0;  // the storage track has no CPU-span nesting
+  event.track = track_;
   event.args.emplace_back("rows_out", std::to_string(result.rows_out));
   event.args.emplace_back("pages_sensed",
                           std::to_string(result.pages_sensed));
   event.args.emplace_back("pages_shipped",
                           std::to_string(result.pages_shipped));
   tracer_->Emit(std::move(event));
+  storage_now_ += result.cycles;
+}
+
+Status RsEngine::ValidateScanTypes(const StorageTable& table,
+                                   const relmem::Geometry& geometry) {
+  const layout::Schema& schema = table.schema();
+  for (uint32_t c : geometry.columns) {
+    if (schema.type(c) == layout::ColumnType::kChar) {
+      return Status::InvalidArgument(
+          "char projection through RS not supported (column " +
+          std::to_string(c) + ")");
+    }
+  }
+  return Status::Ok();
 }
 
 void RsEngine::RunScan(const StorageTable& table,
@@ -113,6 +128,7 @@ void RsEngine::RunScan(const StorageTable& table,
 StatusOr<ScanResult> RsEngine::NearStorageScan(
     const StorageTable& table, const relmem::Geometry& geometry) {
   RELFAB_RETURN_IF_ERROR(geometry.Validate(table.schema()));
+  RELFAB_RETURN_IF_ERROR(ValidateScanTypes(table, geometry));
   ScanResult result;
   double decode_cost = 0;
   uint64_t values = 0;
@@ -120,14 +136,16 @@ StatusOr<ScanResult> RsEngine::NearStorageScan(
 
   const SsdParams& p = ssd_->params();
   result.pages_sensed = table.PagesFor(geometry.SourceColumns(table.schema()));
-  const double read_cycles = ssd_->ReadInternal(result.pages_sensed);
+  RELFAB_ASSIGN_OR_RETURN(const double read_cycles,
+                          ssd_->ReadInternalChecked(result.pages_sensed));
   const double logic_cycles =
       static_cast<double>(values) * p.storage_logic_cycles_per_value +
       decode_cost;
   result.pages_shipped = static_cast<uint64_t>(
       std::ceil(static_cast<double>(result.rows_out) * result.out_row_bytes /
                 p.page_bytes));
-  const double ship_cycles = ssd_->ShipToHost(result.pages_shipped);
+  RELFAB_ASSIGN_OR_RETURN(const double ship_cycles,
+                          ssd_->ShipToHostChecked(result.pages_shipped));
   // Sense, in-storage processing and shipping form a pipeline.
   result.cycles = std::max({read_cycles, logic_cycles, ship_cycles});
   ++near_scans_;
@@ -140,7 +158,14 @@ StatusOr<ScanResult> RsEngine::NearStorageScan(
 
 StatusOr<ScanResult> RsEngine::HostScan(const StorageTable& table,
                                         const relmem::Geometry& geometry) {
+  return HostScanImpl(table, geometry, /*faultable=*/true);
+}
+
+StatusOr<ScanResult> RsEngine::HostScanImpl(const StorageTable& table,
+                                            const relmem::Geometry& geometry,
+                                            bool faultable) {
   RELFAB_RETURN_IF_ERROR(geometry.Validate(table.schema()));
+  RELFAB_RETURN_IF_ERROR(ValidateScanTypes(table, geometry));
   ScanResult result;
   double decode_cost = 0;
   uint64_t values = 0;
@@ -149,8 +174,19 @@ StatusOr<ScanResult> RsEngine::HostScan(const StorageTable& table,
   const SsdParams& p = ssd_->params();
   result.pages_sensed = table.TotalPages();
   result.pages_shipped = table.TotalPages();
-  const double read_cycles = ssd_->ReadInternal(result.pages_sensed);
-  const double ship_cycles = ssd_->ShipToHost(result.pages_shipped);
+  double read_cycles, ship_cycles;
+  if (faultable) {
+    RELFAB_ASSIGN_OR_RETURN(read_cycles,
+                            ssd_->ReadInternalChecked(result.pages_sensed));
+    RELFAB_ASSIGN_OR_RETURN(ship_cycles,
+                            ssd_->ShipToHostChecked(result.pages_shipped));
+  } else {
+    // Last-resort path: plain conservative reads outside the injected
+    // fault model, so degradation terminates (like the query engine's
+    // Volcano fallback, whose DRAM path can stall but never error).
+    read_cycles = ssd_->ReadInternal(result.pages_sensed);
+    ship_cycles = ssd_->ShipToHost(result.pages_shipped);
+  }
   // The host decodes and filters in software as pages arrive.
   const double cpu_cycles =
       static_cast<double>(values) * p.host_cpu_cycles_per_value + decode_cost;
@@ -160,6 +196,27 @@ StatusOr<ScanResult> RsEngine::HostScan(const StorageTable& table,
   rows_out_ += result.rows_out;
   EmitScanEvent("rs.host_scan", result);
   return result;
+}
+
+StatusOr<ScanResult> RsEngine::Scan(const StorageTable& table,
+                                    const relmem::Geometry& geometry) {
+  StatusOr<ScanResult> near = NearStorageScan(table, geometry);
+  if (near.ok() || !faults::IsFabricFault(near.status())) return near;
+  // The device path died after exhausting its retries. Degrade to the
+  // host baseline: ship everything and process on the CPU. The answer is
+  // identical; only the data movement and cycles change.
+  ++fallbacks_;
+  if (injector_ != nullptr) injector_->NoteFallback("rs.near_scan");
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    obs::Tracer::Event event;
+    event.name = "rs.fallback";
+    event.category = "relstorage";
+    event.start_cycles = static_cast<uint64_t>(storage_now_);
+    event.track = track_;
+    event.args.emplace_back("cause", near.status().ToString());
+    tracer_->Emit(std::move(event));
+  }
+  return HostScanImpl(table, geometry, /*faultable=*/false);
 }
 
 }  // namespace relfab::relstorage

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/statusor.h"
+#include "faults/injector.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 #include "relmem/geometry.h"
@@ -49,15 +50,36 @@ class RsEngine {
   StatusOr<ScanResult> HostScan(const StorageTable& table,
                                 const relmem::Geometry& geometry);
 
+  /// Near-storage scan with graceful degradation: when the device path
+  /// dies on a fabric fault (SSD read/ship after exhausting its retries),
+  /// the scan transparently re-runs as a HostScan — the answer is
+  /// identical, only pages shipped and cycles change. Non-fabric errors
+  /// (bad geometry) surface unchanged.
+  StatusOr<ScanResult> Scan(const StorageTable& table,
+                            const relmem::Geometry& geometry);
+
   SsdModel* ssd() const { return ssd_; }
 
   uint64_t near_scans() const { return near_scans_; }
   uint64_t host_scans() const { return host_scans_; }
+  uint64_t fallbacks() const { return fallbacks_; }
 
   /// Attaches a tracer; each scan emits a complete event ("rs.near_scan" /
   /// "rs.host_scan") whose duration is the scan's storage-domain cycles.
-  /// Null detaches.
-  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+  /// The events land on a dedicated "storage (RS)" track with their own
+  /// monotonic storage clock, so the device pipeline renders as its own
+  /// timeline instead of being flattened onto the CPU one. Null detaches.
+  void set_tracer(obs::Tracer* tracer) {
+    tracer_ = tracer;
+    track_ = tracer == nullptr ? 0 : tracer->RegisterTrack("storage (RS)");
+  }
+
+  /// Arms "ssd.read" / "ssd.ship" injection on the underlying SsdModel
+  /// and fallback accounting here. Null disarms.
+  void set_fault_injector(faults::FaultInjector* injector) {
+    injector_ = injector;
+    ssd_->set_fault_injector(injector);
+  }
 
   /// Publishes cumulative scan counters under "rs.*". Pages are split by
   /// scan kind because the near/host page ratio *is* the paper's
@@ -69,26 +91,46 @@ class RsEngine {
     registry->counter("rs.near.pages_shipped")->Set(near_pages_shipped_);
     registry->counter("rs.host.pages_shipped")->Set(host_pages_shipped_);
     registry->counter("rs.rows_out")->Set(rows_out_);
+    registry->counter("rs.fallbacks")->Set(fallbacks_);
   }
 
  private:
+  /// Rejects geometries the device logic cannot project (char columns
+  /// would need host-side string handling): kInvalidArgument instead of
+  /// a process abort deep inside the scan loop.
+  static Status ValidateScanTypes(const StorageTable& table,
+                                  const relmem::Geometry& geometry);
+
   /// Shared functional part: evaluates the geometry and packs output
   /// rows; returns per-value decode cost incurred for compressed columns.
   static void RunScan(const StorageTable& table,
                       const relmem::Geometry& geometry, ScanResult* result,
                       double* decode_cost_total, uint64_t* values_touched);
 
-  /// Emits one storage-domain complete event (no-op without a tracer).
-  void EmitScanEvent(const char* name, const ScanResult& result) const;
+  /// HostScan body. `faultable` selects the injected SSD read/ship path
+  /// (standalone baseline scans) or the plain one (the last-resort
+  /// fallback inside Scan(), which must terminate even when every
+  /// injected site fires at p=1).
+  StatusOr<ScanResult> HostScanImpl(const StorageTable& table,
+                                    const relmem::Geometry& geometry,
+                                    bool faultable);
+
+  /// Emits one storage-domain complete event on the storage track and
+  /// advances the storage clock (no-op without a tracer).
+  void EmitScanEvent(const char* name, const ScanResult& result);
 
   SsdModel* ssd_;
   obs::Tracer* tracer_ = nullptr;
+  faults::FaultInjector* injector_ = nullptr;
+  uint32_t track_ = 0;
+  double storage_now_ = 0;  // monotonic storage-domain clock (cycles)
   uint64_t near_scans_ = 0;
   uint64_t host_scans_ = 0;
   uint64_t near_pages_sensed_ = 0;
   uint64_t near_pages_shipped_ = 0;
   uint64_t host_pages_shipped_ = 0;
   uint64_t rows_out_ = 0;
+  uint64_t fallbacks_ = 0;
 };
 
 }  // namespace relfab::relstorage

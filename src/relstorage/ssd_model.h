@@ -3,6 +3,10 @@
 
 #include <cstdint>
 
+#include "common/statusor.h"
+#include "faults/injector.h"
+#include "faults/retry.h"
+
 namespace relfab::relstorage {
 
 /// Timing parameters of the simulated computational SSD (an
@@ -51,6 +55,44 @@ class SsdModel {
     return static_cast<double>(pages) * params_.external_transfer_cycles;
   }
 
+  // --- failable variants ---
+  // One injection opportunity per batch (a real device retries per
+  // command, not per page). On a retryable fault the penalty/backoff
+  // cycles join the returned batch cycles; once retries are exhausted
+  // the mapped Status ("ssd.read" / "ssd.ship" rules) surfaces and the
+  // attempts' cycles are lost with the batch (the caller abandons the
+  // scan and degrades).
+
+  /// ReadInternal with "ssd.read" fault injection.
+  StatusOr<double> ReadInternalChecked(uint64_t pages) {
+    double cycles = ReadInternal(pages);
+    RELFAB_RETURN_IF_ERROR(faults::InjectAndRetry(
+        injector_, read_site_, retry_,
+        [&cycles](double c) { cycles += c; }, "flash page batch read"));
+    return cycles;
+  }
+
+  /// ShipToHost with "ssd.ship" fault injection.
+  StatusOr<double> ShipToHostChecked(uint64_t pages) {
+    double cycles = ShipToHost(pages);
+    RELFAB_RETURN_IF_ERROR(faults::InjectAndRetry(
+        injector_, ship_site_, retry_,
+        [&cycles](double c) { cycles += c; }, "host interface transfer"));
+    return cycles;
+  }
+
+  /// Arms "ssd.read" / "ssd.ship" injection; null disarms.
+  void set_fault_injector(faults::FaultInjector* injector) {
+    injector_ = injector;
+    read_site_ = injector == nullptr ? faults::FaultInjector::kNoSite
+                                     : injector->Site("ssd.read");
+    ship_site_ = injector == nullptr ? faults::FaultInjector::kNoSite
+                                     : injector->Site("ssd.ship");
+  }
+  void set_retry_policy(const faults::RetryPolicy& policy) {
+    retry_ = policy;
+  }
+
   const SsdParams& params() const { return params_; }
   uint64_t pages_read() const { return pages_read_; }
   uint64_t pages_shipped() const { return pages_shipped_; }
@@ -63,6 +105,10 @@ class SsdModel {
   SsdParams params_;
   uint64_t pages_read_ = 0;
   uint64_t pages_shipped_ = 0;
+  faults::FaultInjector* injector_ = nullptr;
+  faults::RetryPolicy retry_;
+  int read_site_ = faults::FaultInjector::kNoSite;
+  int ship_site_ = faults::FaultInjector::kNoSite;
 };
 
 }  // namespace relfab::relstorage

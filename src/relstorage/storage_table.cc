@@ -19,6 +19,23 @@ StorageTable::StorageTable(layout::Schema schema,
   RELFAB_CHECK_GE(row_data_.size(), num_rows_ * schema_.row_bytes());
 }
 
+StatusOr<StorageTable> StorageTable::Create(layout::Schema schema,
+                                            std::vector<uint8_t> row_data,
+                                            uint64_t num_rows,
+                                            uint32_t page_bytes) {
+  if (page_bytes == 0) {
+    return Status::InvalidArgument("page_bytes must be positive");
+  }
+  if (row_data.size() < num_rows * schema.row_bytes()) {
+    return Status::InvalidArgument(
+        "row data holds " + std::to_string(row_data.size()) +
+        " bytes, need " + std::to_string(num_rows * schema.row_bytes()) +
+        " for " + std::to_string(num_rows) + " rows");
+  }
+  return StorageTable(std::move(schema), std::move(row_data), num_rows,
+                      page_bytes);
+}
+
 double StorageTable::EffectiveRowBytes() const {
   double bytes = 0;
   for (uint32_t c = 0; c < schema_.num_columns(); ++c) {

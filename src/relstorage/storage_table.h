@@ -18,9 +18,20 @@ namespace relfab::relstorage {
 /// and the page count reflects the saved bytes).
 class StorageTable {
  public:
-  /// Builds an uncompressed storage table from packed row data.
+  /// Builds an uncompressed storage table from packed row data. The
+  /// dimensions are programmer invariants here (CHECK-aborts on
+  /// mismatch); use Create for untrusted input.
   StorageTable(layout::Schema schema, std::vector<uint8_t> row_data,
                uint64_t num_rows, uint32_t page_bytes);
+
+  /// Validating factory: rejects page_bytes == 0 and row data smaller
+  /// than num_rows * row_bytes with kInvalidArgument instead of
+  /// aborting — for dimensions that arrive from outside the program
+  /// (files, wire formats, user configuration).
+  static StatusOr<StorageTable> Create(layout::Schema schema,
+                                       std::vector<uint8_t> row_data,
+                                       uint64_t num_rows,
+                                       uint32_t page_bytes);
 
   const layout::Schema& schema() const { return schema_; }
   uint64_t num_rows() const { return num_rows_; }

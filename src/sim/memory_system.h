@@ -6,6 +6,7 @@
 #include <cstdlib>
 
 #include "common/logging.h"
+#include "faults/injector.h"
 #include "obs/query_profile.h"
 #include "obs/registry.h"
 #include "sim/cache.h"
@@ -81,6 +82,37 @@ class MemorySystem {
 
   /// Charges a demand read of [addr, addr+bytes). bytes must be > 0.
   void Read(uint64_t addr, uint64_t bytes) {
+    if (faults_ == nullptr) {
+      ReadImpl(addr, bytes);
+      return;
+    }
+    // ECC events are sampled per DRAM line actually moved, so both
+    // simulation modes (which touch identical line counts) consume the
+    // fault stream identically.
+    const uint64_t before = stats_.dram_lines_demand;
+    ReadImpl(addr, bytes);
+    EccTick(stats_.dram_lines_demand - before);
+  }
+
+  /// Arms correctable-DRAM-ECC injection ("dram.ecc" site): each event
+  /// stalls the core for the rule's penalty cycles. ECC faults are
+  /// always correctable (stall-only) — the kind parameter is ignored for
+  /// this site. Pass nullptr (or a plan without "dram.ecc") to disarm.
+  void set_fault_injector(faults::FaultInjector* injector) {
+    ecc_site_ = injector == nullptr
+                    ? faults::FaultInjector::kNoSite
+                    : injector->Site("dram.ecc");
+    if (ecc_site_ < 0) {
+      faults_ = nullptr;
+      return;
+    }
+    faults_ = injector;
+    ecc_penalty_ = injector->rule(ecc_site_).penalty_cycles;
+    ecc_countdown_ = injector->NextGap(ecc_site_) + 1;
+  }
+
+ private:
+  void ReadImpl(uint64_t addr, uint64_t bytes) {
     const uint64_t first = addr >> kLineShift;
     const uint64_t last = (addr + bytes - 1) >> kLineShift;
     if (!fast_path_) {
@@ -127,6 +159,7 @@ class MemorySystem {
     if (last >= watermark) watermark = last + 1;
   }
 
+ public:
   /// Charges a demand write (write-allocate, same path as Read; writeback
   /// traffic is not modelled).
   void Write(uint64_t addr, uint64_t bytes) { Read(addr, bytes); }
@@ -204,6 +237,7 @@ class MemorySystem {
     const double lat = dram_.Access(addr, row_hit);
     channel_busy_cycles_ += params_.line_transfer_cycles;
     ++stats_.dram_lines_gather;
+    if (faults_ != nullptr) EccTick(1);
     return lat;
   }
 
@@ -220,6 +254,7 @@ class MemorySystem {
     stats_.dram_lines_gather += n;
     ++fastpath_runs_;
     fastpath_lines_ += n;
+    if (faults_ != nullptr) EccTick(n);
     return misses;
   }
 
@@ -407,6 +442,22 @@ class MemorySystem {
  private:
   static constexpr uint32_t kLineShift = 6;  // 64 B lines
   static constexpr uint64_t kNoLine = ~0ull;
+
+  /// Consumes `n` DRAM-line events from the ECC countdown; every expiry
+  /// charges one correctable-ECC stall and redraws the geometric gap.
+  /// O(1) amortized — the hot Read path pays one subtraction per call.
+  void EccTick(uint64_t n) {
+    if (n == 0) return;
+    faults_->NoteChecks(ecc_site_, n);
+    while (n >= ecc_countdown_) {
+      n -= ecc_countdown_;
+      cpu_cycles_ += ecc_penalty_;
+      faults_->NoteInjected(ecc_site_);
+      ecc_countdown_ = faults_->NextGap(ecc_site_) + 1;
+    }
+    ecc_countdown_ -= n;
+  }
+
   /// Minimum cold-run length worth the closed-form setup (stream-table
   /// scan + per-set bulk inserts); below it per-line cold accesses win.
   static constexpr uint64_t kMinRunLines = 4;
@@ -532,6 +583,11 @@ class MemorySystem {
   uint64_t fabric_brk_ = kFabricBase;
   uint64_t dram_row_hit_base_ = 0;
   uint64_t dram_row_miss_base_ = 0;
+  // --- fault injection (null = unarmed: the hot paths pay one branch) ---
+  faults::FaultInjector* faults_ = nullptr;
+  int ecc_site_ = -1;
+  uint64_t ecc_countdown_ = ~0ull;
+  double ecc_penalty_ = 0;
   // --- fast-path state (never observable through clocks or stats) ---
   bool fast_path_ = true;
   /// Most recently accessed line: present in L1 and MRU of its set.

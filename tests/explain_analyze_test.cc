@@ -251,7 +251,9 @@ TEST_F(ExplainAnalyzeTest, TracingProducesNestedSpans) {
   std::remove(path.c_str());
   auto doc = obs::Json::Parse(text);
   ASSERT_TRUE(doc.ok()) << doc.status().ToString();
-  EXPECT_EQ(doc->at("traceEvents").size(), events.size());
+  // One "M" thread-name row per track (here just the main CPU track)
+  // precedes the span events.
+  EXPECT_EQ(doc->at("traceEvents").size(), events.size() + 1);
 }
 
 TEST_F(ExplainAnalyzeTest, TracingDisabledRecordsNothing) {

@@ -8,6 +8,7 @@
 
 #include "common/random.h"
 #include "engine/hybrid.h"
+#include "faults/fault_plan.h"
 #include "engine/rm_exec.h"
 #include "engine/vector_engine.h"
 #include "engine/volcano.h"
@@ -221,6 +222,82 @@ TEST_P(EngineFuzzTest, AllEnginesAgreeOnRandomQueries) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, EngineFuzzTest, ::testing::Range(0, 24));
+
+// ---------------------------------------------------------------------
+// $RELFAB_FAULTS spec fuzzing: the parser faces operator-typed strings,
+// so for arbitrary garbage — random bytes, and mutations of valid specs
+// — it must either accept or return kInvalidArgument. Any other status
+// code, or a crash, is a bug.
+
+std::string RandomSpecString(Random* rng) {
+  // Bias toward spec-ish characters so the fuzzer reaches deep parser
+  // states (site lookups, number parsing) instead of failing at the
+  // first byte every time.
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyz0123456789.;:,=+-eE \t";
+  std::string s;
+  const uint64_t len = rng->Uniform(64);
+  for (uint64_t i = 0; i < len; ++i) {
+    if (rng->Bernoulli(0.05)) {
+      s.push_back(static_cast<char>(rng->Uniform(256)));  // raw byte
+    } else {
+      s.push_back(kAlphabet[rng->Uniform(sizeof(kAlphabet) - 1)]);
+    }
+  }
+  return s;
+}
+
+std::string MutateSpec(std::string spec, Random* rng) {
+  const uint64_t mutations = 1 + rng->Uniform(4);
+  for (uint64_t m = 0; m < mutations && !spec.empty(); ++m) {
+    const uint64_t pos = rng->Uniform(spec.size());
+    switch (rng->Uniform(3)) {
+      case 0:
+        spec[pos] = static_cast<char>(rng->Uniform(256));
+        break;
+      case 1:
+        spec.erase(pos, 1);
+        break;
+      default:
+        spec.insert(pos, 1, ";:,=.x9"[rng->Uniform(7)]);
+        break;
+    }
+  }
+  return spec;
+}
+
+void ExpectParseIsTotal(const std::string& spec) {
+  SCOPED_TRACE("spec: " + spec);
+  const StatusOr<faults::FaultPlan> plan = faults::FaultPlan::Parse(spec);
+  if (plan.ok()) {
+    // Accepted plans must be canonical: their ToString round-trips.
+    const StatusOr<faults::FaultPlan> again =
+        faults::FaultPlan::Parse(plan->ToString());
+    ASSERT_TRUE(again.ok()) << again.status().ToString();
+    EXPECT_EQ(again->rules.size(), plan->rules.size());
+  } else {
+    EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(FaultSpecFuzzTest, ParseNeverCrashesOnRandomStrings) {
+  Random rng(0xfa11);
+  for (int i = 0; i < 4000; ++i) ExpectParseIsTotal(RandomSpecString(&rng));
+}
+
+TEST(FaultSpecFuzzTest, ParseNeverCrashesOnMutatedValidSpecs) {
+  static constexpr const char* kValid[] = {
+      "rm.stall:p=0.01;dram.ecc:p=1e-6;ssd.read:p=0.001,kind=timeout",
+      "seed=42;rm.gather:p=0.5,kind=corruption,cycles=123",
+      "mvcc.commit:p=1,kind=conflict",
+      "rm.config:p=0;ssd.ship:cycles=9999",
+  };
+  Random rng(0xfa12);
+  for (int i = 0; i < 4000; ++i) {
+    ExpectParseIsTotal(
+        MutateSpec(kValid[rng.Uniform(std::size(kValid))], &rng));
+  }
+}
 
 }  // namespace
 }  // namespace relfab

@@ -251,18 +251,27 @@ TEST(TracerTest, ToJsonIsWellFormedChromeTrace) {
   ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
   const Json& events = parsed->at("traceEvents");
   ASSERT_TRUE(events.is_array());
-  ASSERT_EQ(events.size(), 2u);
+  // Leading "M" rows name the tracks; the spans follow as "X" rows.
+  size_t meta = 0, spans = 0;
   for (size_t i = 0; i < events.size(); ++i) {
     const Json& e = events.at(i);
     EXPECT_TRUE(e.at("name").is_string());
+    EXPECT_TRUE(e.at("ph").is_string());
+    EXPECT_TRUE(e.at("pid").is_number());
+    EXPECT_TRUE(e.at("tid").is_number());
+    if (e.at("ph").AsString() == "M") {
+      ++meta;
+      continue;
+    }
+    ++spans;
     EXPECT_TRUE(e.at("cat").is_string());
     EXPECT_EQ(e.at("ph").AsString(), "X");
     EXPECT_TRUE(e.at("ts").is_number());
     EXPECT_TRUE(e.at("dur").is_number());
-    EXPECT_TRUE(e.at("pid").is_number());
-    EXPECT_TRUE(e.at("tid").is_number());
   }
-  EXPECT_EQ(events.at(0).at("args").at("rows").AsString(), "42");
+  EXPECT_EQ(meta, 1u);  // the main "sim (CPU)" track name
+  ASSERT_EQ(spans, 2u);
+  EXPECT_EQ(events.at(1).at("args").at("rows").AsString(), "42");
 }
 
 // ---------------------------------------------------------- OpProfiler

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Checks a graceful-degradation smoke pair of bench --json reports.
+
+Usage: tools/check_degradation.py <baseline.json> <armed.json>
+
+<baseline.json> is a run with $RELFAB_FAULTS unset; <armed.json> is the
+same bench with a fault plan armed. The armed run must show the faults
+actually biting (nonzero injections and at least one transparent
+fallback to the host path) while every answer gauge ("result.*" in the
+metrics snapshot) is exactly equal to the baseline: faults may cost
+cycles and change the execution path, never the data.
+
+Exits 0 when the contract holds, 1 with a diff otherwise.
+"""
+
+import json
+import sys
+
+
+def load(path: str):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    metrics = doc.get("metrics", {})
+    counters = metrics.get("counters", {})
+    gauges = metrics.get("gauges", {})
+    return doc.get("bench"), counters, gauges
+
+
+def main(argv: list) -> int:
+    if len(argv) != 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    base_bench, base_counters, base_gauges = load(argv[1])
+    armed_bench, armed_counters, armed_gauges = load(argv[2])
+
+    ok = True
+
+    def fail(msg: str):
+        nonlocal ok
+        print(f"FAIL {msg}")
+        ok = False
+
+    if base_bench != armed_bench:
+        fail(f"bench mismatch: baseline={base_bench!r} armed={armed_bench!r}")
+
+    # The baseline must really be fault-free.
+    if base_gauges.get("faults.armed", 0) != 0:
+        fail("baseline report has faults armed")
+    if base_counters.get("faults.fallbacks.total", 0) != 0:
+        fail("baseline report records fallbacks")
+
+    # The armed run must have injected faults and degraded at least once,
+    # or the smoke proved nothing.
+    if armed_gauges.get("faults.armed", 0) != 1:
+        fail("armed report does not show an armed fault plan "
+             "(was $RELFAB_FAULTS set?)")
+    injected = armed_counters.get("faults.injected", 0)
+    fallbacks = armed_counters.get("faults.fallbacks.total", 0)
+    if injected <= 0:
+        fail("armed run injected no faults")
+    if fallbacks <= 0:
+        fail("armed run never degraded to the host path "
+             "(raise probabilities so retries exhaust)")
+
+    # Answers must be bit-identical.
+    base_answers = {k: v for k, v in base_gauges.items()
+                    if k.startswith("result.")}
+    armed_answers = {k: v for k, v in armed_gauges.items()
+                     if k.startswith("result.")}
+    if not base_answers:
+        fail("baseline report carries no result.* answer gauges")
+    for key in sorted(base_answers.keys() | armed_answers.keys()):
+        if key not in base_answers:
+            fail(f"answer {key} only in armed report")
+        elif key not in armed_answers:
+            fail(f"answer {key} only in baseline report")
+        elif base_answers[key] != armed_answers[key]:
+            fail(f"answer changed under faults: {key}: "
+                 f"baseline={base_answers[key]!r} "
+                 f"armed={armed_answers[key]!r}")
+
+    if ok:
+        print(f"OK {armed_bench}: {len(base_answers)} answers identical; "
+              f"armed run injected {injected:.0f} fault(s), "
+              f"retried {armed_counters.get('faults.retries', 0):.0f}x, "
+              f"exhausted {armed_counters.get('faults.exhausted', 0):.0f}, "
+              f"fell back {fallbacks:.0f}x with unchanged answers")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
