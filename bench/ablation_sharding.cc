@@ -1,0 +1,137 @@
+// Sharded fan-out ablation: the same half-range COUNT/SUM scan over the
+// same rows, range-sharded 1 / 4 / 16 ways, at simulated fan-out widths
+// of 1..8 workers (QueryOptions::max_threads). Two effects compose:
+// shard pruning drops the half of the table outside the WHERE range
+// before any scan starts (shards=1 cannot prune), and the surviving
+// shards scan in parallel, so elapsed cycles approach
+// busiest-worker + merge. Every cell checks its answer against the
+// host-computed expectation, so the sweep doubles as an
+// answers-invariant-under-(sharding x parallelism) assertion; the
+// committed golden pins the cycles in both simulator modes and at any
+// host --threads value.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/relational_fabric.h"
+
+namespace relfab::bench {
+namespace {
+
+const std::vector<int> kShardCounts = {1, 4, 16};
+const std::vector<int> kSimThreads = {1, 2, 4, 8};
+
+// Row content is a pure function of the key so every sharding of the
+// table holds identical data and the expected answer is computable on
+// the host.
+int32_t ValueFor(int64_t k) { return static_cast<int32_t>((k * 7 + 13) % 100); }
+
+struct Rig {
+  explicit Rig(uint64_t rows) : num_rows(rows) {
+    for (const int shards : kShardCounts) {
+      auto fabric = std::make_unique<Fabric>();
+      // The sweep harness already runs cells on a worker pool; one host
+      // thread per scheduler keeps the process at --threads workers.
+      // Host threads never change answers or cycles (shard_exec_test
+      // pins that), so the cells are unaffected.
+      fabric->shard_scheduler().set_host_threads(1);
+      auto schema = layout::Schema::Create({
+          {"k", layout::ColumnType::kInt64, 0},
+          {"v", layout::ColumnType::kInt32, 0},
+          {"pad0", layout::ColumnType::kInt64, 0},
+          {"pad1", layout::ColumnType::kInt64, 0},
+          {"pad2", layout::ColumnType::kInt64, 0},
+      });
+      std::vector<int64_t> splits;
+      for (int j = 1; j < shards; ++j) {
+        splits.push_back(static_cast<int64_t>(rows * j / shards));
+      }
+      auto* table = fabric
+                        ->CreateShardedTable("t", std::move(*schema), "k",
+                                             std::move(splits))
+                        .value();
+      layout::RowBuilder b(&table->schema());
+      for (uint64_t r = 0; r < rows; ++r) {
+        b.Reset();
+        b.AddInt64(static_cast<int64_t>(r))
+            .AddInt32(ValueFor(static_cast<int64_t>(r)))
+            .AddInt64(0)
+            .AddInt64(0)
+            .AddInt64(0);
+        table->Append(b.Finish());
+      }
+      fabrics[shards] = std::move(fabric);
+    }
+    // The query range: the middle half of the key domain.
+    lo = static_cast<int64_t>(rows / 4);
+    hi = static_cast<int64_t>(3 * rows / 4);
+    expect_count = static_cast<double>(hi - lo);
+    expect_sum = 0;
+    for (int64_t k = lo; k < hi; ++k) expect_sum += ValueFor(k);
+  }
+
+  uint64_t Run(int shards, int sim_threads) {
+    Fabric& fabric = *fabrics.at(shards);
+    const std::string sql = "SELECT COUNT(*), SUM(v) FROM t WHERE k >= " +
+                            std::to_string(lo) + " AND k < " +
+                            std::to_string(hi);
+    auto r = fabric.ExecuteSql(sql, {.max_threads = sim_threads});
+    RELFAB_CHECK(r.ok()) << r.status().ToString();
+    RELFAB_CHECK(r->result.aggregates.size() == 2 &&
+                 r->result.aggregates[0] == expect_count &&
+                 r->result.aggregates[1] == expect_sum)
+        << "answer drift at shards=" << shards << " threads=" << sim_threads
+        << ": " << r->result.ToString();
+    return r->result.sim_cycles;
+  }
+
+  uint64_t num_rows;
+  int64_t lo = 0, hi = 0;
+  double expect_count = 0, expect_sum = 0;
+  std::map<int, std::unique_ptr<Fabric>> fabrics;
+};
+
+}  // namespace
+}  // namespace relfab::bench
+
+int main(int argc, char** argv) {
+  using namespace relfab;
+  using namespace relfab::bench;
+  const BenchArgs args = ParseBenchArgs(&argc, argv);
+
+  const uint64_t rows = FullScale() ? (1ull << 20) : (1ull << 17);
+  PerWorker<Rig> rigs([rows] { return std::make_unique<Rig>(rows); });
+  ResultTable results(
+      "Sharded fan-out: half-range COUNT/SUM — pruning x simulated "
+      "parallelism (" + std::to_string(rows) + " rows)");
+
+  for (const int shards : kShardCounts) {
+    const std::string series = "shards=" + std::to_string(shards);
+    for (const int threads : kSimThreads) {
+      const std::string x = "threads=" + std::to_string(threads);
+      RegisterSimBenchmark("sharding/" + series + "/" + x, &results, series,
+                           x, [&rigs, shards, threads] {
+                             return rigs.Get().Run(shards, threads);
+                           });
+    }
+  }
+
+  const int last_slot = RunSweep(args);
+  if (args.list) return 0;
+  results.PrintCycles("simulated fan-out width");
+  results.PrintSpeedupVs("simulated fan-out width", "shards=1");
+
+  std::map<std::string, std::string> config{{"rows", std::to_string(rows)}};
+  AddStandardConfig(&config, args);
+  obs::Registry* metrics = nullptr;
+  if (Rig* rig = rigs.ForWorker(last_slot); rig != nullptr) {
+    // Shard counters ("shard.*") of the 16-way fabric that ran on the
+    // last cell's worker.
+    metrics = &rig->fabrics.at(16)->CollectMetrics();
+  }
+  MaybeWriteReport(args.json_path, "ablation_sharding", results, config,
+                   metrics);
+  return 0;
+}

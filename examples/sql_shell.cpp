@@ -1,15 +1,19 @@
 // Interactive SQL shell over the Fabric: demonstrates the constructive
-// planner (§III-B). Two demo tables are preloaded; type SQL, get the
+// planner (§III-B). Three demo tables are preloaded; type SQL, get the
 // answer plus the plan (which backend the planner constructed and the
 // per-path cost estimates). `EXPLAIN <query>` plans without executing;
 // `EXPLAIN ANALYZE <query>` executes with per-operator attribution of
-// rows and simulator meters. Shell commands: `\metrics` prints the
-// stack-wide metrics registry, `\trace on|off` toggles span tracing,
+// rows and simulator meters (for the sharded table that includes
+// per-shard meters and pruning counts). Shell commands: `\metrics`
+// prints the stack-wide metrics registry (including "shard.*" and
+// "faults.*" series), `\trace on|off` toggles span tracing,
 // `\trace <file>` writes the collected Chrome trace JSON (Perfetto).
 //
 // The `wide` table has a materialized columnar copy (legacy baseline);
 // `events` exists only in row format, as a Relational Fabric deployment
-// would keep it.
+// would keep it; `readings` is range-sharded on `ts` (4 shards), so
+// WHERE clauses on `ts` prune shards and the survivors scan in
+// parallel.
 
 #include <cctype>
 #include <cstdio>
@@ -72,6 +76,30 @@ void LoadDemoTables(relfab::Fabric* fabric) {
       table->AppendRow(row.Finish());
     }
   }
+  {
+    // Range-sharded on ts: 4 shards with splits at 25k/50k/75k. Queries
+    // with a WHERE range on ts prune shards; the rest fan out.
+    auto schema = layout::Schema::Create({
+        {"ts", layout::ColumnType::kInt64, 0},
+        {"sensor", layout::ColumnType::kInt32, 0},
+        {"temp", layout::ColumnType::kInt32, 0},
+        {"hum", layout::ColumnType::kInt32, 0},
+    });
+    auto* table =
+        fabric
+            ->CreateShardedTable("readings", std::move(*schema), "ts",
+                                 {25000, 50000, 75000})
+            .value();
+    layout::RowBuilder row(&table->schema());
+    for (int64_t i = 0; i < 100000; ++i) {
+      row.Reset();
+      row.AddInt64(i)
+          .AddInt32(static_cast<int32_t>(rng.Uniform(64)))
+          .AddInt32(static_cast<int32_t>(rng.Uniform(500)))
+          .AddInt32(static_cast<int32_t>(rng.Uniform(100)));
+      table->Append(row.Finish());
+    }
+  }
 }
 
 void PrintResult(const relfab::query::Plan& plan,
@@ -130,7 +158,7 @@ void RunStatement(relfab::Fabric& fabric, const std::string& line) {
   std::string rest;
   if (ConsumePrefix(line, "EXPLAIN ANALYZE", &rest)) {
     fabric.memory().ResetState();
-    auto analyzed = fabric.ExecuteSqlAnalyzed(rest);
+    auto analyzed = fabric.ExecuteSql(rest, {.analyze = true});
     if (!analyzed.ok()) {
       std::printf("error: %s\n", analyzed.status().ToString().c_str());
       return;
@@ -197,9 +225,11 @@ int main(int argc, char** argv) {
   LoadDemoTables(&fabric);
   std::printf(
       "relational-fabric SQL shell — tables: wide (with columnar copy), "
-      "events (row base only)\n"
+      "events (row base only), readings (sharded on ts)\n"
       "example: SELECT region, SUM(amount) FROM events WHERE kind < 3 "
       "GROUP BY region\n"
+      "sharded: SELECT AVG(temp) FROM readings WHERE ts >= 25000 AND "
+      "ts < 50000\n"
       "prefix with EXPLAIN to plan only, EXPLAIN ANALYZE for per-operator "
       "meters\n"
       "commands: \\metrics, \\trace on|off, \\trace <file>; quit with \\q "

@@ -10,11 +10,12 @@ Fabric::Fabric(sim::SimParams sim_params, engine::CostModel cost_model)
       cost_model_(cost_model),
       parser_(&catalog_),
       planner_(&catalog_, sim_params, cost_model),
-      executor_(&catalog_, &rm_, cost_model) {
+      executor_(&catalog_, &rm_, cost_model),
+      scheduler_(sim_params) {
   tracer_.SetClock([this] { return memory_.ElapsedCycles(); });
   // Components hold the tracer permanently; tracer_.enabled() gates all
   // span work, so a disabled tracer costs one branch per span site.
-  executor_.set_tracer(&tracer_);
+  // (The executor takes its tracer per call through the ExecContext.)
   rm_.set_tracer(&tracer_);
   // $RELFAB_FAULTS arms chaos/fault injection for the whole stack; a
   // malformed spec is an operator error and aborts with the parse
@@ -32,14 +33,17 @@ void Fabric::ArmFaults(faults::FaultPlan plan) {
   faults::FaultInjector* raw = injector_.get();
   memory_.set_fault_injector(raw);
   rm_.set_fault_injector(raw);
-  executor_.set_fault_injector(raw);
+  // The executor and shard scheduler receive the injector per query
+  // through the ExecContext; shard tasks derive private per-shard
+  // injectors from its plan.
   for (auto& [name, mgr] : txn_managers_) mgr->set_fault_injector(raw);
 }
 
 StatusOr<layout::RowTable*> Fabric::CreateTable(const std::string& name,
                                                 layout::Schema schema,
                                                 uint64_t capacity) {
-  if (tables_.count(name) > 0 || versioned_.count(name) > 0) {
+  if (tables_.count(name) > 0 || versioned_.count(name) > 0 ||
+      sharded_.count(name) > 0) {
     return Status::AlreadyExists("table '" + name + "' already exists");
   }
   auto table = std::make_unique<layout::RowTable>(std::move(schema), &memory_,
@@ -56,7 +60,8 @@ StatusOr<layout::RowTable*> Fabric::AdoptTable(const std::string& name,
     return Status::InvalidArgument(
         "table was built against a different memory system");
   }
-  if (tables_.count(name) > 0 || versioned_.count(name) > 0) {
+  if (tables_.count(name) > 0 || versioned_.count(name) > 0 ||
+      sharded_.count(name) > 0) {
     return Status::AlreadyExists("table '" + name + "' already exists");
   }
   auto owned = std::make_unique<layout::RowTable>(std::move(table));
@@ -147,10 +152,42 @@ StatusOr<layout::RowTable*> Fabric::GetTable(const std::string& name) {
   return it->second.get();
 }
 
+StatusOr<shard::ShardedTable*> Fabric::CreateShardedTable(
+    const std::string& name, layout::Schema schema,
+    const std::string& key_column_name, std::vector<int64_t> split_points) {
+  if (tables_.count(name) > 0 || versioned_.count(name) > 0 ||
+      sharded_.count(name) > 0) {
+    return Status::AlreadyExists("table '" + name + "' already exists");
+  }
+  RELFAB_ASSIGN_OR_RETURN(uint32_t key_column,
+                          schema.IndexOf(key_column_name));
+  RELFAB_ASSIGN_OR_RETURN(
+      shard::ShardedTable table,
+      shard::ShardedTable::Create(std::move(schema), key_column,
+                                  std::move(split_points), &memory_));
+  auto owned = std::make_unique<shard::ShardedTable>(std::move(table));
+  shard::ShardedTable* raw = owned.get();
+  query::TableEntry entry;
+  entry.sharded = raw;
+  RELFAB_RETURN_IF_ERROR(catalog_.Register(name, entry));
+  sharded_[name] = std::move(owned);
+  return raw;
+}
+
+StatusOr<shard::ShardedTable*> Fabric::GetShardedTable(
+    const std::string& name) {
+  auto it = sharded_.find(name);
+  if (it == sharded_.end()) {
+    return Status::NotFound("no sharded table named '" + name + "'");
+  }
+  return it->second.get();
+}
+
 StatusOr<mvcc::VersionedTable*> Fabric::CreateVersionedTable(
     const std::string& name, const layout::Schema& user_schema,
     uint32_t key_column, uint64_t capacity) {
-  if (tables_.count(name) > 0 || versioned_.count(name) > 0) {
+  if (tables_.count(name) > 0 || versioned_.count(name) > 0 ||
+      sharded_.count(name) > 0) {
     return Status::AlreadyExists("table '" + name + "' already exists");
   }
   RELFAB_ASSIGN_OR_RETURN(
@@ -188,30 +225,53 @@ StatusOr<mvcc::TransactionManager*> Fabric::GetTransactionManager(
 StatusOr<relmem::EphemeralView> Fabric::ConfigureView(
     const std::string& name, relmem::Geometry geometry) {
   RELFAB_ASSIGN_OR_RETURN(query::TableEntry entry, catalog_.Lookup(name));
+  if (entry.rows == nullptr) {
+    return Status::InvalidArgument(
+        "table '" + name +
+        "' is sharded; use ConfigureShardRange for ephemeral access");
+  }
   return rm_.Configure(*entry.rows, std::move(geometry));
 }
 
-StatusOr<Fabric::SqlResult> Fabric::ExecuteSql(std::string_view sql) {
-  RELFAB_ASSIGN_OR_RETURN(query::ParsedQuery parsed, parser_.Parse(sql));
-  RELFAB_ASSIGN_OR_RETURN(query::Plan plan, planner_.MakePlan(parsed));
-  RELFAB_ASSIGN_OR_RETURN(engine::QueryResult result,
-                          executor_.Execute(plan));
-  return SqlResult{std::move(plan), std::move(result)};
+StatusOr<std::vector<relmem::EphemeralView>> Fabric::ConfigureShardRange(
+    const std::string& name, const relmem::Geometry& geometry, int64_t lo,
+    int64_t hi) {
+  RELFAB_ASSIGN_OR_RETURN(shard::ShardedTable * table, GetShardedTable(name));
+  return table->ConfigureRange(&rm_, geometry, lo, hi);
 }
 
-StatusOr<query::Plan> Fabric::ExplainSql(std::string_view sql) {
+StatusOr<Fabric::SqlResult> Fabric::ExecuteSql(std::string_view sql,
+                                               const QueryOptions& options) {
   RELFAB_ASSIGN_OR_RETURN(query::ParsedQuery parsed, parser_.Parse(sql));
-  return planner_.MakePlan(parsed);
+  RELFAB_ASSIGN_OR_RETURN(query::Plan plan,
+                          planner_.MakePlan(parsed, &options));
+  SqlResult out;
+  exec::ExecContext ctx;
+  ctx.tracer = &tracer_;
+  ctx.injector = injector_.get();
+  ctx.profile = options.analyze ? &out.profile : nullptr;
+  ctx.scheduler = &scheduler_;
+  ctx.options = options;
+  RELFAB_ASSIGN_OR_RETURN(out.result, executor_.Execute(plan, ctx));
+  out.plan = std::move(plan);
+  return out;
+}
+
+StatusOr<query::Plan> Fabric::ExplainSql(std::string_view sql,
+                                         const QueryOptions& options) {
+  RELFAB_ASSIGN_OR_RETURN(query::ParsedQuery parsed, parser_.Parse(sql));
+  return planner_.MakePlan(parsed, &options);
 }
 
 StatusOr<Fabric::AnalyzedSqlResult> Fabric::ExecuteSqlAnalyzed(
     std::string_view sql) {
-  RELFAB_ASSIGN_OR_RETURN(query::ParsedQuery parsed, parser_.Parse(sql));
-  RELFAB_ASSIGN_OR_RETURN(query::Plan plan, planner_.MakePlan(parsed));
+  QueryOptions options;
+  options.analyze = true;
+  RELFAB_ASSIGN_OR_RETURN(SqlResult run, ExecuteSql(sql, options));
   AnalyzedSqlResult analyzed;
-  RELFAB_ASSIGN_OR_RETURN(analyzed.result,
-                          executor_.Execute(plan, &analyzed.profile));
-  analyzed.plan = std::move(plan);
+  analyzed.plan = std::move(run.plan);
+  analyzed.result = std::move(run.result);
+  analyzed.profile = std::move(run.profile);
   return analyzed;
 }
 
@@ -231,6 +291,8 @@ obs::Registry& Fabric::CollectMetrics() {
     registry_.counter("mvcc.aborts")->Set(aborts);
     registry_.counter("mvcc.clock")->Set(clock);
   }
+  scheduler_.ExportTo(&registry_);
+  registry_.gauge("faults.armed")->Set(injector_ != nullptr ? 1 : 0);
   if (injector_ != nullptr) injector_->ExportTo(&registry_);
   return registry_;
 }

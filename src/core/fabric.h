@@ -5,10 +5,14 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "common/statusor.h"
 #include "engine/cost_model.h"
 #include "engine/query.h"
+#include "exec/exec_context.h"
+#include "exec/options.h"
+#include "exec/shard_scheduler.h"
 #include "faults/fault_plan.h"
 #include "faults/injector.h"
 #include "index/btree.h"
@@ -24,6 +28,7 @@
 #include "query/parser.h"
 #include "query/planner.h"
 #include "relmem/rm_engine.h"
+#include "shard/sharded_table.h"
 #include "sim/memory_system.h"
 
 namespace relfab {
@@ -39,13 +44,22 @@ namespace relfab {
 ///   // or:
 ///   auto result = fabric.ExecuteSql(
 ///       "SELECT SUM(temp) FROM sensors WHERE site < 10").value();
+///   // with per-statement knobs:
+///   auto analyzed = fabric.ExecuteSql(sql, {.analyze = true}).value();
 ///
 /// Plain tables hold a single row-oriented copy (the Relational Fabric
 /// design point); MaterializeColumnarCopy adds the duplicated columnar
 /// baseline so the planner may also choose COL. Versioned tables add
-/// MVCC with snapshot isolation (paper §III-C).
+/// MVCC with snapshot isolation (paper §III-C). Sharded tables
+/// (CreateShardedTable) are range-partitioned on an int64 key; the
+/// planner prunes shards from WHERE-clause key ranges and the shard
+/// scheduler scans the survivors in parallel.
 class Fabric {
  public:
+  /// Per-statement execution knobs (analyze / forced_backend /
+  /// max_threads); see exec::QueryOptions.
+  using QueryOptions = exec::QueryOptions;
+
   explicit Fabric(sim::SimParams sim_params = sim::SimParams::ZynqA53Defaults(),
                   engine::CostModel cost_model =
                       engine::CostModel::A53Defaults());
@@ -88,6 +102,22 @@ class Fabric {
 
   StatusOr<layout::RowTable*> GetTable(const std::string& name);
 
+  // --- sharded tables ---
+
+  /// Creates a range-sharded table on int64 column `key_column_name`:
+  /// `split_points` (strictly increasing, n points => n+1 shards) set
+  /// the ranges, shard i covering [split[i-1], split[i]) with open ends.
+  /// Append rows via shard::ShardedTable::Append (routed by key). SQL
+  /// over the table plans a shard fan-out: the planner prunes shards
+  /// from the WHERE clause's key range and the shard scheduler runs one
+  /// scan per survivor in parallel (QueryOptions::max_threads sets the
+  /// simulated width).
+  StatusOr<shard::ShardedTable*> CreateShardedTable(
+      const std::string& name, layout::Schema schema,
+      const std::string& key_column_name, std::vector<int64_t> split_points);
+
+  StatusOr<shard::ShardedTable*> GetShardedTable(const std::string& name);
+
   // --- versioned (HTAP) tables ---
 
   /// Creates an MVCC table; writes go through its TransactionManager.
@@ -104,21 +134,43 @@ class Fabric {
   /// Configures an ephemeral view of arbitrary geometry over a table
   /// (works for plain and versioned tables; for the latter pass a
   /// snapshot filter inside the geometry, e.g. table->SnapshotFilter()).
+  /// Sharded tables use ConfigureShardRange instead.
   StatusOr<relmem::EphemeralView> ConfigureView(const std::string& name,
                                                 relmem::Geometry geometry);
+
+  /// Ephemeral views over the shards of sharded table `name`
+  /// intersecting key range [lo, hi] (shard-major; boundary shards get
+  /// residual key predicates pushed into the fabric).
+  StatusOr<std::vector<relmem::EphemeralView>> ConfigureShardRange(
+      const std::string& name, const relmem::Geometry& geometry, int64_t lo,
+      int64_t hi);
 
   // --- SQL ---
 
   struct SqlResult {
     query::Plan plan;
     engine::QueryResult result;
+    /// Filled when QueryOptions::analyze was set (EXPLAIN ANALYZE);
+    /// otherwise default-constructed.
+    obs::QueryProfile profile;
   };
 
-  /// Parses, plans (constructively — no layout search) and executes.
-  StatusOr<SqlResult> ExecuteSql(std::string_view sql);
+  /// Parses, plans (constructively — no layout search) and executes with
+  /// per-statement `options`. The single SQL entry point: EXPLAIN
+  /// ANALYZE is options.analyze, backend forcing is
+  /// options.forced_backend, and the simulated shard fan-out width is
+  /// options.max_threads.
+  StatusOr<SqlResult> ExecuteSql(std::string_view sql,
+                                 const QueryOptions& options);
+
+  /// Default-options convenience.
+  StatusOr<SqlResult> ExecuteSql(std::string_view sql) {
+    return ExecuteSql(sql, QueryOptions{});
+  }
 
   /// Plans without executing (EXPLAIN).
-  StatusOr<query::Plan> ExplainSql(std::string_view sql);
+  StatusOr<query::Plan> ExplainSql(std::string_view sql,
+                                   const QueryOptions& options = {});
 
   struct AnalyzedSqlResult {
     query::Plan plan;
@@ -126,9 +178,8 @@ class Fabric {
     obs::QueryProfile profile;
   };
 
-  /// EXPLAIN ANALYZE: executes like ExecuteSql but with per-operator
-  /// attribution of rows and simulator meters. The profile covers this
-  /// statement only (profiling reads the meters differentially).
+  /// Deprecated: use ExecuteSql(sql, {.analyze = true}). Thin shim kept
+  /// for source compatibility with pre-QueryOptions callers.
   StatusOr<AnalyzedSqlResult> ExecuteSqlAnalyzed(std::string_view sql);
 
   // --- observability ---
@@ -138,8 +189,9 @@ class Fabric {
   obs::Registry& registry() { return registry_; }
 
   /// Snapshots every component's counters into registry() and returns it:
-  /// memory hierarchy ("sim.*"), RM engine ("rm.*") and each versioned
-  /// table's transaction manager ("mvcc.*", summed across tables).
+  /// memory hierarchy ("sim.*"), RM engine ("rm.*"), each versioned
+  /// table's transaction manager ("mvcc.*", summed across tables), the
+  /// shard scheduler ("shard.*") and fault injection ("faults.*").
   obs::Registry& CollectMetrics();
 
   /// The span tracer, clocked by the simulated memory clock. Disabled by
@@ -157,11 +209,15 @@ class Fabric {
   /// storage rigs own their SsdModel). An unarmed (empty) plan disarms.
   /// The constructor calls this automatically with $RELFAB_FAULTS, so
   /// most callers never touch it; tests use it to arm plans directly.
+  /// Shard tasks derive private per-shard injectors from the armed plan.
   void ArmFaults(faults::FaultPlan plan);
 
   /// The active injector; nullptr when unarmed. Fault counters are
   /// folded into CollectMetrics() under "faults.*".
   faults::FaultInjector* fault_injector() { return injector_.get(); }
+
+  /// The shard fan-out scheduler (host thread pool + worker rigs).
+  exec::ShardScheduler& shard_scheduler() { return scheduler_; }
 
  private:
   sim::MemorySystem memory_;
@@ -171,6 +227,7 @@ class Fabric {
   query::Parser parser_;
   query::Planner planner_;
   query::Executor executor_;
+  exec::ShardScheduler scheduler_;
   obs::Registry registry_;
   obs::Tracer tracer_;
   std::unique_ptr<faults::FaultInjector> injector_;
@@ -178,6 +235,7 @@ class Fabric {
   std::map<std::string, std::unique_ptr<layout::ColumnTable>> column_copies_;
   std::map<std::string, std::unique_ptr<index::BTreeIndex>> indexes_;
   std::map<std::string, std::unique_ptr<query::TableStats>> stats_;
+  std::map<std::string, std::unique_ptr<shard::ShardedTable>> sharded_;
   std::map<std::string, std::unique_ptr<mvcc::VersionedTable>> versioned_;
   std::map<std::string, std::unique_ptr<mvcc::TransactionManager>>
       txn_managers_;

@@ -10,6 +10,8 @@
 ///   relmem/     Relational Memory: geometries, the near-data transform
 ///               engine, ephemeral variables
 ///   engine/     ROW (volcano), COL (vectorized) and RM execution engines
+///   exec/       execution context, per-statement options, parallel
+///               shard scheduler
 ///   mvcc/       versioned tables + snapshot-isolation transactions
 ///   compress/   dictionary / delta / Huffman / RLE column codecs
 ///   relstorage/ Relational Storage: computational-SSD instance
@@ -28,6 +30,9 @@
 #include "engine/rm_exec.h"        // IWYU pragma: export
 #include "engine/vector_engine.h"  // IWYU pragma: export
 #include "engine/volcano.h"        // IWYU pragma: export
+#include "exec/exec_context.h"     // IWYU pragma: export
+#include "exec/options.h"          // IWYU pragma: export
+#include "exec/shard_scheduler.h"  // IWYU pragma: export
 #include "index/btree.h"           // IWYU pragma: export
 #include "index/hash_index.h"      // IWYU pragma: export
 #include "layout/column_table.h"   // IWYU pragma: export

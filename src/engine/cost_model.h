@@ -42,6 +42,12 @@ struct CostModel {
   /// group, so loops are strided by the group width rather than unit.
   double rm_value_cycles = 2.1;
 
+  // --- shard fan-out ---
+  /// Host-side handoff per shard partial after the parallel scans join
+  /// (dequeue, pointer chasing, result bookkeeping); the per-value merge
+  /// work is charged via agg_update_cycles on top.
+  double shard_merge_task_cycles = 60.0;
+
   static CostModel A53Defaults() { return CostModel{}; }
 };
 

@@ -1,0 +1,75 @@
+#ifndef RELFAB_EXEC_OPTIONS_H_
+#define RELFAB_EXEC_OPTIONS_H_
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "common/statusor.h"
+
+namespace relfab::exec {
+
+/// Access path a query runs on. Lives in exec (not query) so the
+/// execution layer — including the shard scheduler — can name backends
+/// without depending on the planner; relfab::query aliases it back.
+enum class Backend : uint8_t {
+  kRow,               // volcano over the row base data
+  kColumn,            // vectorized over a materialized columnar copy
+  kRelationalMemory,  // vectorized over an ephemeral column group
+  kIndex,             // B+-tree point lookup, then fetch from row data
+  kHybrid,            // ephemeral predicate stream + base-row fetch
+};
+
+inline std::string_view BackendToString(Backend backend) {
+  switch (backend) {
+    case Backend::kRow:
+      return "ROW";
+    case Backend::kColumn:
+      return "COL";
+    case Backend::kRelationalMemory:
+      return "RM";
+    case Backend::kIndex:
+      return "INDEX";
+    case Backend::kHybrid:
+      return "HYBRID";
+  }
+  return "?";
+}
+
+inline StatusOr<Backend> BackendFromString(std::string_view name) {
+  if (name == "ROW") return Backend::kRow;
+  if (name == "COL") return Backend::kColumn;
+  if (name == "RM") return Backend::kRelationalMemory;
+  if (name == "INDEX") return Backend::kIndex;
+  if (name == "HYBRID") return Backend::kHybrid;
+  return Status::InvalidArgument("unknown backend '" + std::string(name) +
+                                 "' (ROW, COL, RM, INDEX, HYBRID)");
+}
+
+/// Per-statement knobs, threaded from the API surface down to the
+/// executor through ExecContext. Defaults are the zero-cost path:
+/// no profiling, planner-chosen backend, one simulated worker per
+/// surviving shard.
+struct QueryOptions {
+  /// EXPLAIN ANALYZE: attribute simulator meters to operators and fill
+  /// the context's QueryProfile.
+  bool analyze = false;
+
+  /// Overrides the planner's backend choice. The planner still validates
+  /// feasibility (e.g. COL needs a materialized copy); an infeasible
+  /// override is an InvalidArgument at plan time. Sharded tables accept
+  /// ROW and RM.
+  std::optional<Backend> forced_backend = std::nullopt;
+
+  /// Width of the simulated shard fan-out: surviving shards are assigned
+  /// shard-major to this many simulated workers, and the fan-out's
+  /// elapsed cycles are the busiest worker plus the merge. <= 0 means
+  /// one simulated worker per surviving shard (maximum parallelism).
+  /// This is a *simulated* knob: host threading never changes answers or
+  /// cycles.
+  int max_threads = 0;
+};
+
+}  // namespace relfab::exec
+
+#endif  // RELFAB_EXEC_OPTIONS_H_

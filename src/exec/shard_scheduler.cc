@@ -1,0 +1,395 @@
+#include "exec/shard_scheduler.h"
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "engine/rm_exec.h"
+#include "engine/volcano.h"
+#include "faults/fault_plan.h"
+#include "faults/injector.h"
+#include "layout/row_table.h"
+#include "relmem/rm_engine.h"
+#include "sim/memory_system.h"
+
+namespace relfab::exec {
+
+struct ShardScheduler::Rig {
+  explicit Rig(const sim::SimParams& params) : memory(params), rm(&memory) {}
+
+  sim::MemorySystem memory;
+  relmem::RmEngine rm;
+};
+
+ShardScheduler::ShardScheduler(sim::SimParams sim_params, int host_threads)
+    : sim_params_(sim_params), host_threads_(host_threads) {}
+
+ShardScheduler::~ShardScheduler() = default;
+
+struct ShardScheduler::ShardRun {
+  Status status = Status::Ok();
+  engine::QueryResult result;
+  uint64_t cycles = 0;
+  uint64_t shard_rows = 0;
+  bool degraded = false;
+  std::string cause;
+  obs::MeterSample sample;
+  uint64_t injected = 0;
+  uint64_t retries = 0;
+  uint64_t exhausted = 0;
+};
+
+namespace {
+
+/// The per-shard decomposition of the query's aggregates into
+/// merge-closed partials. COUNT/SUM/MIN/MAX are closed under their own
+/// merge (sum/sum/min/max of per-shard finals); AVG is not, so it is
+/// rewritten to a per-shard SUM plus one hidden per-shard COUNT and
+/// reassembled as merged_sum / merged_count after the fan-out.
+struct PartialPlan {
+  engine::QuerySpec spec;            // aggregates replaced by partials
+  std::vector<engine::AggFunc> slot_func;  // merge rule per partial slot
+  std::vector<int> value_slot;       // original aggregate -> partial slot
+  int count_slot = -1;               // hidden COUNT slot, -1 if unused
+};
+
+PartialPlan MakePartialPlan(const engine::QuerySpec& spec) {
+  PartialPlan pp;
+  pp.spec = spec;
+  pp.spec.aggregates.clear();
+  for (const engine::AggSpec& agg : spec.aggregates) {
+    engine::AggSpec partial = agg;
+    if (agg.func == engine::AggFunc::kAvg) {
+      partial.func = engine::AggFunc::kSum;
+    }
+    pp.value_slot.push_back(static_cast<int>(pp.spec.aggregates.size()));
+    pp.slot_func.push_back(partial.func);
+    pp.spec.aggregates.push_back(partial);
+  }
+  for (const engine::AggSpec& agg : spec.aggregates) {
+    if (agg.func == engine::AggFunc::kAvg) {
+      pp.count_slot = static_cast<int>(pp.spec.aggregates.size());
+      pp.slot_func.push_back(engine::AggFunc::kCount);
+      pp.spec.aggregates.push_back(
+          engine::AggSpec{engine::AggFunc::kCount, -1});
+      break;  // one shared denominator serves every AVG
+    }
+  }
+  return pp;
+}
+
+/// Merges one partial slot value into the accumulator.
+void CombineSlot(engine::AggFunc func, bool first, double v, double* acc) {
+  switch (func) {
+    case engine::AggFunc::kCount:
+    case engine::AggFunc::kSum:
+      *acc += v;
+      return;
+    case engine::AggFunc::kMin:
+      if (first || v < *acc) *acc = v;
+      return;
+    case engine::AggFunc::kMax:
+      if (first || v > *acc) *acc = v;
+      return;
+    case engine::AggFunc::kAvg:
+      break;  // rewritten away by MakePartialPlan
+  }
+  RELFAB_CHECK(false) << "AVG survived partial decomposition";
+}
+
+/// Maps merged partial slots back to the original aggregate list.
+std::vector<double> FinalizeSlots(const engine::QuerySpec& original,
+                                  const PartialPlan& pp,
+                                  const std::vector<double>& slots) {
+  std::vector<double> out;
+  out.reserve(original.aggregates.size());
+  for (size_t i = 0; i < original.aggregates.size(); ++i) {
+    const double v = slots[static_cast<size_t>(pp.value_slot[i])];
+    if (original.aggregates[i].func == engine::AggFunc::kAvg) {
+      const double cnt = slots[static_cast<size_t>(pp.count_slot)];
+      out.push_back(cnt > 0 ? v / cnt : 0);
+    } else {
+      out.push_back(v);
+    }
+  }
+  return out;
+}
+
+/// Per-shard fault plan: same rules, seed mixed with the shard id so
+/// every shard draws an independent — but scheduling-invariant — fault
+/// stream. The same shard faults at the same points no matter which
+/// worker runs it or how many host threads exist.
+faults::FaultPlan PlanForShard(const faults::FaultPlan& base,
+                               uint32_t shard_id) {
+  faults::FaultPlan plan = base;
+  uint64_t h = base.seed ^ (0x9e3779b97f4a7c15ull * (shard_id + 1));
+  h ^= h >> 29;
+  h *= 0xbf58476d1ce4e5b9ull;
+  h ^= h >> 32;
+  plan.seed = h;
+  return plan;
+}
+
+}  // namespace
+
+ShardScheduler::Rig& ShardScheduler::RigForSlot(int slot) {
+  std::lock_guard<std::mutex> lock(rig_mu_);
+  if (static_cast<size_t>(slot) >= rigs_.size()) {
+    rigs_.resize(static_cast<size_t>(slot) + 1);
+  }
+  if (!rigs_[static_cast<size_t>(slot)]) {
+    rigs_[static_cast<size_t>(slot)] = std::make_unique<Rig>(sim_params_);
+  }
+  return *rigs_[static_cast<size_t>(slot)];
+}
+
+void ShardScheduler::RunShardTask(const Request& req,
+                                  const engine::QuerySpec& partial_spec,
+                                  const ExecContext& ctx, uint32_t shard_id,
+                                  int slot, ShardRun* out) {
+  Rig& rig = RigForSlot(slot);
+  rig.memory.ResetAddressSpace();
+
+  // Private per-shard injector: armed only when the stack is armed.
+  std::unique_ptr<faults::FaultInjector> local;
+  if (ctx.injector != nullptr && ctx.injector->plan().armed()) {
+    local = std::make_unique<faults::FaultInjector>(
+        PlanForShard(ctx.injector->plan(), shard_id));
+  }
+  rig.memory.set_fault_injector(local.get());
+  rig.rm.set_fault_injector(local.get());
+
+  const layout::RowTable& shard = req.table->shard(shard_id);
+  out->shard_rows = shard.num_rows();
+  layout::RowTable alias = layout::RowTable::TimingAlias(shard, &rig.memory);
+
+  StatusOr<engine::QueryResult> result =
+      Status::Internal("shard backend not run");
+  switch (req.backend) {
+    case Backend::kRow: {
+      engine::VolcanoEngine eng(&alias, req.cost);
+      result = eng.Execute(partial_spec);
+      break;
+    }
+    case Backend::kRelationalMemory: {
+      engine::RmExecEngine eng(&alias, &rig.rm, req.cost);
+      result = eng.Execute(partial_spec);
+      if (!result.ok() && faults::IsFabricFault(result.status())) {
+        // PR 3's degradation, scoped to this shard: the fabric path died
+        // after its retries, so only this shard re-runs on the host row
+        // engine. The failed attempt's cycles stay on this shard's
+        // clock; every other shard is untouched.
+        out->degraded = true;
+        out->cause = result.status().ToString();
+        engine::VolcanoEngine host(&alias, req.cost);
+        result = host.Execute(partial_spec);
+      }
+      break;
+    }
+    default:
+      result = Status::InvalidArgument(
+          "sharded plans execute on ROW or RM, got backend " +
+          std::string(BackendToString(req.backend)));
+      break;
+  }
+
+  if (local != nullptr) {
+    out->injected = local->total_injected();
+    out->retries = local->total_retries();
+    out->exhausted = local->total_exhausted();
+  }
+  rig.memory.set_fault_injector(nullptr);
+  rig.rm.set_fault_injector(nullptr);
+
+  if (!result.ok()) {
+    out->status = result.status();
+    return;
+  }
+  out->result = std::move(*result);
+  out->cycles = rig.memory.ElapsedCycles();
+  out->sample = rig.memory.Sample();
+}
+
+StatusOr<engine::QueryResult> ShardScheduler::Execute(const Request& req,
+                                                      const ExecContext& ctx) {
+  RELFAB_CHECK(req.table != nullptr && req.spec != nullptr &&
+               req.shard_ids != nullptr);
+  const std::vector<uint32_t>& ids = *req.shard_ids;
+  const uint32_t total = req.table->num_shards();
+
+  obs::Span span(ctx.tracer, "query.shard_fanout", "query");
+  span.AddArg("backend", std::string(BackendToString(req.backend)));
+  span.AddArg("shards_scanned", ids.size());
+  span.AddArg("shards_total", total);
+
+  const PartialPlan pp = MakePartialPlan(*req.spec);
+  std::vector<ShardRun> runs(ids.size());
+
+  // --- fan out: host pool pulls shard tasks from an atomic cursor ---
+  int host = host_threads_ > 0
+                 ? host_threads_
+                 : static_cast<int>(std::thread::hardware_concurrency());
+  if (host < 1) host = 1;
+  if (static_cast<size_t>(host) > ids.size()) {
+    host = static_cast<int>(ids.size());
+  }
+  std::atomic<size_t> next{0};
+  auto worker = [&](int slot) {
+    for (;;) {
+      const size_t pick = next.fetch_add(1);
+      if (pick >= ids.size()) break;
+      RunShardTask(req, pp.spec, ctx, ids[pick], slot, &runs[pick]);
+    }
+  };
+  if (host <= 1) {
+    // Caller's thread: single-shard queries and --threads 1 runs see no
+    // thread machinery at all (sanitizer- and debugger-friendly).
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<size_t>(host));
+    for (int t = 0; t < host; ++t) pool.emplace_back(worker, t);
+    for (std::thread& t : pool) t.join();
+  }
+
+  // --- post-join, single-threaded, shard-major from here on ---
+  for (size_t i = 0; i < runs.size(); ++i) {
+    if (!runs[i].status.ok()) return runs[i].status;
+  }
+
+  const size_t slots = pp.spec.aggregates.size();
+  engine::QueryResult merged;
+  std::vector<double> flat(slots, 0);
+  std::vector<bool> flat_any(slots, false);
+  std::map<engine::GroupKey, std::vector<double>> groups;
+  uint64_t merge_units = ids.size() * slots;
+
+  for (const ShardRun& run : runs) {
+    const engine::QueryResult& r = run.result;
+    merged.rows_scanned += r.rows_scanned;
+    merged.rows_matched += r.rows_matched;
+    merged.projection_checksum += r.projection_checksum;
+    if (r.rows_matched > 0 && req.spec->group_by.empty()) {
+      for (size_t j = 0; j < slots; ++j) {
+        CombineSlot(pp.slot_func[j], !flat_any[j], r.aggregates[j],
+                    &flat[j]);
+        flat_any[j] = true;
+      }
+    }
+    merge_units += r.groups.size() * slots;
+    for (const auto& [key, vals] : r.groups) {
+      auto [it, inserted] = groups.emplace(key, vals);
+      if (!inserted) {
+        for (size_t j = 0; j < slots; ++j) {
+          CombineSlot(pp.slot_func[j], false, vals[j], &it->second[j]);
+        }
+      }
+    }
+  }
+
+  if (!req.spec->aggregates.empty() && req.spec->group_by.empty()) {
+    merged.aggregates = FinalizeSlots(*req.spec, pp, flat);
+  }
+  merged.groups.reserve(groups.size());
+  for (const auto& [key, vals] : groups) {
+    merged.groups.emplace_back(key, FinalizeSlots(*req.spec, pp, vals));
+  }
+
+  // --- cycle model: max over simulated workers + host-side merge ---
+  size_t sim_workers =
+      ctx.options.max_threads > 0
+          ? static_cast<size_t>(ctx.options.max_threads)
+          : ids.size();
+  sim_workers = std::max<size_t>(1, std::min(sim_workers, ids.size()));
+  std::vector<uint64_t> worker_cycles(sim_workers, 0);
+  for (size_t i = 0; i < runs.size(); ++i) {
+    worker_cycles[i % sim_workers] += runs[i].cycles;
+  }
+  uint64_t parallel_cycles = 0;
+  for (uint64_t c : worker_cycles) {
+    parallel_cycles = std::max(parallel_cycles, c);
+  }
+  const double merge_cycles =
+      static_cast<double>(ids.size()) * req.cost.shard_merge_task_cycles +
+      static_cast<double>(merge_units) * req.cost.agg_update_cycles;
+  merged.sim_cycles =
+      parallel_cycles + static_cast<uint64_t>(merge_cycles);
+
+  // --- meters, profile, degradation bookkeeping (shard order) ---
+  ++queries_;
+  shards_scanned_ += ids.size();
+  shards_pruned_ += total - ids.size();
+  std::string degraded_note;
+  for (size_t i = 0; i < runs.size(); ++i) {
+    shard_cycles_.Observe(static_cast<double>(runs[i].cycles));
+    faults_injected_ += runs[i].injected;
+    if (runs[i].degraded) {
+      ++shards_degraded_;
+      if (ctx.injector != nullptr) {
+        ctx.injector->NoteFallback(
+            "shard." + std::string(BackendToString(req.backend)));
+      }
+      if (degraded_note.empty()) {
+        std::ostringstream os;
+        os << "shard " << ids[i] << ": " << runs[i].cause
+           << "; shard re-run on ROW backend (" << (ids.size() - 1)
+           << " other shard(s) unaffected)";
+        degraded_note = os.str();
+      }
+    }
+  }
+
+  if (ctx.profile != nullptr) {
+    obs::QueryProfile* prof = ctx.profile;
+    prof->shards_total = total;
+    prof->shards_scanned = static_cast<uint32_t>(ids.size());
+    prof->shards_pruned = total - static_cast<uint32_t>(ids.size());
+    for (size_t i = 0; i < runs.size(); ++i) {
+      obs::OpStats op;
+      std::ostringstream name;
+      name << "Shard[" << ids[i] << "] "
+           << BackendToString(req.backend);
+      if (runs[i].degraded) name << "->ROW";
+      op.name = name.str();
+      op.rows_in = runs[i].shard_rows;
+      op.rows_out = runs[i].result.rows_matched;
+      op.cpu_cycles = runs[i].sample.cpu_cycles;
+      op.dram_lines_demand = runs[i].sample.dram_lines_demand;
+      op.dram_lines_gather = runs[i].sample.dram_lines_gather;
+      op.fabric_reads = runs[i].sample.fabric_reads;
+      op.l1_misses = runs[i].sample.l1_misses;
+      op.l2_misses = runs[i].sample.l2_misses;
+      prof->ops.push_back(std::move(op));
+    }
+    obs::OpStats merge_op;
+    std::ostringstream name;
+    name << "Merge[workers=" << sim_workers << "]";
+    merge_op.name = name.str();
+    merge_op.rows_in = merged.rows_matched;
+    merge_op.rows_out =
+        merged.groups.empty() ? merged.rows_matched : merged.groups.size();
+    merge_op.cpu_cycles = merge_cycles;
+    prof->ops.push_back(std::move(merge_op));
+    prof->total_cycles = static_cast<double>(merged.sim_cycles);
+    if (!degraded_note.empty()) prof->fallback = degraded_note;
+  }
+
+  span.AddArg("rows_matched", merged.rows_matched);
+  span.AddArg("sim_workers", sim_workers);
+  return merged;
+}
+
+void ShardScheduler::ExportTo(obs::Registry* registry) const {
+  registry->counter("shard.queries")->Set(queries_);
+  registry->counter("shard.scanned")->Set(shards_scanned_);
+  registry->counter("shard.pruned")->Set(shards_pruned_);
+  registry->counter("shard.degraded")->Set(shards_degraded_);
+  registry->counter("shard.faults.injected")->Set(faults_injected_);
+  *registry->histogram("shard.cycles") = shard_cycles_;
+}
+
+}  // namespace relfab::exec

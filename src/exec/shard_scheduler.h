@@ -1,0 +1,125 @@
+#ifndef RELFAB_EXEC_SHARD_SCHEDULER_H_
+#define RELFAB_EXEC_SHARD_SCHEDULER_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/statusor.h"
+#include "engine/cost_model.h"
+#include "engine/query.h"
+#include "exec/exec_context.h"
+#include "exec/options.h"
+#include "obs/registry.h"
+#include "shard/sharded_table.h"
+#include "sim/params.h"
+
+namespace relfab::exec {
+
+/// Parallel shard fan-out: runs one scan per surviving shard on a pool
+/// of host worker threads and merges the partial results shard-major.
+///
+/// Determinism contract (the property shard_exec_test pins): answers
+/// AND simulated cycles are bit-identical at any host thread count.
+/// Three mechanisms deliver it:
+///
+///  1. Worker-private sim rigs (bench_util.h's PerWorker pattern): each
+///     host worker owns a private MemorySystem + RmEngine, so shard
+///     scans never share simulator state.
+///  2. MemorySystem::ResetAddressSpace() at the head of every shard
+///     task: the rig is returned to the cold, freshly-booted state —
+///     including the simulated allocator — so a shard's cycles are a
+///     pure function of (sim params, shard data, query), independent of
+///     which rig ran it or what that rig ran before.
+///  3. Shard-major merge: partials are combined in shard-id order after
+///     all tasks joined, never in completion order.
+///
+/// Cycle semantics: the surviving shards are dealt shard-major onto P
+/// *simulated* workers (P = QueryOptions::max_threads, or one per shard
+/// when <= 0); each simulated worker's time is the sum of its shards'
+/// cycles; the fan-out costs max-over-workers (they run in parallel)
+/// plus the host-side merge of the partials. Host threads only change
+/// wall time.
+///
+/// Per-shard fault isolation: each shard task gets a private
+/// FaultInjector seeded from (plan seed, shard id), so a fault hits the
+/// same shard regardless of scheduling. A fabric fault inside one shard
+/// degrades only that shard to the Volcano path (PR 3's fallback); the
+/// failed attempt's cycles stay on that shard's clock and the query
+/// still answers.
+class ShardScheduler {
+ public:
+  // Both out of line: Rig is incomplete here.
+  explicit ShardScheduler(sim::SimParams sim_params, int host_threads = 0);
+  ~ShardScheduler();
+
+  ShardScheduler(const ShardScheduler&) = delete;
+  ShardScheduler& operator=(const ShardScheduler&) = delete;
+
+  /// One shard-fanout execution request (built by query::Executor from a
+  /// sharded plan). All pointers are non-owning.
+  struct Request {
+    const shard::ShardedTable* table = nullptr;
+    const engine::QuerySpec* spec = nullptr;
+    /// Per-shard scan path; sharded plans support kRow and
+    /// kRelationalMemory.
+    Backend backend = Backend::kRow;
+    /// Surviving shards after planner pruning, ascending.
+    const std::vector<uint32_t>* shard_ids = nullptr;
+    engine::CostModel cost;
+  };
+
+  /// Runs the fan-out and merges. Uses ctx.options.max_threads for the
+  /// simulated width, ctx.injector's plan for per-shard fault streams,
+  /// ctx.profile for EXPLAIN ANALYZE per-shard meters and ctx.tracer
+  /// for the "query.shard_fanout" span.
+  StatusOr<engine::QueryResult> Execute(const Request& req,
+                                        const ExecContext& ctx);
+
+  /// Host worker pool size; <= 0 picks hardware concurrency. Affects
+  /// wall time only — never answers or cycles (tests pin this).
+  void set_host_threads(int n) { host_threads_ = n; }
+  int host_threads() const { return host_threads_; }
+
+  // --- lifetime counters (across all Execute calls) ---
+  uint64_t queries() const { return queries_; }
+  uint64_t shards_scanned() const { return shards_scanned_; }
+  uint64_t shards_pruned() const { return shards_pruned_; }
+  uint64_t shards_degraded() const { return shards_degraded_; }
+  uint64_t shard_faults_injected() const { return faults_injected_; }
+
+  /// Exports "shard.*" counters and the per-shard cycle distribution
+  /// ("shard.cycles"). Idempotent (Set/assign, not Inc/Merge).
+  void ExportTo(obs::Registry* registry) const;
+
+ private:
+  /// One worker-private simulation rig, reused across tasks and Execute
+  /// calls; every task calls ResetAddressSpace() before touching it.
+  struct Rig;
+  /// Outcome of one shard scan, filled by its worker, read post-join.
+  struct ShardRun;
+
+  Rig& RigForSlot(int slot);
+  void RunShardTask(const Request& req, const engine::QuerySpec& partial_spec,
+                    const ExecContext& ctx, uint32_t shard_id, int slot,
+                    ShardRun* out);
+
+  sim::SimParams sim_params_;
+  int host_threads_ = 0;
+
+  std::mutex rig_mu_;
+  std::vector<std::unique_ptr<Rig>> rigs_;
+
+  // Updated single-threaded after the pool joins.
+  uint64_t queries_ = 0;
+  uint64_t shards_scanned_ = 0;
+  uint64_t shards_pruned_ = 0;
+  uint64_t shards_degraded_ = 0;
+  uint64_t faults_injected_ = 0;
+  obs::Histogram shard_cycles_;
+};
+
+}  // namespace relfab::exec
+
+#endif  // RELFAB_EXEC_SHARD_SCHEDULER_H_

@@ -24,7 +24,19 @@ RowTable::RowTable(Schema schema, sim::MemorySystem* memory,
   if (capacity > 0) Grow(capacity);
 }
 
+RowTable RowTable::TimingAlias(const RowTable& base,
+                               sim::MemorySystem* memory) {
+  RELFAB_CHECK(memory != nullptr);
+  RowTable alias(base.schema_, memory, 0);
+  alias.shared_data_ = base.data_.data();
+  alias.num_rows_ = base.num_rows_;
+  alias.capacity_ = base.num_rows_;
+  alias.base_addr_ = memory->Allocate(base.num_rows_ * base.row_bytes());
+  return alias;
+}
+
 void RowTable::AppendRow(const uint8_t* packed_row) {
+  RELFAB_CHECK(shared_data_ == nullptr) << "timing alias is read-only";
   if (num_rows_ == capacity_) {
     Grow(capacity_ == 0 ? 1024 : capacity_ * 2);
   }

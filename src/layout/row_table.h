@@ -70,6 +70,16 @@ class RowTable {
   /// (new allocation), like a realloc would.
   RowTable(Schema schema, sim::MemorySystem* memory, uint64_t capacity = 0);
 
+  /// Timing alias: a read-only view that shares `base`'s host bytes but
+  /// lives at a fresh allocation in `memory`'s simulated address space.
+  /// Engines running on the alias charge *that* memory system — which is
+  /// how the shard scheduler re-hosts a shard (built on the fabric's
+  /// memory) onto a worker-private rig without copying data. The alias
+  /// is immutable (AppendRow/MutableRowData abort) and must not outlive
+  /// `base`.
+  static RowTable TimingAlias(const RowTable& base,
+                              sim::MemorySystem* memory);
+
   RowTable(const RowTable&) = delete;
   RowTable& operator=(const RowTable&) = delete;
   RowTable(RowTable&&) = default;
@@ -97,12 +107,17 @@ class RowTable {
   /// Host pointer to the packed bytes of a row.
   const uint8_t* RowData(uint64_t row) const {
     RELFAB_DCHECK(row < num_rows_);
-    return data_.data() + row * row_bytes();
+    const uint8_t* base = shared_data_ != nullptr ? shared_data_ : data_.data();
+    return base + row * row_bytes();
   }
   uint8_t* MutableRowData(uint64_t row) {
     RELFAB_DCHECK(row < num_rows_);
+    RELFAB_CHECK(shared_data_ == nullptr) << "timing alias is read-only";
     return data_.data() + row * row_bytes();
   }
+
+  /// True for TimingAlias views (read-only, borrowed host bytes).
+  bool is_alias() const { return shared_data_ != nullptr; }
 
   // --- typed field access (functional only; callers charge the sim) ---
   int64_t GetInt(uint64_t row, uint32_t col) const {
@@ -149,6 +164,7 @@ class RowTable {
   Schema schema_;
   sim::MemorySystem* memory_;
   std::vector<uint8_t> data_;
+  const uint8_t* shared_data_ = nullptr;  // set for TimingAlias views
   uint64_t base_addr_ = 0;
   uint64_t num_rows_ = 0;
   uint64_t capacity_ = 0;

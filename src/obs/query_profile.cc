@@ -12,6 +12,10 @@ std::string QueryProfile::ToTable() const {
   os << "EXPLAIN ANALYZE (" << backend << " over '" << table
      << "', total " << FormatCount(static_cast<uint64_t>(total_cycles))
      << " cycles)\n";
+  if (shards_total > 0) {
+    os << "  shards: scanned=" << shards_scanned << " pruned="
+       << shards_pruned << " total=" << shards_total << "\n";
+  }
   if (!fallback.empty()) {
     os << "  degraded: " << fallback << "\n";
   }
@@ -39,6 +43,11 @@ Json QueryProfile::ToJson() const {
   doc.Set("backend", backend);
   doc.Set("table", table);
   doc.Set("total_cycles", total_cycles);
+  if (shards_total > 0) {
+    doc.Set("shards_total", static_cast<uint64_t>(shards_total));
+    doc.Set("shards_scanned", static_cast<uint64_t>(shards_scanned));
+    doc.Set("shards_pruned", static_cast<uint64_t>(shards_pruned));
+  }
   if (!fallback.empty()) doc.Set("fallback", fallback);
   Json op_list = Json::Array();
   for (const OpStats& op : ops) {

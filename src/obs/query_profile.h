@@ -47,6 +47,11 @@ struct QueryProfile {
   std::string table;
   std::vector<OpStats> ops;
   double total_cycles = 0;  // elapsed (max of cpu and channel clocks)
+  /// Shard fan-out accounting (all zero for unsharded tables;
+  /// shards_total > 0 marks a shard-fanout execution).
+  uint32_t shards_total = 0;
+  uint32_t shards_scanned = 0;
+  uint32_t shards_pruned = 0;
   /// Non-empty when the fabric path failed mid-query and execution
   /// degraded to the host row-scan path; records why (EXPLAIN ANALYZE
   /// prints it as a "degraded:" line).

@@ -10,29 +10,41 @@
 #include "layout/column_table.h"
 #include "layout/row_table.h"
 #include "query/stats.h"
+#include "shard/sharded_table.h"
 
 namespace relfab::query {
 
-/// Access paths registered for one relation. The row-oriented base data
-/// always exists (it is the single source of truth); a columnar copy is
-/// optional — with Relational Fabric present it is usually *not*
-/// materialized, and the planner treats its absence as "COL unavailable".
-/// An optional B+-tree over one integer column serves point queries
-/// (paper §III-A: with the fabric handling range scans, "indexes should
-/// be used for point queries and point updates").
+/// Access paths registered for one relation. A relation is either a
+/// single row-oriented base table (`rows`, the single source of truth)
+/// or a range-sharded one (`sharded`); exactly one of the two is set.
+/// A columnar copy is optional — with Relational Fabric present it is
+/// usually *not* materialized, and the planner treats its absence as
+/// "COL unavailable". An optional B+-tree over one integer column serves
+/// point queries (paper §III-A: with the fabric handling range scans,
+/// "indexes should be used for point queries and point updates").
+/// Sharded relations execute through the shard fan-out path and carry
+/// no columnar copy, index or stats.
 struct TableEntry {
   const layout::RowTable* rows = nullptr;
   const layout::ColumnTable* columns = nullptr;  // optional baseline copy
   index::BTreeIndex* key_index = nullptr;        // optional point-query path
   uint32_t key_index_column = 0;                 // column key_index covers
   const TableStats* stats = nullptr;             // optional ANALYZE output
+  const shard::ShardedTable* sharded = nullptr;  // range-sharded relation
+
+  const layout::Schema& schema() const {
+    return rows != nullptr ? rows->schema() : sharded->schema();
+  }
+  uint64_t num_rows() const {
+    return rows != nullptr ? rows->num_rows() : sharded->num_rows();
+  }
 };
 
 /// Name -> access paths. Names are case-sensitive.
 class Catalog {
  public:
   Status Register(const std::string& name, TableEntry entry) {
-    if (entry.rows == nullptr) {
+    if (entry.rows == nullptr && entry.sharded == nullptr) {
       return Status::InvalidArgument("table needs row-oriented base data");
     }
     if (!tables_.emplace(name, entry).second) {

@@ -4,43 +4,68 @@
 #include "engine/rm_exec.h"
 #include "engine/vector_engine.h"
 #include "engine/volcano.h"
+#include "exec/shard_scheduler.h"
 #include "sim/memory_system.h"
 
 namespace relfab::query {
 
 StatusOr<engine::QueryResult> Executor::Execute(
-    const Plan& plan, obs::QueryProfile* profile) const {
+    const Plan& plan, const exec::ExecContext& ctx) const {
   RELFAB_ASSIGN_OR_RETURN(TableEntry entry, catalog_->Lookup(plan.table));
 
-  obs::Span span(tracer_, "query.execute", "query");
+  if (plan.shards.enabled) {
+    if (entry.sharded == nullptr) {
+      return Status::FailedPrecondition(
+          "shard-fanout plan but table '" + plan.table + "' is not sharded");
+    }
+    if (ctx.scheduler == nullptr) {
+      return Status::FailedPrecondition(
+          "shard-fanout plan requires an exec::ShardScheduler in the "
+          "ExecContext");
+    }
+    if (ctx.profile != nullptr) {
+      ctx.profile->backend =
+          "SHARD(" + std::string(BackendToString(plan.backend)) + ")";
+      ctx.profile->table = plan.table;
+    }
+    exec::ShardScheduler::Request req;
+    req.table = entry.sharded;
+    req.spec = &plan.spec;
+    req.backend = plan.backend;
+    req.shard_ids = &plan.shards.shard_ids;
+    req.cost = cost_;
+    return ctx.scheduler->Execute(req, ctx);
+  }
+
+  obs::Span span(ctx.tracer, "query.execute", "query");
   span.AddArg("backend", std::string(BackendToString(plan.backend)));
   span.AddArg("table", plan.table);
 
-  if (profile == nullptr) {
-    auto result = Dispatch(plan, entry, nullptr);
+  if (ctx.profile == nullptr) {
+    auto result = Dispatch(plan, entry, ctx, nullptr);
     if (result.ok()) span.AddArg("rows_matched", result->rows_matched);
     return result;
   }
 
-  profile->backend = std::string(BackendToString(plan.backend));
-  profile->table = plan.table;
+  ctx.profile->backend = std::string(BackendToString(plan.backend));
+  ctx.profile->table = plan.table;
   sim::MemorySystem* memory =
       plan.backend == Backend::kColumn && entry.columns != nullptr
           ? entry.columns->memory()
           : entry.rows->memory();
-  obs::OpProfiler prof(profile, [memory] { return memory->Sample(); });
-  auto result = Dispatch(plan, entry, &prof);
+  obs::OpProfiler prof(ctx.profile, [memory] { return memory->Sample(); });
+  auto result = Dispatch(plan, entry, ctx, &prof);
   prof.Finish();  // engines already Finish(); this closes error paths
   if (result.ok()) {
-    profile->total_cycles = result->sim_cycles;
+    ctx.profile->total_cycles = result->sim_cycles;
     span.AddArg("rows_matched", result->rows_matched);
   }
   return result;
 }
 
 StatusOr<engine::QueryResult> Executor::FallbackToRowScan(
-    const Plan& plan, const TableEntry& entry, const Status& cause,
-    obs::OpProfiler* prof) const {
+    const Plan& plan, const TableEntry& entry, const exec::ExecContext& ctx,
+    const Status& cause, obs::OpProfiler* prof) const {
   // Graceful degradation (the Polynesia/Farview rule: the offload path
   // must degrade to the host path when the accelerator is unavailable):
   // the fabric plan died on an I/O-class fault after its retries, so the
@@ -48,15 +73,15 @@ StatusOr<engine::QueryResult> Executor::FallbackToRowScan(
   // attempt's simulated cycles stay on the clock, and the rerun starts
   // from the query's beginning because the failed engine's partial
   // aggregate state is not recoverable.
-  if (injector_ != nullptr) {
-    injector_->NoteFallback("query." +
-                            std::string(BackendToString(plan.backend)));
+  if (ctx.injector != nullptr) {
+    ctx.injector->NoteFallback("query." +
+                               std::string(BackendToString(plan.backend)));
   }
   if (prof != nullptr) {
     prof->Switch(-1);
     prof->NoteFallback(cause.ToString() + "; query re-run on ROW backend");
   }
-  obs::Span span(tracer_, "query.fallback", "query");
+  obs::Span span(ctx.tracer, "query.fallback", "query");
   span.AddArg("cause", cause.ToString());
   engine::VolcanoEngine eng(entry.rows, cost_);
   eng.set_profiler(prof);
@@ -65,6 +90,7 @@ StatusOr<engine::QueryResult> Executor::FallbackToRowScan(
 
 StatusOr<engine::QueryResult> Executor::Dispatch(const Plan& plan,
                                                  const TableEntry& entry,
+                                                 const exec::ExecContext& ctx,
                                                  obs::OpProfiler* prof) const {
   switch (plan.backend) {
     case Backend::kRow: {
@@ -89,12 +115,12 @@ StatusOr<engine::QueryResult> Executor::Dispatch(const Plan& plan,
       if (result.ok() || !faults::IsFabricFault(result.status())) {
         return result;
       }
-      return FallbackToRowScan(plan, entry, result.status(), prof);
+      return FallbackToRowScan(plan, entry, ctx, result.status(), prof);
     }
     case Backend::kHybrid: {
       engine::HybridEngine eng(entry.rows, rm_, cost_);
       eng.set_profiler(prof);
-      eng.set_fault_injector(injector_);
+      eng.set_fault_injector(ctx.injector);
       StatusOr<engine::QueryResult> result = eng.Execute(plan.spec);
       if (result.ok() || !faults::IsFabricFault(result.status())) {
         return result;
@@ -102,7 +128,7 @@ StatusOr<engine::QueryResult> Executor::Dispatch(const Plan& plan,
       // The hybrid engine degrades internally; this only triggers when
       // even its internal recovery could not finish (e.g. a fault on the
       // delegated pure-RM plan that it chose not to retry).
-      return FallbackToRowScan(plan, entry, result.status(), prof);
+      return FallbackToRowScan(plan, entry, ctx, result.status(), prof);
     }
     case Backend::kIndex: {
       if (entry.key_index == nullptr) {

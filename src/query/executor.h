@@ -4,6 +4,7 @@
 #include "common/statusor.h"
 #include "engine/cost_model.h"
 #include "engine/query.h"
+#include "exec/exec_context.h"
 #include "faults/injector.h"
 #include "obs/query_profile.h"
 #include "obs/trace.h"
@@ -14,7 +15,11 @@
 namespace relfab::query {
 
 /// Runs a Plan on the chosen backend. Stateless apart from its wiring;
-/// engines are constructed per call (they are thin).
+/// engines are constructed per call (they are thin). All per-query
+/// collaborators — tracer, fault injector, profile sink, shard
+/// scheduler, options — arrive through exec::ExecContext rather than
+/// setters, so one Executor serves concurrent callers with different
+/// observability wiring.
 class Executor {
  public:
   Executor(const Catalog* catalog, relmem::RmEngine* rm,
@@ -23,41 +28,36 @@ class Executor {
     RELFAB_CHECK(catalog != nullptr && rm != nullptr);
   }
 
-  /// Executes the plan. When `profile` is non-null (EXPLAIN ANALYZE) the
-  /// chosen engine attributes simulator meters to its operators and the
-  /// profile is filled in; when null, execution carries zero profiling
-  /// cost. When a tracer is attached, the run is wrapped in a
-  /// "query.execute" span.
-  StatusOr<engine::QueryResult> Execute(
-      const Plan& plan, obs::QueryProfile* profile = nullptr) const;
+  /// Executes the plan with the given context. When `ctx.profile` is
+  /// non-null (EXPLAIN ANALYZE) the chosen engine attributes simulator
+  /// meters to its operators and the profile is filled in; when null,
+  /// execution carries zero profiling cost. When `ctx.tracer` is
+  /// attached, the run is wrapped in a "query.execute" span. Shard
+  /// fan-out plans require `ctx.scheduler`.
+  StatusOr<engine::QueryResult> Execute(const Plan& plan,
+                                        const exec::ExecContext& ctx) const;
 
-  /// Attaches a tracer for query spans. Null detaches.
-  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
-
-  /// Arms graceful degradation accounting: when a fabric-path plan (RM /
-  /// HYBRID) fails with a fabric fault, the executor re-runs the query
-  /// on the host ROW backend and records the fallback here (the
-  /// degradation itself happens with or without an injector).
-  void set_fault_injector(faults::FaultInjector* injector) {
-    injector_ = injector;
+  /// Convenience: executes with a default (unwired) context.
+  StatusOr<engine::QueryResult> Execute(const Plan& plan) const {
+    return Execute(plan, exec::ExecContext{});
   }
 
  private:
   StatusOr<engine::QueryResult> Dispatch(const Plan& plan,
                                          const TableEntry& entry,
+                                         const exec::ExecContext& ctx,
                                          obs::OpProfiler* prof) const;
 
   /// Completes a fabric-failed query on the host row engine.
   StatusOr<engine::QueryResult> FallbackToRowScan(const Plan& plan,
                                                   const TableEntry& entry,
+                                                  const exec::ExecContext& ctx,
                                                   const Status& cause,
                                                   obs::OpProfiler* prof) const;
 
   const Catalog* catalog_;
   relmem::RmEngine* rm_;
   engine::CostModel cost_;
-  obs::Tracer* tracer_ = nullptr;
-  faults::FaultInjector* injector_ = nullptr;
 };
 
 }  // namespace relfab::query

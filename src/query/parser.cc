@@ -138,7 +138,7 @@ StatusOr<ParsedQuery> Parser::Parse(std::string_view sql) const {
   ParsedQuery parsed;
   parsed.table = tokens[from_idx + 1].text;
   RELFAB_ASSIGN_OR_RETURN(TableEntry entry, catalog_->Lookup(parsed.table));
-  const layout::Schema& schema = entry.rows->schema();
+  const layout::Schema& schema = entry.schema();
 
   ParseContext ctx(&tokens, &schema);
   if (!ctx.Peek().IsKeyword("SELECT")) {

@@ -8,22 +8,6 @@
 
 namespace relfab::query {
 
-std::string_view BackendToString(Backend backend) {
-  switch (backend) {
-    case Backend::kRow:
-      return "ROW";
-    case Backend::kColumn:
-      return "COL";
-    case Backend::kRelationalMemory:
-      return "RM";
-    case Backend::kIndex:
-      return "INDEX";
-    case Backend::kHybrid:
-      return "HYBRID";
-  }
-  return "?";
-}
-
 namespace {
 
 /// Distinct cache lines the referenced fields span within one row
@@ -47,13 +31,70 @@ uint32_t TotalWidth(const layout::Schema& schema,
   return w;
 }
 
+int64_t ClampToInt64(double d) {
+  if (d >= 9223372036854775807.0) {
+    return std::numeric_limits<int64_t>::max();
+  }
+  if (d <= -9223372036854775808.0) {
+    return std::numeric_limits<int64_t>::min();
+  }
+  return static_cast<int64_t>(d);
+}
+
+/// Integer key range implied by the WHERE conjuncts on the shard key.
+/// Conservative: only tightens a bound when every int64 outside it is
+/// provably excluded by a predicate (engines compare in the double
+/// domain, hence the floor/ceil dance). An empty range means no row can
+/// match and every shard prunes.
+struct KeyRange {
+  int64_t lo = std::numeric_limits<int64_t>::min();
+  int64_t hi = std::numeric_limits<int64_t>::max();
+  bool empty = false;
+
+  void TightenLo(int64_t v) { lo = std::max(lo, v); }
+  void TightenHi(int64_t v) { hi = std::min(hi, v); }
+};
+
+KeyRange ExtractKeyRange(const engine::QuerySpec& spec,
+                         uint32_t key_column) {
+  KeyRange r;
+  for (const engine::Predicate& p : spec.predicates) {
+    if (p.column != key_column) continue;
+    const double x = p.double_operand;
+    switch (p.op) {
+      case relmem::CompareOp::kGe:  // v >= x  =>  v >= ceil(x)
+        r.TightenLo(ClampToInt64(std::ceil(x)));
+        break;
+      case relmem::CompareOp::kGt:  // v > x  =>  v >= floor(x) + 1
+        r.TightenLo(ClampToInt64(std::floor(x) + 1.0));
+        break;
+      case relmem::CompareOp::kLe:  // v <= x  =>  v <= floor(x)
+        r.TightenHi(ClampToInt64(std::floor(x)));
+        break;
+      case relmem::CompareOp::kLt:  // v < x  =>  v <= ceil(x) - 1
+        r.TightenHi(ClampToInt64(std::ceil(x) - 1.0));
+        break;
+      case relmem::CompareOp::kEq:
+        if (x == std::floor(x) && std::abs(x) < 9.2e18) {
+          r.TightenLo(static_cast<int64_t>(x));
+          r.TightenHi(static_cast<int64_t>(x));
+        } else {
+          r.empty = true;  // int64 key can never equal a fractional value
+        }
+        break;
+      case relmem::CompareOp::kNe:
+        break;  // no range information
+    }
+  }
+  if (r.lo > r.hi) r.empty = true;
+  return r;
+}
+
 }  // namespace
 
-double Planner::EstimateRow(const layout::RowTable& table,
+double Planner::EstimateRow(const layout::Schema& schema, double n,
                             const engine::QuerySpec& spec) const {
-  const layout::Schema& schema = table.schema();
   const std::vector<uint32_t> refs = spec.ReferencedColumns(schema);
-  const double n = static_cast<double>(table.num_rows());
   const double lines = LinesTouchedPerRow(schema, refs);
   // A row scan is one ascending stream: misses are prefetch-covered.
   const double mem = lines * sim_.prefetch_covered_cycles;
@@ -70,11 +111,9 @@ double Planner::EstimateRow(const layout::RowTable& table,
   return n * (mem + cpu);
 }
 
-double Planner::EstimateColumn(const layout::RowTable& table,
+double Planner::EstimateColumn(const layout::Schema& schema, double n,
                                const engine::QuerySpec& spec) const {
-  const layout::Schema& schema = table.schema();
   const std::vector<uint32_t> refs = spec.ReferencedColumns(schema);
-  const double n = static_cast<double>(table.num_rows());
   const double streams = static_cast<double>(refs.size());
   // Per-line cost depends on whether the concurrent column cursors fit
   // in the prefetcher's stream table.
@@ -102,11 +141,9 @@ double Planner::EstimateColumn(const layout::RowTable& table,
   return n * (mem + cpu);
 }
 
-double Planner::EstimateRm(const layout::RowTable& table,
+double Planner::EstimateRm(const layout::Schema& schema, double n,
                            const engine::QuerySpec& spec) const {
-  const layout::Schema& schema = table.schema();
   const std::vector<uint32_t> refs = spec.ReferencedColumns(schema);
-  const double n = static_cast<double>(table.num_rows());
   const double out_bytes = TotalWidth(schema, refs);
   const double gather_lines = LinesTouchedPerRow(schema, refs);
   // Gather streams inside open DRAM rows; one row opening per
@@ -201,8 +238,76 @@ double Planner::EstimateHybrid(const TableEntry& entry,
          sim_.fabric_configure_cycles;
 }
 
-StatusOr<Plan> Planner::MakePlan(const ParsedQuery& parsed) const {
+StatusOr<Plan> Planner::MakeShardedPlan(
+    const ParsedQuery& parsed, const TableEntry& entry,
+    const exec::QueryOptions* options) const {
+  const shard::ShardedTable& table = *entry.sharded;
+  RELFAB_RETURN_IF_ERROR(parsed.spec.Validate(table.schema()));
+
+  Plan plan;
+  plan.table = parsed.table;
+  plan.spec = parsed.spec;
+  plan.shards.enabled = true;
+  plan.shards.shards_total = table.num_shards();
+
+  const KeyRange range = ExtractKeyRange(parsed.spec, table.key_column());
+  plan.shards.key_lo = range.lo;
+  plan.shards.key_hi = range.hi;
+  if (!range.empty) {
+    plan.shards.shard_ids = table.ShardsForRange(range.lo, range.hi);
+  }
+
+  // Surviving work: cost the two per-shard scan paths over the rows the
+  // fan-out will actually touch (summed — the parallel speedup is an
+  // execution-time property, identical for both paths, so it cancels
+  // out of the choice).
+  double n = 0;
+  for (uint32_t s : plan.shards.shard_ids) {
+    n += static_cast<double>(table.shard(s).num_rows());
+  }
+  const double extra_configures =
+      plan.shards.shard_ids.empty()
+          ? 0
+          : static_cast<double>(plan.shards.shard_ids.size() - 1) *
+                sim_.fabric_configure_cycles;
+  plan.est_cost_row = EstimateRow(table.schema(), n, parsed.spec);
+  plan.est_cost_rm =
+      EstimateRm(table.schema(), n, parsed.spec) + extra_configures;
+  plan.est_cost_column = std::numeric_limits<double>::infinity();
+  plan.est_cost_index = std::numeric_limits<double>::infinity();
+  plan.est_cost_hybrid = std::numeric_limits<double>::infinity();
+
+  plan.backend = plan.est_cost_rm < plan.est_cost_row
+                     ? Backend::kRelationalMemory
+                     : Backend::kRow;
+  if (options != nullptr && options->forced_backend.has_value()) {
+    const Backend forced = *options->forced_backend;
+    if (forced != Backend::kRow && forced != Backend::kRelationalMemory) {
+      return Status::InvalidArgument(
+          "sharded table '" + parsed.table + "' supports ROW and RM, not " +
+          std::string(BackendToString(forced)));
+    }
+    plan.backend = forced;
+  }
+
+  std::ostringstream os;
+  os << "table=" << plan.table << " backend=SHARD("
+     << BackendToString(plan.backend) << ") shards="
+     << plan.shards.shard_ids.size() << "/" << plan.shards.shards_total
+     << " pruned="
+     << plan.shards.shards_total - plan.shards.shard_ids.size()
+     << " est{ROW=" << plan.est_cost_row << ", RM=" << plan.est_cost_rm
+     << "}";
+  plan.explanation = os.str();
+  return plan;
+}
+
+StatusOr<Plan> Planner::MakePlan(const ParsedQuery& parsed,
+                                 const exec::QueryOptions* options) const {
   RELFAB_ASSIGN_OR_RETURN(TableEntry entry, catalog_->Lookup(parsed.table));
+  if (entry.sharded != nullptr) {
+    return MakeShardedPlan(parsed, entry, options);
+  }
   RELFAB_RETURN_IF_ERROR(parsed.spec.Validate(entry.rows->schema()));
 
   Plan plan;
@@ -212,11 +317,13 @@ StatusOr<Plan> Planner::MakePlan(const ParsedQuery& parsed) const {
       entry.stats != nullptr
           ? entry.stats->EstimateSelectivity(parsed.spec.predicates)
           : 1.0;
-  plan.est_cost_row = EstimateRow(*entry.rows, parsed.spec);
+  const layout::Schema& schema = entry.rows->schema();
+  const double n = static_cast<double>(entry.rows->num_rows());
+  plan.est_cost_row = EstimateRow(schema, n, parsed.spec);
   plan.est_cost_column = entry.columns != nullptr
-                             ? EstimateColumn(*entry.rows, parsed.spec)
+                             ? EstimateColumn(schema, n, parsed.spec)
                              : std::numeric_limits<double>::infinity();
-  plan.est_cost_rm = EstimateRm(*entry.rows, parsed.spec);
+  plan.est_cost_rm = EstimateRm(schema, n, parsed.spec);
   plan.est_cost_index = EstimateIndex(entry, parsed.spec);
   plan.est_cost_hybrid =
       EstimateHybrid(entry, parsed.spec, plan.est_selectivity);
@@ -240,6 +347,37 @@ StatusOr<Plan> Planner::MakePlan(const ParsedQuery& parsed) const {
     plan.backend = Backend::kIndex;
   }
 
+  if (options != nullptr && options->forced_backend.has_value()) {
+    const Backend forced = *options->forced_backend;
+    switch (forced) {
+      case Backend::kColumn:
+        if (entry.columns == nullptr) {
+          return Status::InvalidArgument(
+              "forced COL but table '" + parsed.table +
+              "' has no materialized columnar copy");
+        }
+        break;
+      case Backend::kIndex:
+        if (std::isinf(plan.est_cost_index)) {
+          return Status::InvalidArgument(
+              "forced INDEX but table '" + parsed.table +
+              "' has no applicable index for this query");
+        }
+        break;
+      case Backend::kHybrid:
+        if (std::isinf(plan.est_cost_hybrid)) {
+          return Status::InvalidArgument(
+              "forced HYBRID but table '" + parsed.table +
+              "' lacks predicates or ANALYZE statistics");
+        }
+        break;
+      case Backend::kRow:
+      case Backend::kRelationalMemory:
+        break;  // always feasible
+    }
+    plan.backend = forced;
+  }
+
   std::ostringstream os;
   os << "table=" << plan.table << " backend=" << BackendToString(plan.backend)
      << " est{ROW=" << plan.est_cost_row;
@@ -258,6 +396,9 @@ StatusOr<Plan> Planner::MakePlan(const ParsedQuery& parsed) const {
        << plan.est_selectivity << ")";
   }
   os << "}";
+  if (options != nullptr && options->forced_backend.has_value()) {
+    os << " (backend forced)";
+  }
   plan.explanation = os.str();
   return plan;
 }

@@ -1,26 +1,39 @@
 #ifndef RELFAB_QUERY_PLANNER_H_
 #define RELFAB_QUERY_PLANNER_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/statusor.h"
 #include "engine/cost_model.h"
+#include "exec/options.h"
 #include "query/catalog.h"
 #include "query/parser.h"
 #include "sim/params.h"
 
 namespace relfab::query {
 
-/// Access path chosen for a query.
-enum class Backend : uint8_t {
-  kRow,               // volcano over the row base data
-  kColumn,            // vectorized over a materialized columnar copy
-  kRelationalMemory,  // vectorized over an ephemeral column group
-  kIndex,             // B+-tree point lookup, then fetch from row data
-  kHybrid,            // ephemeral predicate stream + base-row fetch
-};
+/// Access path chosen for a query. The enum itself lives in exec (the
+/// execution layer needs it without depending on the planner); these
+/// aliases keep query-side code and call sites unchanged.
+using Backend = exec::Backend;
+using exec::BackendFromString;
+using exec::BackendToString;
 
-std::string_view BackendToString(Backend backend);
+/// Shard fan-out section of a plan (set when the table is range-sharded).
+struct ShardFanout {
+  bool enabled = false;
+  uint32_t shards_total = 0;
+  /// Surviving shards after pruning the WHERE clause's shard-key range
+  /// through ShardedTable::ShardsForRange, ascending. May be empty
+  /// (contradictory key range: the query answers without scanning).
+  std::vector<uint32_t> shard_ids;
+  /// The pruned key range [key_lo, key_hi] (inclusive; int64 extremes
+  /// when unbounded). Informational — predicates are still evaluated.
+  int64_t key_lo = 0;
+  int64_t key_hi = 0;
+};
 
 /// An executable plan: the chosen backend plus per-path cost estimates.
 struct Plan {
@@ -34,6 +47,9 @@ struct Plan {
   double est_cost_hybrid = 0;  // +inf without predicates or statistics
   /// Selectivity estimate used for the hybrid decision (1.0 = unknown).
   double est_selectivity = 1.0;
+  /// Shard fan-out (enabled only for sharded tables; estimates above
+  /// then cover the surviving shards summed, i.e. total work).
+  ShardFanout shards;
   std::string explanation;
 };
 
@@ -42,7 +58,8 @@ struct Plan {
 /// designs. The planner *constructs* the candidate geometries directly
 /// from the query's referenced columns, prices the three access paths
 /// with a closed-form mirror of the simulator's cost model, and picks the
-/// cheapest.
+/// cheapest. For sharded tables it additionally prunes shards from the
+/// WHERE clause's shard-key range and emits a shard-fanout plan.
 class Planner {
  public:
   Planner(const Catalog* catalog, sim::SimParams sim_params,
@@ -53,14 +70,19 @@ class Planner {
     RELFAB_CHECK(catalog != nullptr);
   }
 
-  StatusOr<Plan> MakePlan(const ParsedQuery& parsed) const;
+  /// Plans `parsed`. `options` (may be null = defaults) contributes the
+  /// forced-backend override; an infeasible override (COL without a
+  /// columnar copy, INDEX without an applicable index, COL/INDEX/HYBRID
+  /// on a sharded table) is an InvalidArgument.
+  StatusOr<Plan> MakePlan(const ParsedQuery& parsed,
+                          const exec::QueryOptions* options = nullptr) const;
 
  private:
-  double EstimateRow(const layout::RowTable& table,
+  double EstimateRow(const layout::Schema& schema, double n,
                      const engine::QuerySpec& spec) const;
-  double EstimateColumn(const layout::RowTable& table,
+  double EstimateColumn(const layout::Schema& schema, double n,
                         const engine::QuerySpec& spec) const;
-  double EstimateRm(const layout::RowTable& table,
+  double EstimateRm(const layout::Schema& schema, double n,
                     const engine::QuerySpec& spec) const;
   /// +inf unless the query has an equality predicate on the indexed
   /// column (the point-query case the paper reserves for indexes).
@@ -71,6 +93,10 @@ class Planner {
   double EstimateHybrid(const TableEntry& entry,
                         const engine::QuerySpec& spec,
                         double selectivity) const;
+
+  StatusOr<Plan> MakeShardedPlan(const ParsedQuery& parsed,
+                                 const TableEntry& entry,
+                                 const exec::QueryOptions* options) const;
 
   const Catalog* catalog_;
   sim::SimParams sim_;

@@ -305,6 +305,20 @@ class MemorySystem {
     fabric_watermark_ = kFabricBase >> kLineShift;
   }
 
+  /// ResetState plus a rewind of the simulated DRAM allocator: the next
+  /// Allocate returns exactly what it would on a freshly constructed
+  /// system. For worker-private rigs that re-host a different table per
+  /// task (the shard scheduler): with the allocator rewound, a task's
+  /// addresses — and therefore its bank/set mappings and cycles — are a
+  /// pure function of the task, independent of what the rig ran before.
+  /// ResetState deliberately does NOT do this (benches rely on
+  /// allocations surviving it); use this only when the rig's previous
+  /// tables are dead.
+  void ResetAddressSpace() {
+    ResetState();
+    dram_brk_ = 1ull << 20;
+  }
+
   /// Selects the batched fast path (default, also controlled by the
   /// RELFAB_SIM_FAST_PATH environment variable) or the per-line
   /// reference path. Both produce bit-identical clocks and stats; the

@@ -170,8 +170,10 @@ WorkloadAnswers RunWorkload(Fabric* fabric) {
   // run them explicitly on the RM backend too.
   query::Executor executor(&fabric->catalog(), &fabric->rm(),
                            fabric->cost_model());
-  executor.set_fault_injector(fabric->fault_injector());
-  const auto run_rm = [fabric, &executor, &answers](std::string_view sql) {
+  exec::ExecContext rm_ctx;
+  rm_ctx.injector = fabric->fault_injector();
+  const auto run_rm = [fabric, &executor, &rm_ctx,
+                       &answers](std::string_view sql) {
     StatusOr<query::ParsedQuery> parsed =
         query::Parser(&fabric->catalog()).Parse(sql);
     RELFAB_CHECK(parsed.ok()) << parsed.status().ToString();
@@ -179,7 +181,7 @@ WorkloadAnswers RunWorkload(Fabric* fabric) {
     plan.table = parsed->table;
     plan.backend = query::Backend::kRelationalMemory;
     plan.spec = std::move(parsed->spec);
-    StatusOr<engine::QueryResult> result = executor.Execute(plan);
+    StatusOr<engine::QueryResult> result = executor.Execute(plan, rm_ctx);
     RELFAB_CHECK(result.ok()) << sql << ": " << result.status().ToString();
     answers.queries.push_back(std::move(*result));
   };
@@ -345,10 +347,12 @@ TEST(ChaosTest, RmQueryCompletesViaHostFallbackAfterRetryExhaustion) {
   fabric.ArmFaults(*faults::FaultPlan::Parse("rm.gather:p=1"));
   faults::FaultInjector* injector = fabric.fault_injector();
   ASSERT_NE(injector, nullptr);
-  executor.set_fault_injector(injector);
 
   obs::QueryProfile profile;
-  StatusOr<engine::QueryResult> degraded = executor.Execute(plan, &profile);
+  exec::ExecContext ctx;
+  ctx.injector = injector;
+  ctx.profile = &profile;
+  StatusOr<engine::QueryResult> degraded = executor.Execute(plan, ctx);
   ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
 
   // Identical answer, via the host path.

@@ -56,7 +56,9 @@ class ExplainAnalyzeTest : public ::testing::Test {
                              fabric_.cost_model());
     fabric_.memory().ResetState();
     obs::QueryProfile profile;
-    auto result = executor.Execute(*plan, &profile);
+    exec::ExecContext ctx;
+    ctx.profile = &profile;
+    auto result = executor.Execute(*plan, ctx);
     EXPECT_TRUE(result.ok()) << result.status().ToString();
 
     const sim::MemStats& stats = fabric_.memory().stats();
@@ -150,10 +152,10 @@ TEST_F(ExplainAnalyzeTest, IndexBackendMetersAreComplete) {
   EXPECT_EQ(p.ops[0].rows_out, 1u);
 }
 
-TEST_F(ExplainAnalyzeTest, ExecuteSqlAnalyzedEndToEnd) {
+TEST_F(ExplainAnalyzeTest, AnalyzeOptionEndToEnd) {
   fabric_.memory().ResetState();
-  auto analyzed = fabric_.ExecuteSqlAnalyzed(
-      "SELECT SUM(amount) FROM events WHERE kind < 3");
+  auto analyzed = fabric_.ExecuteSql(
+      "SELECT SUM(amount) FROM events WHERE kind < 3", {.analyze = true});
   ASSERT_TRUE(analyzed.ok()) << analyzed.status().ToString();
   EXPECT_EQ(analyzed->result.rows_matched, kRows * 3 / 8);
   EXPECT_FALSE(analyzed->profile.ops.empty());
@@ -169,6 +171,15 @@ TEST_F(ExplainAnalyzeTest, ExecuteSqlAnalyzedEndToEnd) {
       fabric_.ExecuteSql("SELECT SUM(amount) FROM events WHERE kind < 3");
   ASSERT_TRUE(plain.ok());
   EXPECT_EQ(plain->result.aggregates, analyzed->result.aggregates);
+
+  // The deprecated shim keeps working and agrees with the options path.
+  fabric_.memory().ResetState();
+  auto shim =
+      fabric_.ExecuteSqlAnalyzed("SELECT SUM(amount) FROM events WHERE "
+                                 "kind < 3");
+  ASSERT_TRUE(shim.ok());
+  EXPECT_EQ(shim->result.aggregates, analyzed->result.aggregates);
+  EXPECT_FALSE(shim->profile.ops.empty());
 }
 
 TEST_F(ExplainAnalyzeTest, ProfilingDisabledIsBitIdentical) {
@@ -180,8 +191,8 @@ TEST_F(ExplainAnalyzeTest, ProfilingDisabledIsBitIdentical) {
   ASSERT_TRUE(plain.ok());
   const uint64_t cycles_plain = plain->result.sim_cycles;
   fabric_.memory().ResetState();
-  auto analyzed = fabric_.ExecuteSqlAnalyzed(
-      "SELECT SUM(amount) FROM events WHERE kind < 3");
+  auto analyzed = fabric_.ExecuteSql(
+      "SELECT SUM(amount) FROM events WHERE kind < 3", {.analyze = true});
   ASSERT_TRUE(analyzed.ok());
   EXPECT_EQ(analyzed->result.sim_cycles, cycles_plain);
 }
