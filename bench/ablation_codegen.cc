@@ -7,15 +7,35 @@
 // reports total compilation stalls for both regimes across fragment
 // budgets.
 
-#include <mutex>
-
 #include "bench/bench_util.h"
 #include "common/random.h"
+#include "common/thread_annotations.h"
 #include "engine/code_cache.h"
 #include "sim/memory_system.h"
 
 namespace relfab::bench {
 namespace {
+
+/// Per-x fragment hit rates (fabric, legacy), written under a mutex
+/// because sweep workers finish cells concurrently.
+struct HitRates {
+  Mutex mu;
+  std::map<std::string, std::pair<double, double>> by_x
+      RELFAB_GUARDED_BY(mu);
+
+  void RecordFabric(const std::string& x, double rate) {
+    MutexLock lock(&mu);
+    by_x[x].first = rate;
+  }
+  void RecordLegacy(const std::string& x, double rate) {
+    MutexLock lock(&mu);
+    by_x[x].second = rate;
+  }
+  std::map<std::string, std::pair<double, double>> Snapshot() {
+    MutexLock lock(&mu);
+    return by_x;
+  }
+};
 
 constexpr int kDistinctQueries = 24;
 constexpr int kStatements = 2000;
@@ -72,8 +92,7 @@ int main(int argc, char** argv) {
       std::to_string(kStatements) + " ad-hoc statements (" +
       std::to_string(kDistinctQueries) + " distinct queries)");
   // Side output filled from concurrent sweep workers.
-  std::mutex rates_mu;
-  std::map<std::string, std::pair<double, double>> hit_rates;
+  HitRates hit_rates;
 
   for (uint32_t capacity : {8u, 16u, 24u, 48u, 96u}) {
     const std::string x = std::to_string(capacity) + " slots";
@@ -81,8 +100,7 @@ int main(int argc, char** argv) {
                          x, [&, capacity, x] {
                            double rate = 0;
                            const uint64_t c = RunWorkload(capacity, 1, &rate);
-                           std::lock_guard<std::mutex> lock(rates_mu);
-                           hit_rates[x].first = rate;
+                           hit_rates.RecordFabric(x, rate);
                            return c;
                          });
     RegisterSimBenchmark(
@@ -91,8 +109,7 @@ int main(int argc, char** argv) {
         [&, capacity, x] {
           double rate = 0;
           const uint64_t c = RunWorkload(capacity, kLegacyLayouts, &rate);
-          std::lock_guard<std::mutex> lock(rates_mu);
-          hit_rates[x].second = rate;
+          hit_rates.RecordLegacy(x, rate);
           return c;
         });
   }
@@ -101,7 +118,7 @@ int main(int argc, char** argv) {
   if (args.list) return 0;
   results.PrintCycles("fragment budget");
   std::printf("\nfragment hit rates (fabric vs legacy):\n");
-  for (const auto& [x, rates] : hit_rates) {
+  for (const auto& [x, rates] : hit_rates.Snapshot()) {
     std::printf("%-10s %5.1f%% vs %5.1f%%\n", x.c_str(),
                 100 * rates.first, 100 * rates.second);
   }

@@ -5,10 +5,10 @@
 // RM scan, showing the re-arm overhead amortizing away.
 
 #include <memory>
-#include <mutex>
 
 #include "bench/bench_util.h"
 #include "common/random.h"
+#include "common/thread_annotations.h"
 #include "engine/rm_exec.h"
 #include "layout/row_table.h"
 #include "relmem/rm_engine.h"
@@ -51,6 +51,22 @@ uint64_t RunWithBuffer(uint64_t buffer_bytes, uint64_t rows,
   return cycles;
 }
 
+/// Per-x refill counts, written under a mutex because sweep workers
+/// finish cells concurrently.
+struct RefillCounts {
+  Mutex mu;
+  std::map<std::string, uint64_t> by_x RELFAB_GUARDED_BY(mu);
+
+  void Record(const std::string& x, uint64_t refills) {
+    MutexLock lock(&mu);
+    by_x[x] = refills;
+  }
+  std::map<std::string, uint64_t> Snapshot() {
+    MutexLock lock(&mu);
+    return by_x;
+  }
+};
+
 }  // namespace
 }  // namespace relfab::bench
 
@@ -64,16 +80,14 @@ int main(int argc, char** argv) {
                       std::to_string(rows) + " rows, 8 of 16 "
                       "columns projected)");
   // Side output filled from concurrent sweep workers.
-  std::mutex refill_mu;
-  std::map<std::string, uint64_t> refill_counts;
+  RefillCounts refill_counts;
 
   for (uint64_t kib : {16ull, 64ull, 256ull, 1024ull, 2048ull, 8192ull}) {
     const std::string x = std::to_string(kib) + " KiB";
     RegisterSimBenchmark("fill_buffer/" + x, &results, "RM", x, [&, kib, x] {
       uint64_t refills = 0;
       const uint64_t cycles = RunWithBuffer(kib * 1024, rows, &refills);
-      std::lock_guard<std::mutex> lock(refill_mu);
-      refill_counts[x] = refills;
+      refill_counts.Record(x, refills);
       return cycles;
     });
   }
@@ -82,7 +96,7 @@ int main(int argc, char** argv) {
   if (args.list) return 0;
   results.PrintCycles("buffer size");
   std::printf("\nrefills per scan:\n");
-  for (const auto& [x, n] : refill_counts) {
+  for (const auto& [x, n] : refill_counts.Snapshot()) {
     std::printf("%-12s %llu\n", x.c_str(),
                 static_cast<unsigned long long>(n));
   }

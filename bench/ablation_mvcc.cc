@@ -39,8 +39,11 @@ struct Rig {
       b.AddInt64(static_cast<int64_t>(k))
           .AddInt64(static_cast<int64_t>(rng.Uniform(1000)))
           .AddInt64(0);
-      (void)tm->Insert(&txn, b.Finish());
-      (void)tm->Commit(&txn);
+      const Status ins = tm->Insert(&txn, b.Finish());
+      RELFAB_CHECK(ins.ok()) << "load insert failed: " << ins.ToString();
+      const Status commit = tm->Commit(&txn);
+      RELFAB_CHECK(commit.ok()) << "load commit failed: "
+                                << commit.ToString();
     }
     for (int u = 0; u < updates_per_key; ++u) {
       for (uint64_t k = 0; k < keys; ++k) {
@@ -49,8 +52,12 @@ struct Rig {
         b.AddInt64(static_cast<int64_t>(k))
             .AddInt64(static_cast<int64_t>(rng.Uniform(1000)))
             .AddInt64(u);
-        (void)tm->Update(&txn, static_cast<int64_t>(k), b.Finish());
-        (void)tm->Commit(&txn);
+        const Status upd = tm->Update(&txn, static_cast<int64_t>(k),
+                                      b.Finish());
+        RELFAB_CHECK(upd.ok()) << "load update failed: " << upd.ToString();
+        const Status commit = tm->Commit(&txn);
+        RELFAB_CHECK(commit.ok()) << "load commit failed: "
+                                  << commit.ToString();
       }
     }
   }

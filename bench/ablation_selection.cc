@@ -17,11 +17,11 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "bench/bench_util.h"
 #include "common/random.h"
+#include "common/thread_annotations.h"
 #include "engine/rm_exec.h"
 #include "engine/volcano.h"
 #include "faults/injector.h"
@@ -85,11 +85,11 @@ engine::QuerySpec Query(int permille) {
 /// Per-cell answers, keyed by cell name; written under a mutex because
 /// workers finish cells concurrently.
 struct Answers {
-  std::mutex mu;
-  std::map<std::string, engine::QueryResult> by_cell;
+  Mutex mu;
+  std::map<std::string, engine::QueryResult> by_cell RELFAB_GUARDED_BY(mu);
 
   void Record(const std::string& cell, engine::QueryResult result) {
-    std::lock_guard<std::mutex> lock(mu);
+    MutexLock lock(&mu);
     by_cell[cell] = std::move(result);
   }
 };
@@ -163,7 +163,7 @@ int main(int argc, char** argv) {
   // injector with identical per-cell streams).
   obs::Registry registry;
   {
-    std::lock_guard<std::mutex> lock(answers.mu);
+    MutexLock lock(&answers.mu);
     for (const auto& [cell, r] : answers.by_cell) {
       double sum = 0;
       for (double v : r.aggregates) sum += v;

@@ -10,13 +10,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <regex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "common/logging.h"
+#include "common/thread_annotations.h"
 #include "obs/registry.h"
 #include "obs/report.h"
 #include "sim/memory_system.h"
@@ -69,7 +69,7 @@ class ResultTable {
   /// Fixes the position of a (series, x) cell in the output order.
   /// Idempotent; called by SweepRunner::Register before workers start.
   void Reserve(const std::string& series, const std::string& x) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (std::find(x_order_.begin(), x_order_.end(), x) == x_order_.end()) {
       x_order_.push_back(x);
     }
@@ -82,7 +82,7 @@ class ResultTable {
   void Add(const std::string& series, const std::string& x, uint64_t cycles,
            double host_wall_ms = 0, uint64_t sim_lines = 0) {
     Reserve(series, x);
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     cells_[series][x] = Cell{cycles, host_wall_ms, sim_lines};
   }
 
@@ -91,7 +91,7 @@ class ResultTable {
   }
 
   Cell GetCell(const std::string& series, const std::string& x) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto sit = cells_.find(series);
     RELFAB_CHECK(sit != cells_.end() && sit->second.count(x) > 0)
         << "ResultTable '" << title_ << "' has no cell (series='" << series
@@ -100,21 +100,23 @@ class ResultTable {
   }
 
   bool Has(const std::string& series, const std::string& x) const {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     auto it = cells_.find(series);
     return it != cells_.end() && it->second.count(x) > 0;
   }
 
   /// Prints absolute simulated cycles per series.
   void PrintCycles(const char* x_name) const {
+    const std::vector<std::string> series = series_order();
+    const std::vector<std::string> xs = x_order();
     std::printf("\n=== %s ===\n%-28s", title_.c_str(), x_name);
-    for (const std::string& s : series_order_) {
+    for (const std::string& s : series) {
       std::printf(" %14s", s.c_str());
     }
     std::printf("\n");
-    for (const std::string& x : x_order_) {
+    for (const std::string& x : xs) {
       std::printf("%-28s", x.c_str());
-      for (const std::string& s : series_order_) {
+      for (const std::string& s : series) {
         if (Has(s, x)) {
           std::printf(" %14llu",
                       static_cast<unsigned long long>(Get(s, x)));
@@ -129,15 +131,17 @@ class ResultTable {
   /// Prints series_cycles / base_cycles (the paper's "normalized
   /// execution time" view; base shows as 1.00).
   void PrintNormalized(const char* x_name, const std::string& base) const {
+    const std::vector<std::string> series = series_order();
+    const std::vector<std::string> xs = x_order();
     std::printf("\n=== %s — normalized to %s ===\n%-28s", title_.c_str(),
                 base.c_str(), x_name);
-    for (const std::string& s : series_order_) {
+    for (const std::string& s : series) {
       std::printf(" %14s", s.c_str());
     }
     std::printf("\n");
-    for (const std::string& x : x_order_) {
+    for (const std::string& x : xs) {
       std::printf("%-28s", x.c_str());
-      for (const std::string& s : series_order_) {
+      for (const std::string& s : series) {
         if (Has(s, x) && Has(base, x)) {
           std::printf(" %14.3f", static_cast<double>(Get(s, x)) /
                                      static_cast<double>(Get(base, x)));
@@ -152,16 +156,18 @@ class ResultTable {
   /// Prints each series normalized to `base_series` (the paper's
   /// "speedup vs X" view): base_cycles / series_cycles.
   void PrintSpeedupVs(const char* x_name, const std::string& base) const {
+    const std::vector<std::string> series = series_order();
+    const std::vector<std::string> xs = x_order();
     std::printf("\n=== %s — speedup vs %s ===\n%-28s", title_.c_str(),
                 base.c_str(), x_name);
-    for (const std::string& s : series_order_) {
+    for (const std::string& s : series) {
       if (s == base) continue;
       std::printf(" %14s", s.c_str());
     }
     std::printf("\n");
-    for (const std::string& x : x_order_) {
+    for (const std::string& x : xs) {
       std::printf("%-28s", x.c_str());
-      for (const std::string& s : series_order_) {
+      for (const std::string& s : series) {
         if (s == base) continue;
         if (Has(s, x) && Has(base, x)) {
           std::printf(" %14.2f", static_cast<double>(Get(base, x)) /
@@ -174,17 +180,24 @@ class ResultTable {
     }
   }
 
-  const std::vector<std::string>& series_order() const {
+  /// Snapshots (by value: the orders are tiny and callers iterate them
+  /// while other accessors re-acquire mu_).
+  std::vector<std::string> series_order() const {
+    MutexLock lock(&mu_);
     return series_order_;
   }
-  const std::vector<std::string>& x_order() const { return x_order_; }
+  std::vector<std::string> x_order() const {
+    MutexLock lock(&mu_);
+    return x_order_;
+  }
 
  private:
   std::string title_;
-  std::vector<std::string> series_order_;
-  std::vector<std::string> x_order_;
-  std::map<std::string, std::map<std::string, Cell>> cells_;
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
+  std::vector<std::string> series_order_ RELFAB_GUARDED_BY(mu_);
+  std::vector<std::string> x_order_ RELFAB_GUARDED_BY(mu_);
+  std::map<std::string, std::map<std::string, Cell>> cells_
+      RELFAB_GUARDED_BY(mu_);
 };
 
 /// Parsed harness command line. The sweep harness owns its (tiny) flag
@@ -299,7 +312,7 @@ class PerWorker {
   /// The calling worker's instance (built on first use).
   T& Get() {
     const int slot = internal::g_worker_slot;
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (static_cast<size_t>(slot) >= instances_.size()) {
       instances_.resize(slot + 1);
     }
@@ -311,7 +324,7 @@ class PerWorker {
   /// never built one. Used after the sweep to snapshot metrics from the
   /// rig that ran a particular cell.
   T* ForWorker(int slot) {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     if (slot < 0 || static_cast<size_t>(slot) >= instances_.size()) {
       return nullptr;
     }
@@ -320,8 +333,10 @@ class PerWorker {
 
  private:
   std::function<std::unique_ptr<T>()> factory_;
-  std::vector<std::unique_ptr<T>> instances_;
-  std::mutex mu_;
+  Mutex mu_;
+  /// The unique_ptr slots are guarded; the built T instances themselves
+  /// are worker-private by construction (one slot per worker).
+  std::vector<std::unique_ptr<T>> instances_ RELFAB_GUARDED_BY(mu_);
 };
 
 /// Deterministic parallel sweep executor. Cells are registered
@@ -380,7 +395,10 @@ class SweepRunner {
       threads = static_cast<int>(selected.size());
     }
 
-    last_cell_worker_ = -1;
+    {
+      MutexLock lock(&mu_);
+      last_cell_worker_ = -1;
+    }
     const size_t last_index = selected.back();
     std::atomic<size_t> next{0};
     auto worker = [&](int slot) {
@@ -389,17 +407,19 @@ class SweepRunner {
         const size_t pick = next.fetch_add(1);
         if (pick >= selected.size()) break;
         CellSpec& cell = cells_[selected[pick]];
+        // relfab-lint: allow(wall-clock) host_wall_ms measures real host time around the cell; it never feeds simulated cycles
         const auto t0 = std::chrono::steady_clock::now();
         last_cell_lines() = 0;
         const uint64_t cycles = cell.run();
         const uint64_t lines = last_cell_lines();
         const double host_ms =
             std::chrono::duration<double, std::milli>(
+                // relfab-lint: allow(wall-clock) host-domain wall time for the report's host_wall_ms field only
                 std::chrono::steady_clock::now() - t0)
                 .count();
         cell.table->Add(cell.series, cell.x, cycles, host_ms, lines);
         if (selected[pick] == last_index) {
-          std::lock_guard<std::mutex> lock(mu_);
+          MutexLock lock(&mu_);
           last_cell_worker_ = slot;
         }
       }
@@ -416,6 +436,7 @@ class SweepRunner {
       for (int t = 0; t < threads; ++t) pool.emplace_back(worker, t);
       for (std::thread& t : pool) t.join();
     }
+    MutexLock lock(&mu_);
     return last_cell_worker_;
   }
 
@@ -430,8 +451,8 @@ class SweepRunner {
 
  private:
   std::vector<CellSpec> cells_;
-  std::mutex mu_;
-  int last_cell_worker_ = -1;
+  Mutex mu_;
+  int last_cell_worker_ RELFAB_GUARDED_BY(mu_) = -1;
 };
 
 /// Process-wide runner used by RegisterSimBenchmark / RunSweep so bench

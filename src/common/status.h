@@ -30,7 +30,12 @@ std::string_view StatusCodeToString(StatusCode code);
 
 /// Result of a fallible operation: a code plus a human-readable message.
 /// Cheap to copy in the OK case (empty message).
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status hides failures, so the
+/// build runs with -Werror=unused-result. Callers must propagate
+/// (RELFAB_RETURN_IF_ERROR), handle, or explicitly discard with
+/// RELFAB_IGNORE_STATUS(expr, "reason").
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -104,6 +109,17 @@ class Status {
   do {                                                \
     ::relfab::Status _relfab_status = (expr);         \
     if (!_relfab_status.ok()) return _relfab_status;  \
+  } while (0)
+
+/// Explicitly discards a Status (or StatusOr) result. The mandatory
+/// reason string documents why dropping the error is correct at this
+/// call site; an empty reason fails to compile. This is the only
+/// sanctioned way past -Werror=unused-result.
+#define RELFAB_IGNORE_STATUS(expr, reason)                                \
+  do {                                                                    \
+    static_assert(sizeof(reason "") > 1,                                  \
+                  "RELFAB_IGNORE_STATUS needs a non-empty reason");       \
+    static_cast<void>(expr);                                              \
   } while (0)
 
 #endif  // RELFAB_COMMON_STATUS_H_

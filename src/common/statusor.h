@@ -12,8 +12,10 @@ namespace relfab {
 /// Holds either a value of type T or a non-OK Status explaining why the
 /// value is absent. Accessing the value of a failed StatusOr aborts the
 /// process (programming error), matching absl::StatusOr semantics.
+/// [[nodiscard]] for the same reason as Status: an ignored StatusOr is
+/// an ignored error (see -Werror=unused-result in CMakeLists.txt).
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   /// Constructs from a non-OK status. Constructing from an OK status is a
   /// programming error (there would be no value).

@@ -110,6 +110,7 @@ class CodeCache {
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;
   std::list<uint64_t> lru_;
+  // relfab-lint: allow(unordered-iteration) point lookups only; eviction order is the deterministic lru_ list
   std::unordered_map<uint64_t, std::list<uint64_t>::iterator> resident_;
 };
 

@@ -137,7 +137,7 @@ faults::FaultPlan PlanForShard(const faults::FaultPlan& base,
 }  // namespace
 
 ShardScheduler::Rig& ShardScheduler::RigForSlot(int slot) {
-  std::lock_guard<std::mutex> lock(rig_mu_);
+  MutexLock lock(&rig_mu_);
   if (static_cast<size_t>(slot) >= rigs_.size()) {
     rigs_.resize(static_cast<size_t>(slot) + 1);
   }

@@ -3,10 +3,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "common/statusor.h"
+#include "common/thread_annotations.h"
 #include "engine/cost_model.h"
 #include "engine/query.h"
 #include "exec/exec_context.h"
@@ -108,8 +108,10 @@ class ShardScheduler {
   sim::SimParams sim_params_;
   int host_threads_ = 0;
 
-  std::mutex rig_mu_;
-  std::vector<std::unique_ptr<Rig>> rigs_;
+  Mutex rig_mu_;
+  /// The slot vector is guarded; each built Rig itself is worker-private
+  /// (one slot per host worker, see RigForSlot).
+  std::vector<std::unique_ptr<Rig>> rigs_ RELFAB_GUARDED_BY(rig_mu_);
 
   // Updated single-threaded after the pool joins.
   uint64_t queries_ = 0;

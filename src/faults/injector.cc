@@ -155,6 +155,7 @@ uint64_t FaultInjector::total_fallbacks() const { return total_fallbacks_; }
 
 void FaultInjector::ResetStreams() {
   for (size_t i = 0; i < sites_.size(); ++i) {
+    // relfab-lint: allow(ambient-random) the one sanctioned derived-seeding path: per-site streams seeded from (plan seed, site name) only — see docs/static-analysis.md
     sites_[i].rng = Random(SiteSeed(plan_.rules[i].site));
     sites_[i].backoff_spent = 0;
   }

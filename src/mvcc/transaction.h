@@ -43,6 +43,7 @@ class Transaction {
   uint64_t read_ts_ = 0;
   TxnState state_ = TxnState::kActive;
   std::vector<Op> ops_;
+  // relfab-lint: allow(unordered-iteration) point lookups only (find/insert by key); commit replays ops_ in vector order
   std::unordered_map<int64_t, size_t> op_by_key_;
 };
 

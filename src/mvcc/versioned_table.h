@@ -98,6 +98,7 @@ class VersionedTable {
   // views hold pointers to it).
   std::unique_ptr<layout::RowTable> rows_;
   /// Version chain heads: key -> newest physical row of that key.
+  // relfab-lint: allow(unordered-iteration) point lookups only; scans walk physical row order, never this map
   std::unordered_map<int64_t, uint64_t> newest_version_;
   /// Previous version links: row -> older row of the same key (or ~0).
   std::vector<uint64_t> prev_version_;

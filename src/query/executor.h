@@ -25,6 +25,7 @@ class Executor {
   Executor(const Catalog* catalog, relmem::RmEngine* rm,
            engine::CostModel cost_model)
       : catalog_(catalog), rm_(rm), cost_(cost_model) {
+    // relfab-lint: allow(data-check) wiring-time null check: a programming error, never data-dependent
     RELFAB_CHECK(catalog != nullptr && rm != nullptr);
   }
 

@@ -34,6 +34,7 @@ struct ParsedQuery {
 class Parser {
  public:
   explicit Parser(const Catalog* catalog) : catalog_(catalog) {
+    // relfab-lint: allow(data-check) wiring-time null check: a programming error, never data-dependent
     RELFAB_CHECK(catalog != nullptr);
   }
 

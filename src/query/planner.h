@@ -67,6 +67,7 @@ class Planner {
       : catalog_(catalog),
         sim_(sim_params),
         cost_(cost_model) {
+    // relfab-lint: allow(data-check) wiring-time null check: a programming error, never data-dependent
     RELFAB_CHECK(catalog != nullptr);
   }
 

@@ -64,6 +64,7 @@ class EphemeralView {
 
   /// Output rows for a pushdown-free view (== source rows in range).
   uint64_t num_rows() const {
+    // relfab-lint: allow(data-check) API-contract violation by the caller (documented precondition), not input data
     RELFAB_CHECK(!has_pushdown())
         << "num_rows() is undefined for filtered views; scan with a Cursor";
     return end_row_ - begin_row_;
@@ -109,6 +110,7 @@ class EphemeralView {
           return v;
         }
         default:
+          // relfab-lint: allow(data-check) field types are validated by the planner before execution; reaching here is a caller bug
           RELFAB_CHECK(false) << "GetInt on non-integer field " << field;
           return 0;
       }

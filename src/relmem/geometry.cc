@@ -47,6 +47,7 @@ Status Geometry::Validate(const layout::Schema& schema) const {
   if (columns.empty()) {
     return Status::InvalidArgument("geometry must project at least one column");
   }
+  // relfab-lint: allow(unordered-iteration) membership-only dedup set; never iterated, so no order can leak into cycles
   std::unordered_set<uint32_t> seen;
   for (uint32_t c : columns) {
     if (c >= schema.num_columns()) {

@@ -31,6 +31,7 @@ class RmEngine {
  public:
   explicit RmEngine(sim::MemorySystem* memory)
       : memory_(memory), params_(memory->params()) {
+    // relfab-lint: allow(data-check) wiring-time null check: a programming error, never data-dependent
     RELFAB_CHECK(memory != nullptr);
   }
 

@@ -119,6 +119,7 @@ void RsEngine::RunScan(const StorageTable& table,
           break;
         }
         case layout::ColumnType::kChar:
+          // relfab-lint: allow(data-check) ValidateScanTypes rejects char projections with Status before this path runs
           RELFAB_CHECK(false) << "char projection through RS not supported";
       }
     }

@@ -37,6 +37,7 @@ struct ScanResult {
 class RsEngine {
  public:
   explicit RsEngine(SsdModel* ssd) : ssd_(ssd) {
+    // relfab-lint: allow(data-check) wiring-time null check: a programming error, never data-dependent
     RELFAB_CHECK(ssd != nullptr);
   }
 

@@ -1,0 +1,15 @@
+// dest: src/common/bad_ambient_random.cc
+// expect: ambient-random
+// Fixture: nondeterministic / non-portable randomness must be rejected.
+#include <cstdlib>
+#include <random>
+
+namespace relfab {
+
+int AmbientDraw() {
+  std::random_device rd;
+  std::mt19937 gen(rd());
+  return static_cast<int>(gen()) + rand();
+}
+
+}  // namespace relfab

@@ -1,0 +1,15 @@
+// dest: src/sim/bad_bare_allow.cc
+// expect: bare-allow, wall-clock
+// Fixture: an allow marker without a reason is itself a violation, and
+// it suppresses nothing — the underlying violation still fires.
+#include <chrono>
+
+namespace relfab::sim {
+
+uint64_t Sneaky() {
+  // relfab-lint: allow(wall-clock)
+  auto t = std::chrono::system_clock::now().time_since_epoch();
+  return static_cast<uint64_t>(t.count());
+}
+
+}  // namespace relfab::sim

@@ -1,0 +1,17 @@
+// dest: src/relstorage/bad_data_check.cc
+// expect: data-check
+// Fixture: a data-dependent RELFAB_CHECK in a data-handling layer must
+// be rejected (the PR-3 bug class: abort instead of returning Status).
+#include <cstdint>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace relfab::relstorage {
+
+uint64_t ReadPage(const std::vector<uint8_t>& pages, uint64_t page) {
+  RELFAB_CHECK(page < pages.size()) << "page out of range";
+  return pages[page];
+}
+
+}  // namespace relfab::relstorage

@@ -1,0 +1,12 @@
+// dest: src/query/bad_header_guard.h
+// expect: header-guard
+// Fixture: a header with neither #pragma once nor a matching
+// #ifndef/#define include guard must be rejected.
+
+namespace relfab::query {
+
+struct Unguarded {
+  int x = 0;
+};
+
+}  // namespace relfab::query

@@ -1,0 +1,19 @@
+// dest: src/exec/bad_naked_mutex.cc
+// expect: naked-mutex
+// Fixture: naked std::mutex / std::lock_guard must be rejected — the
+// annotated relfab::Mutex / MutexLock is mandatory.
+#include <mutex>
+
+namespace relfab::exec {
+
+struct Pool {
+  std::mutex mu;
+  int jobs = 0;
+
+  void Add() {
+    std::lock_guard<std::mutex> lock(mu);
+    ++jobs;
+  }
+};
+
+}  // namespace relfab::exec

@@ -1,0 +1,26 @@
+// dest: src/exec/bad_unguarded_mutex.h
+// expect: unguarded-mutex
+// Fixture: a relfab::Mutex member whose file carries no
+// RELFAB_GUARDED_BY(<that mutex>) annotation must be rejected.
+#ifndef RELFAB_EXEC_BAD_UNGUARDED_MUTEX_H_
+#define RELFAB_EXEC_BAD_UNGUARDED_MUTEX_H_
+
+#include "common/thread_annotations.h"
+
+namespace relfab::exec {
+
+class MergeState {
+ public:
+  void Note() {
+    MutexLock lock(&mu_);
+    ++merges_;
+  }
+
+ private:
+  Mutex mu_;
+  int merges_ = 0;  // unannotated: the analysis cannot tie it to mu_
+};
+
+}  // namespace relfab::exec
+
+#endif  // RELFAB_EXEC_BAD_UNGUARDED_MUTEX_H_

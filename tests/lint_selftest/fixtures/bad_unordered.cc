@@ -1,0 +1,16 @@
+// dest: src/relmem/bad_unordered.cc
+// expect: unordered-iteration
+// Fixture: std::unordered_* in a cycle-domain directory without an
+// allow marker must be rejected (iteration order could feed cycles).
+#include <cstdint>
+#include <unordered_map>
+
+namespace relfab::relmem {
+
+uint64_t SumAll(const std::unordered_map<int, uint64_t>& m) {
+  uint64_t total = 0;
+  for (const auto& [k, v] : m) total += v;
+  return total;
+}
+
+}  // namespace relfab::relmem

@@ -1,0 +1,14 @@
+// dest: src/sim/bad_wall_clock.cc
+// expect: wall-clock
+// Fixture: ambient time sources in simulation code must be rejected.
+#include <chrono>
+#include <ctime>
+
+namespace relfab::sim {
+
+uint64_t CyclesFromHostClock() {
+  auto t = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<uint64_t>(t.count()) + time(nullptr);
+}
+
+}  // namespace relfab::sim

@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Self-test for tools/relfab_lint.py (registered as ctest lint_selftest).
+
+Two halves:
+
+1. Detection: every fixture under fixtures/ is staged into a temporary
+   fake repo at the path named by its `// dest:` line (dir-scoped rules
+   like unordered-iteration and data-check only fire in specific
+   directories), the linter runs over the fake tree, and the set of
+   rules reported per file must equal the fixture's `// expect:` line.
+   A fixture expecting nothing (good_allowlisted) proves the allowlist
+   works; bad_bare_allow proves a reason-less marker both reports
+   itself and suppresses nothing.
+
+2. Cleanliness: the linter runs in --strict mode over the real tree and
+   must exit 0 — the repo stays lint-clean at all times.
+"""
+
+import os
+import re
+import shutil
+import subprocess
+import sys
+import tempfile
+
+SELFTEST_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(os.path.dirname(SELFTEST_DIR))
+LINTER = os.path.join(REPO_ROOT, "tools", "relfab_lint.py")
+FIXTURES = os.path.join(SELFTEST_DIR, "fixtures")
+
+VIOLATION_RE = re.compile(r"^(?P<path>[^:]+):(?P<line>\d+): \[(?P<rule>[a-z-]+)\]")
+
+
+def parse_fixture_header(path):
+    dest, expect = None, None
+    with open(path, encoding="utf-8") as f:
+        for line in f:
+            m = re.match(r"//\s*dest:\s*(\S+)", line)
+            if m:
+                dest = m.group(1)
+            m = re.match(r"//\s*expect:\s*(.*)", line)
+            if m:
+                expect = {r.strip() for r in m.group(1).split(",") if r.strip()}
+            if dest is not None and expect is not None:
+                break
+    if dest is None or expect is None:
+        raise SystemExit(f"fixture {path} lacks a // dest: or // expect: line")
+    return dest, expect
+
+
+def main():
+    failures = []
+    fixtures = sorted(os.listdir(FIXTURES))
+    if not fixtures:
+        raise SystemExit("no fixtures found")
+
+    with tempfile.TemporaryDirectory(prefix="relfab_lint_selftest_") as tmp:
+        expected_by_dest = {}
+        for name in fixtures:
+            src = os.path.join(FIXTURES, name)
+            dest, expect = parse_fixture_header(src)
+            staged = os.path.join(tmp, dest)
+            os.makedirs(os.path.dirname(staged), exist_ok=True)
+            shutil.copyfile(src, staged)
+            expected_by_dest[dest] = expect
+
+        proc = subprocess.run(
+            [sys.executable, LINTER, "--strict", "--root", tmp],
+            capture_output=True, text=True)
+        reported = {}
+        for line in proc.stdout.splitlines():
+            m = VIOLATION_RE.match(line)
+            if m:
+                reported.setdefault(m.group("path"), set()).add(m.group("rule"))
+
+        for dest, expect in sorted(expected_by_dest.items()):
+            got = reported.get(dest, set())
+            if got != expect:
+                failures.append(
+                    f"{dest}: expected rules {sorted(expect)}, got {sorted(got)}")
+
+        any_expected = any(expected_by_dest.values())
+        if any_expected and proc.returncode == 0:
+            failures.append(
+                "--strict exited 0 although fixtures contain violations")
+
+    # Half 2: the real tree must be clean.
+    proc = subprocess.run(
+        [sys.executable, LINTER, "--strict", "--root", REPO_ROOT],
+        capture_output=True, text=True)
+    if proc.returncode != 0:
+        failures.append("real tree is not lint-clean:\n" + proc.stdout)
+
+    if failures:
+        print("lint_selftest FAILED:")
+        for f in failures:
+            print("  " + f)
+        return 1
+    print(f"lint_selftest OK: {len(fixtures)} fixtures, real tree clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

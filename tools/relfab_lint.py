@@ -1,0 +1,362 @@
+#!/usr/bin/env python3
+"""relfab_lint: repo-specific determinism and concurrency linter.
+
+The repo's core guarantee is bit-identical simulated cycles and answers
+across host thread counts, sim modes, and fault seeds. This linter
+rejects the source patterns that historically break that guarantee:
+
+  wall-clock           ambient time sources (std::chrono::*_clock, time(),
+                       clock(), gettimeofday) — cycle accounting must use
+                       the simulated clock; host-side wall timing needs an
+                       inline allow marker.
+  ambient-random       nondeterministic or non-portable randomness
+                       (std::random_device, rand/srand, std::mt19937,
+                       drand48). All randomness goes through
+                       relfab::Random seeded from plan/config state; the
+                       one sanctioned seeding path is documented in
+                       docs/static-analysis.md.
+  unordered-iteration  std::unordered_{map,set} in cycle-domain
+                       directories (src/{sim,relmem,relstorage,mvcc,
+                       engine,exec,shard}): iteration order is
+                       implementation-defined, so anything iterated there
+                       can leak into cycle accounting. Lookup-only use is
+                       allowlisted inline with a reason.
+  naked-mutex          std::mutex / std::lock_guard / std::unique_lock /
+                       std::scoped_lock outside
+                       src/common/thread_annotations.h — use the
+                       annotated relfab::Mutex / relfab::MutexLock so
+                       clang -Wthread-safety can check lock discipline.
+  unguarded-mutex      a relfab::Mutex member with no
+                       RELFAB_GUARDED_BY(<that mutex>) companion in the
+                       same file: a mutex that guards nothing (or whose
+                       guarded state is unannotated) defeats the
+                       analysis.
+  data-check           RELFAB_CHECK* (non-DCHECK) in src/{relmem,
+                       relstorage,query}: the PR-3 bug class where a
+                       data-dependent condition aborts the process
+                       instead of returning Status. Genuine
+                       programming-error invariants are allowlisted
+                       inline with a reason.
+  header-guard         every .h must open with #pragma once or a
+                       matching #ifndef/#define include guard.
+
+Allowlist policy (docs/static-analysis.md): every suppression is inline
+and needs a reason —
+
+    // relfab-lint: allow(<rule>) <reason text>
+
+on the offending line or the line directly above it. A marker with no
+reason is itself a violation (`bare-allow`).
+
+Usage:
+    tools/relfab_lint.py [--strict] [--root DIR] [paths...]
+
+With no paths, scans src/ bench/ tests/ under --root (default: the repo
+containing this script), skipping tests/lint_selftest/fixtures (those
+files violate on purpose). --strict exits 1 on any violation; without it
+violations are printed but the exit code stays 0 (advisory mode).
+"""
+
+import argparse
+import os
+import re
+import sys
+
+# Directories whose code charges or feeds the simulated-cycle domain.
+CYCLE_DOMAIN_DIRS = (
+    "src/sim",
+    "src/relmem",
+    "src/relstorage",
+    "src/mvcc",
+    "src/engine",
+    "src/exec",
+    "src/shard",
+)
+
+# RELFAB_CHECK in these dirs must be an allowlisted programming-error
+# invariant, never a data-dependent condition (return Status instead).
+DATA_CHECK_DIRS = ("src/relmem", "src/relstorage", "src/query")
+
+ALLOW_RE = re.compile(r"//\s*relfab-lint:\s*allow\(([a-z-]+(?:\s*,\s*[a-z-]+)*)\)\s*(.*)")
+
+SOURCE_EXTS = (".h", ".hpp", ".cc", ".cpp")
+
+RULES = {}
+
+
+def rule(name):
+    def deco(fn):
+        RULES[name] = fn
+        return fn
+    return deco
+
+
+class Violation:
+    def __init__(self, path, line_no, rule_name, message):
+        self.path = path
+        self.line_no = line_no
+        self.rule = rule_name
+        self.message = message
+
+    def __str__(self):
+        return f"{self.path}:{self.line_no}: [{self.rule}] {self.message}"
+
+
+def strip_comments_and_strings(line):
+    """Removes string/char literals and // comments so token scans don't
+    fire on documentation or message text."""
+    out = []
+    i, n = 0, len(line)
+    while i < n:
+        c = line[i]
+        if c == "/" and i + 1 < n and line[i + 1] == "/":
+            break
+        if c in "\"'":
+            quote = c
+            i += 1
+            while i < n:
+                if line[i] == "\\":
+                    i += 2
+                    continue
+                if line[i] == quote:
+                    i += 1
+                    break
+                i += 1
+            out.append(quote + quote)
+            continue
+        out.append(c)
+        i += 1
+    return "".join(out)
+
+
+class FileContext:
+    def __init__(self, rel_path, lines):
+        self.rel_path = rel_path
+        self.lines = lines
+        self.code_lines = [strip_comments_and_strings(l) for l in lines]
+        # allows[line_no] = set of rule names allowed at that line
+        # (1-based); a marker covers its own line and the next line.
+        self.allows = {}
+        self.bare_allows = []  # (line_no, marker text) missing a reason
+        for idx, line in enumerate(lines, start=1):
+            m = ALLOW_RE.search(line)
+            if not m:
+                continue
+            rules = {r.strip() for r in m.group(1).split(",")}
+            reason = m.group(2).strip()
+            if not reason:
+                self.bare_allows.append((idx, m.group(0).strip()))
+                continue
+            for covered in (idx, idx + 1):
+                self.allows.setdefault(covered, set()).update(rules)
+
+    def allowed(self, line_no, rule_name):
+        return rule_name in self.allows.get(line_no, ())
+
+    def in_dir(self, prefixes):
+        return any(
+            self.rel_path == p or self.rel_path.startswith(p + "/") or
+            self.rel_path.startswith(p + os.sep)
+            for p in prefixes
+        )
+
+
+def token_scan(ctx, rule_name, patterns, message, dirs=None):
+    if dirs is not None and not ctx.in_dir(dirs):
+        return []
+    found = []
+    for idx, code in enumerate(ctx.code_lines, start=1):
+        for pat in patterns:
+            if pat.search(code):
+                if not ctx.allowed(idx, rule_name):
+                    found.append(Violation(ctx.rel_path, idx, rule_name,
+                                           message.format(match=pat.pattern)))
+                break
+    return found
+
+
+@rule("wall-clock")
+def check_wall_clock(ctx):
+    pats = [
+        re.compile(r"std::chrono::(system|steady|high_resolution)_clock"),
+        re.compile(r"\bgettimeofday\s*\("),
+        re.compile(r"(?<![:\w])time\s*\(\s*(nullptr|NULL|0)?\s*\)"),
+        re.compile(r"(?<![:\w.>])clock\s*\(\s*\)"),
+    ]
+    return token_scan(
+        ctx, "wall-clock", pats,
+        "ambient time source; cycle accounting must use the simulated "
+        "clock (allow() host-side wall timing with a reason)")
+
+
+@rule("ambient-random")
+def check_ambient_random(ctx):
+    pats = [
+        re.compile(r"std::random_device"),
+        re.compile(r"std::mt19937"),
+        re.compile(r"(?<![:\w])s?rand\s*\("),
+        re.compile(r"\bd?rand48\s*\("),
+    ]
+    return token_scan(
+        ctx, "ambient-random", pats,
+        "nondeterministic/non-portable randomness; use relfab::Random "
+        "seeded from plan/config state (common/random.h)")
+
+
+@rule("unordered-iteration")
+def check_unordered(ctx):
+    pats = [re.compile(r"std::unordered_(map|set|multimap|multiset)")]
+    return token_scan(
+        ctx, "unordered-iteration", pats,
+        "std::unordered_* in a cycle-domain directory: iteration order "
+        "is implementation-defined and can leak into cycle accounting "
+        "(allow() lookup-only use with a reason)",
+        dirs=CYCLE_DOMAIN_DIRS)
+
+
+@rule("naked-mutex")
+def check_naked_mutex(ctx):
+    if ctx.rel_path.replace(os.sep, "/") == "src/common/thread_annotations.h":
+        return []
+    pats = [
+        re.compile(r"std::(timed_|recursive_|shared_)?mutex\b"),
+        re.compile(r"std::(lock_guard|unique_lock|scoped_lock|shared_lock)\b"),
+    ]
+    return token_scan(
+        ctx, "naked-mutex", pats,
+        "naked std mutex/lock; use relfab::Mutex / relfab::MutexLock "
+        "(common/thread_annotations.h) so -Wthread-safety can check it")
+
+
+MUTEX_MEMBER_RE = re.compile(
+    r"^\s*(?:mutable\s+)?(?:relfab::)?Mutex\s+(\w+)\s*;")
+
+
+@rule("unguarded-mutex")
+def check_unguarded_mutex(ctx):
+    found = []
+    joined = "\n".join(ctx.code_lines)
+    for idx, code in enumerate(ctx.code_lines, start=1):
+        m = MUTEX_MEMBER_RE.match(code)
+        if not m:
+            continue
+        name = m.group(1)
+        if re.search(r"RELFAB_(?:PT_)?GUARDED_BY\(\s*" + re.escape(name)
+                     + r"\s*\)", joined):
+            continue
+        if not ctx.allowed(idx, "unguarded-mutex"):
+            found.append(Violation(
+                ctx.rel_path, idx, "unguarded-mutex",
+                f"Mutex member '{name}' has no RELFAB_GUARDED_BY({name}) "
+                "companion in this file; annotate what it protects"))
+    return found
+
+
+@rule("data-check")
+def check_data_check(ctx):
+    pats = [re.compile(r"RELFAB_CHECK(_EQ|_NE|_LT|_LE|_GT|_GE)?\s*\(")]
+    return token_scan(
+        ctx, "data-check", pats,
+        "RELFAB_CHECK in a data-handling layer: if the condition can be "
+        "false for any input, return Status instead of aborting "
+        "(allow() true programming-error invariants with a reason)",
+        dirs=DATA_CHECK_DIRS)
+
+
+@rule("header-guard")
+def check_header_guard(ctx):
+    if not ctx.rel_path.endswith((".h", ".hpp")):
+        return []
+    ifndef = None
+    for idx, line in enumerate(ctx.lines[:30], start=1):
+        stripped = line.strip()
+        if stripped.startswith("#pragma once"):
+            return []
+        m = re.match(r"#ifndef\s+(\w+)", stripped)
+        if m:
+            ifndef = (idx, m.group(1))
+            continue
+        if ifndef is not None:
+            m2 = re.match(r"#define\s+(\w+)", stripped)
+            if m2 and m2.group(1) == ifndef[1]:
+                return []
+    if ctx.allowed(1, "header-guard"):
+        return []
+    return [Violation(ctx.rel_path, 1, "header-guard",
+                      "header has neither #pragma once nor a matching "
+                      "#ifndef/#define include guard")]
+
+
+def lint_file(root, rel_path):
+    abs_path = os.path.join(root, rel_path)
+    try:
+        with open(abs_path, encoding="utf-8", errors="replace") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        return [Violation(rel_path, 0, "io", str(e))]
+    ctx = FileContext(rel_path.replace(os.sep, "/"), lines)
+    violations = []
+    for line_no, marker in ctx.bare_allows:
+        violations.append(Violation(
+            ctx.rel_path, line_no, "bare-allow",
+            f"allow marker '{marker}' has no reason; every suppression "
+            "must say why (docs/static-analysis.md)"))
+    # Allow markers naming rules that never fire on their line are stale.
+    for check in RULES.values():
+        violations.extend(check(ctx))
+    return violations
+
+
+def collect_files(root, paths):
+    if paths:
+        for p in paths:
+            rel = os.path.relpath(os.path.abspath(p), root)
+            yield rel
+        return
+    for top in ("src", "bench", "tests"):
+        for dirpath, dirnames, filenames in os.walk(os.path.join(root, top)):
+            # Fixture files violate on purpose; the self-test feeds them
+            # explicitly.
+            dirnames[:] = [d for d in dirnames if d != "fixtures"]
+            for name in sorted(filenames):
+                if name.endswith(SOURCE_EXTS):
+                    yield os.path.relpath(os.path.join(dirpath, name), root)
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--strict", action="store_true",
+                        help="exit 1 on any violation (CI/ctest mode)")
+    parser.add_argument("--root", default=os.path.dirname(
+        os.path.dirname(os.path.abspath(__file__))),
+        help="repo root (default: parent of tools/)")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print rule names and exit")
+    parser.add_argument("paths", nargs="*",
+                        help="explicit files to lint (default: "
+                             "src/ bench/ tests/)")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for name in sorted(RULES):
+            print(name)
+        return 0
+
+    violations = []
+    n_files = 0
+    for rel in collect_files(args.root, args.paths):
+        n_files += 1
+        violations.extend(lint_file(args.root, rel))
+
+    for v in violations:
+        print(v)
+    tag = "STRICT " if args.strict else ""
+    print(f"relfab_lint: {tag}{n_files} files, "
+          f"{len(violations)} violation(s)", file=sys.stderr)
+    if violations and args.strict:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
