@@ -6,8 +6,12 @@
 // rows and simulator meters (for the sharded table that includes
 // per-shard meters and pruning counts). Shell commands: `\metrics`
 // prints the stack-wide metrics registry (including "shard.*" and
-// "faults.*" series), `\trace on|off` toggles span tracing,
-// `\trace <file>` writes the collected Chrome trace JSON (Perfetto).
+// "faults.*" series), `\top` the live workload-telemetry view
+// (windowed throughput/latency/degradations plus latency digests),
+// `\qlog` the recent structured query log (`\qlog <file>` exports it
+// as JSONL), `\flight <file>` dumps the flight-recorder ring,
+// `\trace on|off` toggles span tracing, and `\trace <file>` writes the
+// collected Chrome trace JSON (Perfetto).
 //
 // The `wide` table has a materialized columnar copy (legacy baseline);
 // `events` exists only in row format, as a Relational Fabric deployment
@@ -192,6 +196,41 @@ bool RunCommand(relfab::Fabric& fabric, const std::string& line) {
     std::printf("%s", fabric.CollectMetrics().ToTable().c_str());
     return true;
   }
+  if (line == "\\top") {
+    // Live workload view: headline counters, recent time-series windows
+    // (throughput/cycles/degradations per window) and latency digests.
+    std::printf("%s", fabric.telemetry()->ToTable().c_str());
+    return true;
+  }
+  if (line == "\\qlog") {
+    std::printf("%s", fabric.telemetry()->query_log().ToTable().c_str());
+    return true;
+  }
+  std::string qlog_path;
+  if (ConsumePrefix(line, "\\QLOG ", &qlog_path) && !qlog_path.empty()) {
+    auto status = fabric.telemetry()->query_log().WriteJsonl(qlog_path);
+    if (!status.ok()) {
+      std::printf("error: %s\n", status.ToString().c_str());
+    } else {
+      std::printf("wrote %zu record(s) to %s (JSONL; summarize with "
+                  "tools/analyze_query_log.py)\n",
+                  fabric.telemetry()->query_log().size(), qlog_path.c_str());
+    }
+    return true;
+  }
+  std::string flight_path;
+  if (ConsumePrefix(line, "\\FLIGHT ", &flight_path) && !flight_path.empty()) {
+    auto status =
+        fabric.telemetry()->flight_recorder().WriteJson(flight_path);
+    if (!status.ok()) {
+      std::printf("error: %s\n", status.ToString().c_str());
+    } else {
+      std::printf("wrote flight-recorder ring (%zu entries) to %s\n",
+                  fabric.telemetry()->flight_recorder().size(),
+                  flight_path.c_str());
+    }
+    return true;
+  }
   if (line == "\\trace on") {
     fabric.EnableTracing(true);
     std::printf("tracing on — run queries, then \\trace <file>\n");
@@ -213,7 +252,8 @@ bool RunCommand(relfab::Fabric& fabric, const std::string& line) {
     }
     return true;
   }
-  std::printf("unknown command; available: \\metrics, \\trace on|off, "
+  std::printf("unknown command; available: \\metrics, \\top, \\qlog, "
+              "\\qlog <file>, \\flight <file>, \\trace on|off, "
               "\\trace <file>, \\q\n");
   return true;
 }
@@ -222,6 +262,13 @@ bool RunCommand(relfab::Fabric& fabric, const std::string& line) {
 
 int main(int argc, char** argv) {
   relfab::Fabric fabric;
+  // The shell is a telemetry showcase: every statement feeds the
+  // time-series/digests/query-log/flight-recorder behind \top and
+  // \qlog. (Embedding users leave telemetry off — the zero-overhead
+  // default.)
+  relfab::obs::TelemetryConfig telemetry_config;
+  telemetry_config.session = "shell";
+  fabric.EnableTelemetry(std::move(telemetry_config));
   LoadDemoTables(&fabric);
   std::printf(
       "relational-fabric SQL shell — tables: wide (with columnar copy), "
@@ -232,7 +279,8 @@ int main(int argc, char** argv) {
       "ts < 50000\n"
       "prefix with EXPLAIN to plan only, EXPLAIN ANALYZE for per-operator "
       "meters\n"
-      "commands: \\metrics, \\trace on|off, \\trace <file>; quit with \\q "
+      "commands: \\metrics, \\top (workload view), \\qlog [file], "
+      "\\flight <file>, \\trace on|off, \\trace <file>; quit with \\q "
       "or EOF\n\n");
 
   // Non-interactive mode: statements (or \commands) passed as arguments.

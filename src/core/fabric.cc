@@ -240,8 +240,8 @@ StatusOr<std::vector<relmem::EphemeralView>> Fabric::ConfigureShardRange(
   return table->ConfigureRange(&rm_, geometry, lo, hi);
 }
 
-StatusOr<Fabric::SqlResult> Fabric::ExecuteSql(std::string_view sql,
-                                               const QueryOptions& options) {
+StatusOr<Fabric::SqlResult> Fabric::ExecuteSqlInternal(
+    std::string_view sql, const QueryOptions& options) {
   RELFAB_ASSIGN_OR_RETURN(query::ParsedQuery parsed, parser_.Parse(sql));
   RELFAB_ASSIGN_OR_RETURN(query::Plan plan,
                           planner_.MakePlan(parsed, &options));
@@ -251,10 +251,65 @@ StatusOr<Fabric::SqlResult> Fabric::ExecuteSql(std::string_view sql,
   ctx.injector = injector_.get();
   ctx.profile = options.analyze ? &out.profile : nullptr;
   ctx.scheduler = &scheduler_;
+  if (telemetry_ != nullptr) {
+    ctx.digests = &telemetry_->digests();
+    ctx.query_log = &telemetry_->query_log();
+    ctx.recorder = &telemetry_->flight_recorder();
+  }
   ctx.options = options;
   RELFAB_ASSIGN_OR_RETURN(out.result, executor_.Execute(plan, ctx));
   out.plan = std::move(plan);
   return out;
+}
+
+StatusOr<Fabric::SqlResult> Fabric::ExecuteSql(std::string_view sql,
+                                               const QueryOptions& options) {
+  if (telemetry_ == nullptr) return ExecuteSqlInternal(sql, options);
+
+  // Snapshot the fault counters so the log record carries per-statement
+  // deltas. Everything below is host-side bookkeeping on results the
+  // simulation already produced — with telemetry enabled the simulated
+  // cycle clocks advance exactly as they do with it disabled.
+  const uint64_t injected_before =
+      injector_ != nullptr ? injector_->total_injected() : 0;
+  const uint64_t retries_before =
+      injector_ != nullptr ? injector_->total_retries() : 0;
+  const uint64_t fallbacks_before =
+      injector_ != nullptr ? injector_->total_fallbacks() : 0;
+
+  StatusOr<SqlResult> run = ExecuteSqlInternal(sql, options);
+
+  obs::WorkloadTelemetry::Statement st;
+  st.sql = std::string(sql);
+  if (run.ok()) {
+    st.table = run->plan.table;
+    st.backend = std::string(exec::BackendToString(run->plan.backend));
+    st.cycles = run->result.sim_cycles;
+    st.rows_scanned = run->result.rows_scanned;
+    st.rows_matched = run->result.rows_matched;
+    if (run->plan.shards.enabled) {
+      st.shards_total = run->plan.shards.shards_total;
+      st.shards_scanned =
+          static_cast<uint32_t>(run->plan.shards.shard_ids.size());
+      st.shards_pruned = st.shards_total - st.shards_scanned;
+    }
+  } else {
+    st.ok = false;
+    st.error = run.status().ToString();
+  }
+  if (injector_ != nullptr) {
+    st.faults_injected = injector_->total_injected() - injected_before;
+    st.fault_retries = injector_->total_retries() - retries_before;
+    st.fault_fallbacks = injector_->total_fallbacks() - fallbacks_before;
+  }
+  if (st.fault_fallbacks > 0) {
+    st.degraded = true;
+    st.degradation = "fabric fault fallback (x" +
+                     std::to_string(st.fault_fallbacks) + ")";
+  }
+  telemetry_->RecordStatement(st);
+  telemetry_->Sample(CollectMetrics());
+  return run;
 }
 
 StatusOr<query::Plan> Fabric::ExplainSql(std::string_view sql,
@@ -294,9 +349,28 @@ obs::Registry& Fabric::CollectMetrics() {
   scheduler_.ExportTo(&registry_);
   registry_.gauge("faults.armed")->Set(injector_ != nullptr ? 1 : 0);
   if (injector_ != nullptr) injector_->ExportTo(&registry_);
+  if (telemetry_ != nullptr) telemetry_->ExportTo(&registry_);
   return registry_;
 }
 
 void Fabric::EnableTracing(bool enabled) { tracer_.set_enabled(enabled); }
+
+obs::WorkloadTelemetry& Fabric::EnableTelemetry(obs::TelemetryConfig config) {
+  if (config.tracked.empty()) {
+    // Cumulative (scheduler/injector-lifetime) series whose window
+    // deltas read as rates; per-statement sim.* counters reset between
+    // statements and are better read from the query log instead.
+    config.tracked = {"shard.scanned", "shard.pruned", "shard.degraded",
+                      "faults.fallbacks.total"};
+  }
+  telemetry_ = std::make_unique<obs::WorkloadTelemetry>(std::move(config));
+  tracer_.set_flight_recorder(&telemetry_->flight_recorder());
+  return *telemetry_;
+}
+
+void Fabric::DisableTelemetry() {
+  tracer_.set_flight_recorder(nullptr);
+  telemetry_.reset();
+}
 
 }  // namespace relfab

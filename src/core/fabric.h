@@ -22,6 +22,7 @@
 #include "mvcc/versioned_table.h"
 #include "obs/query_profile.h"
 #include "obs/registry.h"
+#include "obs/telemetry.h"
 #include "obs/trace.h"
 #include "query/catalog.h"
 #include "query/executor.h"
@@ -202,6 +203,24 @@ class Fabric {
   /// engine and all transaction managers.
   void EnableTracing(bool enabled = true);
 
+  // --- workload telemetry (relfab::obs v2) ---
+
+  /// Creates (or replaces) the workload telemetry bundle: cycle-domain
+  /// time-series, latency digests, structured query log and flight
+  /// recorder, all fed from ExecuteSql. Attaches the flight recorder to
+  /// the tracer so recent spans are captured even with full tracing
+  /// off. With an empty config.tracked a default set of shard/fault
+  /// series is sampled into the time-series.
+  obs::WorkloadTelemetry& EnableTelemetry(obs::TelemetryConfig config = {});
+
+  /// Destroys the bundle and detaches the flight recorder — the
+  /// zero-overhead default: with telemetry off, answers and simulated
+  /// cycles are bit-identical to a build without telemetry at all.
+  void DisableTelemetry();
+
+  /// The active bundle; nullptr when telemetry is disabled.
+  obs::WorkloadTelemetry* telemetry() { return telemetry_.get(); }
+
   // --- fault injection ---
 
   /// Arms the given fault plan across the whole stack (DRAM ECC, RM
@@ -220,6 +239,9 @@ class Fabric {
   exec::ShardScheduler& shard_scheduler() { return scheduler_; }
 
  private:
+  StatusOr<SqlResult> ExecuteSqlInternal(std::string_view sql,
+                                         const QueryOptions& options);
+
   sim::MemorySystem memory_;
   relmem::RmEngine rm_;
   engine::CostModel cost_model_;
@@ -230,6 +252,7 @@ class Fabric {
   exec::ShardScheduler scheduler_;
   obs::Registry registry_;
   obs::Tracer tracer_;
+  std::unique_ptr<obs::WorkloadTelemetry> telemetry_;
   std::unique_ptr<faults::FaultInjector> injector_;
   std::map<std::string, std::unique_ptr<layout::RowTable>> tables_;
   std::map<std::string, std::unique_ptr<layout::ColumnTable>> column_copies_;

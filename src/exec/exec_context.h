@@ -3,6 +3,9 @@
 
 #include "exec/options.h"
 #include "faults/injector.h"
+#include "obs/digest.h"
+#include "obs/flight_recorder.h"
+#include "obs/query_log.h"
 #include "obs/query_profile.h"
 #include "obs/trace.h"
 
@@ -34,6 +37,21 @@ struct ExecContext {
   /// Executes shard-fanout plans; required when the plan's table is
   /// sharded, ignored otherwise.
   ShardScheduler* scheduler = nullptr;
+
+  /// Latency digests (workload telemetry): the scheduler feeds per-shard
+  /// scan cycles, the Fabric epilogue feeds per-backend statement
+  /// cycles. Observations happen only in single-threaded post-join code,
+  /// in shard order, so digests stay deterministic across host workers.
+  obs::DigestSet* digests = nullptr;
+
+  /// Structured query log: one record per statement, appended by the
+  /// Fabric epilogue through this pointer.
+  obs::QueryLog* query_log = nullptr;
+
+  /// Flight recorder for incident capture: degradations and fault hits
+  /// are logged here as they happen (the dump trigger lives in the
+  /// telemetry epilogue).
+  obs::FlightRecorder* recorder = nullptr;
 
   /// Per-statement knobs (analyze / forced_backend / max_threads).
   QueryOptions options;

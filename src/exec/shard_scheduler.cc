@@ -326,12 +326,26 @@ StatusOr<engine::QueryResult> ShardScheduler::Execute(const Request& req,
   std::string degraded_note;
   for (size_t i = 0; i < runs.size(); ++i) {
     shard_cycles_.Observe(static_cast<double>(runs[i].cycles));
+    if (ctx.digests != nullptr) {
+      // Shard-order observation in single-threaded post-join code: the
+      // digest contents are independent of the host worker count.
+      ctx.digests->Observe("shard.cycles",
+                           static_cast<double>(runs[i].cycles));
+      ctx.digests->Observe("shard." + std::to_string(ids[i]) + ".cycles",
+                           static_cast<double>(runs[i].cycles));
+    }
     faults_injected_ += runs[i].injected;
     if (runs[i].degraded) {
       ++shards_degraded_;
       if (ctx.injector != nullptr) {
         ctx.injector->NoteFallback(
             "shard." + std::string(BackendToString(req.backend)));
+      }
+      if (ctx.recorder != nullptr) {
+        ctx.recorder->Log(
+            "shard",
+            "shard " + std::to_string(ids[i]) + " degraded: " + runs[i].cause,
+            ctx.tracer != nullptr ? ctx.tracer->Now() : 0);
       }
       if (degraded_note.empty()) {
         std::ostringstream os;

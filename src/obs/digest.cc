@@ -1,0 +1,64 @@
+#include "obs/digest.h"
+
+#include <sstream>
+
+#include "common/format.h"
+
+namespace relfab::obs {
+
+Histogram* DigestSet::digest(const std::string& name) {
+  auto it = digests_.find(name);
+  if (it == digests_.end()) {
+    it = digests_.emplace(name, std::make_unique<Histogram>()).first;
+  }
+  return it->second.get();
+}
+
+void DigestSet::MergeFrom(const DigestSet& other) {
+  for (const auto& [name, h] : other.digests_) digest(name)->Merge(*h);
+}
+
+void DigestSet::Reset() {
+  for (auto& [name, h] : digests_) *h = Histogram();
+}
+
+Json DigestSet::ToJson() const {
+  Json doc = Json::Object();
+  for (const auto& [name, h] : digests_) {
+    Json dj = Json::Object();
+    dj.Set("count", h->count());
+    dj.Set("min", h->min());
+    dj.Set("max", h->max());
+    dj.Set("mean", h->mean());
+    dj.Set("p50", h->Quantile(0.5));
+    dj.Set("p90", h->Quantile(0.9));
+    dj.Set("p99", h->Quantile(0.99));
+    dj.Set("p999", h->Quantile(0.999));
+    doc.Set(name, std::move(dj));
+  }
+  return doc;
+}
+
+std::string DigestSet::ToTable() const {
+  std::ostringstream os;
+  os << "=== latency digests (simulated cycles) ===\n";
+  for (const auto& [name, h] : digests_) {
+    os << "  " << name;
+    for (size_t i = name.size(); i < 32; ++i) os << ' ';
+    os << " n=" << FormatCount(h->count())
+       << " p50=" << FormatDouble(h->Quantile(0.5), 0)
+       << " p90=" << FormatDouble(h->Quantile(0.9), 0)
+       << " p99=" << FormatDouble(h->Quantile(0.99), 0)
+       << " p999=" << FormatDouble(h->Quantile(0.999), 0)
+       << " max=" << FormatDouble(h->max(), 0) << '\n';
+  }
+  return os.str();
+}
+
+void DigestSet::ExportTo(Registry* registry) const {
+  for (const auto& [name, h] : digests_) {
+    registry->histogram("digest." + name)->Merge(*h);
+  }
+}
+
+}  // namespace relfab::obs

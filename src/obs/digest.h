@@ -1,0 +1,69 @@
+#ifndef RELFAB_OBS_DIGEST_H_
+#define RELFAB_OBS_DIGEST_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "obs/registry.h"
+
+namespace relfab::obs {
+
+/// Named collection of latency digests: one log-linear quantile sketch
+/// (obs::Histogram) per key, keyed by dotted name such as
+/// "query.ROWWISE.cycles" or "shard.3.cycles". All values are in
+/// simulated cycles; the set never reads a clock itself, so it stays in
+/// the cycle domain by construction.
+///
+/// Determinism contract: digests are only ever fed and merged from
+/// single-threaded code running in a deterministic order (the
+/// shard-major post-join loop in ShardScheduler, the per-statement
+/// epilogue in Fabric, session-major merges in benches). Under that
+/// discipline the bucket counts, min/max, and therefore every quantile
+/// are bit-identical regardless of host worker count or sim mode.
+class DigestSet {
+ public:
+  DigestSet() = default;
+  DigestSet(const DigestSet&) = delete;
+  DigestSet& operator=(const DigestSet&) = delete;
+
+  /// Returns the digest registered under `name`, creating it on first
+  /// use. The pointer is stable for the set's lifetime.
+  Histogram* digest(const std::string& name);
+
+  void Observe(const std::string& name, double v) {
+    digest(name)->Observe(v);
+  }
+
+  /// Accumulates `other`'s digests into this set. Callers must merge in
+  /// a deterministic order (shard-major / session-major) to keep the
+  /// floating-point sum — and hence the mean — bit-stable.
+  void MergeFrom(const DigestSet& other);
+
+  /// Zeroes every digest (handles stay valid).
+  void Reset();
+
+  size_t size() const { return digests_.size(); }
+
+  /// {"<name>": {"count": n, "min": m, "max": M, "mean": u,
+  ///             "p50": ..., "p90": ..., "p99": ..., "p999": ...}, ...}
+  Json ToJson() const;
+
+  /// Human-readable quantile table (the `\top` digest pane).
+  std::string ToTable() const;
+
+  /// Copies every digest into `registry` under "digest.<name>", so a
+  /// bench RunReport's metrics snapshot carries the full sketches.
+  void ExportTo(Registry* registry) const;
+
+  const std::map<std::string, std::unique_ptr<Histogram>>& digests() const {
+    return digests_;
+  }
+
+ private:
+  std::map<std::string, std::unique_ptr<Histogram>> digests_;
+};
+
+}  // namespace relfab::obs
+
+#endif  // RELFAB_OBS_DIGEST_H_

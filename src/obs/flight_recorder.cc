@@ -1,0 +1,121 @@
+#include "obs/flight_recorder.h"
+
+#include <cstdio>
+
+namespace relfab::obs {
+
+void FlightRecorder::Push(bool is_log, Tracer::Event event) {
+  Entry entry;
+  entry.is_log = is_log;
+  entry.event = std::move(event);
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(entry));
+  } else {
+    ring_[head_] = std::move(entry);
+    head_ = (head_ + 1) % capacity_;
+  }
+  ++recorded_;
+}
+
+void FlightRecorder::Log(const std::string& component,
+                         const std::string& message, uint64_t at_cycles) {
+  Tracer::Event event;
+  event.name = message;
+  event.category = component;
+  event.start_cycles = at_cycles;
+  Push(true, std::move(event));
+}
+
+void FlightRecorder::Clear() {
+  ring_.clear();
+  head_ = 0;
+}
+
+std::vector<const FlightRecorder::Entry*> FlightRecorder::Ordered() const {
+  std::vector<const Entry*> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    for (const Entry& e : ring_) out.push_back(&e);
+  } else {
+    for (size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(&ring_[(head_ + i) % ring_.size()]);
+    }
+  }
+  return out;
+}
+
+Json FlightRecorder::ToJson() const {
+  Json events = Json::Array();
+  {
+    Json meta = Json::Object();
+    meta.Set("name", "thread_name");
+    meta.Set("ph", "M");
+    meta.Set("pid", 1);
+    meta.Set("tid", 1);
+    Json args = Json::Object();
+    args.Set("name", "flight recorder");
+    meta.Set("args", std::move(args));
+    events.Append(std::move(meta));
+  }
+  for (const Entry* entry : Ordered()) {
+    const Tracer::Event& e = entry->event;
+    Json ev = Json::Object();
+    ev.Set("name", e.name);
+    ev.Set("cat", e.category);
+    ev.Set("ts", e.start_cycles);
+    ev.Set("pid", 1);
+    ev.Set("tid", static_cast<uint64_t>(e.track) + 1);
+    if (entry->is_log) {
+      ev.Set("ph", "i");
+      ev.Set("s", "g");  // global-scope instant marker
+    } else {
+      ev.Set("ph", "X");
+      ev.Set("dur", e.duration_cycles);
+    }
+    if (!e.args.empty()) {
+      Json args = Json::Object();
+      for (const auto& [k, v] : e.args) args.Set(k, v);
+      ev.Set("args", std::move(args));
+    }
+    events.Append(std::move(ev));
+  }
+  Json doc = Json::Object();
+  doc.Set("traceEvents", std::move(events));
+  doc.Set("displayTimeUnit", "ns");
+  Json meta = Json::Object();
+  meta.Set("clock", "simulated-cycles");
+  meta.Set("dumps", dumps_);
+  meta.Set("reason", last_reason_);
+  meta.Set("trigger_cycles", last_trigger_cycles_);
+  meta.Set("entries_recorded", recorded_);
+  doc.Set("otherData", std::move(meta));
+  return doc;
+}
+
+Status FlightRecorder::TriggerDump(const std::string& reason,
+                                   uint64_t at_cycles) {
+  ++dumps_;
+  last_reason_ = reason;
+  last_trigger_cycles_ = at_cycles;
+  Log("flight", "dump: " + reason, at_cycles);
+  if (dump_path_.empty()) return Status::Ok();
+  return WriteJson(dump_path_);
+}
+
+Status FlightRecorder::WriteJson(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open flight-recorder file '" + path +
+                            "'");
+  }
+  const std::string text = ToJson().Dump(1);
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  if (written != text.size()) {
+    return Status::Internal("short write to flight-recorder file '" + path +
+                            "'");
+  }
+  return Status::Ok();
+}
+
+}  // namespace relfab::obs

@@ -1,0 +1,91 @@
+#ifndef RELFAB_OBS_FLIGHT_RECORDER_H_
+#define RELFAB_OBS_FLIGHT_RECORDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "obs/trace.h"
+
+namespace relfab::obs {
+
+/// Always-on incident capture: a fixed-size ring of the most recent
+/// spans and log events, cheap enough to leave running in every
+/// telemetry-enabled session. When something goes wrong — relfab::faults
+/// fires, a query degrades — TriggerDump() snapshots the ring to a
+/// Perfetto/Chrome-trace-compatible JSON artifact, so the question
+/// "what was the fabric doing right before the incident?" has an
+/// answer without re-running with full tracing on.
+///
+/// Spans arrive via Tracer::set_flight_recorder (the tracer pushes every
+/// span it sees into the ring even while full tracing is disabled);
+/// components add discrete markers with Log(). All timestamps are
+/// simulated cycles — the recorder never reads a wall clock.
+class FlightRecorder {
+ public:
+  static constexpr size_t kDefaultCapacity = 256;
+
+  explicit FlightRecorder(size_t capacity = kDefaultCapacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Appends a completed span (called by the attached Tracer).
+  void RecordSpan(const Tracer::Event& event) { Push(false, event); }
+
+  /// Appends a discrete marker (degradation notes, fault hits, ...).
+  void Log(const std::string& component, const std::string& message,
+           uint64_t at_cycles);
+
+  /// File every dump is written to (overwritten per incident — the
+  /// artifact always holds the latest one). Empty disables file output;
+  /// TriggerDump still counts incidents and stamps the reason.
+  void set_dump_path(std::string path) { dump_path_ = std::move(path); }
+  const std::string& dump_path() const { return dump_path_; }
+
+  /// Records an incident: bumps the dump counter, remembers the reason,
+  /// and writes the ring to dump_path() when one is set.
+  Status TriggerDump(const std::string& reason, uint64_t at_cycles);
+
+  uint64_t dumps() const { return dumps_; }
+  const std::string& last_reason() const { return last_reason_; }
+  uint64_t last_trigger_cycles() const { return last_trigger_cycles_; }
+
+  size_t size() const { return ring_.size(); }
+  size_t capacity() const { return capacity_; }
+  /// Total entries ever recorded (>= size() once the ring wraps).
+  uint64_t recorded() const { return recorded_; }
+
+  void Clear();
+
+  /// Chrome trace-event JSON of the ring, oldest entry first: spans as
+  /// "X" complete events, Log() markers as "i" instant events, plus the
+  /// incident metadata under "otherData".
+  Json ToJson() const;
+
+  /// Writes ToJson() to `path` (pretty-printed).
+  Status WriteJson(const std::string& path) const;
+
+ private:
+  struct Entry {
+    bool is_log = false;
+    Tracer::Event event;
+  };
+
+  void Push(bool is_log, Tracer::Event event);
+  std::vector<const Entry*> Ordered() const;
+
+  size_t capacity_;
+  std::vector<Entry> ring_;
+  size_t head_ = 0;  // next slot to overwrite once full
+  uint64_t recorded_ = 0;
+  uint64_t dumps_ = 0;
+  std::string dump_path_;
+  std::string last_reason_;
+  uint64_t last_trigger_cycles_ = 0;
+};
+
+}  // namespace relfab::obs
+
+#endif  // RELFAB_OBS_FLIGHT_RECORDER_H_

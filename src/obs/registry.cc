@@ -85,14 +85,20 @@ Json Registry::ToJson() const {
     hj.Set("max", h->max());
     hj.Set("mean", h->mean());
     hj.Set("p50", h->Quantile(0.5));
+    hj.Set("p90", h->Quantile(0.9));
     hj.Set("p99", h->Quantile(0.99));
+    hj.Set("p999", h->Quantile(0.999));
+    // Buckets carry both edges so external tools (analyze_query_log.py,
+    // notebook consumers) can re-derive any quantile without knowing the
+    // log-linear layout: [lower_edge, upper_edge, count].
     Json buckets = Json::Array();
     for (uint32_t b = 0; b < Histogram::kNumBuckets; ++b) {
       if (h->buckets()[b] == 0) continue;
-      Json pair = Json::Array();
-      pair.Append(Histogram::BucketLowerEdge(b));
-      pair.Append(h->buckets()[b]);
-      buckets.Append(std::move(pair));
+      Json triple = Json::Array();
+      triple.Append(Histogram::BucketLowerEdge(b));
+      triple.Append(Histogram::BucketLowerEdge(b + 1));
+      triple.Append(h->buckets()[b]);
+      buckets.Append(std::move(triple));
     }
     hj.Set("buckets", std::move(buckets));
     histograms.Set(name, std::move(hj));
@@ -132,13 +138,16 @@ Status Registry::FromJson(const Json& doc) {
     Histogram* h = histogram(name);
     *h = Histogram();
     // Buckets were serialized by lower edge, and a lower edge maps back
-    // to its own bucket, so the bucket array restores exactly.
-    for (const Json& pair : hj.at("buckets").items()) {
-      if (!pair.is_array() || pair.size() != 2) {
+    // to its own bucket, so the bucket array restores exactly. Accepts
+    // both the [lower, upper, count] triple and the legacy
+    // [lower, count] pair layout.
+    for (const Json& entry : hj.at("buckets").items()) {
+      if (!entry.is_array() || entry.size() < 2 || entry.size() > 3) {
         return Status::InvalidArgument("histogram '" + name +
                                        "' has a malformed bucket");
       }
-      h->AddBucketCount(pair.at(0).AsNumber(), pair.at(1).AsUint());
+      h->AddBucketCount(entry.at(0).AsNumber(),
+                        entry.at(entry.size() - 1).AsUint());
     }
     h->RestoreMoments(hj.at("sum").AsNumber(), hj.at("min").AsNumber(),
                       hj.at("max").AsNumber());
@@ -147,26 +156,46 @@ Status Registry::FromJson(const Json& doc) {
 }
 
 std::string Registry::ToTable() const {
+  // Single sorted pass over all instrument kinds: each per-kind map is
+  // already name-ordered, so a three-way merge keeps the whole dump in
+  // one stable lexicographic order and metric-dump diffs deterministic.
   std::ostringstream os;
   os << "=== metrics ===\n";
-  for (const auto& [name, c] : counters_) {
+  auto pad = [&os](const std::string& name) {
     os << "  " << name;
     for (size_t i = name.size(); i < 40; ++i) os << ' ';
-    os << ' ' << FormatCount(c->value()) << '\n';
-  }
-  for (const auto& [name, g] : gauges_) {
-    os << "  " << name;
-    for (size_t i = name.size(); i < 40; ++i) os << ' ';
-    os << ' ' << FormatDouble(g->value(), 4) << '\n';
-  }
-  for (const auto& [name, h] : histograms_) {
-    os << "  " << name;
-    for (size_t i = name.size(); i < 40; ++i) os << ' ';
-    os << " count=" << FormatCount(h->count())
-       << " mean=" << FormatDouble(h->mean(), 2)
-       << " p50=" << FormatDouble(h->Quantile(0.5), 2)
-       << " p99=" << FormatDouble(h->Quantile(0.99), 2)
-       << " max=" << FormatDouble(h->max(), 2) << '\n';
+  };
+  auto c = counters_.begin();
+  auto g = gauges_.begin();
+  auto h = histograms_.begin();
+  while (c != counters_.end() || g != gauges_.end() ||
+         h != histograms_.end()) {
+    const std::string* next = nullptr;
+    if (c != counters_.end()) next = &c->first;
+    if (g != gauges_.end() && (next == nullptr || g->first < *next)) {
+      next = &g->first;
+    }
+    if (h != histograms_.end() && (next == nullptr || h->first < *next)) {
+      next = &h->first;
+    }
+    if (c != counters_.end() && &c->first == next) {
+      pad(c->first);
+      os << ' ' << FormatCount(c->second->value()) << '\n';
+      ++c;
+    } else if (g != gauges_.end() && &g->first == next) {
+      pad(g->first);
+      os << ' ' << FormatDouble(g->second->value(), 4) << '\n';
+      ++g;
+    } else {
+      pad(h->first);
+      const Histogram& hist = *h->second;
+      os << " count=" << FormatCount(hist.count())
+         << " mean=" << FormatDouble(hist.mean(), 2)
+         << " p50=" << FormatDouble(hist.Quantile(0.5), 2)
+         << " p99=" << FormatDouble(hist.Quantile(0.99), 2)
+         << " max=" << FormatDouble(hist.max(), 2) << '\n';
+      ++h;
+    }
   }
   return os.str();
 }

@@ -141,8 +141,9 @@ class Registry {
   ///   {"counters": {name: n, ...},
   ///    "gauges": {name: x, ...},
   ///    "histograms": {name: {"count": n, "sum": s, "min": m, "max": M,
-  ///                          "p50": ..., "p99": ...,
-  ///                          "buckets": [[lower_edge, count], ...]}}}
+  ///                          "p50": ..., "p90": ..., "p99": ..., "p999": ...,
+  ///                          "buckets": [[lower_edge, upper_edge, count],
+  ///                                      ...]}}}
   Json ToJson() const;
 
   /// Restores counters/gauges/histogram summaries from a ToJson document

@@ -1,0 +1,139 @@
+#include "obs/timeseries.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/format.h"
+
+namespace relfab::obs {
+
+TimeSeries::TimeSeries(uint64_t window_cycles, size_t capacity)
+    : window_cycles_(window_cycles == 0 ? 1 : window_cycles),
+      capacity_(capacity == 0 ? 1 : capacity) {}
+
+std::map<std::string, TimeSeries::Reading> TimeSeries::Read(
+    const Registry& registry) const {
+  std::map<std::string, Reading> out;
+  for (const std::string& name : tracked_) {
+    auto c = registry.counters().find(name);
+    if (c != registry.counters().end()) {
+      out[name] = {static_cast<double>(c->second->value()), true};
+      continue;
+    }
+    auto g = registry.gauges().find(name);
+    if (g != registry.gauges().end()) {
+      out[name] = {g->second->value(), false};
+    }
+  }
+  return out;
+}
+
+void TimeSeries::CloseWindow(uint64_t boundary_index) {
+  Window w;
+  w.index = open_index_;
+  w.start_cycles = open_index_ * window_cycles_;
+  w.end_cycles = w.start_cycles + window_cycles_;
+  w.samples = open_samples_;
+  for (const auto& [name, reading] : last_) {
+    if (reading.is_counter) {
+      double base = 0;
+      auto it = window_base_.find(name);
+      if (it != window_base_.end() && it->second.is_counter) {
+        base = it->second.value;
+      }
+      w.values[name] = reading.value - base;
+    } else {
+      w.values[name] = reading.value;
+    }
+  }
+  if (ring_.size() < capacity_) {
+    ring_.push_back(std::move(w));
+  } else {
+    ring_[ring_head_] = std::move(w);
+    ring_head_ = (ring_head_ + 1) % capacity_;
+  }
+  ++windows_closed_;
+  open_index_ = boundary_index;
+}
+
+void TimeSeries::Sample(const Registry& registry, uint64_t now_cycles) {
+  std::map<std::string, Reading> readings = Read(registry);
+  const uint64_t idx = now_cycles / window_cycles_;
+  if (!open_) {
+    open_ = true;
+    open_index_ = idx;
+    open_samples_ = 0;
+    window_base_ = last_;  // empty on the very first sample: deltas from 0
+  } else if (idx > open_index_) {
+    // The activity between the last in-window sample and this one is
+    // attributed to the closing window — a fixed convention that keeps
+    // the series deterministic no matter how samples straddle
+    // boundaries. Skipped windows (no samples at all) are simply
+    // absent from the ring.
+    last_ = readings;
+    CloseWindow(idx);
+    open_samples_ = 0;
+    window_base_ = readings;
+  }
+  last_ = std::move(readings);
+  ++open_samples_;
+}
+
+std::vector<TimeSeries::Window> TimeSeries::Windows() const {
+  std::vector<Window> out;
+  out.reserve(ring_.size());
+  if (ring_.size() < capacity_) {
+    out = ring_;
+  } else {
+    for (size_t i = 0; i < ring_.size(); ++i) {
+      out.push_back(ring_[(ring_head_ + i) % ring_.size()]);
+    }
+  }
+  return out;
+}
+
+Json TimeSeries::ToJson() const {
+  Json doc = Json::Object();
+  doc.Set("window_cycles", window_cycles_);
+  doc.Set("capacity", static_cast<uint64_t>(capacity_));
+  doc.Set("windows_closed", windows_closed_);
+  Json windows = Json::Array();
+  for (const Window& w : Windows()) {
+    Json wj = Json::Object();
+    wj.Set("index", w.index);
+    wj.Set("start_cycles", w.start_cycles);
+    wj.Set("end_cycles", w.end_cycles);
+    wj.Set("samples", w.samples);
+    Json values = Json::Object();
+    for (const auto& [name, v] : w.values) values.Set(name, v);
+    wj.Set("values", std::move(values));
+    windows.Append(std::move(wj));
+  }
+  doc.Set("windows", std::move(windows));
+  return doc;
+}
+
+std::string TimeSeries::ToTable(size_t last_n) const {
+  std::vector<Window> windows = Windows();
+  const size_t begin =
+      windows.size() > last_n ? windows.size() - last_n : 0;
+  std::ostringstream os;
+  os << "=== time-series (window = " << FormatCount(window_cycles_)
+     << " cycles) ===\n";
+  if (windows.empty()) {
+    os << "  (no closed windows yet)\n";
+    return os.str();
+  }
+  for (size_t i = begin; i < windows.size(); ++i) {
+    const Window& w = windows[i];
+    os << "  window " << w.index << " [" << FormatCount(w.start_cycles)
+       << ", " << FormatCount(w.end_cycles) << ") samples=" << w.samples;
+    for (const auto& [name, v] : w.values) {
+      os << ' ' << name << '=' << FormatDouble(v, 0);
+    }
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace relfab::obs

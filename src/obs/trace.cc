@@ -2,7 +2,14 @@
 
 #include <cstdio>
 
+#include "obs/flight_recorder.h"
+
 namespace relfab::obs {
+
+void Tracer::Emit(Event event) {
+  if (recorder_ != nullptr) recorder_->RecordSpan(event);
+  if (enabled_) events_.push_back(std::move(event));
+}
 
 Json Tracer::ToJson() const {
   Json events = Json::Array();

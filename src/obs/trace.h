@@ -12,6 +12,8 @@
 
 namespace relfab::obs {
 
+class FlightRecorder;
+
 /// Span-based tracer over the *simulated* clock. Components open RAII
 /// Spans around units of work (one query operator, one column-group
 /// gather chunk, one MVCC commit); the tracer records them as Chrome
@@ -46,6 +48,18 @@ class Tracer {
   void set_enabled(bool enabled) { enabled_ = enabled; }
   bool enabled() const { return enabled_; }
 
+  /// Attaches a flight recorder: every span the tracer sees is also
+  /// pushed into the recorder's fixed-size ring, even while full
+  /// tracing is disabled. Null detaches. The recorder is not owned.
+  void set_flight_recorder(FlightRecorder* recorder) {
+    recorder_ = recorder;
+  }
+  FlightRecorder* flight_recorder() const { return recorder_; }
+
+  /// True when spans should be recorded at all — either full tracing is
+  /// on or a flight recorder is capturing the recent-span ring.
+  bool active() const { return enabled_ || recorder_ != nullptr; }
+
   uint64_t Now() const {
     const uint64_t t = clock_ ? clock_() : 0;
     // The simulated clock can be reset between timing windows; keep the
@@ -56,11 +70,10 @@ class Tracer {
   }
 
   /// Low-level emission for events whose timing lives in another domain
-  /// (e.g. the storage clock of RsEngine).
-  void Emit(Event event) {
-    if (!enabled_) return;
-    events_.push_back(std::move(event));
-  }
+  /// (e.g. the storage clock of RsEngine). Feeds the full trace buffer
+  /// when tracing is enabled and the flight-recorder ring when one is
+  /// attached (out of line: FlightRecorder is incomplete here).
+  void Emit(Event event);
 
   /// Registers a named timeline separate from the main simulated-CPU
   /// track (track 0). Events carrying the returned id render as their own
@@ -104,6 +117,7 @@ class Tracer {
   uint32_t depth_ = 0;
   std::vector<Event> events_;
   std::vector<std::string> tracks_;
+  FlightRecorder* recorder_ = nullptr;
 };
 
 /// RAII span: records [construction, destruction) as one complete event.
@@ -111,7 +125,7 @@ class Tracer {
 class Span {
  public:
   Span(Tracer* tracer, std::string name, std::string category = "relfab")
-      : tracer_(tracer != nullptr && tracer->enabled() ? tracer : nullptr) {
+      : tracer_(tracer != nullptr && tracer->active() ? tracer : nullptr) {
     if (tracer_ == nullptr) return;
     event_.name = std::move(name);
     event_.category = std::move(category);

@@ -81,6 +81,11 @@ StatusOr<engine::QueryResult> Executor::FallbackToRowScan(
     prof->Switch(-1);
     prof->NoteFallback(cause.ToString() + "; query re-run on ROW backend");
   }
+  if (ctx.recorder != nullptr) {
+    ctx.recorder->Log("query",
+                      "degraded to ROW: " + cause.ToString(),
+                      ctx.tracer != nullptr ? ctx.tracer->Now() : 0);
+  }
   obs::Span span(ctx.tracer, "query.fallback", "query");
   span.AddArg("cause", cause.ToString());
   engine::VolcanoEngine eng(entry.rows, cost_);

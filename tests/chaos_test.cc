@@ -34,6 +34,27 @@ uint64_t ChaosSeed() {
   return (s != nullptr && *s != '\0') ? std::strtoull(s, nullptr, 0) : 1337;
 }
 
+/// When $RELFAB_CHAOS_ARTIFACTS names a directory, each chaotic fabric
+/// runs with workload telemetry attached: injected faults and
+/// degradations trigger flight-recorder dumps into the directory, and
+/// the structured query log streams there as JSONL. CI uploads the
+/// directory when the job fails, so a red chaos run ships its own trace
+/// evidence. Telemetry is pure observation (telemetry_test pins answers
+/// and cycles bit-identical), so the soak's comparisons are unaffected.
+void AttachChaosArtifacts(Fabric* fabric, const std::string& tag) {
+  const char* dir = std::getenv("RELFAB_CHAOS_ARTIFACTS");
+  if (dir == nullptr || *dir == '\0') return;
+  obs::TelemetryConfig config;
+  config.session = "chaos-" + tag;
+  obs::WorkloadTelemetry& telemetry =
+      fabric->EnableTelemetry(std::move(config));
+  telemetry.flight_recorder().set_dump_path(
+      std::string(dir) + "/chaos_flight_" + tag + ".json");
+  const Status sink = telemetry.query_log().OpenSink(
+      std::string(dir) + "/chaos_qlog_" + tag + ".jsonl");
+  RELFAB_CHECK(sink.ok()) << sink.ToString();
+}
+
 /// A randomized-but-deterministic plan: every stack site armed with a
 /// moderate probability so retries usually clear faults but exhaustion
 /// and fallback still happen over a whole workload.
@@ -241,6 +262,7 @@ TEST(ChaosTest, MixedWorkloadIsBitIdenticalUnderRandomFaultPlans) {
     SCOPED_TRACE("plan: " + plan.ToString());
     Fabric chaotic;
     chaotic.ArmFaults(plan);
+    AttachChaosArtifacts(&chaotic, "round" + std::to_string(round));
     ASSERT_NE(chaotic.fault_injector(), nullptr);
     const WorkloadAnswers got = RunWorkload(&chaotic);
     got.ExpectIdentical(expected);

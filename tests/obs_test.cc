@@ -1,13 +1,19 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdio>
 #include <string>
+#include <vector>
 
 #include "common/logging.h"
+#include "obs/digest.h"
+#include "obs/flight_recorder.h"
 #include "obs/json.h"
+#include "obs/query_log.h"
 #include "obs/query_profile.h"
 #include "obs/registry.h"
 #include "obs/report.h"
+#include "obs/timeseries.h"
 #include "obs/trace.h"
 
 namespace relfab::obs {
@@ -366,6 +372,334 @@ TEST(RunReportTest, ValidateRejectsMalformed) {
 // ------------------------------------------------------------- Logging
 
 using ObsCheckDeathTest = ::testing::Test;
+
+// --------------------------------------------------- histogram buckets
+
+TEST(RegistryTest, HistogramJsonCarriesBucketEdgeTriples) {
+  Registry reg;
+  for (int i = 1; i <= 1000; ++i) reg.Observe("lat", i * 3.0);
+  const Json snapshot = reg.ToJson();
+  const Json& hist = snapshot.at("histograms").at("lat");
+  // The full quantile ladder is exported, not just p50/p99.
+  for (const char* q : {"p50", "p90", "p99", "p999"}) {
+    EXPECT_TRUE(hist.Has(q)) << q;
+  }
+  EXPECT_GE(hist.at("p999").AsNumber(), hist.at("p50").AsNumber());
+  const Json& buckets = hist.at("buckets");
+  ASSERT_TRUE(buckets.is_array());
+  ASSERT_GT(buckets.size(), 0u);
+  for (size_t i = 0; i < buckets.size(); ++i) {
+    const Json& triple = buckets.at(i);
+    // [lower_edge, upper_edge, count]: self-describing without the
+    // reader re-deriving the log-linear layout.
+    ASSERT_EQ(triple.size(), 3u);
+    EXPECT_LT(triple.at(0).AsNumber(), triple.at(1).AsNumber());
+    EXPECT_GT(triple.at(2).AsUint(), 0u);
+  }
+}
+
+TEST(RegistryTest, FromJsonAcceptsLegacyBucketPairs) {
+  // Pre-triple snapshots carried [lower_edge, count]; restore still
+  // accepts them so old bench reports keep loading.
+  auto doc = Json::Parse(
+      R"({"counters": {}, "gauges": {}, "histograms": {"lat": {
+           "count": 5, "sum": 50, "min": 10, "max": 10,
+           "buckets": [[10, 5]]}}})");
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  Registry reg;
+  ASSERT_TRUE(reg.FromJson(*doc).ok());
+  const Histogram* h = reg.histogram("lat");
+  EXPECT_EQ(h->count(), 5u);
+  EXPECT_DOUBLE_EQ(h->max(), 10.0);
+  // The 5 observations landed in the bucket containing 10.
+  EXPECT_GE(h->Quantile(1.0), 10.0);
+}
+
+TEST(RegistryTest, ToTableIsSortedAcrossInstrumentKinds) {
+  Registry reg;
+  // Interleave kinds so a per-kind listing would break name order.
+  reg.Add("b.counter", 1);
+  reg.Set("a.gauge", 2.0);
+  reg.Observe("c.hist", 3.0);
+  reg.Add("a.counter", 4);
+  const std::string table = reg.ToTable();
+  const size_t pa = table.find("a.counter");
+  const size_t pb = table.find("a.gauge");
+  const size_t pc = table.find("b.counter");
+  const size_t pd = table.find("c.hist");
+  ASSERT_NE(pa, std::string::npos);
+  ASSERT_NE(pb, std::string::npos);
+  ASSERT_NE(pc, std::string::npos);
+  ASSERT_NE(pd, std::string::npos);
+  // One unified lexicographic order regardless of instrument kind.
+  EXPECT_LT(pa, pb);
+  EXPECT_LT(pb, pc);
+  EXPECT_LT(pc, pd);
+}
+
+// ----------------------------------------------------------- DigestSet
+
+TEST(DigestSetTest, MergeOfSplitStreamsMatchesUnsplit) {
+  // The determinism contract behind cross-session merging: feeding one
+  // stream into a single set must equal splitting it across sets and
+  // merging in order — bucket counts, moments and quantiles all.
+  DigestSet whole;
+  DigestSet part_a;
+  DigestSet part_b;
+  for (int i = 1; i <= 500; ++i) {
+    const double v = (i * 37) % 1000 + 1;
+    whole.Observe("query.cycles", v);
+    (i <= 250 ? part_a : part_b).Observe("query.cycles", v);
+  }
+  DigestSet merged;
+  merged.MergeFrom(part_a);
+  merged.MergeFrom(part_b);
+  const Histogram* w = whole.digests().at("query.cycles").get();
+  const Histogram* m = merged.digests().at("query.cycles").get();
+  EXPECT_EQ(w->count(), m->count());
+  EXPECT_EQ(w->sum(), m->sum());  // bit-equality, split was in order
+  EXPECT_EQ(w->min(), m->min());
+  EXPECT_EQ(w->max(), m->max());
+  for (double q : {0.5, 0.9, 0.99, 0.999}) {
+    EXPECT_EQ(w->Quantile(q), m->Quantile(q)) << "q=" << q;
+  }
+  EXPECT_EQ(whole.ToJson().Dump(), merged.ToJson().Dump());
+}
+
+TEST(DigestSetTest, ExportPrefixesNamesAndKeepsSketch) {
+  DigestSet set;
+  for (int i = 1; i <= 100; ++i) set.Observe("shard.cycles", i * 11.0);
+  Registry reg;
+  set.ExportTo(&reg);
+  const Histogram* h = reg.histogram("digest.shard.cycles");
+  EXPECT_EQ(h->count(), 100u);
+  EXPECT_EQ(h->Quantile(0.99),
+            set.digests().at("shard.cycles")->Quantile(0.99));
+}
+
+// ---------------------------------------------------------- TimeSeries
+
+TEST(TimeSeriesTest, ClosesWindowsOnBoundariesWithCounterDeltas) {
+  Registry reg;
+  TimeSeries series(/*window_cycles=*/1000, /*capacity=*/8);
+  series.Track("stmt");
+  series.Track("load");
+
+  reg.Add("stmt", 3);
+  reg.Set("load", 0.25);
+  series.Sample(reg, 100);  // opens window 0
+  reg.Add("stmt", 2);
+  reg.Set("load", 0.75);
+  series.Sample(reg, 900);  // still window 0
+  reg.Add("stmt", 7);
+  series.Sample(reg, 1500);  // crosses into window 1 -> closes window 0
+
+  auto windows = series.Windows();
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].index, 0u);
+  EXPECT_EQ(windows[0].start_cycles, 0u);
+  EXPECT_EQ(windows[0].end_cycles, 1000u);
+  EXPECT_EQ(windows[0].samples, 2u);
+  // Counter: delta over the window. The first-ever sample charges from
+  // zero, and the boundary-crossing sample's readings close the old
+  // window — activity between the last in-window sample and the
+  // boundary is attributed to the closing window, so no delta is ever
+  // lost between windows: 0 -> 12 = 12.
+  EXPECT_DOUBLE_EQ(windows[0].values.at("stmt"), 12.0);
+  // Gauge: last reading inside the window.
+  EXPECT_DOUBLE_EQ(windows[0].values.at("load"), 0.75);
+}
+
+TEST(TimeSeriesTest, RingEvictsOldestWindows) {
+  Registry reg;
+  TimeSeries series(/*window_cycles=*/100, /*capacity=*/4);
+  series.Track("stmt");
+  for (uint64_t w = 0; w < 10; ++w) {
+    reg.Add("stmt", 1);
+    series.Sample(reg, w * 100 + 50);
+  }
+  // 10 samples in distinct windows -> 9 closed, ring keeps last 4.
+  EXPECT_EQ(series.windows_closed(), 9u);
+  auto windows = series.Windows();
+  ASSERT_EQ(windows.size(), 4u);
+  EXPECT_EQ(windows.front().index, 5u);  // oldest retained
+  EXPECT_EQ(windows.back().index, 8u);   // newest closed
+  for (const auto& w : windows) {
+    EXPECT_DOUBLE_EQ(w.values.at("stmt"), 1.0);
+  }
+}
+
+TEST(TimeSeriesTest, ToJsonListsWindowsOldestFirst) {
+  Registry reg;
+  TimeSeries series(/*window_cycles=*/100, /*capacity=*/8);
+  series.Track("stmt");
+  for (uint64_t w = 0; w < 3; ++w) {
+    reg.Add("stmt", 1);
+    series.Sample(reg, w * 100);
+  }
+  const Json doc = series.ToJson();
+  EXPECT_EQ(doc.at("window_cycles").AsUint(), 100u);
+  const Json& windows = doc.at("windows");
+  ASSERT_EQ(windows.size(), 2u);
+  EXPECT_LT(windows.at(0).at("index").AsUint(),
+            windows.at(1).at("index").AsUint());
+}
+
+// ------------------------------------------------------------ QueryLog
+
+QueryLogRecord MakeRecord(const std::string& sql) {
+  QueryLogRecord r;
+  r.session = "test";
+  r.sql = sql;
+  r.table = "readings";
+  r.backend = "COLUMNAR";
+  r.cycles = 1234;
+  r.end_cycles = 5678;
+  r.rows_scanned = 100;
+  r.rows_matched = 10;
+  r.shards_total = 4;
+  r.shards_scanned = 1;
+  r.shards_pruned = 3;
+  return r;
+}
+
+TEST(QueryLogTest, RecordJsonPassesSchemaValidation) {
+  QueryLogRecord ok = MakeRecord("SELECT 1");
+  EXPECT_TRUE(QueryLog::ValidateRecord(ok.ToJson()).ok());
+
+  QueryLogRecord err = MakeRecord("SELECT nope");
+  err.status = "error";
+  err.error = "unknown column";
+  EXPECT_TRUE(QueryLog::ValidateRecord(err.ToJson()).ok());
+
+  QueryLogRecord degraded = MakeRecord("SELECT 2");
+  degraded.degraded = true;
+  degraded.degradation = "shard fallback";
+  EXPECT_TRUE(QueryLog::ValidateRecord(degraded.ToJson()).ok());
+}
+
+TEST(QueryLogTest, ValidateRejectsMalformedRecords) {
+  // Missing field.
+  Json missing = MakeRecord("x").ToJson();
+  missing.Set("backend", Json());
+  EXPECT_FALSE(QueryLog::ValidateRecord(missing).ok());
+  // Bad status value.
+  Json bad_status = MakeRecord("x").ToJson();
+  bad_status.Set("status", "maybe");
+  EXPECT_FALSE(QueryLog::ValidateRecord(bad_status).ok());
+  // Error status without an error string.
+  Json no_error = MakeRecord("x").ToJson();
+  no_error.Set("status", "error");
+  EXPECT_FALSE(QueryLog::ValidateRecord(no_error).ok());
+  // Not an object at all.
+  EXPECT_FALSE(QueryLog::ValidateRecord(Json("nope")).ok());
+}
+
+TEST(QueryLogTest, RingKeepsRecentAndSeqKeepsCounting) {
+  QueryLog log(/*capacity=*/3);
+  for (int i = 0; i < 5; ++i) {
+    log.Append(MakeRecord("stmt " + std::to_string(i)));
+  }
+  EXPECT_EQ(log.total(), 5u);
+  EXPECT_EQ(log.size(), 3u);
+  auto recent = log.Recent();
+  ASSERT_EQ(recent.size(), 3u);
+  EXPECT_EQ(recent[0]->sql, "stmt 2");  // oldest retained
+  EXPECT_EQ(recent[2]->sql, "stmt 4");  // newest
+  EXPECT_EQ(recent[0]->seq + 2, recent[2]->seq);
+}
+
+TEST(QueryLogTest, JsonlSinkWritesValidatableLines) {
+  const std::string path = ::testing::TempDir() + "qlog_test.jsonl";
+  std::remove(path.c_str());
+  {
+    QueryLog log;
+    ASSERT_TRUE(log.OpenSink(path).ok());
+    log.Append(MakeRecord("SELECT a"));
+    log.Append(MakeRecord("SELECT b"));
+  }
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char line[4096];
+  int lines = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    auto doc = Json::Parse(line);
+    ASSERT_TRUE(doc.ok()) << "line " << lines << ": " << line;
+    EXPECT_TRUE(QueryLog::ValidateRecord(*doc).ok());
+    ++lines;
+  }
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(lines, 2);
+}
+
+// ------------------------------------------------------ FlightRecorder
+
+TEST(FlightRecorderTest, RingWrapsAndKeepsNewestEntries) {
+  FlightRecorder rec(/*capacity=*/4);
+  for (int i = 0; i < 10; ++i) {
+    rec.Log("test", "event " + std::to_string(i),
+            static_cast<uint64_t>(i) * 100);
+  }
+  EXPECT_EQ(rec.recorded(), 10u);
+  EXPECT_EQ(rec.size(), 4u);
+  const Json doc = rec.ToJson();
+  const Json& events = doc.at("traceEvents");
+  // One metadata event plus the four retained markers, oldest first.
+  std::vector<std::string> names;
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (events.at(i).at("ph").AsString() == "i") {
+      names.push_back(events.at(i).at("name").AsString());
+    }
+  }
+  ASSERT_EQ(names.size(), 4u);
+  EXPECT_EQ(names.front(), "event 6");
+  EXPECT_EQ(names.back(), "event 9");
+}
+
+TEST(FlightRecorderTest, TracerFeedsRingWhileTracingDisabled) {
+  FlightRecorder rec;
+  Tracer tracer;
+  uint64_t clock = 0;
+  tracer.SetClock([&clock] { return clock; });
+  tracer.set_flight_recorder(&rec);
+  ASSERT_FALSE(tracer.enabled());
+  ASSERT_TRUE(tracer.active());
+  {
+    Span span(&tracer, "work", "query");
+    clock += 500;
+  }
+  // The span landed in the ring, not in the (disabled) trace buffer.
+  EXPECT_TRUE(tracer.events().empty());
+  EXPECT_EQ(rec.size(), 1u);
+  tracer.set_flight_recorder(nullptr);
+  EXPECT_FALSE(tracer.active());
+}
+
+TEST(FlightRecorderTest, TriggerDumpWritesChromeTraceArtifact) {
+  const std::string path = ::testing::TempDir() + "flight_test.json";
+  std::remove(path.c_str());
+  FlightRecorder rec;
+  rec.set_dump_path(path);
+  rec.Log("shard", "shard 2 degraded: injected fault", 700);
+  ASSERT_TRUE(rec.TriggerDump("degraded: test incident", 900).ok());
+  EXPECT_EQ(rec.dumps(), 1u);
+  EXPECT_EQ(rec.last_reason(), "degraded: test incident");
+  EXPECT_EQ(rec.last_trigger_cycles(), 900u);
+
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string text(1 << 16, '\0');
+  text.resize(std::fread(text.data(), 1, text.size(), f));
+  std::fclose(f);
+  std::remove(path.c_str());
+  auto doc = Json::Parse(text);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_TRUE(doc->at("traceEvents").is_array());
+  EXPECT_EQ(doc->at("otherData").at("reason").AsString(),
+            "degraded: test incident");
+  EXPECT_EQ(doc->at("otherData").at("trigger_cycles").AsUint(), 900u);
+}
 
 TEST(ObsCheckDeathTest, CheckEqPrintsBothOperands) {
   const int n = 3;

@@ -14,6 +14,7 @@
 
 #include "common/random.h"
 #include "engine/hybrid.h"
+#include "obs/registry.h"
 #include "engine/rm_exec.h"
 #include "engine/vector_engine.h"
 #include "engine/volcano.h"
@@ -45,6 +46,37 @@ uint64_t Bits(double d) {
   return u;
 }
 
+/// Registry-level parity: exporting both systems through the metrics
+/// spine must agree instrument-for-instrument and bit-for-bit. Only the
+/// "sim.fastpath.*" family is excluded — it records which kernel ran,
+/// so it differs between the modes by design. This is what the
+/// telemetry layer samples, so equivalence of raw MemStats alone is
+/// not enough: a field added to ExportTo but not to ExpectSameSim
+/// would otherwise escape the equivalence suite.
+void ExpectSameSimMetrics(const MemorySystem& fast, const MemorySystem& ref) {
+  obs::Registry fast_reg;
+  obs::Registry ref_reg;
+  fast.ExportTo(&fast_reg);
+  ref.ExportTo(&ref_reg);
+  const auto is_mode_marker = [](const std::string& name) {
+    return name.rfind("sim.fastpath.", 0) == 0;
+  };
+  EXPECT_EQ(fast_reg.counters().size(), ref_reg.counters().size());
+  EXPECT_EQ(fast_reg.gauges().size(), ref_reg.gauges().size());
+  for (const auto& [name, counter] : fast_reg.counters()) {
+    if (is_mode_marker(name)) continue;
+    auto it = ref_reg.counters().find(name);
+    ASSERT_NE(it, ref_reg.counters().end()) << "missing counter " << name;
+    EXPECT_EQ(counter->value(), it->second->value()) << name;
+  }
+  for (const auto& [name, gauge] : fast_reg.gauges()) {
+    if (is_mode_marker(name)) continue;
+    auto it = ref_reg.gauges().find(name);
+    ASSERT_NE(it, ref_reg.gauges().end()) << "missing gauge " << name;
+    EXPECT_EQ(Bits(gauge->value()), Bits(it->second->value())) << name;
+  }
+}
+
 void ExpectSameSim(const MemorySystem& fast, const MemorySystem& ref) {
   EXPECT_EQ(Bits(fast.cpu_cycles()), Bits(ref.cpu_cycles()))
       << "cpu " << fast.cpu_cycles() << " vs " << ref.cpu_cycles();
@@ -66,6 +98,7 @@ void ExpectSameSim(const MemorySystem& fast, const MemorySystem& ref) {
   EXPECT_EQ(a.dram_lines_demand, b.dram_lines_demand);
   EXPECT_EQ(a.dram_lines_gather, b.dram_lines_gather);
   EXPECT_EQ(a.fabric_refills, b.fabric_refills);
+  ExpectSameSimMetrics(fast, ref);
 }
 
 /// Twin memory systems driven through identical operation sequences:

@@ -1,0 +1,183 @@
+#!/usr/bin/env python3
+"""Validates and summarizes a structured query log (JSONL).
+
+Usage: tools/analyze_query_log.py [--strict] [--json] <log.jsonl> [...]
+
+Each input line must be one obs::QueryLogRecord as emitted by the
+telemetry layer (the shell's `\\qlog <file>`, `bench/workload_mixed
+--qlog`, or a live QueryLog sink). The schema checked here mirrors
+obs::QueryLog::ValidateRecord — keep the two in sync.
+
+Default output is a human-readable workload summary: per-backend and
+per-table statement counts with exact p50/p99 cycle quantiles, shard
+pruning totals, degradation/fault/error counts and the slowest
+statements. `--json` emits the same summary machine-readably.
+
+`--strict` exits non-zero if any record fails schema validation (CI
+gates on this); without it malformed lines are reported and skipped.
+"""
+
+import json
+import signal
+import sys
+
+# Die quietly when the consumer closes the pipe (e.g. `... | head`).
+signal.signal(signal.SIGPIPE, signal.SIG_DFL)
+
+STRING_FIELDS = ("session", "sql", "table", "backend", "status",
+                 "degradation")
+NUMBER_FIELDS = ("seq", "cycles", "end_cycles", "rows_scanned",
+                 "rows_matched", "shards_total", "shards_scanned",
+                 "shards_pruned", "faults_injected", "fault_retries",
+                 "fault_fallbacks")
+
+
+def validate(record: object) -> str:
+    """Returns "" when valid, else the first schema violation."""
+    if not isinstance(record, dict):
+        return "record must be a JSON object"
+    for field in STRING_FIELDS:
+        if not isinstance(record.get(field), str):
+            return f"field '{field}' must be a string"
+    for field in NUMBER_FIELDS:
+        value = record.get(field)
+        if not isinstance(value, (int, float)) or isinstance(value, bool) \
+                or value < 0:
+            return f"field '{field}' must be a non-negative number"
+    if not isinstance(record.get("degraded"), bool):
+        return "field 'degraded' must be a bool"
+    if record["status"] not in ("ok", "error"):
+        return "field 'status' must be \"ok\" or \"error\""
+    if record["status"] == "error" and not isinstance(
+            record.get("error"), str):
+        return "error records must carry an 'error' string"
+    return ""
+
+
+def quantile(sorted_values: list, q: float) -> float:
+    """Exact nearest-rank quantile of a pre-sorted list (the same
+    ceil(q*n) rank convention as obs::Histogram::Quantile)."""
+    if not sorted_values:
+        return 0.0
+    rank = -(-q * len(sorted_values) // 1)  # ceil
+    rank = min(len(sorted_values), max(1, int(rank)))
+    return float(sorted_values[rank - 1])
+
+
+def summarize(records: list) -> dict:
+    by_backend = {}
+    by_table = {}
+    for r in records:
+        for group, key in ((by_backend, r["backend"]),
+                           (by_table, r["table"])):
+            group.setdefault(key or "(none)", []).append(r)
+
+    def cycle_stats(rs: list) -> dict:
+        cycles = sorted(r["cycles"] for r in rs)
+        return {
+            "statements": len(rs),
+            "cycles_p50": quantile(cycles, 0.50),
+            "cycles_p90": quantile(cycles, 0.90),
+            "cycles_p99": quantile(cycles, 0.99),
+            "cycles_max": float(cycles[-1]) if cycles else 0.0,
+        }
+
+    slowest = sorted(records, key=lambda r: (-r["cycles"], r["seq"]))[:5]
+    return {
+        "statements": len(records),
+        "errors": sum(1 for r in records if r["status"] == "error"),
+        "degraded": sum(1 for r in records if r["degraded"]),
+        "faults_injected": sum(r["faults_injected"] for r in records),
+        "fault_retries": sum(r["fault_retries"] for r in records),
+        "fault_fallbacks": sum(r["fault_fallbacks"] for r in records),
+        "shards_scanned": sum(r["shards_scanned"] for r in records),
+        "shards_pruned": sum(r["shards_pruned"] for r in records),
+        "sessions": len({r["session"] for r in records}),
+        "total_cycles": sum(r["cycles"] for r in records),
+        "by_backend": {k: cycle_stats(v) for k, v in sorted(
+            by_backend.items())},
+        "by_table": {k: cycle_stats(v) for k, v in sorted(
+            by_table.items())},
+        "slowest": [{
+            "seq": r["seq"], "session": r["session"],
+            "cycles": r["cycles"], "sql": r["sql"],
+        } for r in slowest],
+    }
+
+
+def print_human(summary: dict) -> None:
+    print(f"statements: {summary['statements']} "
+          f"(sessions={summary['sessions']}, errors={summary['errors']}, "
+          f"degraded={summary['degraded']})")
+    print(f"faults: injected={summary['faults_injected']} "
+          f"retries={summary['fault_retries']} "
+          f"fallbacks={summary['fault_fallbacks']}")
+    print(f"shards: scanned={summary['shards_scanned']} "
+          f"pruned={summary['shards_pruned']}")
+    print(f"total simulated cycles: {summary['total_cycles']}")
+    for title, group in (("backend", summary["by_backend"]),
+                         ("table", summary["by_table"])):
+        print(f"by {title}:")
+        for key, stats in group.items():
+            print(f"  {key:<12} n={stats['statements']:<5} "
+                  f"p50={stats['cycles_p50']:<12.0f} "
+                  f"p90={stats['cycles_p90']:<12.0f} "
+                  f"p99={stats['cycles_p99']:<12.0f} "
+                  f"max={stats['cycles_max']:.0f}")
+    print("slowest statements:")
+    for s in summary["slowest"]:
+        print(f"  #{s['seq']} [{s['session']}] {s['cycles']} cycles: "
+              f"{s['sql']}")
+
+
+def main(argv: list) -> int:
+    strict = "--strict" in argv
+    as_json = "--json" in argv
+    paths = [a for a in argv[1:] if a not in ("--strict", "--json")]
+    if not paths:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    records = []
+    invalid = 0
+    for path in paths:
+        try:
+            with open(path, "r", encoding="utf-8") as f:
+                lines = f.readlines()
+        except OSError as e:
+            print(f"FAIL {path}: {e}", file=sys.stderr)
+            return 1
+        for lineno, line in enumerate(lines, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                error = validate(record)
+            except json.JSONDecodeError as e:
+                error = f"not valid JSON: {e}"
+                record = None
+            if error:
+                invalid += 1
+                print(f"INVALID {path}:{lineno}: {error}", file=sys.stderr)
+                continue
+            records.append(record)
+
+    if strict and invalid > 0:
+        print(f"FAIL: {invalid} invalid record(s)", file=sys.stderr)
+        return 1
+    if not records:
+        print("FAIL: no valid records", file=sys.stderr)
+        return 1
+
+    summary = summarize(records)
+    summary["invalid_records"] = invalid
+    if as_json:
+        print(json.dumps(summary, indent=1, sort_keys=True))
+    else:
+        print_human(summary)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

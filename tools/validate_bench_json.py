@@ -66,10 +66,12 @@ def validate_structurally(path: str, doc: object) -> None:
         for key in ("count", "sum", "min", "max", "buckets"):
             if key not in h:
                 fail(path, f"histogram '{name}' missing '{key}'")
-        for pair in h["buckets"]:
-            if (not isinstance(pair, list) or len(pair) != 2
-                    or not all(isinstance(x, (int, float)) for x in pair)):
-                fail(path, f"histogram '{name}' has bad bucket {pair!r}")
+        for triple in h["buckets"]:
+            if (not isinstance(triple, list) or len(triple) != 3
+                    or not all(isinstance(x, (int, float)) for x in triple)):
+                fail(path, f"histogram '{name}' has bad bucket {triple!r}")
+            if triple[0] >= triple[1]:
+                fail(path, f"histogram '{name}' bucket edges not increasing")
 
 
 def main(argv: list) -> int:
