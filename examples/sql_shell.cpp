@@ -262,6 +262,12 @@ bool RunCommand(relfab::Fabric& fabric, const std::string& line) {
 
 int main(int argc, char** argv) {
   relfab::Fabric fabric;
+  if (!fabric.env_faults_status().ok()) {
+    // Malformed $RELFAB_FAULTS: the fabric comes up unarmed and usable;
+    // tell the operator why their chaos plan didn't take.
+    std::cout << "warning: " << fabric.env_faults_status().ToString()
+              << " (fault injection disarmed)\n";
+  }
   // The shell is a telemetry showcase: every statement feeds the
   // time-series/digests/query-log/flight-recorder behind \top and
   // \qlog. (Embedding users leave telemetry off — the zero-overhead

@@ -28,6 +28,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "corruption";
     case StatusCode::kIoError:
       return "io_error";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline_exceeded";
   }
   return "unknown";
 }

@@ -23,6 +23,8 @@ enum class StatusCode {
   kInternal,
   kCorruption,     // e.g. codec integrity failure
   kIoError,        // simulated-device I/O failure
+  kUnavailable,    // component permanently dead (no live replica/path)
+  kDeadlineExceeded,  // cycle-domain query deadline expired
 };
 
 /// Returns the canonical lower_snake name of a code ("invalid_argument").
@@ -77,6 +79,12 @@ class [[nodiscard]] Status {
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -89,6 +97,10 @@ class [[nodiscard]] Status {
   bool IsAborted() const { return code_ == StatusCode::kAborted; }
   bool IsOutOfRange() const { return code_ == StatusCode::kOutOfRange; }
   bool IsUnimplemented() const { return code_ == StatusCode::kUnimplemented; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  bool IsDeadlineExceeded() const {
+    return code_ == StatusCode::kDeadlineExceeded;
+  }
 
   /// "ok" or "<code>: <message>".
   std::string ToString() const;

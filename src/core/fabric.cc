@@ -9,7 +9,7 @@ Fabric::Fabric(sim::SimParams sim_params, engine::CostModel cost_model)
       rm_(&memory_),
       cost_model_(cost_model),
       parser_(&catalog_),
-      planner_(&catalog_, sim_params, cost_model),
+      planner_(&catalog_, sim_params, cost_model, &health_),
       executor_(&catalog_, &rm_, cost_model),
       scheduler_(sim_params) {
   tracer_.SetClock([this] { return memory_.ElapsedCycles(); });
@@ -17,16 +17,26 @@ Fabric::Fabric(sim::SimParams sim_params, engine::CostModel cost_model)
   // span work, so a disabled tracer costs one branch per span site.
   // (The executor takes its tracer per call through the ExecContext.)
   rm_.set_tracer(&tracer_);
-  // $RELFAB_FAULTS arms chaos/fault injection for the whole stack; a
-  // malformed spec is an operator error and aborts with the parse
-  // message. Unset leaves every component's injector pointer null (the
-  // zero-overhead happy path).
-  std::unique_ptr<faults::FaultInjector> env_injector =
-      faults::FaultInjector::FromEnvOrDie();
-  if (env_injector != nullptr) ArmFaults(env_injector->plan());
+  // $RELFAB_FAULTS arms chaos/fault injection for the whole stack. A
+  // malformed spec is an operator error surfaced through
+  // env_faults_status() — the fabric comes up unarmed and usable, and
+  // shells/benches print the parse message instead of dying. Unset
+  // leaves every component's injector pointer null (the zero-overhead
+  // happy path).
+  StatusOr<std::unique_ptr<faults::FaultInjector>> env_injector =
+      faults::FaultInjector::FromEnv();
+  if (!env_injector.ok()) {
+    env_faults_status_ = env_injector.status();
+  } else if (*env_injector != nullptr) {
+    ArmFaults((*env_injector)->plan());
+  }
 }
 
 void Fabric::ArmFaults(faults::FaultPlan plan) {
+  // The health registry owns the plan's ".kill" rules (permanent
+  // component death); arming resets all health state so a re-armed
+  // session replays the same death schedule from scratch.
+  health_.ArmKills(plan);
   injector_ =
       plan.armed() ? std::make_unique<faults::FaultInjector>(std::move(plan))
                    : nullptr;
@@ -154,7 +164,8 @@ StatusOr<layout::RowTable*> Fabric::GetTable(const std::string& name) {
 
 StatusOr<shard::ShardedTable*> Fabric::CreateShardedTable(
     const std::string& name, layout::Schema schema,
-    const std::string& key_column_name, std::vector<int64_t> split_points) {
+    const std::string& key_column_name, std::vector<int64_t> split_points,
+    uint32_t replicas) {
   if (tables_.count(name) > 0 || versioned_.count(name) > 0 ||
       sharded_.count(name) > 0) {
     return Status::AlreadyExists("table '" + name + "' already exists");
@@ -164,7 +175,8 @@ StatusOr<shard::ShardedTable*> Fabric::CreateShardedTable(
   RELFAB_ASSIGN_OR_RETURN(
       shard::ShardedTable table,
       shard::ShardedTable::Create(std::move(schema), key_column,
-                                  std::move(split_points), &memory_));
+                                  std::move(split_points), &memory_,
+                                  replicas));
   auto owned = std::make_unique<shard::ShardedTable>(std::move(table));
   shard::ShardedTable* raw = owned.get();
   query::TableEntry entry;
@@ -251,6 +263,7 @@ StatusOr<Fabric::SqlResult> Fabric::ExecuteSqlInternal(
   ctx.injector = injector_.get();
   ctx.profile = options.analyze ? &out.profile : nullptr;
   ctx.scheduler = &scheduler_;
+  ctx.health = &health_;
   if (telemetry_ != nullptr) {
     ctx.digests = &telemetry_->digests();
     ctx.query_log = &telemetry_->query_log();
@@ -276,11 +289,16 @@ StatusOr<Fabric::SqlResult> Fabric::ExecuteSql(std::string_view sql,
       injector_ != nullptr ? injector_->total_retries() : 0;
   const uint64_t fallbacks_before =
       injector_ != nullptr ? injector_->total_fallbacks() : 0;
+  const uint64_t failovers_before = scheduler_.shards_failed_over();
 
   StatusOr<SqlResult> run = ExecuteSqlInternal(sql, options);
 
   obs::WorkloadTelemetry::Statement st;
   st.sql = std::string(sql);
+  st.status_code = std::string(StatusCodeToString(
+      run.ok() ? StatusCode::kOk : run.status().code()));
+  st.shards_failed_over =
+      static_cast<uint32_t>(scheduler_.shards_failed_over() - failovers_before);
   if (run.ok()) {
     st.table = run->plan.table;
     st.backend = std::string(exec::BackendToString(run->plan.backend));
@@ -347,6 +365,7 @@ obs::Registry& Fabric::CollectMetrics() {
     registry_.counter("mvcc.clock")->Set(clock);
   }
   scheduler_.ExportTo(&registry_);
+  health_.ExportTo(&registry_);
   registry_.gauge("faults.armed")->Set(injector_ != nullptr ? 1 : 0);
   if (injector_ != nullptr) injector_->ExportTo(&registry_);
   if (telemetry_ != nullptr) telemetry_->ExportTo(&registry_);
@@ -360,16 +379,20 @@ obs::WorkloadTelemetry& Fabric::EnableTelemetry(obs::TelemetryConfig config) {
     // Cumulative (scheduler/injector-lifetime) series whose window
     // deltas read as rates; per-statement sim.* counters reset between
     // statements and are better read from the query log instead.
-    config.tracked = {"shard.scanned", "shard.pruned", "shard.degraded",
-                      "faults.fallbacks.total"};
+    config.tracked = {"shard.scanned",     "shard.pruned",
+                      "shard.degraded",    "shard.failed_over",
+                      "health.dead",       "faults.fallbacks.total"};
   }
   telemetry_ = std::make_unique<obs::WorkloadTelemetry>(std::move(config));
   tracer_.set_flight_recorder(&telemetry_->flight_recorder());
+  // Health transitions land in the flight recorder as "health" markers.
+  health_.set_recorder(&telemetry_->flight_recorder());
   return *telemetry_;
 }
 
 void Fabric::DisableTelemetry() {
   tracer_.set_flight_recorder(nullptr);
+  health_.set_recorder(nullptr);
   telemetry_.reset();
 }
 

@@ -14,6 +14,7 @@
 #include "exec/options.h"
 #include "exec/shard_scheduler.h"
 #include "faults/fault_plan.h"
+#include "faults/health.h"
 #include "faults/injector.h"
 #include "index/btree.h"
 #include "layout/column_table.h"
@@ -112,10 +113,13 @@ class Fabric {
   /// over the table plans a shard fan-out: the planner prunes shards
   /// from the WHERE clause's key range and the shard scheduler runs one
   /// scan per survivor in parallel (QueryOptions::max_threads sets the
-  /// simulated width).
+  /// simulated width). `replicas` (>= 1) sets the per-shard replication
+  /// factor for the failure-domain layer: with R > 1 a killed replica
+  /// fails over to the next live one (see docs/robustness.md).
   StatusOr<shard::ShardedTable*> CreateShardedTable(
       const std::string& name, layout::Schema schema,
-      const std::string& key_column_name, std::vector<int64_t> split_points);
+      const std::string& key_column_name, std::vector<int64_t> split_points,
+      uint32_t replicas = 1);
 
   StatusOr<shard::ShardedTable*> GetShardedTable(const std::string& name);
 
@@ -235,6 +239,18 @@ class Fabric {
   /// folded into CollectMetrics() under "faults.*".
   faults::FaultInjector* fault_injector() { return injector_.get(); }
 
+  /// Outcome of parsing $RELFAB_FAULTS at construction: ok when unset or
+  /// well-formed, kInvalidArgument (with the parse message) when
+  /// malformed — in which case the fabric runs unarmed and the caller
+  /// decides whether to warn or exit. Never aborts the process.
+  const Status& env_faults_status() const { return env_faults_status_; }
+
+  /// Session-wide failure-domain health (kill draws, circuit breaker,
+  /// replica liveness). Armed by ArmFaults from the plan's ".kill"
+  /// rules; consulted by the planner and shard scheduler. Exported under
+  /// "health.*" by CollectMetrics.
+  faults::HealthRegistry& health() { return health_; }
+
   /// The shard fan-out scheduler (host thread pool + worker rigs).
   exec::ShardScheduler& shard_scheduler() { return scheduler_; }
 
@@ -254,6 +270,8 @@ class Fabric {
   obs::Tracer tracer_;
   std::unique_ptr<obs::WorkloadTelemetry> telemetry_;
   std::unique_ptr<faults::FaultInjector> injector_;
+  faults::HealthRegistry health_;
+  Status env_faults_status_ = Status::Ok();
   std::map<std::string, std::unique_ptr<layout::RowTable>> tables_;
   std::map<std::string, std::unique_ptr<layout::ColumnTable>> column_copies_;
   std::map<std::string, std::unique_ptr<index::BTreeIndex>> indexes_;

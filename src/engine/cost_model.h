@@ -48,6 +48,13 @@ struct CostModel {
   /// work is charged via agg_update_cycles on top.
   double shard_merge_task_cycles = 60.0;
 
+  /// Failing over from a dead shard replica to the next live one:
+  /// timeout detection plus re-dispatch, charged once per dead replica
+  /// skipped during replica selection. Deliberately much larger than a
+  /// merge handoff — death is detected by a missed heartbeat, not a
+  /// return code.
+  double shard_failover_cycles = 2500.0;
+
   static CostModel A53Defaults() { return CostModel{}; }
 };
 

@@ -85,6 +85,10 @@ struct QueryResult {
   double projection_checksum = 0;
   /// Simulated elapsed cycles for the execution (filled by the engine).
   uint64_t sim_cycles = 0;
+  /// True when shards with no live replica were skipped under
+  /// QueryOptions::allow_partial — the answer covers only the surviving
+  /// shards. Never set on the default (fail-with-kUnavailable) path.
+  bool partial = false;
 
   /// Functional equality (ignores sim_cycles); doubles compared with a
   /// relative tolerance to absorb summation-order differences.

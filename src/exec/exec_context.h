@@ -2,6 +2,7 @@
 #define RELFAB_EXEC_EXEC_CONTEXT_H_
 
 #include "exec/options.h"
+#include "faults/health.h"
 #include "faults/injector.h"
 #include "obs/digest.h"
 #include "obs/flight_recorder.h"
@@ -52,6 +53,12 @@ struct ExecContext {
   /// are logged here as they happen (the dump trigger lives in the
   /// telemetry epilogue).
   obs::FlightRecorder* recorder = nullptr;
+
+  /// Failure-domain health: kill draws and circuit-breaker reports.
+  /// Touched only from single-threaded coordinator code (executor
+  /// dispatch, scheduler pre-fan-out / post-join) — never from shard
+  /// worker tasks — so health state stays scheduling-invariant.
+  faults::HealthRegistry* health = nullptr;
 
   /// Per-statement knobs (analyze / forced_backend / max_threads).
   QueryOptions options;

@@ -68,6 +68,20 @@ struct QueryOptions {
   /// This is a *simulated* knob: host threading never changes answers or
   /// cycles.
   int max_threads = 0;
+
+  /// Availability over completeness: when a shard has no live replica
+  /// (all killed), skip it and return the answer over the surviving
+  /// shards with QueryResult::partial set, instead of failing the
+  /// statement with kUnavailable. Default off — a partial aggregate is
+  /// wrong unless the caller opted in.
+  bool allow_partial = false;
+
+  /// Cycle-domain deadline: > 0 makes the shard scheduler cancel shards
+  /// whose (simulated) completion would land past this many cycles and
+  /// fail the statement with kDeadlineExceeded, profile intact. The
+  /// deadline is evaluated on the simulated clock, so expiry is
+  /// bit-identical across host thread counts. 0 = no deadline.
+  uint64_t deadline_cycles = 0;
 };
 
 }  // namespace relfab::exec

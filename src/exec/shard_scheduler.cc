@@ -41,6 +41,17 @@ struct ShardScheduler::ShardRun {
   uint64_t injected = 0;
   uint64_t retries = 0;
   uint64_t exhausted = 0;
+  // --- failure-domain outcome, filled in single-threaded code ---
+  /// False when the shard had no live replica and was skipped
+  /// (allow_partial) — the fields above are then never written.
+  bool serving = true;
+  /// Replica index that served the scan (replicas are timing aliases, so
+  /// this changes cycles/bookkeeping only, never the answer).
+  int replica = 0;
+  /// Dead replicas skipped before `replica` answered.
+  uint32_t failovers = 0;
+  /// True when a cycle-domain deadline cancelled this shard post-join.
+  bool cancelled = false;
 };
 
 namespace {
@@ -134,6 +145,13 @@ faults::FaultPlan PlanForShard(const faults::FaultPlan& base,
   return plan;
 }
 
+/// Failure-domain component name of replica j of shard i.
+std::string ReplicaName(const std::string& table, uint32_t shard,
+                        uint32_t replica) {
+  return table + ".shard" + std::to_string(shard) + ".r" +
+         std::to_string(replica);
+}
+
 }  // namespace
 
 ShardScheduler::Rig& ShardScheduler::RigForSlot(int slot) {
@@ -220,6 +238,9 @@ StatusOr<engine::QueryResult> ShardScheduler::Execute(const Request& req,
                req.shard_ids != nullptr);
   const std::vector<uint32_t>& ids = *req.shard_ids;
   const uint32_t total = req.table->num_shards();
+  const uint32_t replicas = req.table->num_replicas();
+  const uint64_t now = ctx.tracer != nullptr ? ctx.tracer->Now() : 0;
+  ++queries_;
 
   obs::Span span(ctx.tracer, "query.shard_fanout", "query");
   span.AddArg("backend", std::string(BackendToString(req.backend)));
@@ -229,20 +250,71 @@ StatusOr<engine::QueryResult> ShardScheduler::Execute(const Request& req,
   const PartialPlan pp = MakePartialPlan(*req.spec);
   std::vector<ShardRun> runs(ids.size());
 
-  // --- fan out: host pool pulls shard tasks from an atomic cursor ---
+  // --- pre-fan-out, single-threaded: pick each shard's serving replica.
+  // Lowest-index live replica wins; one "shard.kill" opportunity per
+  // selection attempt, so replica j is never drawn until replicas
+  // 0..j-1 are dead. Because selection runs before the pool and walks
+  // shards in shard-major order, the death schedule is a pure function
+  // of (plan, workload) — bit-identical at any host thread count.
+  std::vector<size_t> serving;  // indices into ids/runs
+  serving.reserve(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    int picked = -1;
+    uint32_t failovers = 0;
+    for (uint32_t j = 0; j < replicas; ++j) {
+      const std::string name = ReplicaName(req.table_name, ids[i], j);
+      if (ctx.health != nullptr) {
+        if (!ctx.health->alive(name)) {
+          ++failovers;
+          continue;
+        }
+        if (ctx.health->DrawKill("shard.kill", name, now)) {
+          ++failovers;
+          continue;
+        }
+      }
+      picked = static_cast<int>(j);
+      break;
+    }
+    runs[i].failovers = failovers;
+    if (picked < 0) {
+      runs[i].serving = false;
+      ++shards_unavailable_;
+      if (ctx.recorder != nullptr) {
+        ctx.recorder->Log("shard",
+                          "shard " + std::to_string(ids[i]) + " of '" +
+                              req.table_name + "' unavailable: all " +
+                              std::to_string(replicas) + " replica(s) dead",
+                          now);
+      }
+      if (!ctx.options.allow_partial) {
+        return Status::Unavailable(
+            "shard " + std::to_string(ids[i]) + " of '" + req.table_name +
+            "' has no live replica (" + std::to_string(replicas) +
+            " replica(s) dead); set allow_partial to answer from the "
+            "survivors");
+      }
+      continue;
+    }
+    runs[i].replica = picked;
+    serving.push_back(i);
+  }
+
+  // --- fan out: host pool pulls serving-shard tasks from a cursor ---
   int host = host_threads_ > 0
                  ? host_threads_
                  : static_cast<int>(std::thread::hardware_concurrency());
   if (host < 1) host = 1;
-  if (static_cast<size_t>(host) > ids.size()) {
-    host = static_cast<int>(ids.size());
+  if (static_cast<size_t>(host) > serving.size()) {
+    host = static_cast<int>(serving.size());
   }
   std::atomic<size_t> next{0};
   auto worker = [&](int slot) {
     for (;;) {
       const size_t pick = next.fetch_add(1);
-      if (pick >= ids.size()) break;
-      RunShardTask(req, pp.spec, ctx, ids[pick], slot, &runs[pick]);
+      if (pick >= serving.size()) break;
+      const size_t i = serving[pick];
+      RunShardTask(req, pp.spec, ctx, ids[i], slot, &runs[i]);
     }
   };
   if (host <= 1) {
@@ -257,19 +329,181 @@ StatusOr<engine::QueryResult> ShardScheduler::Execute(const Request& req,
   }
 
   // --- post-join, single-threaded, shard-major from here on ---
-  for (size_t i = 0; i < runs.size(); ++i) {
+  for (const size_t i : serving) {
     if (!runs[i].status.ok()) return runs[i].status;
   }
 
+  // Failover surcharge on the shard's own clock: detecting a dead
+  // replica (missed heartbeat) and re-dispatching is paid before the
+  // surviving replica's scan starts.
+  for (const size_t i : serving) {
+    runs[i].cycles += static_cast<uint64_t>(
+        static_cast<double>(runs[i].failovers) *
+        req.cost.shard_failover_cycles);
+    shards_failed_over_ += runs[i].failovers;
+  }
+
+  // --- cycle model: shard-major deal onto simulated workers ---
+  // Each simulated worker's clock is the sum of its shards' cycles; a
+  // shard "completes" at its worker's clock after its scan. With a
+  // deadline armed, shards completing past it are cancelled — evaluated
+  // on the simulated clock, so expiry is scheduling-invariant.
+  size_t sim_workers = ctx.options.max_threads > 0
+                           ? static_cast<size_t>(ctx.options.max_threads)
+                           : serving.size();
+  sim_workers =
+      std::max<size_t>(1, std::min(sim_workers, std::max<size_t>(
+                                                    1, serving.size())));
+  std::vector<uint64_t> worker_cycles(sim_workers, 0);
+  const uint64_t deadline = ctx.options.deadline_cycles;
+  size_t cancelled_count = 0;
+  for (size_t k = 0; k < serving.size(); ++k) {
+    ShardRun& run = runs[serving[k]];
+    uint64_t& clock = worker_cycles[k % sim_workers];
+    clock += run.cycles;
+    if (deadline > 0 && clock > deadline) {
+      run.cancelled = true;
+      ++cancelled_count;
+    }
+  }
+  uint64_t parallel_cycles = 0;
+  for (uint64_t c : worker_cycles) {
+    parallel_cycles = std::max(parallel_cycles, c);
+  }
+  shards_cancelled_ += cancelled_count;
+
+  // --- circuit-breaker reports, shard order (cancelled shards report
+  // nothing: they neither succeeded nor failed) ---
+  if (ctx.health != nullptr) {
+    for (const size_t i : serving) {
+      const ShardRun& run = runs[i];
+      if (run.cancelled) continue;
+      const std::string name =
+          ReplicaName(req.table_name, ids[i], static_cast<uint32_t>(run.replica));
+      if (run.degraded) {
+        if (run.exhausted > 0) {
+          ctx.health->ReportExhausted(name, run.cause, now);
+        } else {
+          ctx.health->ReportFailure(name, run.cause, now);
+        }
+      } else {
+        ctx.health->ReportSuccess(name);
+      }
+    }
+  }
+
+  // --- meters + degradation bookkeeping (shard order, completed only) ---
+  shards_scanned_ += serving.size();
+  shards_pruned_ += total - ids.size();
+  std::string degraded_note;
+  for (const size_t i : serving) {
+    const ShardRun& run = runs[i];
+    if (run.cancelled) continue;
+    shard_cycles_.Observe(static_cast<double>(run.cycles));
+    if (ctx.digests != nullptr) {
+      // Shard-order observation in single-threaded post-join code: the
+      // digest contents are independent of the host worker count.
+      ctx.digests->Observe("shard.cycles", static_cast<double>(run.cycles));
+      ctx.digests->Observe("shard." + std::to_string(ids[i]) + ".cycles",
+                           static_cast<double>(run.cycles));
+    }
+    faults_injected_ += run.injected;
+    if (run.degraded) {
+      ++shards_degraded_;
+      if (ctx.injector != nullptr) {
+        ctx.injector->NoteFallback(
+            "shard." + std::string(BackendToString(req.backend)));
+      }
+      if (ctx.recorder != nullptr) {
+        ctx.recorder->Log(
+            "shard",
+            "shard " + std::to_string(ids[i]) + " degraded: " + run.cause,
+            now);
+      }
+      if (degraded_note.empty()) {
+        std::ostringstream os;
+        os << "shard " << ids[i] << ": " << run.cause
+           << "; shard re-run on ROW backend (" << (serving.size() - 1)
+           << " other shard(s) unaffected)";
+        degraded_note = os.str();
+      }
+    }
+  }
+
+  // --- profile ops, one per surviving shard (both exits share this) ---
+  const auto fill_profile_ops = [&]() {
+    obs::QueryProfile* prof = ctx.profile;
+    prof->shards_total = total;
+    prof->shards_scanned = static_cast<uint32_t>(serving.size());
+    prof->shards_pruned = total - static_cast<uint32_t>(ids.size());
+    prof->shards_unavailable =
+        static_cast<uint32_t>(ids.size() - serving.size());
+    prof->shards_cancelled = static_cast<uint32_t>(cancelled_count);
+    for (size_t i = 0; i < runs.size(); ++i) {
+      const ShardRun& run = runs[i];
+      obs::OpStats op;
+      std::ostringstream name;
+      name << "Shard[" << ids[i] << "] ";
+      if (!run.serving) {
+        name << "(dead, skipped)";
+        op.name = name.str();
+        op.rows_in = req.table->shard(ids[i]).num_rows();
+        prof->ops.push_back(std::move(op));
+        continue;
+      }
+      prof->shards_failed_over += run.failovers;
+      name << BackendToString(req.backend);
+      if (run.degraded) name << "->ROW";
+      if (run.replica > 0) {
+        name << " replica=" << run.replica << " (failover)";
+      }
+      if (run.cancelled) name << " (cancelled)";
+      op.name = name.str();
+      op.rows_in = run.shard_rows;
+      op.rows_out = run.result.rows_matched;
+      op.cpu_cycles = run.sample.cpu_cycles;
+      op.dram_lines_demand = run.sample.dram_lines_demand;
+      op.dram_lines_gather = run.sample.dram_lines_gather;
+      op.fabric_reads = run.sample.fabric_reads;
+      op.l1_misses = run.sample.l1_misses;
+      op.l2_misses = run.sample.l2_misses;
+      prof->ops.push_back(std::move(op));
+    }
+    if (!degraded_note.empty()) prof->fallback = degraded_note;
+  };
+
+  if (cancelled_count > 0) {
+    // Deadline expiry: the merge never runs; the profile survives with
+    // per-shard ops intact and the total clamped to the deadline.
+    if (ctx.recorder != nullptr) {
+      ctx.recorder->Log("shard",
+                        "deadline of " + std::to_string(deadline) +
+                            " cycles exceeded: " +
+                            std::to_string(cancelled_count) + " of " +
+                            std::to_string(serving.size()) +
+                            " shard(s) cancelled",
+                        now);
+    }
+    if (ctx.profile != nullptr) {
+      fill_profile_ops();
+      ctx.profile->total_cycles = static_cast<double>(deadline);
+    }
+    return Status::DeadlineExceeded(
+        "query exceeded deadline of " + std::to_string(deadline) +
+        " cycles: " + std::to_string(cancelled_count) + " of " +
+        std::to_string(serving.size()) + " shard(s) cancelled");
+  }
+
+  // --- merge, shard-major over the serving shards ---
   const size_t slots = pp.spec.aggregates.size();
   engine::QueryResult merged;
   std::vector<double> flat(slots, 0);
   std::vector<bool> flat_any(slots, false);
   std::map<engine::GroupKey, std::vector<double>> groups;
-  uint64_t merge_units = ids.size() * slots;
+  uint64_t merge_units = serving.size() * slots;
 
-  for (const ShardRun& run : runs) {
-    const engine::QueryResult& r = run.result;
+  for (const size_t i : serving) {
+    const engine::QueryResult& r = runs[i].result;
     merged.rows_scanned += r.rows_scanned;
     merged.rows_matched += r.rows_matched;
     merged.projection_checksum += r.projection_checksum;
@@ -298,87 +532,16 @@ StatusOr<engine::QueryResult> ShardScheduler::Execute(const Request& req,
   for (const auto& [key, vals] : groups) {
     merged.groups.emplace_back(key, FinalizeSlots(*req.spec, pp, vals));
   }
+  merged.partial = serving.size() < ids.size();
 
-  // --- cycle model: max over simulated workers + host-side merge ---
-  size_t sim_workers =
-      ctx.options.max_threads > 0
-          ? static_cast<size_t>(ctx.options.max_threads)
-          : ids.size();
-  sim_workers = std::max<size_t>(1, std::min(sim_workers, ids.size()));
-  std::vector<uint64_t> worker_cycles(sim_workers, 0);
-  for (size_t i = 0; i < runs.size(); ++i) {
-    worker_cycles[i % sim_workers] += runs[i].cycles;
-  }
-  uint64_t parallel_cycles = 0;
-  for (uint64_t c : worker_cycles) {
-    parallel_cycles = std::max(parallel_cycles, c);
-  }
   const double merge_cycles =
-      static_cast<double>(ids.size()) * req.cost.shard_merge_task_cycles +
+      static_cast<double>(serving.size()) * req.cost.shard_merge_task_cycles +
       static_cast<double>(merge_units) * req.cost.agg_update_cycles;
-  merged.sim_cycles =
-      parallel_cycles + static_cast<uint64_t>(merge_cycles);
-
-  // --- meters, profile, degradation bookkeeping (shard order) ---
-  ++queries_;
-  shards_scanned_ += ids.size();
-  shards_pruned_ += total - ids.size();
-  std::string degraded_note;
-  for (size_t i = 0; i < runs.size(); ++i) {
-    shard_cycles_.Observe(static_cast<double>(runs[i].cycles));
-    if (ctx.digests != nullptr) {
-      // Shard-order observation in single-threaded post-join code: the
-      // digest contents are independent of the host worker count.
-      ctx.digests->Observe("shard.cycles",
-                           static_cast<double>(runs[i].cycles));
-      ctx.digests->Observe("shard." + std::to_string(ids[i]) + ".cycles",
-                           static_cast<double>(runs[i].cycles));
-    }
-    faults_injected_ += runs[i].injected;
-    if (runs[i].degraded) {
-      ++shards_degraded_;
-      if (ctx.injector != nullptr) {
-        ctx.injector->NoteFallback(
-            "shard." + std::string(BackendToString(req.backend)));
-      }
-      if (ctx.recorder != nullptr) {
-        ctx.recorder->Log(
-            "shard",
-            "shard " + std::to_string(ids[i]) + " degraded: " + runs[i].cause,
-            ctx.tracer != nullptr ? ctx.tracer->Now() : 0);
-      }
-      if (degraded_note.empty()) {
-        std::ostringstream os;
-        os << "shard " << ids[i] << ": " << runs[i].cause
-           << "; shard re-run on ROW backend (" << (ids.size() - 1)
-           << " other shard(s) unaffected)";
-        degraded_note = os.str();
-      }
-    }
-  }
+  merged.sim_cycles = parallel_cycles + static_cast<uint64_t>(merge_cycles);
 
   if (ctx.profile != nullptr) {
+    fill_profile_ops();
     obs::QueryProfile* prof = ctx.profile;
-    prof->shards_total = total;
-    prof->shards_scanned = static_cast<uint32_t>(ids.size());
-    prof->shards_pruned = total - static_cast<uint32_t>(ids.size());
-    for (size_t i = 0; i < runs.size(); ++i) {
-      obs::OpStats op;
-      std::ostringstream name;
-      name << "Shard[" << ids[i] << "] "
-           << BackendToString(req.backend);
-      if (runs[i].degraded) name << "->ROW";
-      op.name = name.str();
-      op.rows_in = runs[i].shard_rows;
-      op.rows_out = runs[i].result.rows_matched;
-      op.cpu_cycles = runs[i].sample.cpu_cycles;
-      op.dram_lines_demand = runs[i].sample.dram_lines_demand;
-      op.dram_lines_gather = runs[i].sample.dram_lines_gather;
-      op.fabric_reads = runs[i].sample.fabric_reads;
-      op.l1_misses = runs[i].sample.l1_misses;
-      op.l2_misses = runs[i].sample.l2_misses;
-      prof->ops.push_back(std::move(op));
-    }
     obs::OpStats merge_op;
     std::ostringstream name;
     name << "Merge[workers=" << sim_workers << "]";
@@ -389,7 +552,6 @@ StatusOr<engine::QueryResult> ShardScheduler::Execute(const Request& req,
     merge_op.cpu_cycles = merge_cycles;
     prof->ops.push_back(std::move(merge_op));
     prof->total_cycles = static_cast<double>(merged.sim_cycles);
-    if (!degraded_note.empty()) prof->fallback = degraded_note;
   }
 
   span.AddArg("rows_matched", merged.rows_matched);
@@ -403,6 +565,9 @@ void ShardScheduler::ExportTo(obs::Registry* registry) const {
   registry->counter("shard.pruned")->Set(shards_pruned_);
   registry->counter("shard.degraded")->Set(shards_degraded_);
   registry->counter("shard.faults.injected")->Set(faults_injected_);
+  registry->counter("shard.failed_over")->Set(shards_failed_over_);
+  registry->counter("shard.unavailable")->Set(shards_unavailable_);
+  registry->counter("shard.cancelled")->Set(shards_cancelled_);
   *registry->histogram("shard.cycles") = shard_cycles_;
 }
 

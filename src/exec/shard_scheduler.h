@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "common/statusor.h"
@@ -48,6 +49,19 @@ namespace relfab::exec {
 /// degrades only that shard to the Volcano path (PR 3's fallback); the
 /// failed attempt's cycles stay on that shard's clock and the query
 /// still answers.
+///
+/// Failure domains (docs/robustness.md): before fan-out the scheduler
+/// selects, per shard, the lowest-index live replica — consulting
+/// ctx.health for liveness and drawing one "shard.kill" opportunity per
+/// selection attempt — and charges CostModel::shard_failover_cycles per
+/// dead replica skipped. A shard with no live replica fails the query
+/// with kUnavailable (or is skipped with QueryResult::partial under
+/// QueryOptions::allow_partial). All health access happens in the
+/// single-threaded pre-fan-out / post-join sections, so death schedules
+/// and failovers are bit-identical at any host thread count. With
+/// QueryOptions::deadline_cycles set, shards whose simulated completion
+/// lands past the deadline are cancelled and the query fails with
+/// kDeadlineExceeded, EXPLAIN ANALYZE profile intact.
 class ShardScheduler {
  public:
   // Both out of line: Rig is incomplete here.
@@ -61,6 +75,9 @@ class ShardScheduler {
   /// sharded plan). All pointers are non-owning.
   struct Request {
     const shard::ShardedTable* table = nullptr;
+    /// Catalog name of the table — the failure-domain component names
+    /// ("<table>.shard<i>.r<j>") are derived from it.
+    std::string table_name;
     const engine::QuerySpec* spec = nullptr;
     /// Per-shard scan path; sharded plans support kRow and
     /// kRelationalMemory.
@@ -88,6 +105,12 @@ class ShardScheduler {
   uint64_t shards_pruned() const { return shards_pruned_; }
   uint64_t shards_degraded() const { return shards_degraded_; }
   uint64_t shard_faults_injected() const { return faults_injected_; }
+  /// Dead replicas skipped during replica selection (lifetime sum).
+  uint64_t shards_failed_over() const { return shards_failed_over_; }
+  /// Shards skipped (allow_partial) or failed for lack of a live replica.
+  uint64_t shards_unavailable() const { return shards_unavailable_; }
+  /// Shards cancelled by a cycle-domain deadline.
+  uint64_t shards_cancelled() const { return shards_cancelled_; }
 
   /// Exports "shard.*" counters and the per-shard cycle distribution
   /// ("shard.cycles"). Idempotent (Set/assign, not Inc/Merge).
@@ -119,6 +142,9 @@ class ShardScheduler {
   uint64_t shards_pruned_ = 0;
   uint64_t shards_degraded_ = 0;
   uint64_t faults_injected_ = 0;
+  uint64_t shards_failed_over_ = 0;
+  uint64_t shards_unavailable_ = 0;
+  uint64_t shards_cancelled_ = 0;
   obs::Histogram shard_cycles_;
 };
 

@@ -65,6 +65,7 @@ StatusOr<FaultKind> ParseKind(std::string_view token) {
   if (token == "corruption") return FaultKind::kCorruption;
   if (token == "unavailable") return FaultKind::kUnavailable;
   if (token == "conflict") return FaultKind::kConflict;
+  if (token == "kill") return FaultKind::kKill;
   return Status::InvalidArgument("fault spec: unknown kind '" +
                                  std::string(token) + "'");
 }
@@ -78,6 +79,7 @@ std::string_view FaultKindName(FaultKind kind) {
     case FaultKind::kCorruption: return "corruption";
     case FaultKind::kUnavailable: return "unavailable";
     case FaultKind::kConflict: return "conflict";
+    case FaultKind::kKill: return "kill";
   }
   return "?";
 }
@@ -89,6 +91,7 @@ StatusCode FaultKindCode(FaultKind kind) {
     case FaultKind::kCorruption: return StatusCode::kCorruption;
     case FaultKind::kUnavailable: return StatusCode::kResourceExhausted;
     case FaultKind::kConflict: return StatusCode::kAborted;
+    case FaultKind::kKill: return StatusCode::kUnavailable;
   }
   return StatusCode::kInternal;
 }
@@ -98,6 +101,9 @@ bool IsFabricFault(const Status& status) {
     case StatusCode::kIoError:
     case StatusCode::kCorruption:
     case StatusCode::kResourceExhausted:
+    // A dead component is the extreme fabric fault: the work can still
+    // complete on the host path / a live replica, it just never retries.
+    case StatusCode::kUnavailable:
       return true;
     default:
       return false;
@@ -124,6 +130,16 @@ const std::vector<SiteInfo>& KnownSites() {
        "host interface transfer fails and is re-issued"},
       {"mvcc.commit", FaultKind::kTimeout, 2500,
        "commit machinery hiccup (visibility-bit publish retry)"},
+      // Kill sites: permanent component death, drawn by the
+      // HealthRegistry (one opportunity per serving attempt) instead of
+      // the per-operation injector. No penalty cycles — the cost of a
+      // death is the failover / degradation it forces.
+      {"shard.kill", FaultKind::kKill, 0,
+       "a shard replica dies permanently (failover to the next replica)"},
+      {"rm.kill", FaultKind::kKill, 0,
+       "the RM transformer dies permanently (planner avoids it)"},
+      {"rs.kill", FaultKind::kKill, 0,
+       "the computational-SSD engine dies permanently (host scans only)"},
   };
   return kSites;
 }
@@ -133,6 +149,12 @@ const SiteInfo* FindSite(std::string_view name) {
     if (name == site.name) return &site;
   }
   return nullptr;
+}
+
+bool IsKillSite(std::string_view name) {
+  constexpr std::string_view kSuffix = ".kill";
+  return name.size() > kSuffix.size() &&
+         name.substr(name.size() - kSuffix.size()) == kSuffix;
 }
 
 StatusOr<FaultPlan> FaultPlan::Parse(std::string_view spec) {
@@ -197,6 +219,14 @@ StatusOr<FaultPlan> FaultPlan::Parse(std::string_view spec) {
                                        std::string(key) + "' for site '" +
                                        rule.site + "'");
       }
+    }
+    if (IsKillSite(rule.site) != (rule.kind == FaultKind::kKill)) {
+      return Status::InvalidArgument(
+          rule.kind == FaultKind::kKill
+              ? "fault spec: kind=kill is only valid at the .kill sites, "
+                "not '" + rule.site + "'"
+              : "fault spec: site '" + rule.site +
+                    "' is a kill site and only accepts kind=kill");
     }
     plan.rules.push_back(std::move(rule));
   }

@@ -31,6 +31,12 @@ enum class FaultKind : uint8_t {
   /// kAborted. Not retried by the machinery: the transaction itself must
   /// restart, so the error surfaces after a single injection.
   kConflict,
+  /// Permanent component death -> kUnavailable. Once fired the component
+  /// stays dead for the rest of the session (recorded in the
+  /// HealthRegistry); retries never help, failover or degradation is the
+  /// only recovery. Valid only at the ".kill" sites, which are drawn by
+  /// the HealthRegistry rather than the per-operation FaultInjector.
+  kKill,
 };
 
 std::string_view FaultKindName(FaultKind kind);
@@ -68,6 +74,10 @@ struct SiteInfo {
 const std::vector<SiteInfo>& KnownSites();
 const SiteInfo* FindSite(std::string_view name);
 
+/// True for the ".kill" sites (permanent component death). Kill rules
+/// are executed by the HealthRegistry, not the per-operation injector.
+bool IsKillSite(std::string_view name);
+
 /// Parsed, validated fault configuration. Grammar (whitespace around
 /// tokens is ignored):
 ///
@@ -80,7 +90,11 @@ const SiteInfo* FindSite(std::string_view name);
 /// `p` defaults to 1.0 (always fire — useful for deterministic tests),
 /// `kind` and `cycles` default per site (KnownSites()). Unknown sites,
 /// probabilities outside [0, 1], unknown kinds, negative or non-finite
-/// cycles, and duplicate sites are kInvalidArgument.
+/// cycles, and duplicate sites are kInvalidArgument. The `kill` kind is
+/// tied to the ".kill" sites (shard.kill / rm.kill / rs.kill): a kill
+/// kind on a transient site, or a transient kind on a kill site, is
+/// also kInvalidArgument — permanent death and per-operation retry are
+/// different machineries and must not be mixed silently.
 struct FaultPlan {
   /// Seed for the per-site deterministic PRNG streams. Two runs with the
   /// same plan (spec + seed) inject exactly the same faults.

@@ -1,0 +1,151 @@
+#ifndef RELFAB_FAULTS_HEALTH_H_
+#define RELFAB_FAULTS_HEALTH_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/random.h"
+#include "faults/fault_plan.h"
+#include "obs/flight_recorder.h"
+#include "obs/registry.h"
+
+namespace relfab::faults {
+
+/// Availability state of one failure-domain component. HEALTHY and
+/// DEGRADED are recoverable; DEAD is permanent for the session.
+enum class HealthState : uint8_t { kHealthy, kDegraded, kDead };
+
+std::string_view HealthStateName(HealthState state);
+
+/// Session-wide component health: the failure-domain layer's single
+/// source of truth for "is this component usable". Components are named
+/// strings — "rm", "rs", "<table>.shard<i>.r<j>" — created lazily on
+/// first touch in the HEALTHY state.
+///
+/// Two event sources drive the state machine:
+///
+///  1. Kill draws (permanent death). ArmKills captures the plan's
+///     ".kill" rules; each component then owns a private PRNG stream
+///     seeded from (plan seed, site name, component name), and every
+///     serving attempt is one Bernoulli(p) opportunity. Once a draw
+///     fires the component is DEAD for the rest of the session. Because
+///     a component's stream advances only on its own draws — and all
+///     draws happen in single-threaded coordinator code — the death
+///     schedule is an exact function of (plan, workload): bit-identical
+///     across host thread counts, simulator modes and replays.
+///
+///  2. Circuit-breaker reports (DEGRADED and back).
+///     kDegradeAfterFailures consecutive ReportFailure calls, or a
+///     single ReportExhausted (retry budget spent), trip HEALTHY ->
+///     DEGRADED; kRecoverAfterSuccesses consecutive ReportSuccess calls
+///     recover DEGRADED -> HEALTHY. DEAD is absorbing.
+///
+/// Everything here is cycle-domain bookkeeping on the host: transitions
+/// are recorded with the simulated cycle the caller passes in, exported
+/// as "health.*" gauges, and mirrored as flight-recorder markers.
+/// Single-threaded by contract, like the rest of the per-session
+/// telemetry: all calls happen in statement-scope coordinator code
+/// (planner, executor, scheduler pre-fan-out / post-join), never inside
+/// shard worker tasks.
+class HealthRegistry {
+ public:
+  /// Consecutive ReportFailure calls that trip HEALTHY -> DEGRADED.
+  static constexpr int kDegradeAfterFailures = 3;
+  /// Consecutive ReportSuccess calls that recover DEGRADED -> HEALTHY.
+  static constexpr int kRecoverAfterSuccesses = 2;
+
+  /// One permanent death, in draw order (the replayable schedule).
+  struct DeathRecord {
+    std::string component;
+    std::string site;    // ".kill" site, or "" for MarkDead
+    std::string cause;
+    uint64_t cycles = 0;  // simulated cycle of the fatal event
+    uint64_t draw = 0;    // the component's draw count when it died
+  };
+
+  /// Captures the plan's ".kill" rules and seed, and RESETS all health
+  /// state — arming is a session boundary, so a re-armed registry
+  /// replays the same death schedule from scratch. A plan without kill
+  /// rules leaves the registry disarmed (draws never fire) but the
+  /// circuit breaker still tracks DEGRADED.
+  void ArmKills(const FaultPlan& plan);
+
+  bool armed() const { return !kill_rules_.empty(); }
+
+  /// One kill opportunity for `component` against the `site` rule
+  /// (e.g. "shard.kill"). Draws the component's private stream; true
+  /// means the component just died (recorded + marker emitted). False
+  /// when the site is unarmed or the component is already DEAD.
+  bool DrawKill(std::string_view site, const std::string& component,
+                uint64_t now_cycles);
+
+  /// kHealthy for components never seen.
+  HealthState state(const std::string& component) const;
+  bool alive(const std::string& component) const {
+    return state(component) != HealthState::kDead;
+  }
+
+  /// Administrative death (no draw): e.g. tests, or a component whose
+  /// own machinery proved it unusable.
+  void MarkDead(const std::string& component, const std::string& cause,
+                uint64_t now_cycles);
+
+  void ReportSuccess(const std::string& component);
+  void ReportFailure(const std::string& component, const std::string& cause,
+                     uint64_t now_cycles);
+  /// Retry-budget exhaustion trips DEGRADED immediately.
+  void ReportExhausted(const std::string& component, const std::string& cause,
+                       uint64_t now_cycles);
+
+  /// Deaths in draw order — the schedule chaos tests replay exactly.
+  const std::vector<DeathRecord>& deaths() const { return deaths_; }
+  uint64_t draws() const { return draws_; }
+  uint64_t transitions() const { return transitions_; }
+  size_t CountInState(HealthState state) const;
+
+  /// Canonical one-line state summary ("rm=dead readings.shard0.r0=dead
+  /// ..."), components in name order. Tests compare these strings for
+  /// health-state bit-identity across thread counts and sim modes.
+  std::string ToString() const;
+
+  /// State-transition markers land here ("health" category). Null
+  /// detaches.
+  void set_recorder(obs::FlightRecorder* recorder) { recorder_ = recorder; }
+
+  /// Exports "health.{healthy,degraded,dead,draws,deaths,transitions}"
+  /// gauges plus per-component "health.<component>.state" (0 healthy,
+  /// 1 degraded, 2 dead).
+  void ExportTo(obs::Registry* registry) const;
+
+ private:
+  struct Component {
+    HealthState state = HealthState::kHealthy;
+    Random rng{1};
+    bool rng_seeded = false;
+    uint64_t draws = 0;
+    int consecutive_failures = 0;
+    int consecutive_successes = 0;
+  };
+
+  Component& Touch(const std::string& component);
+  void Transition(const std::string& component, Component* c,
+                  HealthState next, const std::string& cause,
+                  uint64_t now_cycles);
+
+  uint64_t seed_ = 0;
+  std::vector<FaultRule> kill_rules_;  // the plan's ".kill" rules only
+  /// Ordered map: export/ToString order is name order, never insertion
+  /// or hash order, so summaries are scheduling-invariant.
+  std::map<std::string, Component> components_;
+  std::vector<DeathRecord> deaths_;
+  uint64_t draws_ = 0;
+  uint64_t transitions_ = 0;
+  obs::FlightRecorder* recorder_ = nullptr;
+};
+
+}  // namespace relfab::faults
+
+#endif  // RELFAB_FAULTS_HEALTH_H_

@@ -29,11 +29,13 @@ FaultInjector::FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {
   ResetStreams();
 }
 
-std::unique_ptr<FaultInjector> FaultInjector::FromEnvOrDie() {
+StatusOr<std::unique_ptr<FaultInjector>> FaultInjector::FromEnv() {
   StatusOr<FaultPlan> plan = FaultPlan::FromEnv();
-  RELFAB_CHECK(plan.ok()) << "$" << FaultPlan::kEnvVar << ": "
-                          << plan.status().ToString();
-  if (!plan->armed()) return nullptr;
+  if (!plan.ok()) {
+    return Status(plan.status().code(), "$" + std::string(FaultPlan::kEnvVar) +
+                                            ": " + plan.status().message());
+  }
+  if (!plan->armed()) return std::unique_ptr<FaultInjector>();
   return std::make_unique<FaultInjector>(*std::move(plan));
 }
 

@@ -9,6 +9,7 @@
 
 #include "common/random.h"
 #include "common/status.h"
+#include "common/statusor.h"
 #include "faults/fault_plan.h"
 #include "obs/registry.h"
 
@@ -35,8 +36,10 @@ class FaultInjector {
 
   /// Convenience for mains/benches: builds an injector from
   /// $RELFAB_FAULTS, nullptr when unset/empty-plan. A malformed spec is
-  /// an operator error and aborts with the parse message.
-  static std::unique_ptr<FaultInjector> FromEnvOrDie();
+  /// an operator error surfaced as kInvalidArgument — callers print the
+  /// parse message and decide whether to continue unarmed or exit; the
+  /// process never aborts on operator-typed input.
+  static StatusOr<std::unique_ptr<FaultInjector>> FromEnv();
 
   const FaultPlan& plan() const { return plan_; }
 

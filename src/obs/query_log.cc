@@ -14,6 +14,7 @@ Json QueryLogRecord::ToJson() const {
   doc.Set("table", table);
   doc.Set("backend", backend);
   doc.Set("status", status);
+  doc.Set("status_code", status_code);
   if (status == "error") doc.Set("error", error);
   doc.Set("cycles", cycles);
   doc.Set("end_cycles", end_cycles);
@@ -22,6 +23,7 @@ Json QueryLogRecord::ToJson() const {
   doc.Set("shards_total", static_cast<uint64_t>(shards_total));
   doc.Set("shards_scanned", static_cast<uint64_t>(shards_scanned));
   doc.Set("shards_pruned", static_cast<uint64_t>(shards_pruned));
+  doc.Set("shards_failed_over", static_cast<uint64_t>(shards_failed_over));
   doc.Set("degraded", degraded);
   doc.Set("degradation", degradation);
   doc.Set("faults_injected", faults_injected);
@@ -81,7 +83,8 @@ Status QueryLog::ValidateRecord(const Json& record) {
     return Status::InvalidArgument("query-log record must be an object");
   }
   static constexpr const char* kStringFields[] = {
-      "session", "sql", "table", "backend", "status", "degradation"};
+      "session", "sql", "table", "backend", "status", "status_code",
+      "degradation"};
   for (const char* field : kStringFields) {
     if (!record.at(field).is_string()) {
       return Status::InvalidArgument(std::string("query-log field '") +
@@ -89,10 +92,10 @@ Status QueryLog::ValidateRecord(const Json& record) {
     }
   }
   static constexpr const char* kNumberFields[] = {
-      "seq",           "cycles",         "end_cycles",
-      "rows_scanned",  "rows_matched",   "shards_total",
-      "shards_scanned", "shards_pruned", "faults_injected",
-      "fault_retries", "fault_fallbacks"};
+      "seq",           "cycles",          "end_cycles",
+      "rows_scanned",  "rows_matched",    "shards_total",
+      "shards_scanned", "shards_pruned",  "shards_failed_over",
+      "faults_injected", "fault_retries", "fault_fallbacks"};
   for (const char* field : kNumberFields) {
     if (!record.at(field).is_number() || record.at(field).AsNumber() < 0) {
       return Status::InvalidArgument(std::string("query-log field '") +
@@ -144,6 +147,9 @@ std::string QueryLog::ToTable(size_t last_n) const {
     os << "  #" << r.seq << " [" << r.session << "] " << r.backend;
     if (r.shards_total > 0) {
       os << " shards=" << r.shards_scanned << "/" << r.shards_total;
+      if (r.shards_failed_over > 0) {
+        os << " failed_over=" << r.shards_failed_over;
+      }
     }
     os << " cycles=" << FormatCount(r.cycles)
        << " rows=" << FormatCount(r.rows_matched);

@@ -23,6 +23,11 @@ struct QueryLogRecord {
   std::string backend;        // chosen plan backend ("ROWWISE", ...)
   std::string status = "ok";  // "ok" | "error"
   std::string error;          // present iff status == "error"
+  /// StatusCode name of the statement outcome ("ok", "unavailable",
+  /// "deadline_exceeded", ...) — finer-grained than `status` so
+  /// availability tooling can separate failure domains from plain
+  /// errors.
+  std::string status_code = "ok";
   uint64_t cycles = 0;        // simulated cycles for this statement
   uint64_t end_cycles = 0;    // cumulative workload clock at completion
   uint64_t rows_scanned = 0;
@@ -30,6 +35,7 @@ struct QueryLogRecord {
   uint32_t shards_total = 0;   // 0 = unsharded table
   uint32_t shards_scanned = 0;
   uint32_t shards_pruned = 0;
+  uint32_t shards_failed_over = 0;  // dead replicas skipped (failovers)
   bool degraded = false;
   std::string degradation;     // cause note, empty when !degraded
   uint64_t faults_injected = 0;  // deltas over this statement

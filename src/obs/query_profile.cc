@@ -14,7 +14,11 @@ std::string QueryProfile::ToTable() const {
      << " cycles)\n";
   if (shards_total > 0) {
     os << "  shards: scanned=" << shards_scanned << " pruned="
-       << shards_pruned << " total=" << shards_total << "\n";
+       << shards_pruned << " total=" << shards_total;
+    if (shards_failed_over > 0) os << " failed_over=" << shards_failed_over;
+    if (shards_unavailable > 0) os << " unavailable=" << shards_unavailable;
+    if (shards_cancelled > 0) os << " cancelled=" << shards_cancelled;
+    os << "\n";
   }
   if (!fallback.empty()) {
     os << "  degraded: " << fallback << "\n";
@@ -47,6 +51,10 @@ Json QueryProfile::ToJson() const {
     doc.Set("shards_total", static_cast<uint64_t>(shards_total));
     doc.Set("shards_scanned", static_cast<uint64_t>(shards_scanned));
     doc.Set("shards_pruned", static_cast<uint64_t>(shards_pruned));
+    doc.Set("shards_failed_over", static_cast<uint64_t>(shards_failed_over));
+    doc.Set("shards_unavailable",
+            static_cast<uint64_t>(shards_unavailable));
+    doc.Set("shards_cancelled", static_cast<uint64_t>(shards_cancelled));
   }
   if (!fallback.empty()) doc.Set("fallback", fallback);
   Json op_list = Json::Array();

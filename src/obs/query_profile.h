@@ -52,6 +52,13 @@ struct QueryProfile {
   uint32_t shards_total = 0;
   uint32_t shards_scanned = 0;
   uint32_t shards_pruned = 0;
+  /// Failure-domain accounting (zero outside chaos/kill sessions):
+  /// dead replicas skipped by replica selection, shards skipped for lack
+  /// of any live replica (allow_partial), and shards cancelled by a
+  /// cycle-domain deadline.
+  uint32_t shards_failed_over = 0;
+  uint32_t shards_unavailable = 0;
+  uint32_t shards_cancelled = 0;
   /// Non-empty when the fabric path failed mid-query and execution
   /// degraded to the host row-scan path; records why (EXPLAIN ANALYZE
   /// prints it as a "degraded:" line).

@@ -42,6 +42,7 @@ void WorkloadTelemetry::RecordStatement(const Statement& statement) {
   record.backend = statement.backend;
   record.status = statement.ok ? "ok" : "error";
   record.error = statement.error;
+  record.status_code = statement.status_code;
   record.cycles = statement.cycles;
   record.end_cycles = workload_cycles_;
   record.rows_scanned = statement.rows_scanned;
@@ -49,6 +50,7 @@ void WorkloadTelemetry::RecordStatement(const Statement& statement) {
   record.shards_total = statement.shards_total;
   record.shards_scanned = statement.shards_scanned;
   record.shards_pruned = statement.shards_pruned;
+  record.shards_failed_over = statement.shards_failed_over;
   record.degraded = statement.degraded;
   record.degradation = statement.degradation;
   record.faults_injected = statement.faults_injected;

@@ -43,12 +43,15 @@ class WorkloadTelemetry {
     std::string backend;
     bool ok = true;
     std::string error;
+    /// StatusCode name of the outcome ("ok", "unavailable", ...).
+    std::string status_code = "ok";
     uint64_t cycles = 0;
     uint64_t rows_scanned = 0;
     uint64_t rows_matched = 0;
     uint32_t shards_total = 0;
     uint32_t shards_scanned = 0;
     uint32_t shards_pruned = 0;
+    uint32_t shards_failed_over = 0;  // dead replicas skipped
     bool degraded = false;
     std::string degradation;
     uint64_t faults_injected = 0;  // deltas over this statement

@@ -8,6 +8,32 @@
 #include "sim/memory_system.h"
 
 namespace relfab::query {
+namespace {
+
+/// One "rm.kill" opportunity for a statement that is about to use the
+/// RM transformer. True when the engine is unusable — already dead, or
+/// the kill draw fired just now (every serving attempt is one draw, so
+/// the death schedule is a pure function of the workload). Runs in
+/// single-threaded dispatch code only.
+bool RmUnavailable(const exec::ExecContext& ctx) {
+  if (ctx.health == nullptr) return false;
+  if (!ctx.health->alive("rm")) return true;
+  const uint64_t now = ctx.tracer != nullptr ? ctx.tracer->Now() : 0;
+  return ctx.health->DrawKill("rm.kill", "rm", now);
+}
+
+/// Circuit-breaker report for the RM transformer after a dispatch.
+void ReportRmOutcome(const exec::ExecContext& ctx, const Status& status) {
+  if (ctx.health == nullptr) return;
+  if (status.ok()) {
+    ctx.health->ReportSuccess("rm");
+  } else if (faults::IsFabricFault(status)) {
+    ctx.health->ReportFailure("rm", status.ToString(),
+                              ctx.tracer != nullptr ? ctx.tracer->Now() : 0);
+  }
+}
+
+}  // namespace
 
 StatusOr<engine::QueryResult> Executor::Execute(
     const Plan& plan, const exec::ExecContext& ctx) const {
@@ -23,15 +49,33 @@ StatusOr<engine::QueryResult> Executor::Execute(
           "shard-fanout plan requires an exec::ShardScheduler in the "
           "ExecContext");
     }
+    Backend backend = plan.backend;
+    if (backend == Backend::kRelationalMemory && RmUnavailable(ctx)) {
+      // The RM transformer died before (or at) dispatch: the whole
+      // fan-out degrades to per-shard host row scans. The planner avoids
+      // a dead RM for subsequent statements; this covers the statement
+      // that drew the kill.
+      backend = Backend::kRow;
+      if (ctx.injector != nullptr) ctx.injector->NoteFallback("query.RM");
+      if (ctx.recorder != nullptr) {
+        ctx.recorder->Log("query",
+                          "rm transformer dead: shard fan-out degraded to ROW",
+                          ctx.tracer != nullptr ? ctx.tracer->Now() : 0);
+      }
+    }
     if (ctx.profile != nullptr) {
       ctx.profile->backend =
-          "SHARD(" + std::string(BackendToString(plan.backend)) + ")";
+          "SHARD(" + std::string(BackendToString(backend)) + ")";
       ctx.profile->table = plan.table;
+      if (backend != plan.backend) {
+        ctx.profile->fallback = "rm transformer dead; fan-out ran on ROW";
+      }
     }
     exec::ShardScheduler::Request req;
     req.table = entry.sharded;
+    req.table_name = plan.table;
     req.spec = &plan.spec;
-    req.backend = plan.backend;
+    req.backend = backend;
     req.shard_ids = &plan.shards.shard_ids;
     req.cost = cost_;
     return ctx.scheduler->Execute(req, ctx);
@@ -114,19 +158,33 @@ StatusOr<engine::QueryResult> Executor::Dispatch(const Plan& plan,
       return eng.Execute(plan.spec);
     }
     case Backend::kRelationalMemory: {
+      if (RmUnavailable(ctx)) {
+        return FallbackToRowScan(
+            plan, entry, ctx,
+            Status::Unavailable("rm transformer dead (killed at rm.kill)"),
+            prof);
+      }
       engine::RmExecEngine eng(entry.rows, rm_, cost_);
       eng.set_profiler(prof);
       StatusOr<engine::QueryResult> result = eng.Execute(plan.spec);
+      ReportRmOutcome(ctx, result.ok() ? Status::Ok() : result.status());
       if (result.ok() || !faults::IsFabricFault(result.status())) {
         return result;
       }
       return FallbackToRowScan(plan, entry, ctx, result.status(), prof);
     }
     case Backend::kHybrid: {
+      if (RmUnavailable(ctx)) {
+        return FallbackToRowScan(
+            plan, entry, ctx,
+            Status::Unavailable("rm transformer dead (killed at rm.kill)"),
+            prof);
+      }
       engine::HybridEngine eng(entry.rows, rm_, cost_);
       eng.set_profiler(prof);
       eng.set_fault_injector(ctx.injector);
       StatusOr<engine::QueryResult> result = eng.Execute(plan.spec);
+      ReportRmOutcome(ctx, result.ok() ? Status::Ok() : result.status());
       if (result.ok() || !faults::IsFabricFault(result.status())) {
         return result;
       }

@@ -277,6 +277,36 @@ StatusOr<Plan> Planner::MakeShardedPlan(
   plan.est_cost_index = std::numeric_limits<double>::infinity();
   plan.est_cost_hybrid = std::numeric_limits<double>::infinity();
 
+  // Health-aware planning: a dead RM transformer prices the fabric path
+  // out up front, so the plan is a Volcano fan-out rather than a doomed
+  // RM dispatch; and a surviving shard whose replicas are all dead fails
+  // the plan with kUnavailable before any work starts (unless the
+  // caller asked for a partial answer — the scheduler then skips it).
+  const bool rm_dead = health_ != nullptr && !health_->alive("rm");
+  if (rm_dead) {
+    plan.est_cost_rm = std::numeric_limits<double>::infinity();
+  }
+  if (health_ != nullptr) {
+    const bool allow_partial =
+        options != nullptr && options->allow_partial;
+    for (uint32_t s : plan.shards.shard_ids) {
+      bool any_live = false;
+      for (uint32_t j = 0; j < table.num_replicas() && !any_live; ++j) {
+        any_live = health_->alive(parsed.table + ".shard" +
+                                  std::to_string(s) + ".r" +
+                                  std::to_string(j));
+      }
+      if (!any_live && !allow_partial) {
+        return Status::Unavailable(
+            "shard " + std::to_string(s) + " of '" + parsed.table +
+            "' has no live replica (" +
+            std::to_string(table.num_replicas()) +
+            " replica(s) dead); set allow_partial to answer from the "
+            "survivors");
+      }
+    }
+  }
+
   plan.backend = plan.est_cost_rm < plan.est_cost_row
                      ? Backend::kRelationalMemory
                      : Backend::kRow;
@@ -286,6 +316,9 @@ StatusOr<Plan> Planner::MakeShardedPlan(
       return Status::InvalidArgument(
           "sharded table '" + parsed.table + "' supports ROW and RM, not " +
           std::string(BackendToString(forced)));
+    }
+    if (forced == Backend::kRelationalMemory && rm_dead) {
+      return Status::Unavailable("forced RM but the rm transformer is dead");
     }
     plan.backend = forced;
   }
@@ -298,6 +331,7 @@ StatusOr<Plan> Planner::MakeShardedPlan(
      << plan.shards.shards_total - plan.shards.shard_ids.size()
      << " est{ROW=" << plan.est_cost_row << ", RM=" << plan.est_cost_rm
      << "}";
+  if (rm_dead) os << " (rm dead: fabric path unavailable)";
   plan.explanation = os.str();
   return plan;
 }
@@ -328,6 +362,14 @@ StatusOr<Plan> Planner::MakePlan(const ParsedQuery& parsed,
   plan.est_cost_hybrid =
       EstimateHybrid(entry, parsed.spec, plan.est_selectivity);
 
+  // A dead RM transformer takes both fabric-dependent paths out of the
+  // running: the plan degrades to a host path up front.
+  const bool rm_dead = health_ != nullptr && !health_->alive("rm");
+  if (rm_dead) {
+    plan.est_cost_rm = std::numeric_limits<double>::infinity();
+    plan.est_cost_hybrid = std::numeric_limits<double>::infinity();
+  }
+
   plan.backend = Backend::kRow;
   double best = plan.est_cost_row;
   if (plan.est_cost_column < best) {
@@ -349,6 +391,12 @@ StatusOr<Plan> Planner::MakePlan(const ParsedQuery& parsed,
 
   if (options != nullptr && options->forced_backend.has_value()) {
     const Backend forced = *options->forced_backend;
+    if (rm_dead && (forced == Backend::kRelationalMemory ||
+                    forced == Backend::kHybrid)) {
+      return Status::Unavailable("forced " +
+                                 std::string(BackendToString(forced)) +
+                                 " but the rm transformer is dead");
+    }
     switch (forced) {
       case Backend::kColumn:
         if (entry.columns == nullptr) {
@@ -373,7 +421,7 @@ StatusOr<Plan> Planner::MakePlan(const ParsedQuery& parsed,
         break;
       case Backend::kRow:
       case Backend::kRelationalMemory:
-        break;  // always feasible
+        break;  // always feasible (RM death checked above)
     }
     plan.backend = forced;
   }
@@ -386,7 +434,11 @@ StatusOr<Plan> Planner::MakePlan(const ParsedQuery& parsed,
   } else {
     os << ", COL=unavailable (no materialized copy)";
   }
-  os << ", RM=" << plan.est_cost_rm;
+  if (rm_dead) {
+    os << ", RM=unavailable (rm dead)";
+  } else {
+    os << ", RM=" << plan.est_cost_rm;
+  }
   if (entry.key_index != nullptr &&
       !std::isinf(plan.est_cost_index)) {
     os << ", INDEX=" << plan.est_cost_index;

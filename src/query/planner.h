@@ -8,6 +8,7 @@
 #include "common/statusor.h"
 #include "engine/cost_model.h"
 #include "exec/options.h"
+#include "faults/health.h"
 #include "query/catalog.h"
 #include "query/parser.h"
 #include "sim/params.h"
@@ -62,11 +63,19 @@ struct Plan {
 /// WHERE clause's shard-key range and emits a shard-fanout plan.
 class Planner {
  public:
+  /// `health` (optional) makes planning failure-domain-aware: a dead RM
+  /// transformer prices RM/HYBRID at +inf (the plan degrades to a host
+  /// path up front, no doomed dispatch), and a surviving shard with zero
+  /// live replicas fails the plan with kUnavailable unless the options
+  /// allow a partial answer. The planner only *reads* liveness — kill
+  /// draws happen at dispatch/selection time, never during planning.
   Planner(const Catalog* catalog, sim::SimParams sim_params,
-          engine::CostModel cost_model)
+          engine::CostModel cost_model,
+          const faults::HealthRegistry* health = nullptr)
       : catalog_(catalog),
         sim_(sim_params),
-        cost_(cost_model) {
+        cost_(cost_model),
+        health_(health) {
     // relfab-lint: allow(data-check) wiring-time null check: a programming error, never data-dependent
     RELFAB_CHECK(catalog != nullptr);
   }
@@ -102,6 +111,7 @@ class Planner {
   const Catalog* catalog_;
   sim::SimParams sim_;
   engine::CostModel cost_;
+  const faults::HealthRegistry* health_;
 };
 
 }  // namespace relfab::query

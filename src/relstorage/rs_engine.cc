@@ -201,7 +201,26 @@ StatusOr<ScanResult> RsEngine::HostScanImpl(const StorageTable& table,
 
 StatusOr<ScanResult> RsEngine::Scan(const StorageTable& table,
                                     const relmem::Geometry& geometry) {
+  if (health_ != nullptr) {
+    // One kill opportunity per serving attempt: once the device dies it
+    // stays dead for the session and every scan degrades to the host
+    // path (answers identical, data movement and cycles change).
+    const uint64_t now = static_cast<uint64_t>(storage_now_);
+    if (!health_->alive("rs") || health_->DrawKill("rs.kill", "rs", now)) {
+      ++fallbacks_;
+      if (injector_ != nullptr) injector_->NoteFallback("rs.near_scan");
+      return HostScanImpl(table, geometry, /*faultable=*/false);
+    }
+  }
   StatusOr<ScanResult> near = NearStorageScan(table, geometry);
+  if (health_ != nullptr) {
+    if (near.ok()) {
+      health_->ReportSuccess("rs");
+    } else if (faults::IsFabricFault(near.status())) {
+      health_->ReportFailure("rs", near.status().ToString(),
+                             static_cast<uint64_t>(storage_now_));
+    }
+  }
   if (near.ok() || !faults::IsFabricFault(near.status())) return near;
   // The device path died after exhausting its retries. Degrade to the
   // host baseline: ship everything and process on the CPU. The answer is

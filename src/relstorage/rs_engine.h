@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/statusor.h"
+#include "faults/health.h"
 #include "faults/injector.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
@@ -82,6 +83,12 @@ class RsEngine {
     ssd_->set_fault_injector(injector);
   }
 
+  /// Attaches a health registry: Scan() then draws the "rs.kill" fault
+  /// once per scan (component "rs"), degrades to the host path while the
+  /// device is dead, and reports near-scan outcomes to the circuit
+  /// breaker. Null detaches (the zero-overhead default).
+  void set_health(faults::HealthRegistry* health) { health_ = health; }
+
   /// Publishes cumulative scan counters under "rs.*". Pages are split by
   /// scan kind because the near/host page ratio *is* the paper's
   /// data-movement argument for computational storage.
@@ -123,6 +130,7 @@ class RsEngine {
   SsdModel* ssd_;
   obs::Tracer* tracer_ = nullptr;
   faults::FaultInjector* injector_ = nullptr;
+  faults::HealthRegistry* health_ = nullptr;
   uint32_t track_ = 0;
   double storage_now_ = 0;  // monotonic storage-domain clock (cycles)
   uint64_t near_scans_ = 0;

@@ -8,7 +8,11 @@ namespace relfab::shard {
 
 StatusOr<ShardedTable> ShardedTable::Create(
     layout::Schema schema, uint32_t key_column,
-    std::vector<int64_t> split_points, sim::MemorySystem* memory) {
+    std::vector<int64_t> split_points, sim::MemorySystem* memory,
+    uint32_t replicas) {
+  if (replicas < 1) {
+    return Status::InvalidArgument("replicas must be >= 1");
+  }
   if (key_column >= schema.num_columns()) {
     return Status::OutOfRange("shard key column out of range");
   }
@@ -25,14 +29,15 @@ StatusOr<ShardedTable> ShardedTable::Create(
     return Status::InvalidArgument("memory system is required");
   }
   return ShardedTable(std::move(schema), key_column, std::move(split_points),
-                      memory);
+                      memory, replicas);
 }
 
 ShardedTable::ShardedTable(layout::Schema schema, uint32_t key_column,
                            std::vector<int64_t> split_points,
-                           sim::MemorySystem* memory)
+                           sim::MemorySystem* memory, uint32_t replicas)
     : schema_(std::move(schema)),
       key_column_(key_column),
+      replicas_(replicas),
       split_points_(std::move(split_points)) {
   shards_.reserve(split_points_.size() + 1);
   for (size_t i = 0; i <= split_points_.size(); ++i) {

@@ -26,11 +26,18 @@ namespace relfab::shard {
 class ShardedTable {
  public:
   /// `split_points` must be strictly increasing; n split points create
-  /// n+1 shards.
+  /// n+1 shards. `replicas` (>= 1) is the replication factor per shard:
+  /// replicas are *timing aliases* of the shard's single RowTable — the
+  /// simulator has one copy of the data, and replica j of shard i is the
+  /// named serving endpoint "<table>.shard<i>.r<j>" the scheduler picks
+  /// (and the failure-domain layer can kill) independently. Replicating
+  /// data physically would only duplicate bit-identical scans; the
+  /// availability semantics live entirely in replica selection.
   static StatusOr<ShardedTable> Create(layout::Schema schema,
                                        uint32_t key_column,
                                        std::vector<int64_t> split_points,
-                                       sim::MemorySystem* memory);
+                                       sim::MemorySystem* memory,
+                                       uint32_t replicas = 1);
 
   ShardedTable(ShardedTable&&) = default;
   ShardedTable& operator=(ShardedTable&&) = default;
@@ -40,6 +47,8 @@ class ShardedTable {
   uint32_t num_shards() const {
     return static_cast<uint32_t>(shards_.size());
   }
+  /// Replication factor (timing-alias replicas per shard, >= 1).
+  uint32_t num_replicas() const { return replicas_; }
   const layout::RowTable& shard(uint32_t i) const { return *shards_[i]; }
   uint64_t num_rows() const;
 
@@ -63,10 +72,11 @@ class ShardedTable {
  private:
   ShardedTable(layout::Schema schema, uint32_t key_column,
                std::vector<int64_t> split_points,
-               sim::MemorySystem* memory);
+               sim::MemorySystem* memory, uint32_t replicas);
 
   layout::Schema schema_;
   uint32_t key_column_;
+  uint32_t replicas_;
   std::vector<int64_t> split_points_;
   std::vector<std::unique_ptr<layout::RowTable>> shards_;
 };

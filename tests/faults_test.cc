@@ -5,9 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdlib>
+#include <vector>
 
 #include "faults/fault_plan.h"
+#include "faults/health.h"
 #include "faults/injector.h"
 #include "faults/retry.h"
 #include "obs/registry.h"
@@ -372,6 +375,164 @@ TEST(MemoryEccTest, FastAndReferenceModesSeeTheSameFaultStream) {
   EXPECT_EQ(fast_inj.total_injected(), ref_inj.total_injected());
   EXPECT_EQ(fast_inj.total_checks(), ref_inj.total_checks());
   EXPECT_EQ(fast_cycles, ref_cycles);
+}
+
+// ------------------------------------------------- kill grammar + health
+
+TEST(FaultPlanTest, KillSitesParseWithKillKindDefault) {
+  const FaultPlan plan = MustParse(
+      "shard.kill:p=0.001;rm.kill:p=0.5,cycles=0;rs.kill:p=1;seed=7");
+  ASSERT_EQ(plan.rules.size(), 3u);
+  for (const FaultRule& rule : plan.rules) {
+    EXPECT_EQ(rule.kind, FaultKind::kKill) << rule.site;
+    EXPECT_TRUE(IsKillSite(rule.site)) << rule.site;
+  }
+  EXPECT_EQ(plan.seed, 7u);
+  // Canonical form round-trips through Parse.
+  const FaultPlan reparsed = MustParse(plan.ToString());
+  EXPECT_EQ(reparsed.ToString(), plan.ToString());
+}
+
+TEST(FaultPlanTest, KillKindAndKillSitesAreInseparable) {
+  // A transient kind on a kill site and the kill kind on a transient
+  // site are both spec errors: the two machineries must not mix.
+  const char* bad[] = {
+      "shard.kill:p=0.5,kind=timeout",
+      "rm.kill:kind=stall",
+      "rm.stall:kind=kill",
+      "ssd.read:p=0.1,kind=kill",
+  };
+  for (const char* spec : bad) {
+    StatusOr<FaultPlan> plan = FaultPlan::Parse(spec);
+    EXPECT_FALSE(plan.ok()) << "accepted: " << spec;
+    EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument) << spec;
+  }
+}
+
+TEST(FaultPlanTest, KillMapsToUnavailableAndUnavailableIsFabricFault) {
+  EXPECT_EQ(FaultKindCode(FaultKind::kKill), StatusCode::kUnavailable);
+  EXPECT_TRUE(IsFabricFault(Status::Unavailable("x")));
+  // A blown deadline is a policy outcome, not a fabric failure: nothing
+  // should try to "degrade" its way around it.
+  EXPECT_FALSE(IsFabricFault(Status::DeadlineExceeded("x")));
+}
+
+TEST(HealthRegistryTest, DrawKillIsDeterministicPerComponentStream) {
+  HealthRegistry a, b;
+  a.ArmKills(MustParse("shard.kill:p=0.2;seed=42"));
+  b.ArmKills(MustParse("shard.kill:p=0.2;seed=42"));
+  // Interleaving draws across components differently must not change
+  // each component's own death draw: streams are per (site, component).
+  std::vector<uint64_t> deaths_a, deaths_b;
+  for (int i = 0; i < 50; ++i) {
+    if (a.alive("t.shard0.r0") && a.DrawKill("shard.kill", "t.shard0.r0", i))
+      deaths_a.push_back(i);
+    if (a.alive("t.shard1.r0") && a.DrawKill("shard.kill", "t.shard1.r0", i))
+      deaths_a.push_back(1000 + i);
+  }
+  // b draws shard1 first in each round; same per-component schedules.
+  for (int i = 0; i < 50; ++i) {
+    if (b.alive("t.shard1.r0") && b.DrawKill("shard.kill", "t.shard1.r0", i))
+      deaths_b.push_back(1000 + i);
+    if (b.alive("t.shard0.r0") && b.DrawKill("shard.kill", "t.shard0.r0", i))
+      deaths_b.push_back(i);
+  }
+  std::sort(deaths_a.begin(), deaths_a.end());
+  std::sort(deaths_b.begin(), deaths_b.end());
+  EXPECT_EQ(deaths_a, deaths_b);
+  EXPECT_EQ(a.ToString(), b.ToString());
+}
+
+TEST(HealthRegistryTest, ZeroProbabilityNeverKillsAndOneAlwaysDoes) {
+  HealthRegistry never, always;
+  never.ArmKills(MustParse("shard.kill:p=0;seed=1"));
+  always.ArmKills(MustParse("shard.kill:p=1;seed=1"));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(never.DrawKill("shard.kill", "c", i));
+  }
+  EXPECT_TRUE(never.deaths().empty());
+  EXPECT_TRUE(always.DrawKill("shard.kill", "c", 5));
+  // DEAD is absorbing: further draws are no-ops, not double deaths.
+  EXPECT_FALSE(always.DrawKill("shard.kill", "c", 6));
+  ASSERT_EQ(always.deaths().size(), 1u);
+  EXPECT_EQ(always.deaths()[0].component, "c");
+  EXPECT_EQ(always.deaths()[0].site, "shard.kill");
+  EXPECT_EQ(always.deaths()[0].cycles, 5u);
+  EXPECT_FALSE(always.alive("c"));
+}
+
+TEST(HealthRegistryTest, UnarmedSiteNeverDraws) {
+  HealthRegistry health;
+  health.ArmKills(MustParse("rm.kill:p=1;seed=1"));
+  EXPECT_FALSE(health.DrawKill("shard.kill", "c", 0));
+  EXPECT_EQ(health.draws(), 0u);
+  EXPECT_TRUE(health.DrawKill("rm.kill", "rm", 0));
+}
+
+TEST(HealthRegistryTest, CircuitBreakerDegradesAndRecovers) {
+  HealthRegistry health;
+  health.ReportFailure("rm", "timeout", 10);
+  health.ReportFailure("rm", "timeout", 20);
+  EXPECT_EQ(health.state("rm"), HealthState::kHealthy);
+  health.ReportFailure("rm", "timeout", 30);  // third consecutive: trips
+  EXPECT_EQ(health.state("rm"), HealthState::kDegraded);
+  EXPECT_TRUE(health.alive("rm"));  // degraded is still alive
+
+  health.ReportSuccess("rm");
+  EXPECT_EQ(health.state("rm"), HealthState::kDegraded);
+  health.ReportSuccess("rm");  // second consecutive: recovers
+  EXPECT_EQ(health.state("rm"), HealthState::kHealthy);
+
+  // A success in between resets the failure streak.
+  health.ReportFailure("rm", "timeout", 40);
+  health.ReportFailure("rm", "timeout", 50);
+  health.ReportSuccess("rm");
+  health.ReportFailure("rm", "timeout", 60);
+  health.ReportFailure("rm", "timeout", 70);
+  EXPECT_EQ(health.state("rm"), HealthState::kHealthy);
+}
+
+TEST(HealthRegistryTest, ExhaustionTripsImmediatelyAndDeadAbsorbs) {
+  HealthRegistry health;
+  health.ReportExhausted("rs", "retry budget spent", 100);
+  EXPECT_EQ(health.state("rs"), HealthState::kDegraded);
+
+  health.MarkDead("rs", "administrative", 200);
+  EXPECT_EQ(health.state("rs"), HealthState::kDead);
+  // DEAD is absorbing for every report kind.
+  health.ReportSuccess("rs");
+  health.ReportSuccess("rs");
+  EXPECT_EQ(health.state("rs"), HealthState::kDead);
+  ASSERT_EQ(health.deaths().size(), 1u);
+  EXPECT_EQ(health.deaths()[0].site, "");  // administrative, not a draw
+}
+
+TEST(HealthRegistryTest, ToStringAndExportAreNameOrdered) {
+  HealthRegistry health;
+  health.MarkDead("zeta", "x", 1);
+  health.ReportExhausted("alpha", "y", 2);
+  EXPECT_EQ(health.ToString(), "alpha=degraded zeta=dead");
+
+  obs::Registry registry;
+  health.ExportTo(&registry);
+  EXPECT_EQ(registry.gauge("health.dead")->value(), 1.0);
+  EXPECT_EQ(registry.gauge("health.degraded")->value(), 1.0);
+  EXPECT_EQ(registry.gauge("health.zeta.state")->value(), 2.0);
+  EXPECT_EQ(registry.gauge("health.alpha.state")->value(), 1.0);
+}
+
+TEST(HealthRegistryTest, ArmKillsResetsToACleanSlate) {
+  HealthRegistry health;
+  health.ArmKills(MustParse("shard.kill:p=1;seed=9"));
+  EXPECT_TRUE(health.DrawKill("shard.kill", "c", 3));
+  EXPECT_EQ(health.deaths().size(), 1u);
+
+  // Re-arming the same plan replays the same schedule from scratch.
+  health.ArmKills(MustParse("shard.kill:p=1;seed=9"));
+  EXPECT_TRUE(health.alive("c"));
+  EXPECT_EQ(health.deaths().size(), 0u);
+  EXPECT_EQ(health.draws(), 0u);
+  EXPECT_TRUE(health.DrawKill("shard.kill", "c", 3));
 }
 
 }  // namespace

@@ -291,6 +291,9 @@ TEST(FaultSpecFuzzTest, ParseNeverCrashesOnMutatedValidSpecs) {
       "seed=42;rm.gather:p=0.5,kind=corruption,cycles=123",
       "mvcc.commit:p=1,kind=conflict",
       "rm.config:p=0;ssd.ship:cycles=9999",
+      "shard.kill:p=0.001",
+      "rm.kill:p=0.5,cycles=0;seed=7",
+      "shard.kill:p=0.004;rm.kill:p=0.002;rs.kill:p=1,kind=kill",
   };
   Random rng(0xfa12);
   for (int i = 0; i < 4000; ++i) {

@@ -14,8 +14,10 @@
 #include <vector>
 
 #include "core/fabric.h"
+#include "exec/exec_context.h"
 #include "exec/options.h"
 #include "faults/fault_plan.h"
+#include "query/executor.h"
 
 namespace relfab {
 namespace {
@@ -46,11 +48,13 @@ void FillRow(RowBuilder* b, int64_t k) {
 }
 
 /// Builds a fabric holding the same 4000 rows twice: range-sharded on
-/// `k` as "m" and as the flat row table "flat" (the unsharded oracle).
-std::unique_ptr<Fabric> MakeFabric() {
+/// `k` as "m" (with `replicas` timing-alias replicas per shard) and as
+/// the flat row table "flat" (the unsharded oracle).
+std::unique_ptr<Fabric> MakeFabric(uint32_t replicas = 1) {
   auto fabric = std::make_unique<Fabric>();
   auto* sharded =
-      fabric->CreateShardedTable("m", MakeSchema(), "k", kSplits).value();
+      fabric->CreateShardedTable("m", MakeSchema(), "k", kSplits, replicas)
+          .value();
   auto* flat = fabric->CreateTable("flat", MakeSchema()).value();
   RowBuilder row(&flat->schema());
   for (int64_t k = 0; k < kRows; ++k) {
@@ -418,6 +422,174 @@ TEST_F(ShardExecTest, SingleShardFaultDegradesOnlyThatShard) {
   auto flat = fabric_->ExecuteSql("SELECT COUNT(*), SUM(v) FROM flat");
   ASSERT_TRUE(flat.ok());
   EXPECT_TRUE(first->result.SameAnswer(flat->result));
+}
+
+// ----------------------------------------------------- failure domains
+
+TEST(ShardFailoverTest, DeadReplicaFailsOverWithIdenticalAnswer) {
+  auto fabric = MakeFabric(/*replicas=*/2);
+  const std::string sql = "SELECT COUNT(*), SUM(v), AVG(v) FROM m";
+  const Fabric::QueryOptions opts = {.analyze = true, .max_threads = 1};
+
+  auto clean = fabric->ExecuteSql(sql, opts);
+  ASSERT_TRUE(clean.ok()) << clean.status().ToString();
+
+  // Kill shard 1's primary replica: the scheduler must serve the shard
+  // from replica 1, charging the failover surcharge — answers are
+  // bit-identical (replicas are timing aliases of the same data).
+  fabric->health().MarkDead("m.shard1.r0", "test kill", 0);
+  auto failed_over = fabric->ExecuteSql(sql, opts);
+  ASSERT_TRUE(failed_over.ok()) << failed_over.status().ToString();
+  EXPECT_TRUE(failed_over->result.SameAnswer(clean->result));
+
+  // Exactly one dead replica skipped, priced by the cost model.
+  EXPECT_EQ(failed_over->result.sim_cycles,
+            clean->result.sim_cycles +
+                static_cast<uint64_t>(
+                    fabric->cost_model().shard_failover_cycles));
+  EXPECT_EQ(fabric->shard_scheduler().shards_failed_over(), 1u);
+  EXPECT_EQ(failed_over->profile.shards_failed_over, 1u);
+
+  // EXPLAIN ANALYZE names the serving replica.
+  bool saw_failover_op = false;
+  for (const obs::OpStats& op : failed_over->profile.ops) {
+    if (op.name.find("replica=1 (failover)") != std::string::npos) {
+      saw_failover_op = true;
+    }
+  }
+  EXPECT_TRUE(saw_failover_op) << failed_over->profile.ToTable();
+
+  // Lifetime counters surface through the registry.
+  obs::Registry& registry = fabric->CollectMetrics();
+  EXPECT_EQ(registry.counter("shard.failed_over")->value(), 1u);
+  EXPECT_EQ(registry.gauge("health.dead")->value(), 1.0);
+}
+
+TEST(ShardFailoverTest, NoLiveReplicaIsStructuredUnavailable) {
+  auto fabric = MakeFabric(/*replicas=*/1);
+  fabric->health().MarkDead("m.shard1.r0", "test kill", 0);
+
+  // A query needing shard 1 fails with kUnavailable at plan time — a
+  // structured error, not a crash.
+  auto r = fabric->ExecuteSql("SELECT COUNT(*) FROM m");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable)
+      << r.status().ToString();
+
+  // Queries pruned away from the dead shard still answer normally.
+  auto pruned = fabric->ExecuteSql("SELECT COUNT(*) FROM m WHERE k >= 2000");
+  ASSERT_TRUE(pruned.ok()) << pruned.status().ToString();
+  EXPECT_EQ(pruned->result.aggregates[0], 2000.0);
+
+  // allow_partial opts into answering from the survivors instead.
+  auto partial = fabric->ExecuteSql("SELECT COUNT(*) FROM m",
+                                    {.allow_partial = true});
+  ASSERT_TRUE(partial.ok()) << partial.status().ToString();
+  EXPECT_TRUE(partial->result.partial);
+  EXPECT_EQ(partial->result.aggregates[0], 3000.0);  // 4000 minus shard 1
+}
+
+TEST(ShardFailoverTest, KillAtPOneKillsEveryReplicaAttempted) {
+  // Selection-time draws are per serving attempt: at p=1 the primary
+  // dies, failover considers replica 1, which draws and dies too — the
+  // shard ends with zero live replicas and the query is kUnavailable.
+  auto fabric = MakeFabric(/*replicas=*/2);
+  fabric->ArmFaults(*faults::FaultPlan::Parse("shard.kill:p=1"));
+  auto r = fabric->ExecuteSql("SELECT COUNT(*) FROM m WHERE k < 1000");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnavailable)
+      << r.status().ToString();
+  EXPECT_FALSE(fabric->health().alive("m.shard0.r0"));
+  EXPECT_FALSE(fabric->health().alive("m.shard0.r1"));
+  EXPECT_EQ(fabric->health().deaths().size(), 2u);
+}
+
+TEST(ShardFailoverTest, DeadRmDegradesShardedPlanToRow) {
+  auto fabric = MakeFabric(/*replicas=*/1);
+  const std::string sql = "SELECT COUNT(*), SUM(v) FROM m WHERE v < 60";
+  auto clean = fabric->ExecuteSql(sql);
+  ASSERT_TRUE(clean.ok());
+
+  fabric->health().MarkDead("rm", "test kill", 0);
+  // The planner prices RM at +inf, so the fan-out runs on ROW up front
+  // — same answer, no doomed dispatch.
+  auto degraded = fabric->ExecuteSql(sql, {.analyze = true});
+  ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+  EXPECT_TRUE(degraded->result.SameAnswer(clean->result));
+  EXPECT_NE(degraded->plan.explanation.find("rm dead"), std::string::npos)
+      << degraded->plan.explanation;
+
+  // Forcing the dead backend is a structured refusal.
+  auto forced = fabric->ExecuteSql(
+      sql, {.forced_backend = exec::Backend::kRelationalMemory});
+  ASSERT_FALSE(forced.ok());
+  EXPECT_EQ(forced.status().code(), StatusCode::kUnavailable);
+}
+
+// ------------------------------------------------------------ deadlines
+
+TEST(ShardDeadlineTest, DeadlineCancelsDeterministically) {
+  auto fabric = MakeFabric(/*replicas=*/1);
+  const std::string sql = "SELECT COUNT(*), SUM(v), AVG(v) FROM m";
+
+  // Reference run: the full fan-out takes T cycles at width 1.
+  auto full = fabric->ExecuteSql(sql, {.max_threads = 1});
+  ASSERT_TRUE(full.ok());
+  const uint64_t total = full->result.sim_cycles;
+
+  // A deadline past the last shard's completion changes nothing.
+  auto relaxed = fabric->ExecuteSql(
+      sql, {.max_threads = 1, .deadline_cycles = total});
+  ASSERT_TRUE(relaxed.ok()) << relaxed.status().ToString();
+  EXPECT_TRUE(relaxed->result.SameAnswer(full->result));
+
+  // Half the budget: later shards on the simulated worker's clock
+  // complete past the deadline and are cancelled.
+  const Fabric::QueryOptions tight = {
+      .analyze = true, .max_threads = 1, .deadline_cycles = total / 2};
+  auto cancelled = fabric->ExecuteSql(sql, tight);
+  ASSERT_FALSE(cancelled.ok());
+  EXPECT_EQ(cancelled.status().code(), StatusCode::kDeadlineExceeded)
+      << cancelled.status().ToString();
+
+  // The profile survives the error with per-shard attribution intact:
+  // re-run the same plan at the executor layer with an external profile
+  // sink (the Fabric wrapper discards SqlResult on error).
+  auto plan = fabric->ExplainSql(sql, tight);
+  ASSERT_TRUE(plan.ok());
+  query::Executor executor(&fabric->catalog(), &fabric->rm(),
+                           fabric->cost_model());
+  obs::QueryProfile profile;
+  exec::ExecContext ctx;
+  ctx.profile = &profile;
+  ctx.scheduler = &fabric->shard_scheduler();
+  ctx.health = &fabric->health();
+  ctx.options = tight;
+  auto direct = executor.Execute(*plan, ctx);
+  ASSERT_FALSE(direct.ok());
+  EXPECT_EQ(direct.status().ToString(), cancelled.status().ToString());
+  EXPECT_GT(profile.shards_cancelled, 0u);
+  EXPECT_EQ(profile.total_cycles, total / 2);  // clamped to the budget
+  int cancelled_ops = 0;
+  for (const obs::OpStats& op : profile.ops) {
+    if (op.name.find("(cancelled)") != std::string::npos) ++cancelled_ops;
+  }
+  EXPECT_EQ(static_cast<uint32_t>(cancelled_ops), profile.shards_cancelled);
+
+  // Deterministic across host thread counts and simulator modes: same
+  // status, same message, same cancelled set.
+  for (const char* fast_path : {"1", "0"}) {
+    setenv("RELFAB_SIM_FAST_PATH", fast_path, /*overwrite=*/1);
+    for (const int host_threads : {1, 4}) {
+      auto replay_fabric = MakeFabric(/*replicas=*/1);
+      replay_fabric->shard_scheduler().set_host_threads(host_threads);
+      auto replay = replay_fabric->ExecuteSql(sql, tight);
+      ASSERT_FALSE(replay.ok());
+      EXPECT_EQ(replay.status().ToString(), cancelled.status().ToString())
+          << "fast_path=" << fast_path << " host_threads=" << host_threads;
+    }
+  }
+  unsetenv("RELFAB_SIM_FAST_PATH");
 }
 
 }  // namespace

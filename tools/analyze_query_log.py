@@ -25,11 +25,11 @@ import sys
 signal.signal(signal.SIGPIPE, signal.SIG_DFL)
 
 STRING_FIELDS = ("session", "sql", "table", "backend", "status",
-                 "degradation")
+                 "status_code", "degradation")
 NUMBER_FIELDS = ("seq", "cycles", "end_cycles", "rows_scanned",
                  "rows_matched", "shards_total", "shards_scanned",
-                 "shards_pruned", "faults_injected", "fault_retries",
-                 "fault_fallbacks")
+                 "shards_pruned", "shards_failed_over", "faults_injected",
+                 "fault_retries", "fault_fallbacks")
 
 
 def validate(record: object) -> str:
@@ -92,6 +92,10 @@ def summarize(records: list) -> dict:
         "fault_fallbacks": sum(r["fault_fallbacks"] for r in records),
         "shards_scanned": sum(r["shards_scanned"] for r in records),
         "shards_pruned": sum(r["shards_pruned"] for r in records),
+        "shards_failed_over": sum(r["shards_failed_over"] for r in records),
+        "by_status_code": {
+            k: sum(1 for r in records if r["status_code"] == k)
+            for k in sorted({r["status_code"] for r in records})},
         "sessions": len({r["session"] for r in records}),
         "total_cycles": sum(r["cycles"] for r in records),
         "by_backend": {k: cycle_stats(v) for k, v in sorted(
@@ -113,7 +117,11 @@ def print_human(summary: dict) -> None:
           f"retries={summary['fault_retries']} "
           f"fallbacks={summary['fault_fallbacks']}")
     print(f"shards: scanned={summary['shards_scanned']} "
-          f"pruned={summary['shards_pruned']}")
+          f"pruned={summary['shards_pruned']} "
+          f"failed_over={summary['shards_failed_over']}")
+    codes = " ".join(f"{k}={v}" for k, v in
+                     summary["by_status_code"].items())
+    print(f"status codes: {codes}")
     print(f"total simulated cycles: {summary['total_cycles']}")
     for title, group in (("backend", summary["by_backend"]),
                          ("table", summary["by_table"])):
