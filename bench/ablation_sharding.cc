@@ -50,7 +50,7 @@ struct Rig {
       }
       auto* table = fabric
                         ->CreateShardedTable("t", std::move(*schema), "k",
-                                             std::move(splits))
+                                             {.splits = std::move(splits)})
                         .value();
       layout::RowBuilder b(&table->schema());
       for (uint64_t r = 0; r < rows; ++r) {

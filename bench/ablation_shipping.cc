@@ -1,0 +1,176 @@
+// Distributed shipping ablation: the same grouped aggregate over a
+// 4-shard table on a 4-node cluster, swept over predicate selectivity
+// (1% .. 100%) and projectivity (1 vs 4 aggregated columns), with the
+// wire format forced to ship=rows, forced to ship=aggs, and left to the
+// planner (ship=auto). Ship modes are timing aliases — every cell
+// checks its answer against the host-computed expectation, so the sweep
+// doubles as an answers-invariant-under-shipping assertion — but the
+// cycles cross over: at low selectivity few rows match and shipping
+// them raw is cheaper than the (wider) per-group partial records, while
+// at high selectivity the partial aggregates collapse thousands of rows
+// into one record per group and win outright. The committed golden pins
+// that crossover in both simulator modes and at any host --threads
+// value.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/relational_fabric.h"
+
+namespace relfab::bench {
+namespace {
+
+constexpr uint32_t kNodes = 4;
+constexpr int64_t kGroups = 1024;
+
+// Selectivity cutoffs on v0 (uniform over 0..99): sel% of rows match.
+const std::vector<int> kCutoffs = {1, 10, 50, 100};
+// Projectivity: how many columns the aggregate touches.
+const std::vector<int> kAggCols = {1, 4};
+const std::vector<std::string> kShipSeries = {"auto", "rows", "aggs"};
+
+// Row content is a pure function of the key so the expected answers are
+// computable on the host.
+int32_t V0For(int64_t k) { return static_cast<int32_t>((k * 7 + 13) % 100); }
+int32_t VFor(int64_t k, int i) {
+  return static_cast<int32_t>((k * (17 + 2 * i) + 5 * i) % 1000);
+}
+int32_t GFor(int64_t k) { return static_cast<int32_t>(k % kGroups); }
+
+struct Rig {
+  explicit Rig(uint64_t rows) : num_rows(rows) {
+    fabric = std::make_unique<Fabric>();
+    // The sweep harness supplies the process-level parallelism; host
+    // threads never change answers or cycles (net_test pins that).
+    fabric->shard_scheduler().set_host_threads(1);
+    auto schema = layout::Schema::Create({
+        {"k", layout::ColumnType::kInt64, 0},
+        {"g", layout::ColumnType::kInt32, 0},
+        {"v0", layout::ColumnType::kInt32, 0},
+        {"v1", layout::ColumnType::kInt32, 0},
+        {"v2", layout::ColumnType::kInt32, 0},
+        {"v3", layout::ColumnType::kInt32, 0},
+        {"v4", layout::ColumnType::kInt32, 0},
+    });
+    std::vector<int64_t> splits;
+    for (uint32_t j = 1; j < kNodes; ++j) {
+      splits.push_back(static_cast<int64_t>(rows * j / kNodes));
+    }
+    auto* table = fabric
+                      ->CreateShardedTable("t", std::move(*schema), "k",
+                                           {.splits = std::move(splits)})
+                      .value();
+    layout::RowBuilder b(&table->schema());
+    for (uint64_t r = 0; r < rows; ++r) {
+      const int64_t k = static_cast<int64_t>(r);
+      b.Reset();
+      b.AddInt64(k).AddInt32(GFor(k)).AddInt32(V0For(k));
+      for (int i = 1; i <= 4; ++i) b.AddInt32(VFor(k, i));
+      table->Append(b.Finish());
+    }
+    auto status = fabric->ConfigureCluster({.nodes = kNodes});
+    RELFAB_CHECK(status.ok()) << status.ToString();
+
+    // Host-side expectations per cutoff: matched-group count and the
+    // exact SUM(v1) over the matching rows.
+    for (const int cutoff : kCutoffs) {
+      std::vector<bool> seen(static_cast<size_t>(kGroups), false);
+      uint64_t groups = 0;
+      double sum_v1 = 0;
+      for (uint64_t r = 0; r < rows; ++r) {
+        const int64_t k = static_cast<int64_t>(r);
+        if (V0For(k) >= cutoff) continue;
+        sum_v1 += VFor(k, 1);
+        const auto g = static_cast<size_t>(GFor(k));
+        if (!seen[g]) {
+          seen[g] = true;
+          ++groups;
+        }
+      }
+      expect_groups.push_back(groups);
+      expect_sum_v1.push_back(sum_v1);
+    }
+  }
+
+  uint64_t Run(const std::string& ship, int cutoff_idx, int agg_cols) {
+    const int cutoff = kCutoffs[static_cast<size_t>(cutoff_idx)];
+    std::string sql = "SELECT g";
+    for (int i = 1; i <= agg_cols; ++i) {
+      sql += ", SUM(v" + std::to_string(i) + ")";
+    }
+    sql += " FROM t WHERE v0 < " + std::to_string(cutoff) + " GROUP BY g";
+    Fabric::QueryOptions options;
+    if (ship != "auto") {
+      options.forced_ship = *net::ShipModeFromString(ship);
+    }
+    auto r = fabric->ExecuteSql(sql, options);
+    RELFAB_CHECK(r.ok()) << sql << ": " << r.status().ToString();
+    double sum_v1 = 0;
+    for (const auto& group : r->result.groups) sum_v1 += group.second[0];
+    RELFAB_CHECK(r->result.groups.size() ==
+                     expect_groups[static_cast<size_t>(cutoff_idx)] &&
+                 sum_v1 == expect_sum_v1[static_cast<size_t>(cutoff_idx)])
+        << "answer drift at ship=" << ship << " sel=" << cutoff
+        << "%: " << r->result.ToString();
+    return r->result.sim_cycles;
+  }
+
+  uint64_t num_rows;
+  std::vector<uint64_t> expect_groups;
+  std::vector<double> expect_sum_v1;
+  std::unique_ptr<Fabric> fabric;
+};
+
+}  // namespace
+}  // namespace relfab::bench
+
+int main(int argc, char** argv) {
+  using namespace relfab;
+  using namespace relfab::bench;
+  const BenchArgs args = ParseBenchArgs(&argc, argv);
+
+  const uint64_t rows = FullScale() ? (1ull << 19) : (1ull << 16);
+  PerWorker<Rig> rigs([rows] { return std::make_unique<Rig>(rows); });
+  ResultTable results(
+      "Distributed shipping: rows vs partial aggregates — selectivity x "
+      "projectivity on a " + std::to_string(kNodes) + "-node cluster (" +
+      std::to_string(rows) + " rows)");
+
+  for (const std::string& ship : kShipSeries) {
+    for (const int agg_cols : kAggCols) {
+      const std::string series =
+          "ship=" + ship + ",aggs=" + std::to_string(agg_cols);
+      for (size_t c = 0; c < kCutoffs.size(); ++c) {
+        const std::string x = "sel=" + std::to_string(kCutoffs[c]) + "%";
+        RegisterSimBenchmark(
+            "shipping/" + series + "/" + x, &results, series, x,
+            [&rigs, ship, c, agg_cols] {
+              return rigs.Get().Run(ship, static_cast<int>(c), agg_cols);
+            });
+      }
+    }
+  }
+
+  const int last_slot = RunSweep(args);
+  if (args.list) return 0;
+  results.PrintCycles("predicate selectivity");
+  results.PrintSpeedupVs("predicate selectivity", "ship=rows,aggs=1");
+
+  std::map<std::string, std::string> config{
+      {"rows", std::to_string(rows)},
+      {"nodes", std::to_string(kNodes)},
+      {"groups", std::to_string(kGroups)},
+  };
+  AddStandardConfig(&config, args);
+  obs::Registry* metrics = nullptr;
+  if (Rig* rig = rigs.ForWorker(last_slot); rig != nullptr) {
+    // Network counters ("net.*") of the fabric that ran on the last
+    // cell's worker.
+    metrics = &rig->fabric->CollectMetrics();
+  }
+  MaybeWriteReport(args.json_path, "ablation_shipping", results, config,
+                   metrics);
+  return 0;
+}

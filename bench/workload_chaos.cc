@@ -85,8 +85,8 @@ std::unique_ptr<Fabric> BuildSessionFabric(const ChaosParams& params) {
     auto* table = fabric
                       ->CreateShardedTable(
                           "readings", std::move(*schema), "ts",
-                          {rows / 4, rows / 2, 3 * rows / 4},
-                          params.replicas)
+                          {.splits = {rows / 4, rows / 2, 3 * rows / 4},
+                           .replicas = params.replicas})
                       .value();
     layout::RowBuilder b(&table->schema());
     for (int64_t i = 0; i < rows; ++i) {

@@ -76,7 +76,7 @@ std::unique_ptr<Fabric> BuildSessionFabric(const WorkloadParams& params) {
     auto* table = fabric
                       ->CreateShardedTable(
                           "readings", std::move(*schema), "ts",
-                          {rows / 4, rows / 2, 3 * rows / 4})
+                          {.splits = {rows / 4, rows / 2, 3 * rows / 4}})
                       .value();
     layout::RowBuilder b(&table->schema());
     for (int64_t i = 0; i < rows; ++i) {

@@ -91,8 +91,9 @@ void LoadDemoTables(relfab::Fabric* fabric) {
     });
     auto* table =
         fabric
-            ->CreateShardedTable("readings", std::move(*schema), "ts",
-                                 {25000, 50000, 75000})
+            ->CreateShardedTable(
+                "readings", std::move(*schema), "ts",
+                {.splits = {25000, 50000, 75000}, .replicas = 2})
             .value();
     layout::RowBuilder row(&table->schema());
     for (int64_t i = 0; i < 100000; ++i) {
@@ -231,6 +232,10 @@ bool RunCommand(relfab::Fabric& fabric, const std::string& line) {
     }
     return true;
   }
+  if (line == "\\cluster") {
+    std::printf("%s", fabric.DescribeCluster().c_str());
+    return true;
+  }
   if (line == "\\trace on") {
     fabric.EnableTracing(true);
     std::printf("tracing on — run queries, then \\trace <file>\n");
@@ -253,7 +258,7 @@ bool RunCommand(relfab::Fabric& fabric, const std::string& line) {
     return true;
   }
   std::printf("unknown command; available: \\metrics, \\top, \\qlog, "
-              "\\qlog <file>, \\flight <file>, \\trace on|off, "
+              "\\qlog <file>, \\flight <file>, \\cluster, \\trace on|off, "
               "\\trace <file>, \\q\n");
   return true;
 }
@@ -276,9 +281,18 @@ int main(int argc, char** argv) {
   telemetry_config.session = "shell";
   fabric.EnableTelemetry(std::move(telemetry_config));
   LoadDemoTables(&fabric);
+  // Demo cluster: 3 simulated nodes behind the default network model.
+  // Queries over "readings" run as distributed fan-outs (ship=rows|aggs
+  // visible in EXPLAIN); \cluster shows the placement and health.
+  {
+    auto status = fabric.ConfigureCluster({.nodes = 3});
+    if (!status.ok()) {
+      std::printf("warning: %s\n", status.ToString().c_str());
+    }
+  }
   std::printf(
       "relational-fabric SQL shell — tables: wide (with columnar copy), "
-      "events (row base only), readings (sharded on ts)\n"
+      "events (row base only), readings (sharded on ts, 3-node cluster)\n"
       "example: SELECT region, SUM(amount) FROM events WHERE kind < 3 "
       "GROUP BY region\n"
       "sharded: SELECT AVG(temp) FROM readings WHERE ts >= 25000 AND "
@@ -286,8 +300,8 @@ int main(int argc, char** argv) {
       "prefix with EXPLAIN to plan only, EXPLAIN ANALYZE for per-operator "
       "meters\n"
       "commands: \\metrics, \\top (workload view), \\qlog [file], "
-      "\\flight <file>, \\trace on|off, \\trace <file>; quit with \\q "
-      "or EOF\n\n");
+      "\\flight <file>, \\cluster (placement + health), \\trace on|off, "
+      "\\trace <file>; quit with \\q or EOF\n\n");
 
   // Non-interactive mode: statements (or \commands) passed as arguments.
   if (argc > 1) {

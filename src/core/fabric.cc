@@ -1,5 +1,6 @@
 #include "core/fabric.h"
 
+#include <sstream>
 #include <utility>
 
 namespace relfab {
@@ -164,8 +165,7 @@ StatusOr<layout::RowTable*> Fabric::GetTable(const std::string& name) {
 
 StatusOr<shard::ShardedTable*> Fabric::CreateShardedTable(
     const std::string& name, layout::Schema schema,
-    const std::string& key_column_name, std::vector<int64_t> split_points,
-    uint32_t replicas) {
+    const std::string& key_column_name, shard::ShardedTableOptions options) {
   if (tables_.count(name) > 0 || versioned_.count(name) > 0 ||
       sharded_.count(name) > 0) {
     return Status::AlreadyExists("table '" + name + "' already exists");
@@ -174,9 +174,8 @@ StatusOr<shard::ShardedTable*> Fabric::CreateShardedTable(
                           schema.IndexOf(key_column_name));
   RELFAB_ASSIGN_OR_RETURN(
       shard::ShardedTable table,
-      shard::ShardedTable::Create(std::move(schema), key_column,
-                                  std::move(split_points), &memory_,
-                                  replicas));
+      shard::ShardedTable::Create(std::move(schema), key_column, &memory_,
+                                  std::move(options)));
   auto owned = std::make_unique<shard::ShardedTable>(std::move(table));
   shard::ShardedTable* raw = owned.get();
   query::TableEntry entry;
@@ -290,6 +289,9 @@ StatusOr<Fabric::SqlResult> Fabric::ExecuteSql(std::string_view sql,
   const uint64_t fallbacks_before =
       injector_ != nullptr ? injector_->total_fallbacks() : 0;
   const uint64_t failovers_before = scheduler_.shards_failed_over();
+  const uint64_t net_bytes_before = scheduler_.net_bytes();
+  const uint64_t ship_rows_before = scheduler_.shards_ship_rows();
+  const uint64_t ship_aggs_before = scheduler_.shards_ship_aggs();
 
   StatusOr<SqlResult> run = ExecuteSqlInternal(sql, options);
 
@@ -299,6 +301,11 @@ StatusOr<Fabric::SqlResult> Fabric::ExecuteSql(std::string_view sql,
       run.ok() ? StatusCode::kOk : run.status().code()));
   st.shards_failed_over =
       static_cast<uint32_t>(scheduler_.shards_failed_over() - failovers_before);
+  st.net_bytes = scheduler_.net_bytes() - net_bytes_before;
+  st.shards_ship_rows =
+      static_cast<uint32_t>(scheduler_.shards_ship_rows() - ship_rows_before);
+  st.shards_ship_aggs =
+      static_cast<uint32_t>(scheduler_.shards_ship_aggs() - ship_aggs_before);
   if (run.ok()) {
     st.table = run->plan.table;
     st.backend = std::string(exec::BackendToString(run->plan.backend));
@@ -336,16 +343,54 @@ StatusOr<query::Plan> Fabric::ExplainSql(std::string_view sql,
   return planner_.MakePlan(parsed, &options);
 }
 
-StatusOr<Fabric::AnalyzedSqlResult> Fabric::ExecuteSqlAnalyzed(
-    std::string_view sql) {
-  QueryOptions options;
-  options.analyze = true;
-  RELFAB_ASSIGN_OR_RETURN(SqlResult run, ExecuteSql(sql, options));
-  AnalyzedSqlResult analyzed;
-  analyzed.plan = std::move(run.plan);
-  analyzed.result = std::move(run.result);
-  analyzed.profile = std::move(run.profile);
-  return analyzed;
+Status Fabric::ConfigureCluster(const net::ClusterConfig& config) {
+  RELFAB_ASSIGN_OR_RETURN(net::Topology topology,
+                          net::Topology::Make(config));
+  topology_ = topology;
+  scheduler_.ConfigureCluster(topology_);
+  planner_.set_topology(&topology_);
+  return Status::Ok();
+}
+
+std::string Fabric::DescribeCluster() const {
+  std::ostringstream os;
+  if (!topology_.enabled()) {
+    os << "no cluster configured (single-host mode); "
+          "ConfigureCluster({.nodes = N}) enables the distributed fabric\n";
+    return os.str();
+  }
+  const sim::NetworkParams& np = topology_.network();
+  os << "=== cluster: " << topology_.nodes() << " node(s) ===\n"
+     << "  network: link_latency=" << np.link_latency_cycles
+     << " cycles, bandwidth=" << np.bytes_per_cycle
+     << " B/cycle, mtu=" << np.mtu_bytes << " B, header="
+     << np.message_header_bytes << " B\n";
+  for (uint32_t k = 0; k < topology_.nodes(); ++k) {
+    const std::string name = net::Topology::NodeName(k);
+    os << "  " << name << ": "
+       << (health_.alive(name) ? "alive" : "DEAD") << "\n";
+  }
+  for (const auto& [tname, table] : sharded_) {
+    os << "  table '" << tname << "': " << table->num_shards()
+       << " shard(s) x " << table->num_replicas() << " replica(s), "
+       << net::PlacementToString(table->placement()) << " placement\n";
+    for (uint32_t s = 0; s < table->num_shards(); ++s) {
+      os << "    shard" << s << ":";
+      for (uint32_t j = 0; j < table->num_replicas(); ++j) {
+        const uint32_t node = topology_.NodeFor(
+            s, j, table->num_shards(), table->placement());
+        const std::string replica = tname + ".shard" + std::to_string(s) +
+                                    ".r" + std::to_string(j);
+        os << " r" << j << "@" << net::Topology::NodeName(node);
+        if (!health_.alive(replica) ||
+            !health_.alive(net::Topology::NodeName(node))) {
+          os << "(DEAD)";
+        }
+      }
+      os << "\n";
+    }
+  }
+  return os.str();
 }
 
 obs::Registry& Fabric::CollectMetrics() {

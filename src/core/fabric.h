@@ -21,6 +21,7 @@
 #include "layout/row_table.h"
 #include "mvcc/transaction.h"
 #include "mvcc/versioned_table.h"
+#include "net/topology.h"
 #include "obs/query_profile.h"
 #include "obs/registry.h"
 #include "obs/telemetry.h"
@@ -106,20 +107,27 @@ class Fabric {
 
   // --- sharded tables ---
 
-  /// Creates a range-sharded table on int64 column `key_column_name`:
-  /// `split_points` (strictly increasing, n points => n+1 shards) set
-  /// the ranges, shard i covering [split[i-1], split[i]) with open ends.
-  /// Append rows via shard::ShardedTable::Append (routed by key). SQL
-  /// over the table plans a shard fan-out: the planner prunes shards
+  /// Creates a range-sharded table on int64 column `key_column_name`,
+  /// configured by `options` (designated-initializer friendly):
+  ///
+  ///   fabric.CreateShardedTable("m", schema, "k",
+  ///                             {.splits = {1000, 2000}, .replicas = 2});
+  ///
+  /// options.splits (strictly increasing, n points => n+1 shards) set
+  /// the ranges, shard i covering [splits[i-1], splits[i]) with open
+  /// ends. Append rows via shard::ShardedTable::Append (routed by key).
+  /// SQL over the table plans a shard fan-out: the planner prunes shards
   /// from the WHERE clause's key range and the shard scheduler runs one
   /// scan per survivor in parallel (QueryOptions::max_threads sets the
-  /// simulated width). `replicas` (>= 1) sets the per-shard replication
-  /// factor for the failure-domain layer: with R > 1 a killed replica
-  /// fails over to the next live one (see docs/robustness.md).
+  /// simulated width). options.replicas (>= 1) sets the per-shard
+  /// replication factor for the failure-domain layer: with R > 1 a
+  /// killed replica fails over to the next live one (see
+  /// docs/robustness.md). options.placement chooses how shards/replicas
+  /// map onto nodes once a cluster is configured (ConfigureCluster).
   StatusOr<shard::ShardedTable*> CreateShardedTable(
       const std::string& name, layout::Schema schema,
-      const std::string& key_column_name, std::vector<int64_t> split_points,
-      uint32_t replicas = 1);
+      const std::string& key_column_name,
+      shard::ShardedTableOptions options);
 
   StatusOr<shard::ShardedTable*> GetShardedTable(const std::string& name);
 
@@ -177,15 +185,30 @@ class Fabric {
   StatusOr<query::Plan> ExplainSql(std::string_view sql,
                                    const QueryOptions& options = {});
 
-  struct AnalyzedSqlResult {
-    query::Plan plan;
-    engine::QueryResult result;
-    obs::QueryProfile profile;
-  };
+  // --- cluster / distributed fabric ---
 
-  /// Deprecated: use ExecuteSql(sql, {.analyze = true}). Thin shim kept
-  /// for source compatibility with pre-QueryOptions callers.
-  StatusOr<AnalyzedSqlResult> ExecuteSqlAnalyzed(std::string_view sql);
+  /// Switches the fabric into distributed mode (docs/scaling.md
+  /// "Distributed fabric"): `config.nodes` simulated nodes, each with
+  /// its own memory-system/RM rig, connected by a network priced by
+  /// `config.network`. Sharded-table fan-outs then run shards on the
+  /// node hosting their serving replica and ship each shard's partial
+  /// across the modeled network — as materialized rows or partial
+  /// aggregates, whichever the planner prices cheaper (ship=rows|aggs
+  /// in EXPLAIN). The one cluster entry point: topology, network
+  /// parameters and node rigs are all configured here. Reconfiguring
+  /// rebuilds the node rigs cold. Even a 1-node cluster keeps the
+  /// distributed semantics — its shard partials still pay the modeled
+  /// network. Structured kInvalidArgument on a malformed config.
+  Status ConfigureCluster(const net::ClusterConfig& config);
+
+  /// The active cluster topology; disabled (nodes() == 0) until
+  /// ConfigureCluster succeeds.
+  const net::Topology& topology() const { return topology_; }
+
+  /// Human-readable cluster view (the shell's `\cluster`): topology
+  /// summary, per sharded table the shard → node/replica placement, and
+  /// each component's health state.
+  std::string DescribeCluster() const;
 
   // --- observability ---
 
@@ -266,6 +289,7 @@ class Fabric {
   query::Planner planner_;
   query::Executor executor_;
   exec::ShardScheduler scheduler_;
+  net::Topology topology_;
   obs::Registry registry_;
   obs::Tracer tracer_;
   std::unique_ptr<obs::WorkloadTelemetry> telemetry_;

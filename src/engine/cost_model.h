@@ -48,6 +48,15 @@ struct CostModel {
   /// work is charged via agg_update_cycles on top.
   double shard_merge_task_cycles = 60.0;
 
+  // --- distributed fan-out (network shipping, src/net) ---
+  /// Packing one materialized row into a wire message on the producing
+  /// node — and, symmetrically, unpacking it at the coordinator (field
+  /// copies + length bookkeeping per referenced column group).
+  double net_serialize_row_cycles = 4.0;
+  /// Packing/unpacking one partial-aggregate value (a double slot plus
+  /// its share of the group-key bytes).
+  double net_serialize_agg_cycles = 2.0;
+
   /// Failing over from a dead shard replica to the next live one:
   /// timeout detection plus re-dispatch, charged once per dead replica
   /// skipped during replica selection. Deliberately much larger than a

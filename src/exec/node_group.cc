@@ -1,0 +1,16 @@
+#include "exec/node_group.h"
+
+#include "net/topology.h"
+
+namespace relfab::exec {
+
+NodeGroup::NodeGroup(const sim::SimParams& params, uint32_t nodes) {
+  rigs_.reserve(nodes);
+  names_.reserve(nodes);
+  for (uint32_t k = 0; k < nodes; ++k) {
+    rigs_.push_back(std::make_unique<NodeRig>(params));
+    names_.push_back(net::Topology::NodeName(k));
+  }
+}
+
+}  // namespace relfab::exec

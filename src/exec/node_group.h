@@ -1,0 +1,50 @@
+#ifndef RELFAB_EXEC_NODE_GROUP_H_
+#define RELFAB_EXEC_NODE_GROUP_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "relmem/rm_engine.h"
+#include "relstorage/rs_engine.h"
+#include "relstorage/ssd_model.h"
+#include "sim/memory_system.h"
+#include "sim/params.h"
+
+namespace relfab::exec {
+
+/// The per-node simulation stacks of a configured cluster: each
+/// simulated node owns a full rig — MemorySystem, RmEngine (the node's
+/// "smart NIC" transformer, Farview-style) and a relstorage engine —
+/// built from the same SimParams, so a shard's scan cycles are a pure
+/// function of (sim params, shard data, query) no matter which node
+/// serves it. Rigs are built eagerly at ConfigureCluster time; during a
+/// fan-out each node is driven by exactly one host worker, so the rigs
+/// need no locking.
+class NodeGroup {
+ public:
+  struct NodeRig {
+    explicit NodeRig(const sim::SimParams& params)
+        : memory(params), rm(&memory), ssd(), rs(&ssd) {}
+
+    sim::MemorySystem memory;
+    relmem::RmEngine rm;
+    relstorage::SsdModel ssd;
+    relstorage::RsEngine rs;
+  };
+
+  NodeGroup(const sim::SimParams& params, uint32_t nodes);
+
+  uint32_t size() const { return static_cast<uint32_t>(rigs_.size()); }
+  NodeRig& rig(uint32_t node) { return *rigs_[node]; }
+  const std::string& name(uint32_t node) const { return names_[node]; }
+
+ private:
+  std::vector<std::unique_ptr<NodeRig>> rigs_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace relfab::exec
+
+#endif  // RELFAB_EXEC_NODE_GROUP_H_

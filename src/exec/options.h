@@ -6,6 +6,7 @@
 #include <string_view>
 
 #include "common/statusor.h"
+#include "net/network_model.h"
 
 namespace relfab::exec {
 
@@ -61,12 +62,20 @@ struct QueryOptions {
   /// ROW and RM.
   std::optional<Backend> forced_backend = std::nullopt;
 
+  /// Overrides the planner's per-shard ship-mode choice (rows vs partial
+  /// aggregates) when a cluster is configured; both modes compute the
+  /// identical partials on the node, so this changes cycles and wire
+  /// bytes, never the answer. InvalidArgument on an unsharded plan or
+  /// without a configured cluster.
+  std::optional<net::ShipMode> forced_ship = std::nullopt;
+
   /// Width of the simulated shard fan-out: surviving shards are assigned
   /// shard-major to this many simulated workers, and the fan-out's
   /// elapsed cycles are the busiest worker plus the merge. <= 0 means
   /// one simulated worker per surviving shard (maximum parallelism).
   /// This is a *simulated* knob: host threading never changes answers or
-  /// cycles.
+  /// cycles. With a cluster configured the fan-out width is the node
+  /// count (shards run where their data lives) and this knob is unused.
   int max_threads = 0;
 
   /// Availability over completeness: when a shard has no live replica

@@ -12,11 +12,16 @@
 #include "engine/query.h"
 #include "exec/exec_context.h"
 #include "exec/options.h"
+#include "net/network_model.h"
+#include "net/topology.h"
 #include "obs/registry.h"
 #include "shard/sharded_table.h"
+#include "sim/memory_system.h"
 #include "sim/params.h"
 
 namespace relfab::exec {
+
+class NodeGroup;
 
 /// Parallel shard fan-out: runs one scan per surviving shard on a pool
 /// of host worker threads and merges the partial results shard-major.
@@ -62,6 +67,22 @@ namespace relfab::exec {
 /// QueryOptions::deadline_cycles set, shards whose simulated completion
 /// lands past the deadline are cancelled and the query fails with
 /// kDeadlineExceeded, EXPLAIN ANALYZE profile intact.
+///
+/// Distributed mode (docs/scaling.md "Distributed fabric"): after
+/// ConfigureCluster the anonymous simulated workers become *named
+/// simulated nodes*, each with its own NodeGroup rig. Shards run on the
+/// node hosting their serving replica (net::Topology placement); a node's
+/// shards run sequentially on its clock and nodes run in parallel, so the
+/// fan-out width is the node count. Each shard's partial crosses the
+/// simulated network priced by net::NetworkModel — ship=rows sends the
+/// matching rows' referenced columns, ship=aggs sends merged partial
+/// aggregates; both compute the identical partial spec, so the mode is a
+/// timing alias and answers never change. The coordinator ingests
+/// transfers serially (shard-major) and pays wire + deserialize + merge
+/// cycles on top of the slowest node. Node death ("node.kill") fails a
+/// replica over exactly like replica death; one host worker drives one
+/// node, preserving bit-identical answers AND cycles at any host thread
+/// count.
 class ShardScheduler {
  public:
   // Both out of line: Rig is incomplete here.
@@ -84,6 +105,10 @@ class ShardScheduler {
     Backend backend = Backend::kRow;
     /// Surviving shards after planner pruning, ascending.
     const std::vector<uint32_t>* shard_ids = nullptr;
+    /// Per-shard ship modes, parallel to shard_ids (planner's
+    /// rows-vs-aggs choice). Null or short = kAggs. Only consulted in
+    /// distributed mode.
+    const std::vector<net::ShipMode>* ship = nullptr;
     engine::CostModel cost;
   };
 
@@ -99,6 +124,16 @@ class ShardScheduler {
   void set_host_threads(int n) { host_threads_ = n; }
   int host_threads() const { return host_threads_; }
 
+  /// Switches the scheduler into distributed mode: builds one NodeGroup
+  /// rig per node of `topology` and routes every subsequent fan-out
+  /// through the node/network path. A disabled topology returns to the
+  /// single-host path. Reconfiguring rebuilds the rigs cold.
+  void ConfigureCluster(const net::Topology& topology);
+  const net::Topology& topology() const { return topology_; }
+
+  /// The per-node simulation rigs; nullptr outside distributed mode.
+  NodeGroup* node_group() { return nodes_.get(); }
+
   // --- lifetime counters (across all Execute calls) ---
   uint64_t queries() const { return queries_; }
   uint64_t shards_scanned() const { return shards_scanned_; }
@@ -112,8 +147,19 @@ class ShardScheduler {
   /// Shards cancelled by a cycle-domain deadline.
   uint64_t shards_cancelled() const { return shards_cancelled_; }
 
+  // --- network counters (distributed mode; zero single-host) ---
+  /// Payload bytes shipped node → coordinator (lifetime sum).
+  uint64_t net_bytes() const { return net_bytes_; }
+  uint64_t net_messages() const { return net_messages_; }
+  /// Shards whose partial shipped as materialized rows / as partial
+  /// aggregates.
+  uint64_t shards_ship_rows() const { return shards_ship_rows_; }
+  uint64_t shards_ship_aggs() const { return shards_ship_aggs_; }
+
   /// Exports "shard.*" counters and the per-shard cycle distribution
-  /// ("shard.cycles"). Idempotent (Set/assign, not Inc/Merge).
+  /// ("shard.cycles"); in distributed mode also "net.*" counters
+  /// including per-node "net.node<k>.bytes". Idempotent (Set/assign,
+  /// not Inc/Merge).
   void ExportTo(obs::Registry* registry) const;
 
  private:
@@ -124,12 +170,20 @@ class ShardScheduler {
   struct ShardRun;
 
   Rig& RigForSlot(int slot);
+  /// One shard scan on an explicit rig (worker-private or per-node).
   void RunShardTask(const Request& req, const engine::QuerySpec& partial_spec,
-                    const ExecContext& ctx, uint32_t shard_id, int slot,
+                    const ExecContext& ctx, uint32_t shard_id,
+                    sim::MemorySystem* memory, relmem::RmEngine* rm,
                     ShardRun* out);
+
+  /// The node/network fan-out path (topology_ enabled).
+  StatusOr<engine::QueryResult> ExecuteDistributed(const Request& req,
+                                                   const ExecContext& ctx);
 
   sim::SimParams sim_params_;
   int host_threads_ = 0;
+  net::Topology topology_;
+  std::unique_ptr<NodeGroup> nodes_;
 
   Mutex rig_mu_;
   /// The slot vector is guarded; each built Rig itself is worker-private
@@ -145,6 +199,14 @@ class ShardScheduler {
   uint64_t shards_failed_over_ = 0;
   uint64_t shards_unavailable_ = 0;
   uint64_t shards_cancelled_ = 0;
+  uint64_t net_bytes_ = 0;
+  uint64_t net_messages_ = 0;
+  uint64_t net_rows_shipped_ = 0;
+  uint64_t net_agg_values_shipped_ = 0;
+  uint64_t shards_ship_rows_ = 0;
+  uint64_t shards_ship_aggs_ = 0;
+  /// Lifetime payload bytes per node (index = node id).
+  std::vector<uint64_t> node_bytes_;
   obs::Histogram shard_cycles_;
 };
 

@@ -140,6 +140,9 @@ const std::vector<SiteInfo>& KnownSites() {
        "the RM transformer dies permanently (planner avoids it)"},
       {"rs.kill", FaultKind::kKill, 0,
        "the computational-SSD engine dies permanently (host scans only)"},
+      {"node.kill", FaultKind::kKill, 0,
+       "a simulated cluster node dies permanently (its replicas fail over "
+       "to other nodes)"},
   };
   return kSites;
 }

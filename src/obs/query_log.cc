@@ -24,6 +24,9 @@ Json QueryLogRecord::ToJson() const {
   doc.Set("shards_scanned", static_cast<uint64_t>(shards_scanned));
   doc.Set("shards_pruned", static_cast<uint64_t>(shards_pruned));
   doc.Set("shards_failed_over", static_cast<uint64_t>(shards_failed_over));
+  doc.Set("net_bytes", net_bytes);
+  doc.Set("shards_ship_rows", static_cast<uint64_t>(shards_ship_rows));
+  doc.Set("shards_ship_aggs", static_cast<uint64_t>(shards_ship_aggs));
   doc.Set("degraded", degraded);
   doc.Set("degradation", degradation);
   doc.Set("faults_injected", faults_injected);
@@ -95,6 +98,7 @@ Status QueryLog::ValidateRecord(const Json& record) {
       "seq",           "cycles",          "end_cycles",
       "rows_scanned",  "rows_matched",    "shards_total",
       "shards_scanned", "shards_pruned",  "shards_failed_over",
+      "net_bytes",     "shards_ship_rows", "shards_ship_aggs",
       "faults_injected", "fault_retries", "fault_fallbacks"};
   for (const char* field : kNumberFields) {
     if (!record.at(field).is_number() || record.at(field).AsNumber() < 0) {
@@ -149,6 +153,10 @@ std::string QueryLog::ToTable(size_t last_n) const {
       os << " shards=" << r.shards_scanned << "/" << r.shards_total;
       if (r.shards_failed_over > 0) {
         os << " failed_over=" << r.shards_failed_over;
+      }
+      if (r.shards_ship_rows + r.shards_ship_aggs > 0) {
+        os << " ship={rows:" << r.shards_ship_rows << ",aggs:"
+           << r.shards_ship_aggs << "} net=" << FormatCount(r.net_bytes);
       }
     }
     os << " cycles=" << FormatCount(r.cycles)

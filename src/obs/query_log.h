@@ -36,6 +36,11 @@ struct QueryLogRecord {
   uint32_t shards_scanned = 0;
   uint32_t shards_pruned = 0;
   uint32_t shards_failed_over = 0;  // dead replicas skipped (failovers)
+  /// Distributed fabric (all zero outside a configured cluster): payload
+  /// bytes shipped node → coordinator and the per-shard wire-format split.
+  uint64_t net_bytes = 0;
+  uint32_t shards_ship_rows = 0;
+  uint32_t shards_ship_aggs = 0;
   bool degraded = false;
   std::string degradation;     // cause note, empty when !degraded
   uint64_t faults_injected = 0;  // deltas over this statement

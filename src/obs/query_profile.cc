@@ -20,6 +20,12 @@ std::string QueryProfile::ToTable() const {
     if (shards_cancelled > 0) os << " cancelled=" << shards_cancelled;
     os << "\n";
   }
+  if (nodes > 0) {
+    os << "  cluster: nodes=" << nodes << " ship={rows:" << shards_ship_rows
+       << ",aggs:" << shards_ship_aggs << "} net.bytes="
+       << FormatCount(net_bytes) << " net.messages="
+       << FormatCount(net_messages) << "\n";
+  }
   if (!fallback.empty()) {
     os << "  degraded: " << fallback << "\n";
   }
@@ -55,6 +61,13 @@ Json QueryProfile::ToJson() const {
     doc.Set("shards_unavailable",
             static_cast<uint64_t>(shards_unavailable));
     doc.Set("shards_cancelled", static_cast<uint64_t>(shards_cancelled));
+  }
+  if (nodes > 0) {
+    doc.Set("nodes", static_cast<uint64_t>(nodes));
+    doc.Set("net_bytes", net_bytes);
+    doc.Set("net_messages", net_messages);
+    doc.Set("shards_ship_rows", static_cast<uint64_t>(shards_ship_rows));
+    doc.Set("shards_ship_aggs", static_cast<uint64_t>(shards_ship_aggs));
   }
   if (!fallback.empty()) doc.Set("fallback", fallback);
   Json op_list = Json::Array();

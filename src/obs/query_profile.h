@@ -59,6 +59,15 @@ struct QueryProfile {
   uint32_t shards_failed_over = 0;
   uint32_t shards_unavailable = 0;
   uint32_t shards_cancelled = 0;
+  /// Distributed-fabric accounting (all zero outside distributed mode;
+  /// nodes > 0 marks a cluster execution): cluster size, payload bytes
+  /// and messages shipped node → coordinator for this query, and how
+  /// many shards shipped materialized rows vs partial aggregates.
+  uint32_t nodes = 0;
+  uint64_t net_bytes = 0;
+  uint64_t net_messages = 0;
+  uint32_t shards_ship_rows = 0;
+  uint32_t shards_ship_aggs = 0;
   /// Non-empty when the fabric path failed mid-query and execution
   /// degraded to the host row-scan path; records why (EXPLAIN ANALYZE
   /// prints it as a "degraded:" line).

@@ -51,6 +51,9 @@ void WorkloadTelemetry::RecordStatement(const Statement& statement) {
   record.shards_scanned = statement.shards_scanned;
   record.shards_pruned = statement.shards_pruned;
   record.shards_failed_over = statement.shards_failed_over;
+  record.net_bytes = statement.net_bytes;
+  record.shards_ship_rows = statement.shards_ship_rows;
+  record.shards_ship_aggs = statement.shards_ship_aggs;
   record.degraded = statement.degraded;
   record.degradation = statement.degradation;
   record.faults_injected = statement.faults_injected;

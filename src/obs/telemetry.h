@@ -52,6 +52,10 @@ class WorkloadTelemetry {
     uint32_t shards_scanned = 0;
     uint32_t shards_pruned = 0;
     uint32_t shards_failed_over = 0;  // dead replicas skipped
+    /// Distributed fabric (zero outside a configured cluster).
+    uint64_t net_bytes = 0;
+    uint32_t shards_ship_rows = 0;
+    uint32_t shards_ship_aggs = 0;
     bool degraded = false;
     std::string degradation;
     uint64_t faults_injected = 0;  // deltas over this statement

@@ -55,6 +55,48 @@ struct KeyRange {
   void TightenHi(int64_t v) { hi = std::min(hi, v); }
 };
 
+/// System-R style selectivity of the non-shard-key conjuncts (the key
+/// range's effect is priced separately via shard-bound overlap).
+double NonKeySelectivity(const engine::QuerySpec& spec, uint32_t key_column) {
+  double sel = 1.0;
+  for (const engine::Predicate& p : spec.predicates) {
+    if (p.column == key_column) continue;
+    switch (p.op) {
+      case relmem::CompareOp::kEq:
+        sel *= 0.1;
+        break;
+      case relmem::CompareOp::kNe:
+        sel *= 0.9;
+        break;
+      default:
+        sel *= 1.0 / 3.0;
+        break;
+    }
+  }
+  return sel;
+}
+
+/// Fraction of shard `s`'s key span that overlaps the query's pruned key
+/// range. 1.0 when the shard's span is unbounded (edge shards) — no
+/// density information, so assume every row qualifies.
+double ShardOverlapFraction(const shard::ShardedTable& table, uint32_t s,
+                            int64_t key_lo, int64_t key_hi) {
+  int64_t lo = 0;
+  int64_t hi = 0;
+  table.ShardBounds(s, &lo, &hi);
+  if (lo == std::numeric_limits<int64_t>::min() ||
+      hi == std::numeric_limits<int64_t>::max()) {
+    return 1.0;
+  }
+  const double span = static_cast<double>(hi) - static_cast<double>(lo) + 1.0;
+  const double ovl_lo = std::max(static_cast<double>(lo),
+                                 static_cast<double>(key_lo));
+  const double ovl_hi = std::min(static_cast<double>(hi),
+                                 static_cast<double>(key_hi));
+  if (ovl_hi < ovl_lo) return 0.0;
+  return std::min(1.0, (ovl_hi - ovl_lo + 1.0) / span);
+}
+
 KeyRange ExtractKeyRange(const engine::QuerySpec& spec,
                          uint32_t key_column) {
   KeyRange r;
@@ -238,6 +280,77 @@ double Planner::EstimateHybrid(const TableEntry& entry,
          sim_.fabric_configure_cycles;
 }
 
+void Planner::ChooseShipModes(const shard::ShardedTable& table,
+                              const engine::QuerySpec& spec,
+                              ShardFanout* out) const {
+  out->ship.assign(out->shard_ids.size(), net::ShipMode::kAggs);
+  if (spec.aggregates.empty()) {
+    // Projection-only queries have no partial-aggregate form: the rows
+    // ARE the result, so every shard ships them.
+    out->ship.assign(out->shard_ids.size(), net::ShipMode::kRows);
+    return;
+  }
+
+  const layout::Schema& schema = table.schema();
+  const uint32_t row_bytes =
+      TotalWidth(schema, spec.ReferencedColumns(schema));
+  const uint32_t key_bytes = static_cast<uint32_t>(spec.group_by.size()) * 8;
+  // Partial slot count, mirroring the scheduler's decomposition: AVG
+  // ships as SUM plus one shared hidden COUNT denominator.
+  size_t slots = spec.aggregates.size();
+  for (const engine::AggSpec& agg : spec.aggregates) {
+    if (agg.func == engine::AggFunc::kAvg) {
+      ++slots;
+      break;
+    }
+  }
+  const bool keyed_groups =
+      std::find(spec.group_by.begin(), spec.group_by.end(),
+                table.key_column()) != spec.group_by.end();
+  const double sel = NonKeySelectivity(spec, table.key_column());
+  const net::NetworkModel netm(topology_->network(),
+                               cost_.net_serialize_row_cycles,
+                               cost_.net_serialize_agg_cycles);
+
+  for (size_t i = 0; i < out->shard_ids.size(); ++i) {
+    const uint32_t s = out->shard_ids[i];
+    const double frac =
+        ShardOverlapFraction(table, s, out->key_lo, out->key_hi);
+    const double est_rows =
+        static_cast<double>(table.shard(s).num_rows()) * frac * sel;
+    // Grouping by the shard key makes nearly every row its own group
+    // (range-sharded integer keys); other group columns are assumed
+    // low-cardinality, capped at 64 distinct values per shard.
+    double est_groups;
+    if (spec.group_by.empty()) {
+      est_groups = 1.0;
+    } else if (keyed_groups) {
+      est_groups = est_rows;
+    } else {
+      est_groups = std::min(est_rows, 64.0);
+    }
+
+    const net::Transfer rows_t = netm.ShipRows(
+        static_cast<uint64_t>(est_rows) + (est_rows > 0 ? 1 : 0), row_bytes);
+    const net::Transfer aggs_t = netm.ShipAggs(
+        static_cast<uint64_t>(est_groups) + (est_groups > 0 ? 1 : 0),
+        key_bytes, slots);
+    // Each side pays: pack on the node, wire occupancy, then per-unit
+    // unpack + merge at the coordinator (rows replay into the partial
+    // aggregates; agg values merge one CombineSlot each).
+    const double rows_cost =
+        rows_t.serialize_cycles + rows_t.wire_cycles +
+        est_rows * (cost_.net_serialize_row_cycles +
+                    static_cast<double>(slots) * cost_.agg_update_cycles);
+    const double aggs_cost =
+        aggs_t.serialize_cycles + aggs_t.wire_cycles +
+        est_groups * static_cast<double>(slots) *
+            (cost_.net_serialize_agg_cycles + cost_.agg_update_cycles);
+    out->ship[i] =
+        rows_cost < aggs_cost ? net::ShipMode::kRows : net::ShipMode::kAggs;
+  }
+}
+
 StatusOr<Plan> Planner::MakeShardedPlan(
     const ParsedQuery& parsed, const TableEntry& entry,
     const exec::QueryOptions* options) const {
@@ -255,6 +368,23 @@ StatusOr<Plan> Planner::MakeShardedPlan(
   plan.shards.key_hi = range.hi;
   if (!range.empty) {
     plan.shards.shard_ids = table.ShardsForRange(range.lo, range.hi);
+  }
+
+  const bool distributed = topology_ != nullptr && topology_->enabled();
+  if (distributed) {
+    plan.shards.distributed = true;
+    plan.shards.nodes = topology_->nodes();
+    ChooseShipModes(table, parsed.spec, &plan.shards);
+  }
+  if (options != nullptr && options->forced_ship.has_value()) {
+    if (!distributed) {
+      return Status::InvalidArgument(
+          "ship=" + std::string(net::ShipModeToString(*options->forced_ship)) +
+          " forced but no cluster is configured; call ConfigureCluster "
+          "first");
+    }
+    plan.shards.ship.assign(plan.shards.shard_ids.size(),
+                            *options->forced_ship);
   }
 
   // Surviving work: cost the two per-shard scan paths over the rows the
@@ -292,17 +422,25 @@ StatusOr<Plan> Planner::MakeShardedPlan(
     for (uint32_t s : plan.shards.shard_ids) {
       bool any_live = false;
       for (uint32_t j = 0; j < table.num_replicas() && !any_live; ++j) {
-        any_live = health_->alive(parsed.table + ".shard" +
-                                  std::to_string(s) + ".r" +
-                                  std::to_string(j));
+        bool live = health_->alive(parsed.table + ".shard" +
+                                   std::to_string(s) + ".r" +
+                                   std::to_string(j));
+        if (live && distributed) {
+          // A replica on a dead node is as dead as the replica itself.
+          const uint32_t node = topology_->NodeFor(
+              s, j, table.num_shards(), table.placement());
+          live = health_->alive(net::Topology::NodeName(node));
+        }
+        any_live = live;
       }
       if (!any_live && !allow_partial) {
         return Status::Unavailable(
             "shard " + std::to_string(s) + " of '" + parsed.table +
             "' has no live replica (" +
             std::to_string(table.num_replicas()) +
-            " replica(s) dead); set allow_partial to answer from the "
-            "survivors");
+            " replica(s) dead" +
+            (distributed ? " or on dead nodes" : "") +
+            "); set allow_partial to answer from the survivors");
       }
     }
   }
@@ -331,6 +469,17 @@ StatusOr<Plan> Planner::MakeShardedPlan(
      << plan.shards.shards_total - plan.shards.shard_ids.size()
      << " est{ROW=" << plan.est_cost_row << ", RM=" << plan.est_cost_rm
      << "}";
+  if (distributed) {
+    size_t ship_rows = 0;
+    for (net::ShipMode m : plan.shards.ship) {
+      if (m == net::ShipMode::kRows) ++ship_rows;
+    }
+    os << " nodes=" << plan.shards.nodes << " ship={rows:" << ship_rows
+       << ",aggs:" << plan.shards.ship.size() - ship_rows << "}";
+    if (options != nullptr && options->forced_ship.has_value()) {
+      os << " (ship forced)";
+    }
+  }
   if (rm_dead) os << " (rm dead: fabric path unavailable)";
   plan.explanation = os.str();
   return plan;
@@ -341,6 +490,12 @@ StatusOr<Plan> Planner::MakePlan(const ParsedQuery& parsed,
   RELFAB_ASSIGN_OR_RETURN(TableEntry entry, catalog_->Lookup(parsed.table));
   if (entry.sharded != nullptr) {
     return MakeShardedPlan(parsed, entry, options);
+  }
+  if (options != nullptr && options->forced_ship.has_value()) {
+    return Status::InvalidArgument(
+        "ship=" + std::string(net::ShipModeToString(*options->forced_ship)) +
+        " forced but table '" + parsed.table +
+        "' is not sharded; ship modes apply to distributed shard fan-outs");
   }
   RELFAB_RETURN_IF_ERROR(parsed.spec.Validate(entry.rows->schema()));
 

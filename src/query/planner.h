@@ -9,6 +9,8 @@
 #include "engine/cost_model.h"
 #include "exec/options.h"
 #include "faults/health.h"
+#include "net/network_model.h"
+#include "net/topology.h"
 #include "query/catalog.h"
 #include "query/parser.h"
 #include "sim/params.h"
@@ -34,6 +36,14 @@ struct ShardFanout {
   /// when unbounded). Informational — predicates are still evaluated.
   int64_t key_lo = 0;
   int64_t key_hi = 0;
+  /// Distributed-fabric section (set when a cluster is configured).
+  /// `ship`, parallel to shard_ids, is the planner's per-shard wire
+  /// format: ship the shard's matching rows, or its merged partial
+  /// aggregates — whichever models cheaper under the network cost
+  /// model. A timing alias: the answer is identical either way.
+  bool distributed = false;
+  uint32_t nodes = 0;
+  std::vector<net::ShipMode> ship;
 };
 
 /// An executable plan: the chosen backend plus per-path cost estimates.
@@ -87,6 +97,14 @@ class Planner {
   StatusOr<Plan> MakePlan(const ParsedQuery& parsed,
                           const exec::QueryOptions* options = nullptr) const;
 
+  /// Makes sharded planning cluster-aware: with an enabled topology the
+  /// planner prices, per surviving shard, shipping materialized rows vs
+  /// shipping partial aggregates across the modeled network and records
+  /// the cheaper mode in ShardFanout::ship. Null or a disabled topology
+  /// returns to single-host planning. The pointer is borrowed; the
+  /// caller (core::Fabric) keeps it alive.
+  void set_topology(const net::Topology* topology) { topology_ = topology; }
+
  private:
   double EstimateRow(const layout::Schema& schema, double n,
                      const engine::QuerySpec& spec) const;
@@ -108,10 +126,16 @@ class Planner {
                                  const TableEntry& entry,
                                  const exec::QueryOptions* options) const;
 
+  /// Fills ShardFanout::ship (rows vs aggs per surviving shard) from the
+  /// modeled transfer + coordinator-merge costs.
+  void ChooseShipModes(const shard::ShardedTable& table,
+                       const engine::QuerySpec& spec, ShardFanout* out) const;
+
   const Catalog* catalog_;
   sim::SimParams sim_;
   engine::CostModel cost_;
   const faults::HealthRegistry* health_;
+  const net::Topology* topology_ = nullptr;
 };
 
 }  // namespace relfab::query

@@ -6,12 +6,14 @@
 
 namespace relfab::shard {
 
-StatusOr<ShardedTable> ShardedTable::Create(
-    layout::Schema schema, uint32_t key_column,
-    std::vector<int64_t> split_points, sim::MemorySystem* memory,
-    uint32_t replicas) {
-  if (replicas < 1) {
-    return Status::InvalidArgument("replicas must be >= 1");
+StatusOr<ShardedTable> ShardedTable::Create(layout::Schema schema,
+                                            uint32_t key_column,
+                                            sim::MemorySystem* memory,
+                                            ShardedTableOptions options) {
+  if (options.replicas < 1) {
+    return Status::InvalidArgument(
+        "ShardedTableOptions.replicas must be >= 1, got " +
+        std::to_string(options.replicas));
   }
   if (key_column >= schema.num_columns()) {
     return Status::OutOfRange("shard key column out of range");
@@ -19,26 +21,30 @@ StatusOr<ShardedTable> ShardedTable::Create(
   if (schema.type(key_column) != layout::ColumnType::kInt64) {
     return Status::InvalidArgument("shard key must be an int64 column");
   }
-  for (size_t i = 1; i < split_points.size(); ++i) {
-    if (split_points[i] <= split_points[i - 1]) {
+  for (size_t i = 1; i < options.splits.size(); ++i) {
+    if (options.splits[i] <= options.splits[i - 1]) {
       return Status::InvalidArgument(
-          "split points must be strictly increasing");
+          "ShardedTableOptions.splits must be strictly increasing (splits[" +
+          std::to_string(i) + "] = " + std::to_string(options.splits[i]) +
+          " <= splits[" + std::to_string(i - 1) +
+          "] = " + std::to_string(options.splits[i - 1]) + ")");
     }
   }
   if (memory == nullptr) {
     return Status::InvalidArgument("memory system is required");
   }
-  return ShardedTable(std::move(schema), key_column, std::move(split_points),
-                      memory, replicas);
+  return ShardedTable(std::move(schema), key_column, memory,
+                      std::move(options));
 }
 
 ShardedTable::ShardedTable(layout::Schema schema, uint32_t key_column,
-                           std::vector<int64_t> split_points,
-                           sim::MemorySystem* memory, uint32_t replicas)
+                           sim::MemorySystem* memory,
+                           ShardedTableOptions options)
     : schema_(std::move(schema)),
       key_column_(key_column),
-      replicas_(replicas),
-      split_points_(std::move(split_points)) {
+      replicas_(options.replicas),
+      placement_(options.placement),
+      split_points_(std::move(options.splits)) {
   shards_.reserve(split_points_.size() + 1);
   for (size_t i = 0; i <= split_points_.size(); ++i) {
     shards_.push_back(
@@ -50,6 +56,12 @@ uint64_t ShardedTable::num_rows() const {
   uint64_t total = 0;
   for (const auto& shard : shards_) total += shard->num_rows();
   return total;
+}
+
+void ShardedTable::ShardBounds(uint32_t i, int64_t* lo, int64_t* hi) const {
+  *lo = i == 0 ? std::numeric_limits<int64_t>::min() : split_points_[i - 1];
+  *hi = i == split_points_.size() ? std::numeric_limits<int64_t>::max()
+                                  : split_points_[i] - 1;
 }
 
 uint32_t ShardedTable::ShardFor(int64_t key) const {
@@ -81,11 +93,8 @@ StatusOr<std::vector<relmem::EphemeralView>> ShardedTable::ConfigureRange(
   std::vector<relmem::EphemeralView> views;
   for (uint32_t s : ShardsForRange(lo, hi)) {
     // Shard s covers [shard_lo, shard_hi] (inclusive bounds, open ends).
-    const int64_t shard_lo = s == 0 ? std::numeric_limits<int64_t>::min()
-                                    : split_points_[s - 1];
-    const int64_t shard_hi = s == split_points_.size()
-                                 ? std::numeric_limits<int64_t>::max()
-                                 : split_points_[s] - 1;
+    int64_t shard_lo, shard_hi;
+    ShardBounds(s, &shard_lo, &shard_hi);
     relmem::Geometry g = base_geometry;
     // Residual predicates only where the request range cuts the shard.
     if (lo > shard_lo) {

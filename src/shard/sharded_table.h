@@ -8,11 +8,32 @@
 #include "common/statusor.h"
 #include "layout/row_table.h"
 #include "layout/schema.h"
+#include "net/topology.h"
 #include "relmem/ephemeral.h"
 #include "relmem/rm_engine.h"
 #include "sim/memory_system.h"
 
 namespace relfab::shard {
+
+/// Construction options for a sharded table, designated-initializer
+/// friendly so call sites read as configuration, not a positional tail:
+///
+///   fabric.CreateShardedTable("m", schema, "k",
+///                             {.splits = {1000, 2000}, .replicas = 2});
+///
+/// Validation is structured: every violated constraint is a
+/// kInvalidArgument naming the offending field.
+struct ShardedTableOptions {
+  /// Strictly increasing split points; n points create n+1 shards,
+  /// shard i covering [splits[i-1], splits[i]) with open ends.
+  std::vector<int64_t> splits;
+  /// Replication factor per shard (>= 1): timing-alias replicas the
+  /// failure-domain layer can kill and the scheduler fails over across.
+  uint32_t replicas = 1;
+  /// How shards/replicas map onto cluster nodes when a cluster is
+  /// configured (Fabric::ConfigureCluster); ignored single-host.
+  net::Placement placement = net::Placement::kRoundRobin;
+};
 
 /// Range-sharded relation (paper §III-A): horizontal partitioning is a
 /// physical-design-time decision that Relational Fabric composes with —
@@ -25,9 +46,8 @@ namespace relfab::shard {
 /// extremes; the shard key must be an int64 column.
 class ShardedTable {
  public:
-  /// `split_points` must be strictly increasing; n split points create
-  /// n+1 shards. `replicas` (>= 1) is the replication factor per shard:
-  /// replicas are *timing aliases* of the shard's single RowTable — the
+  /// Builds a sharded table from `options` (see ShardedTableOptions).
+  /// Replicas are *timing aliases* of the shard's single RowTable — the
   /// simulator has one copy of the data, and replica j of shard i is the
   /// named serving endpoint "<table>.shard<i>.r<j>" the scheduler picks
   /// (and the failure-domain layer can kill) independently. Replicating
@@ -35,9 +55,8 @@ class ShardedTable {
   /// availability semantics live entirely in replica selection.
   static StatusOr<ShardedTable> Create(layout::Schema schema,
                                        uint32_t key_column,
-                                       std::vector<int64_t> split_points,
                                        sim::MemorySystem* memory,
-                                       uint32_t replicas = 1);
+                                       ShardedTableOptions options);
 
   ShardedTable(ShardedTable&&) = default;
   ShardedTable& operator=(ShardedTable&&) = default;
@@ -49,11 +68,19 @@ class ShardedTable {
   }
   /// Replication factor (timing-alias replicas per shard, >= 1).
   uint32_t num_replicas() const { return replicas_; }
+  /// Replica → node mapping policy (consulted by net::Topology::NodeFor
+  /// when a cluster is configured).
+  net::Placement placement() const { return placement_; }
   const layout::RowTable& shard(uint32_t i) const { return *shards_[i]; }
   uint64_t num_rows() const;
 
   /// Shard that owns `key`.
   uint32_t ShardFor(int64_t key) const;
+
+  /// Inclusive key span [*lo, *hi] shard `i` covers (int64 extremes at
+  /// the open ends). The planner's ship-mode estimates use this to turn
+  /// a WHERE-clause key range into a per-shard selectivity fraction.
+  void ShardBounds(uint32_t i, int64_t* lo, int64_t* hi) const;
 
   /// Routes a packed row to its shard by the embedded key.
   void Append(const uint8_t* packed_row);
@@ -71,12 +98,12 @@ class ShardedTable {
 
  private:
   ShardedTable(layout::Schema schema, uint32_t key_column,
-               std::vector<int64_t> split_points,
-               sim::MemorySystem* memory, uint32_t replicas);
+               sim::MemorySystem* memory, ShardedTableOptions options);
 
   layout::Schema schema_;
   uint32_t key_column_;
   uint32_t replicas_;
+  net::Placement placement_;
   std::vector<int64_t> split_points_;
   std::vector<std::unique_ptr<layout::RowTable>> shards_;
 };

@@ -16,6 +16,25 @@ enum class MemClass : uint8_t {
   kFabricBuffer = 1,
 };
 
+/// Cycle-domain NIC/link model for the distributed fabric (src/net):
+/// simulated nodes exchange shard partials over point-to-point links
+/// priced per message (latency) and per byte (bandwidth). All costs are
+/// CPU cycles at the SimParams clock; the per-row/per-aggregate
+/// serialization CPU costs live in engine::CostModel. Defaults model a
+/// 10 GbE-class NIC seen from a 1.5 GHz core: ~2 us one-way latency and
+/// ~0.8 B per CPU cycle of usable bandwidth.
+struct NetworkParams {
+  /// One-way latency per message (NIC traversal + switch hop).
+  double link_latency_cycles = 3000.0;
+  /// Usable link bandwidth in payload bytes per CPU cycle.
+  double bytes_per_cycle = 0.8;
+  /// Payload bytes per message; larger transfers fragment.
+  uint32_t mtu_bytes = 4096;
+  /// Per-message framing overhead (headers, checksums) charged to the
+  /// bandwidth term on top of the payload.
+  uint32_t message_header_bytes = 48;
+};
+
 /// Calibration constants for the simulated platform. Defaults model the
 /// paper's target (Xilinx Zynq UltraScale+; 4x Cortex-A53 @1.5 GHz with
 /// 32 KB L1 / 1 MB shared L2, DDR4 behind 8 banks, RM fabric @100 MHz with
@@ -84,6 +103,12 @@ struct SimParams {
   /// One-time cost of configuring an ephemeral variable (writing the
   /// geometry descriptor registers over AXI).
   double fabric_configure_cycles = 800.0;
+
+  // --- distributed fabric (src/net) ---
+  /// Link model between simulated nodes. Only consulted when a cluster
+  /// is configured (Fabric::ConfigureCluster); the single-host fan-out
+  /// never charges network cycles.
+  NetworkParams network;
 
   /// Baseline parameters of the paper's evaluation platform.
   static SimParams ZynqA53Defaults() { return SimParams{}; }

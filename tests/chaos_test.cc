@@ -471,7 +471,9 @@ KillSoakResult RunKillSoak(const std::string& kill_spec, uint32_t replicas,
                                  {"v", ColumnType::kInt32, 0}});
   const std::vector<int64_t> splits = {1000, 2000, 3000};
   auto* sharded =
-      fabric.CreateShardedTable("readings", schema, "k", splits, replicas)
+      fabric
+          .CreateShardedTable("readings", schema, "k",
+                              {.splits = splits, .replicas = replicas})
           .value();
   RowBuilder b(&sharded->schema());
   for (int64_t k = 0; k < 4000; ++k) {

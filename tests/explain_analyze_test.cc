@@ -172,14 +172,15 @@ TEST_F(ExplainAnalyzeTest, AnalyzeOptionEndToEnd) {
   ASSERT_TRUE(plain.ok());
   EXPECT_EQ(plain->result.aggregates, analyzed->result.aggregates);
 
-  // The deprecated shim keeps working and agrees with the options path.
+  // A second analyzed run through the options path agrees with the
+  // first (ExecuteSql(sql, {.analyze = true}) is THE analyze entry
+  // point; the pre-QueryOptions ExecuteSqlAnalyzed shim is gone).
   fabric_.memory().ResetState();
-  auto shim =
-      fabric_.ExecuteSqlAnalyzed("SELECT SUM(amount) FROM events WHERE "
-                                 "kind < 3");
-  ASSERT_TRUE(shim.ok());
-  EXPECT_EQ(shim->result.aggregates, analyzed->result.aggregates);
-  EXPECT_FALSE(shim->profile.ops.empty());
+  auto again = fabric_.ExecuteSql(
+      "SELECT SUM(amount) FROM events WHERE kind < 3", {.analyze = true});
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->result.aggregates, analyzed->result.aggregates);
+  EXPECT_FALSE(again->profile.ops.empty());
 }
 
 TEST_F(ExplainAnalyzeTest, ProfilingDisabledIsBitIdentical) {

@@ -47,7 +47,8 @@ TEST(Integration, ShardedHtapWithFabricViews) {
                                 {"amount", ColumnType::kInt32, 0},
                                 {"flag", ColumnType::kInt32, 0}});
   auto table =
-      shard::ShardedTable::Create(*schema, 0, {1000, 2000, 3000}, &memory);
+      shard::ShardedTable::Create(*schema, 0, &memory,
+                                  {.splits = {1000, 2000, 3000}});
   ASSERT_TRUE(table.ok());
   RowBuilder b(&table->schema());
   Random rng(3);

@@ -53,7 +53,9 @@ void FillRow(RowBuilder* b, int64_t k) {
 std::unique_ptr<Fabric> MakeFabric(uint32_t replicas = 1) {
   auto fabric = std::make_unique<Fabric>();
   auto* sharded =
-      fabric->CreateShardedTable("m", MakeSchema(), "k", kSplits, replicas)
+      fabric
+          ->CreateShardedTable("m", MakeSchema(), "k",
+                               {.splits = kSplits, .replicas = replicas})
           .value();
   auto* flat = fabric->CreateTable("flat", MakeSchema()).value();
   RowBuilder row(&flat->schema());

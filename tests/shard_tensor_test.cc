@@ -21,8 +21,8 @@ class ShardTest : public ::testing::Test {
     auto schema = Schema::Create({{"key", ColumnType::kInt64, 0},
                                   {"value", ColumnType::kInt32, 0}});
     // Shards: (-inf,100) [100,200) [200,300) [300,+inf)
-    auto t = shard::ShardedTable::Create(*schema, 0, {100, 200, 300},
-                                         &memory_);
+    auto t = shard::ShardedTable::Create(*schema, 0, &memory_,
+                                         {.splits = {100, 200, 300}});
     RELFAB_CHECK(t.ok()) << t.status().ToString();
     table_ = std::make_unique<shard::ShardedTable>(std::move(*t));
   }
@@ -39,15 +39,20 @@ class ShardTest : public ::testing::Test {
 
 TEST_F(ShardTest, CreateValidates) {
   auto schema = Schema::Create({{"k", ColumnType::kInt32, 0}});
-  EXPECT_FALSE(
-      shard::ShardedTable::Create(*schema, 0, {1}, &memory_).ok());
+  EXPECT_FALSE(shard::ShardedTable::Create(*schema, 0, &memory_,
+                                           {.splits = {1}})
+                   .ok());
   auto ok_schema = Schema::Create({{"k", ColumnType::kInt64, 0}});
-  EXPECT_FALSE(
-      shard::ShardedTable::Create(*ok_schema, 0, {5, 5}, &memory_).ok());
-  EXPECT_FALSE(
-      shard::ShardedTable::Create(*ok_schema, 3, {5}, &memory_).ok());
-  EXPECT_TRUE(
-      shard::ShardedTable::Create(*ok_schema, 0, {}, &memory_).ok());
+  EXPECT_FALSE(shard::ShardedTable::Create(*ok_schema, 0, &memory_,
+                                           {.splits = {5, 5}})
+                   .ok());
+  EXPECT_FALSE(shard::ShardedTable::Create(*ok_schema, 3, &memory_,
+                                           {.splits = {5}})
+                   .ok());
+  EXPECT_FALSE(shard::ShardedTable::Create(*ok_schema, 0, &memory_,
+                                           {.splits = {5}, .replicas = 0})
+                   .ok());
+  EXPECT_TRUE(shard::ShardedTable::Create(*ok_schema, 0, &memory_, {}).ok());
 }
 
 TEST_F(ShardTest, RoutingByKeyRange) {

@@ -48,7 +48,7 @@ std::unique_ptr<Fabric> MakeFabric() {
     auto* table = fabric
                       ->CreateShardedTable(
                           "readings", std::move(*schema), "ts",
-                          {kRows / 4, kRows / 2, 3 * kRows / 4})
+                          {.splits = {kRows / 4, kRows / 2, 3 * kRows / 4}})
                       .value();
     RowBuilder b(&table->schema());
     for (int64_t i = 0; i < kRows; ++i) {

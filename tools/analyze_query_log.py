@@ -28,7 +28,8 @@ STRING_FIELDS = ("session", "sql", "table", "backend", "status",
                  "status_code", "degradation")
 NUMBER_FIELDS = ("seq", "cycles", "end_cycles", "rows_scanned",
                  "rows_matched", "shards_total", "shards_scanned",
-                 "shards_pruned", "shards_failed_over", "faults_injected",
+                 "shards_pruned", "shards_failed_over", "net_bytes",
+                 "shards_ship_rows", "shards_ship_aggs", "faults_injected",
                  "fault_retries", "fault_fallbacks")
 
 
@@ -93,6 +94,9 @@ def summarize(records: list) -> dict:
         "shards_scanned": sum(r["shards_scanned"] for r in records),
         "shards_pruned": sum(r["shards_pruned"] for r in records),
         "shards_failed_over": sum(r["shards_failed_over"] for r in records),
+        "net_bytes": sum(r["net_bytes"] for r in records),
+        "shards_ship_rows": sum(r["shards_ship_rows"] for r in records),
+        "shards_ship_aggs": sum(r["shards_ship_aggs"] for r in records),
         "by_status_code": {
             k: sum(1 for r in records if r["status_code"] == k)
             for k in sorted({r["status_code"] for r in records})},
@@ -119,6 +123,9 @@ def print_human(summary: dict) -> None:
     print(f"shards: scanned={summary['shards_scanned']} "
           f"pruned={summary['shards_pruned']} "
           f"failed_over={summary['shards_failed_over']}")
+    print(f"network: bytes={summary['net_bytes']} "
+          f"ship_rows={summary['shards_ship_rows']} "
+          f"ship_aggs={summary['shards_ship_aggs']}")
     codes = " ".join(f"{k}={v}" for k, v in
                      summary["by_status_code"].items())
     print(f"status codes: {codes}")

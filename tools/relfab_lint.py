@@ -71,6 +71,7 @@ CYCLE_DOMAIN_DIRS = (
     "src/engine",
     "src/exec",
     "src/shard",
+    "src/net",
 )
 
 # RELFAB_CHECK in these dirs must be an allowlisted programming-error
