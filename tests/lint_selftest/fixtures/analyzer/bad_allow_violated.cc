@@ -1,0 +1,30 @@
+// dest: src/exec/allow_violated.cc
+// expect: allow-audit
+// A stale suppression: the allow(unordered-iteration) marker promises
+// the map is lookup-only, but SumAll() range-fors over it. The audit
+// pass reports the iterating statement and names the broken marker.
+#include <unordered_map>
+
+namespace relfab {
+
+class PointCache {
+ public:
+  int Get(int key) const {
+    auto it = map_.find(key);
+    return it == map_.end() ? 0 : it->second;
+  }
+
+  long SumAll() const {
+    long sum = 0;
+    for (const auto& kv : map_) {
+      sum += kv.second;
+    }
+    return sum;
+  }
+
+ private:
+  // relfab-lint: allow(unordered-iteration) lookup-only point cache
+  std::unordered_map<int, int> map_;
+};
+
+}  // namespace relfab

@@ -1,0 +1,31 @@
+// dest: src/exec/lock_gap.cc
+// expect: lock-consistency
+// The cross-TU gap -Wthread-safety misses when the unlocked reader
+// lives in a TU that never sees the locking method: total_ is
+// RELFAB_GUARDED_BY(mu_) and Add() locks correctly, but Peek() reads
+// it with no MutexLock in scope and no RELFAB_REQUIRES annotation.
+namespace relfab {
+
+class Mutex {};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu);
+};
+
+#define RELFAB_GUARDED_BY(x)
+
+class RaceyCounter {
+ public:
+  void Add(long v) {
+    MutexLock lock(&mu_);
+    total_ += v;
+  }
+
+  long Peek() const { return total_; }
+
+ private:
+  mutable Mutex mu_;
+  long total_ RELFAB_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace relfab

@@ -1,0 +1,19 @@
+// dest: src/exec/status_unwrap.cc
+// expect: status-unwrap
+// relfab::StatusOr<T>::value() aborts the process on error, so an
+// unwrap with no dominating .ok() handling turns every recoverable
+// error into a crash. LoadRowCount() is only declared here; the
+// StatusOr return type on the local is what makes it tracked.
+namespace relfab {
+
+template <typename T>
+class StatusOr;
+
+StatusOr<long> LoadRowCount(int table_id);
+
+long RowCountOrDie(int table_id) {
+  StatusOr<long> rows = LoadRowCount(table_id);
+  return rows.value();
+}
+
+}  // namespace relfab

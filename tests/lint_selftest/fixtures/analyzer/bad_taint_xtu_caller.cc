@@ -1,0 +1,21 @@
+// dest: src/exec/xtu_caller.cc
+// expect: taint-flow
+// Cross-TU half 2: HostLanes() is defined in xtu_helper.cc and looks
+// innocent from this TU alone — only the whole-program summary pass
+// knows its return value carries host-concurrency taint. Charging
+// cycles proportional to the host core count makes the simulated cost
+// depend on which machine ran the query.
+namespace relfab {
+
+unsigned HostLanes();
+
+struct PlanStats {
+  unsigned long long total_cycles = 0;
+};
+
+void AccountParallelScan(PlanStats& stats, unsigned long long rows) {
+  unsigned lanes = HostLanes();
+  stats.total_cycles += rows / (lanes ? lanes : 1);
+}
+
+}  // namespace relfab

@@ -1,0 +1,19 @@
+// dest: src/exec/xtu_helper.cc
+// expect:
+// Cross-TU half 1: this TU only *produces* the nondeterministic value
+// (host core count) and has no sink, so no finding lands here. The
+// summary pass records that HostLanes() returns host-concurrency
+// taint; the caller in xtu_caller.cc is where the flow is reported.
+#include <thread>
+
+namespace relfab {
+
+unsigned HostLanes() {
+  unsigned n = std::thread::hardware_concurrency();
+  if (n == 0) {
+    n = 1;
+  }
+  return n;
+}
+
+}  // namespace relfab

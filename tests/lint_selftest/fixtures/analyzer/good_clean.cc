@@ -1,0 +1,28 @@
+// dest: src/exec/clean.cc
+// expect:
+// Deterministic cycle accounting and a properly handled StatusOr:
+// every rule must stay silent on this file.
+namespace relfab {
+
+template <typename T>
+class StatusOr;
+
+StatusOr<long> LoadRowCount(int table_id);
+
+struct PlanStats {
+  unsigned long long cycles = 0;
+};
+
+void ChargeScan(PlanStats& stats, unsigned long long rows) {
+  stats.cycles += rows * 3;
+}
+
+long RowCountOrZero(int table_id) {
+  StatusOr<long> rows = LoadRowCount(table_id);
+  if (!rows.ok()) {
+    return 0;
+  }
+  return rows.value();
+}
+
+}  // namespace relfab

@@ -1,0 +1,29 @@
+// dest: src/exec/taint_seeded.cc
+// expect:
+// Sanitization by construction: a relfab::Random seeded from plan
+// state is deterministic, so values drawn from it carry no taint and
+// may legally feed cycle accounting. The analyzer must stay silent.
+namespace relfab {
+
+class Random {
+ public:
+  explicit Random(unsigned long long seed) : state_(seed) {}
+  unsigned long long Next() {
+    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state_ >> 33;
+  }
+
+ private:
+  unsigned long long state_;
+};
+
+struct ScanStats {
+  unsigned long long cycles = 0;
+};
+
+void JitterScan(ScanStats& stats, unsigned long long plan_seed) {
+  Random rng(plan_seed);
+  stats.cycles += rng.Next() % 7;
+}
+
+}  // namespace relfab

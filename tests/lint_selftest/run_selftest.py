@@ -1,21 +1,36 @@
 #!/usr/bin/env python3
-"""Self-test for tools/relfab_lint.py (registered as ctest lint_selftest).
+"""Self-test for the static-analysis layer (ctest lint_selftest).
 
-Two halves:
+Covers both tools — the regex linter (tools/relfab_lint.py) and the
+AST analyzer (tools/relfab_analyzer/) — in four halves:
 
-1. Detection: every fixture under fixtures/ is staged into a temporary
-   fake repo at the path named by its `// dest:` line (dir-scoped rules
-   like unordered-iteration and data-check only fire in specific
-   directories), the linter runs over the fake tree, and the set of
-   rules reported per file must equal the fixture's `// expect:` line.
-   A fixture expecting nothing (good_allowlisted) proves the allowlist
-   works; bad_bare_allow proves a reason-less marker both reports
-   itself and suppresses nothing.
+1. Linter detection: every fixture directly under fixtures/ is staged
+   into a temporary fake repo at the path named by its `// dest:` line
+   (dir-scoped rules like unordered-iteration and data-check only fire
+   in specific directories), the linter runs over the fake tree, and
+   the set of rules reported per file must equal the fixture's
+   `// expect:` line. A fixture expecting nothing (good_allowlisted)
+   proves the allowlist works; bad_bare_allow proves a reason-less
+   marker both reports itself and suppresses nothing.
 
-2. Cleanliness: the linter runs in --strict mode over the real tree and
-   must exit 0 — the repo stays lint-clean at all times.
+2. Linter cleanliness: the linter runs in --strict mode over the real
+   tree and must exit 0 — the repo stays lint-clean at all times.
+
+3. Analyzer detection: fixtures under fixtures/analyzer/ are staged
+   the same way (including a synthetic compile_commands.json so the
+   compile-database path is exercised) and analyzed with the baseline
+   disabled. Per-file rule sets must match `// expect:`; the good_*
+   fixtures prove taint sanitization (seeded relfab::Random) and
+   handled StatusOr unwraps stay silent, and the xtu_* pair proves
+   the cross-TU summary propagates taint between translation units.
+
+4. Analyzer cleanliness: the analyzer runs in --strict mode over the
+   real tree against the committed baseline
+   (tools/relfab_analyzer/baseline.json) and must exit 0 — new
+   findings fail, baseline-accepted ones do not.
 """
 
+import json
 import os
 import re
 import shutil
@@ -26,7 +41,10 @@ import tempfile
 SELFTEST_DIR = os.path.dirname(os.path.abspath(__file__))
 REPO_ROOT = os.path.dirname(os.path.dirname(SELFTEST_DIR))
 LINTER = os.path.join(REPO_ROOT, "tools", "relfab_lint.py")
+ANALYZER = os.path.join(REPO_ROOT, "tools", "relfab_analyzer",
+                        "analyze.py")
 FIXTURES = os.path.join(SELFTEST_DIR, "fixtures")
+ANALYZER_FIXTURES = os.path.join(FIXTURES, "analyzer")
 
 VIOLATION_RE = re.compile(r"^(?P<path>[^:]+):(?P<line>\d+): \[(?P<rule>[a-z-]+)\]")
 
@@ -48,55 +66,119 @@ def parse_fixture_header(path):
     return dest, expect
 
 
+def stage_fixtures(fixture_dir, tmp):
+    """Copies each fixture to its `// dest:` path under tmp; returns
+    {dest: expected rule set}."""
+    expected_by_dest = {}
+    for name in sorted(os.listdir(fixture_dir)):
+        src = os.path.join(fixture_dir, name)
+        if os.path.isdir(src):
+            continue
+        dest, expect = parse_fixture_header(src)
+        staged = os.path.join(tmp, dest)
+        os.makedirs(os.path.dirname(staged), exist_ok=True)
+        shutil.copyfile(src, staged)
+        expected_by_dest[dest] = expect
+    return expected_by_dest
+
+
+def check_tool(cmd, expected_by_dest, label, failures):
+    """Runs a findings-emitting tool over a staged tree and compares the
+    per-file rule sets against expectations. Returns the process."""
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    reported = {}
+    for line in proc.stdout.splitlines():
+        m = VIOLATION_RE.match(line)
+        if m:
+            reported.setdefault(m.group("path"), set()).add(m.group("rule"))
+
+    for dest, expect in sorted(expected_by_dest.items()):
+        got = reported.get(dest, set())
+        if got != expect:
+            failures.append(f"{label}: {dest}: expected rules "
+                            f"{sorted(expect)}, got {sorted(got)}")
+
+    any_expected = any(expected_by_dest.values())
+    if any_expected and proc.returncode == 0:
+        failures.append(f"{label}: --strict exited 0 although fixtures "
+                        f"contain violations")
+    return proc
+
+
+def write_compile_db(tmp):
+    """Synthesizes a compile_commands.json for the staged .cc files so
+    the analyzer exercises its compile-database discovery path."""
+    entries = []
+    for dirpath, _, filenames in os.walk(os.path.join(tmp, "src")):
+        for fname in sorted(filenames):
+            if fname.endswith(".cc"):
+                path = os.path.join(dirpath, fname)
+                entries.append({
+                    "directory": tmp,
+                    "arguments": ["c++", "-std=c++17", "-I" + tmp, "-c",
+                                  os.path.relpath(path, tmp)],
+                    "file": path,
+                })
+    db_dir = os.path.join(tmp, "build")
+    os.makedirs(db_dir, exist_ok=True)
+    db = os.path.join(db_dir, "compile_commands.json")
+    with open(db, "w", encoding="utf-8") as f:
+        json.dump(entries, f, indent=1)
+    return db
+
+
 def main():
     failures = []
-    fixtures = sorted(os.listdir(FIXTURES))
-    if not fixtures:
-        raise SystemExit("no fixtures found")
 
+    # Half 1: linter fixture detection.
     with tempfile.TemporaryDirectory(prefix="relfab_lint_selftest_") as tmp:
-        expected_by_dest = {}
-        for name in fixtures:
-            src = os.path.join(FIXTURES, name)
-            dest, expect = parse_fixture_header(src)
-            staged = os.path.join(tmp, dest)
-            os.makedirs(os.path.dirname(staged), exist_ok=True)
-            shutil.copyfile(src, staged)
-            expected_by_dest[dest] = expect
+        expected = stage_fixtures(FIXTURES, tmp)
+        if not expected:
+            raise SystemExit("no linter fixtures found")
+        n_lint = len(expected)
+        check_tool([sys.executable, LINTER, "--strict", "--root", tmp],
+                   expected, "linter", failures)
 
-        proc = subprocess.run(
-            [sys.executable, LINTER, "--strict", "--root", tmp],
-            capture_output=True, text=True)
-        reported = {}
-        for line in proc.stdout.splitlines():
-            m = VIOLATION_RE.match(line)
-            if m:
-                reported.setdefault(m.group("path"), set()).add(m.group("rule"))
-
-        for dest, expect in sorted(expected_by_dest.items()):
-            got = reported.get(dest, set())
-            if got != expect:
-                failures.append(
-                    f"{dest}: expected rules {sorted(expect)}, got {sorted(got)}")
-
-        any_expected = any(expected_by_dest.values())
-        if any_expected and proc.returncode == 0:
-            failures.append(
-                "--strict exited 0 although fixtures contain violations")
-
-    # Half 2: the real tree must be clean.
+    # Half 2: the real tree must be lint-clean.
     proc = subprocess.run(
         [sys.executable, LINTER, "--strict", "--root", REPO_ROOT],
         capture_output=True, text=True)
     if proc.returncode != 0:
         failures.append("real tree is not lint-clean:\n" + proc.stdout)
 
+    # Half 3: analyzer fixture detection (baseline disabled so every
+    # staged finding counts as new).
+    n_analyzer = 0
+    if os.path.isdir(ANALYZER_FIXTURES):
+        with tempfile.TemporaryDirectory(
+                prefix="relfab_analyzer_selftest_") as tmp:
+            expected = stage_fixtures(ANALYZER_FIXTURES, tmp)
+            if not expected:
+                raise SystemExit("no analyzer fixtures found")
+            n_analyzer = len(expected)
+            db = write_compile_db(tmp)
+            check_tool([sys.executable, ANALYZER, "--strict",
+                        "--root", tmp, "--compile-db", db,
+                        "--baseline", "none"],
+                       expected, "analyzer", failures)
+
+    # Half 4: the real tree must be analyzer-clean modulo the committed
+    # baseline.
+    proc = subprocess.run(
+        [sys.executable, ANALYZER, "--strict", "--root", REPO_ROOT],
+        capture_output=True, text=True)
+    if proc.returncode != 0:
+        failures.append(
+            "real tree has analyzer findings not in baseline.json:\n"
+            + proc.stdout)
+
     if failures:
         print("lint_selftest FAILED:")
         for f in failures:
             print("  " + f)
         return 1
-    print(f"lint_selftest OK: {len(fixtures)} fixtures, real tree clean")
+    print(f"lint_selftest OK: {n_lint} linter fixtures, "
+          f"{n_analyzer} analyzer fixtures, real tree clean")
     return 0
 
 

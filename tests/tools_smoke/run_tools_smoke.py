@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Smoke test for every CLI under tools/ (registered as ctest tools_smoke).
+
+Runs each tool against tiny committed inputs in data/ and asserts it
+exits cleanly (plus one negative case per gating tool, proving the gate
+actually rejects bad input). A final coverage check fails the test when
+a new tools/*.py appears without a smoke invocation here — keeping the
+tool surface exercised is the whole point of this test.
+
+Everything runs off committed files; no build outputs are required, so
+this is safe as a tier-1 ctest.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+SMOKE_DIR = os.path.dirname(os.path.abspath(__file__))
+REPO_ROOT = os.path.dirname(os.path.dirname(SMOKE_DIR))
+TOOLS = os.path.join(REPO_ROOT, "tools")
+DATA = os.path.join(SMOKE_DIR, "data")
+GOLDEN = os.path.join(REPO_ROOT, "bench", "golden",
+                      "ablation_selection.json")
+
+failures = []
+covered = set()
+
+
+def tool(name):
+    covered.add(name)
+    return os.path.join(TOOLS, name)
+
+
+def run(label, cmd, expect_rc=0):
+    proc = subprocess.run([sys.executable] + cmd,
+                          capture_output=True, text=True)
+    if proc.returncode != expect_rc:
+        failures.append(
+            f"{label}: expected rc {expect_rc}, got {proc.returncode}\n"
+            f"  stdout: {proc.stdout.strip()[:400]}\n"
+            f"  stderr: {proc.stderr.strip()[:400]}")
+    return proc
+
+
+def main():
+    qlog = os.path.join(DATA, "qlog_small.jsonl")
+    qlog_bad = os.path.join(DATA, "qlog_malformed.jsonl")
+    base = os.path.join(DATA, "degradation_baseline.json")
+    armed = os.path.join(DATA, "degradation_armed.json")
+    chaos = os.path.join(DATA, "chaos_report.json")
+
+    with tempfile.TemporaryDirectory(prefix="relfab_tools_smoke_") as tmp:
+        # analyze_query_log: summary JSON over a valid log, then the
+        # strict gate must reject a malformed record.
+        proc = run("analyze_query_log",
+                   [tool("analyze_query_log.py"), "--strict", "--json",
+                    qlog])
+        if proc.returncode == 0:
+            summary = json.loads(proc.stdout)
+            if summary.get("statements") != 3 or summary.get("errors") != 1:
+                failures.append(f"analyze_query_log: bad summary "
+                                f"{proc.stdout[:200]}")
+        run("analyze_query_log --strict rejects malformed",
+            [tool("analyze_query_log.py"), "--strict", qlog_bad],
+            expect_rc=1)
+
+        # validate_bench_json over a committed golden report and the
+        # smoke pair, then compare a report against itself.
+        run("validate_bench_json",
+            [tool("validate_bench_json.py"), GOLDEN, base, armed, chaos])
+        run("compare_bench_json",
+            [tool("compare_bench_json.py"), GOLDEN, GOLDEN])
+        run("compare_bench_json detects drift",
+            [tool("compare_bench_json.py"), base, armed], expect_rc=1)
+        run("compare_workload_reports",
+            [tool("compare_workload_reports.py"), GOLDEN, GOLDEN])
+
+        # Fault-tolerance gates.
+        run("check_degradation",
+            [tool("check_degradation.py"), base, armed])
+        run("check_degradation rejects swapped pair",
+            [tool("check_degradation.py"), armed, base], expect_rc=1)
+        run("check_availability",
+            [tool("check_availability.py"), "--min-answered", "0.95",
+             "--max-unavailable", "0.05", chaos])
+        run("check_availability enforces floor",
+            [tool("check_availability.py"), "--min-answered", "0.99",
+             chaos], expect_rc=1)
+
+        # Static analysis tools: lint one real file, analyze one real
+        # file, both with --json into the temp dir.
+        lint_json = os.path.join(tmp, "lint.json")
+        run("relfab_lint --json",
+            [tool("relfab_lint.py"), "--root", REPO_ROOT, "--json",
+             lint_json, "src/common/statusor.h"])
+        an_json = os.path.join(tmp, "analyzer.json")
+        run("relfab_analyzer --json",
+            [os.path.join(TOOLS, "relfab_analyzer", "analyze.py"),
+             "--root", REPO_ROOT, "--frontend", "internal",
+             "--baseline", "none", "--json", an_json,
+             "src/common/statusor.h"])
+        covered.add("relfab_analyzer/analyze.py")
+        for path, expect_tool in ((lint_json, "relfab_lint"),
+                                  (an_json, "relfab_analyzer")):
+            if os.path.exists(path):
+                with open(path, encoding="utf-8") as f:
+                    doc = json.load(f)
+                if doc.get("tool") != expect_tool \
+                        or doc.get("schema_version") != 1 \
+                        or "findings" not in doc:
+                    failures.append(f"{expect_tool}: bad findings JSON "
+                                    f"schema in {path}")
+            else:
+                failures.append(f"{expect_tool}: --json wrote nothing")
+
+    # Coverage: every tools/*.py must have been exercised above.
+    present = {name for name in os.listdir(TOOLS)
+               if name.endswith(".py")}
+    missing = present - covered
+    if missing:
+        failures.append(
+            f"tools with no smoke invocation: {sorted(missing)} "
+            f"(add them to tests/tools_smoke/run_tools_smoke.py)")
+
+    if failures:
+        print("tools_smoke FAILED:")
+        for f in failures:
+            print("  " + f)
+        return 1
+    print(f"tools_smoke OK: {len(covered)} tools exercised")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,196 @@
+"""libclang frontend (clang.cindex) for the relfab analyzer.
+
+Used when the Python clang bindings and a matching libclang shared
+library are available (the CI static-analysis job pins and installs
+both; see .github/workflows/ci.yml). Structure facts — class
+definitions, field declarations and their RELFAB_GUARDED_BY
+annotations, function definitions with parameter types and accurate
+extents — come from libclang cursors driven off compile_commands.json
+flags, which makes them robust to constructs the internal parser only
+approximates (templates, attributes, operator overloads).
+
+Statement lowering reuses the shared statement grammar
+(cppmodel.parse_block) over each function's *exact* body extent as
+reported by libclang, so both frontends produce byte-identical IR
+statement streams for identical bodies and every downstream pass is
+frontend-agnostic. Any per-TU failure (parse error, missing header,
+binding/library skew) raises ClangFrontendError and the driver falls
+back to the internal frontend for that TU — findings are always
+produced, never silently dropped.
+"""
+
+import os
+
+from . import cppmodel
+from .ir import Block, ClassInfo, Function, Member, Param, TranslationUnit
+
+
+class ClangFrontendError(Exception):
+    pass
+
+
+_index = None
+
+
+def load(libclang_path=None):
+    """Initializes clang.cindex once; raises ClangFrontendError if the
+    bindings or the shared library are unavailable."""
+    global _index
+    if _index is not None:
+        return _index
+    try:
+        from clang import cindex
+    except ImportError as e:
+        raise ClangFrontendError(f"python clang bindings not found: {e}")
+    try:
+        if libclang_path:
+            cindex.Config.set_library_file(libclang_path)
+        elif os.environ.get("RELFAB_LIBCLANG"):
+            cindex.Config.set_library_file(os.environ["RELFAB_LIBCLANG"])
+        _index = cindex.Index.create()
+    except Exception as e:  # cindex raises LibclangError and friends
+        raise ClangFrontendError(f"libclang unavailable: {e}")
+    return _index
+
+
+def _filter_args(arguments):
+    """compile_commands arguments -> clang frontend args (drop compiler,
+    -c/-o pairs and the input file)."""
+    args = []
+    skip_next = False
+    for i, a in enumerate(arguments[1:]):
+        if skip_next:
+            skip_next = False
+            continue
+        if a in ("-c", "-o"):
+            skip_next = (a == "-o")
+            continue
+        if a.endswith((".cc", ".cpp", ".o")):
+            continue
+        args.append(a)
+    return args
+
+
+def _guarded_by_from_tokens(cursor):
+    toks = [t.spelling for t in cursor.get_tokens()]
+    for i, t in enumerate(toks):
+        if t in ("RELFAB_GUARDED_BY", "RELFAB_PT_GUARDED_BY"):
+            for t2 in toks[i + 1:]:
+                if t2 not in ("(",):
+                    return t2 if t2 != ")" else None
+    return None
+
+
+def _requires_from_tokens(cursor):
+    req = set()
+    toks = [t.spelling for t in cursor.get_tokens()]
+    for i, t in enumerate(toks):
+        if t in ("RELFAB_REQUIRES", "RELFAB_ACQUIRE"):
+            j = i + 1
+            while j < len(toks) and toks[j] != ")":
+                if toks[j] not in ("(", ","):
+                    req.add(toks[j])
+                j += 1
+        if t == "{":
+            break
+    return req
+
+
+def parse_file(abs_path, rel_path, entry, root):
+    """Parses one TU with libclang; raises ClangFrontendError on any
+    problem so the caller can fall back to the internal frontend."""
+    from clang import cindex
+
+    index = load()
+    args = _filter_args(entry["arguments"]) if entry and entry.get(
+        "arguments") else ["-std=c++17", "-I" + root]
+    try:
+        cursor_tu = index.parse(abs_path, args=args)
+    except Exception as e:
+        raise ClangFrontendError(f"parse failed for {rel_path}: {e}")
+    fatal = [d for d in cursor_tu.diagnostics if d.severity >= 4]
+    if fatal:
+        raise ClangFrontendError(
+            f"fatal diagnostics for {rel_path}: {fatal[0].spelling}")
+
+    with open(abs_path, encoding="utf-8", errors="replace") as f:
+        text = f.read()
+
+    tu = TranslationUnit(path=rel_path, frontend="clang")
+    K = cindex.CursorKind
+
+    def in_this_file(c):
+        return (c.location.file is not None
+                and os.path.samefile(str(c.location.file), abs_path))
+
+    def class_name_of(c):
+        sem = c.semantic_parent
+        if sem is not None and sem.kind in (K.CLASS_DECL, K.STRUCT_DECL,
+                                            K.CLASS_TEMPLATE):
+            return sem.spelling
+        return None
+
+    def visit(c):
+        for child in c.get_children():
+            if not in_this_file(child):
+                continue
+            kind = child.kind
+            if kind in (K.NAMESPACE, K.LINKAGE_SPEC):
+                visit(child)
+            elif kind in (K.CLASS_DECL, K.STRUCT_DECL, K.CLASS_TEMPLATE) \
+                    and child.is_definition():
+                name = child.spelling
+                cls = tu.classes.setdefault(
+                    name, ClassInfo(name=name, file=rel_path,
+                                    line=child.location.line))
+                for m in child.get_children():
+                    if m.kind == K.FIELD_DECL:
+                        cls.members[m.spelling] = Member(
+                            name=m.spelling,
+                            type_text=m.type.spelling,
+                            guarded_by=_guarded_by_from_tokens(m),
+                            line=m.location.line,
+                            file=rel_path)
+                visit(child)
+            elif kind in (K.FUNCTION_DECL, K.CXX_METHOD, K.CONSTRUCTOR,
+                          K.DESTRUCTOR, K.FUNCTION_TEMPLATE) \
+                    and child.is_definition():
+                tu.functions.append(lower_function(child))
+
+    def lower_function(c):
+        cls = class_name_of(c)
+        params = [Param(type_text=a.type.spelling, name=a.spelling or "")
+                  for a in c.get_arguments()]
+        body = None
+        for ch in c.get_children():
+            if ch.kind == K.COMPOUND_STMT:
+                body = ch
+        block = Block()
+        if body is not None:
+            start = body.extent.start
+            end = body.extent.end
+            # Slice the exact body text and keep absolute line numbers
+            # by padding with newlines, then reuse the shared statement
+            # grammar.
+            body_text = text[start.offset + 1:end.offset - 1] \
+                if end.offset - 1 > start.offset + 1 else ""
+            padded = "\n" * (start.line - 1) + body_text
+            toks = cppmodel.tokenize(cppmodel.scrub(padded))
+            block = cppmodel.parse_block(toks, 0, len(toks))
+        qual = f"{cls}::{c.spelling}" if cls else c.spelling
+        fn = Function(
+            name=c.spelling, qual_name=qual, cls=cls,
+            return_type=c.result_type.spelling
+            if c.kind not in (K.CONSTRUCTOR, K.DESTRUCTOR) else "",
+            params=params,
+            body=block,
+            requires=_requires_from_tokens(c),
+            line=c.location.line, file=rel_path,
+            is_ctor_dtor=c.kind in (K.CONSTRUCTOR, K.DESTRUCTOR))
+        return fn
+
+    try:
+        visit(cursor_tu.cursor)
+    except Exception as e:
+        raise ClangFrontendError(f"cursor walk failed for {rel_path}: {e}")
+    return tu

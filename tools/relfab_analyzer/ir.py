@@ -1,0 +1,133 @@
+"""Frontend-neutral IR for the relfab analyzer.
+
+Both frontends (internal parser and libclang) lower C++ translation
+units into this deliberately small model. It is *not* a faithful AST:
+expressions keep only the facts the analyses consume — identifiers
+read, member chains read, and calls made — and statements keep only
+their kind, target, and nesting. Anything a frontend cannot classify
+becomes kind 'other' with a best-effort expression, which keeps every
+pass conservative rather than wrong.
+"""
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class Call:
+    """One call expression: `base.callee(args)` / `callee(args)`."""
+    callee: str                 # last identifier: "ChargeCompute", "value"
+    base: str                   # receiver chain text: "mem", "ctx.digests" ("" if free)
+    qual: str                   # full spelled path: "std::this_thread::get_id"
+    args: list = field(default_factory=list)   # list[Expr]
+    line: int = 0
+
+
+@dataclass
+class Expr:
+    """Flattened expression facts for one token region."""
+    idents: set = field(default_factory=set)    # plain identifiers read
+    members: set = field(default_factory=set)   # member chains "a.b" (normalized -> .)
+    calls: list = field(default_factory=list)   # list[Call], outermost first
+    text: str = ""                              # raw-ish source text (diagnostics)
+    line: int = 0
+
+    def all_calls(self):
+        """All calls including nested argument calls."""
+        out = []
+        stack = list(self.calls)
+        while stack:
+            c = stack.pop()
+            out.append(c)
+            for a in c.args:
+                stack.extend(a.calls)
+        return out
+
+
+# Statement kinds:
+#   decl      target (declared name), decl_type, expr (initializer or None)
+#   assign    target (lhs chain), op ('=', '+=', ...), expr (rhs)
+#   call      expr (expression statement, usually one call)
+#   return    expr (may be None)
+#   rangefor  target (loop variable), expr (container), body (Block)
+#   if/loop   expr (condition), body (Block), else_body (Block or None)
+#   block     body only (bare scope)
+#   other     expr (unclassified statement, conservatively scanned)
+@dataclass
+class Statement:
+    kind: str
+    line: int = 0
+    target: Optional[str] = None
+    decl_type: Optional[str] = None
+    op: Optional[str] = None
+    expr: Optional[Expr] = None
+    body: Optional["Block"] = None
+    else_body: Optional["Block"] = None
+
+
+@dataclass
+class Block:
+    statements: list = field(default_factory=list)  # list[Statement]
+
+    def walk(self):
+        """Yields every statement, depth-first, in source order."""
+        for st in self.statements:
+            yield st
+            if st.body is not None:
+                yield from st.body.walk()
+            if st.else_body is not None:
+                yield from st.else_body.walk()
+
+
+@dataclass
+class Param:
+    type_text: str
+    name: str
+
+
+@dataclass
+class Function:
+    name: str                   # unqualified: "Execute"
+    qual_name: str              # best effort: "ShardScheduler::Execute"
+    cls: Optional[str]          # enclosing/owning class name or None
+    return_type: str            # textual return type ("" for ctors)
+    params: list = field(default_factory=list)      # list[Param]
+    body: Block = field(default_factory=Block)
+    requires: set = field(default_factory=set)      # RELFAB_REQUIRES(mu) names
+    line: int = 0
+    file: str = ""
+    is_ctor_dtor: bool = False
+
+    def param_index(self, name: str):
+        for i, p in enumerate(self.params):
+            if p.name == name:
+                return i
+        return None
+
+
+@dataclass
+class Member:
+    name: str
+    type_text: str
+    guarded_by: Optional[str] = None
+    line: int = 0
+    file: str = ""
+
+
+@dataclass
+class ClassInfo:
+    name: str
+    members: dict = field(default_factory=dict)     # name -> Member
+    file: str = ""
+    line: int = 0
+
+
+@dataclass
+class TranslationUnit:
+    path: str                   # repo-relative, '/'-separated
+    functions: list = field(default_factory=list)   # list[Function]
+    classes: dict = field(default_factory=dict)     # name -> ClassInfo
+    frontend: str = "internal"
+
+
+UNORDERED_TYPE_RE_TEXT = r"std\s*::\s*unordered_(map|set|multimap|multiset)"

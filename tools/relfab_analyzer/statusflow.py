@@ -1,0 +1,115 @@
+"""Status-flow: StatusOr unwraps with no dominating ok() check.
+
+relfab::StatusOr<T>::value() aborts the process when the wrapped
+Status is an error (src/common/statusor.h), so every unwrap must sit
+on a path where the error branch has already been handled. This pass
+flags unwraps (.value(), operator*, operator->) of a StatusOr-typed
+local whose function contains *no* prior handling of that value:
+
+  handled means an earlier `.ok()` / `.status()` inspection of the same
+  variable, a RELFAB_ASSIGN_OR_RETURN / RELFAB_RETURN_IF_ERROR macro
+  mentioning it, or a RELFAB_CHECK(x.ok()) crash-on-purpose assertion.
+
+The dominance test is linear (any handling earlier in the function
+counts), which is deliberately weaker than a real CFG dominance check:
+it keeps false positives near zero while still catching the bug class
+— a fresh unwrap with the error branch assumed unreachable by
+construction. StatusOr return types are resolved cross-TU through the
+summary map, so `auto r = CallThatReturnsStatusOr();` is tracked too.
+"""
+
+import re
+
+from .findings import Finding
+
+STATUSOR_TYPE_RE = re.compile(r"\bStatusOr\s*<")
+HANDLING_CALLEES = {"ok", "status"}
+HANDLING_MACROS = {"RELFAB_ASSIGN_OR_RETURN", "RELFAB_RETURN_IF_ERROR",
+                   "RELFAB_CHECK", "RELFAB_CHECK_OK", "RELFAB_DCHECK",
+                   "ASSERT_TRUE", "EXPECT_TRUE", "ASSERT_OK", "EXPECT_OK"}
+
+
+def _base_var(call):
+    """`x.value()` / `std::move(x).value()` -> 'x' (best effort)."""
+    base = call.base
+    if base:
+        head = base.split(".")[0].split("::")[-1]
+        if head:
+            return head
+    for a in call.args:
+        for inner in a.calls:
+            if inner.callee == "move" and inner.args:
+                ids = inner.args[0].idents
+                if len(ids) == 1:
+                    return next(iter(ids))
+    return None
+
+
+class StatusFlowPass:
+    def __init__(self, program, allow_index, returns_statusor):
+        self.program = program
+        self.allow = allow_index
+        self.returns_statusor = returns_statusor  # set of callee names
+        self.findings = []
+
+    def run(self):
+        for fn in self.program.functions:
+            self._check_function(fn)
+        return self.findings
+
+    def _check_function(self, fn):
+        statusor_vars = set()
+        handled = set()
+        # moves through std::move(x).value() in return statements etc.
+        events = []  # (line, kind, var) in source order
+
+        for st in fn.body.walk():
+            if st.kind == "decl" and st.target:
+                t = st.decl_type or ""
+                is_so = bool(STATUSOR_TYPE_RE.search(t))
+                if not is_so and "auto" in t.split() and st.expr is not None:
+                    for call in st.expr.all_calls():
+                        if call.callee in self.returns_statusor:
+                            is_so = True
+                            break
+                if is_so:
+                    statusor_vars.add(st.target)
+            if st.expr is None:
+                continue
+            for call in st.expr.all_calls():
+                var = _base_var(call)
+                if call.callee in HANDLING_CALLEES and var:
+                    events.append((st.line, "handle", var))
+                elif call.callee in HANDLING_MACROS:
+                    for a in call.args:
+                        for ident in a.idents:
+                            events.append((st.line, "handle", ident))
+                        for inner in a.all_calls():
+                            v = _base_var(inner)
+                            if v:
+                                events.append((st.line, "handle", v))
+                elif call.callee == "value" and var:
+                    events.append((st.line, "unwrap", var))
+            # operator-> unwrap: member chain rooted at a StatusOr var.
+            for chain in st.expr.members:
+                head = chain.split(".")[0]
+                if head in statusor_vars and not chain.endswith(
+                        (".ok", ".status", ".value")):
+                    events.append((st.line, "unwrap", head))
+
+        for line, kind, var in sorted(events, key=lambda e: e[0]):
+            if var not in statusor_vars:
+                continue
+            if kind == "handle":
+                handled.add(var)
+            elif kind == "unwrap" and var not in handled:
+                handled.add(var)  # report once per variable
+                if self.allow.allowed(fn.file, line, "status-unwrap"):
+                    continue
+                self.findings.append(Finding(
+                    fn.file, line, "status-unwrap",
+                    f"StatusOr '{var}' unwrapped with no prior .ok() / "
+                    f".status() handling in {fn.qual_name}(); value() "
+                    f"aborts on error — handle the error branch or "
+                    f"propagate with RELFAB_ASSIGN_OR_RETURN",
+                    symbol=fn.qual_name))

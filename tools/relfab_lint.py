@@ -333,6 +333,9 @@ def main(argv):
         help="repo root (default: parent of tools/)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print rule names and exit")
+    parser.add_argument("--json", dest="json_out", default=None,
+                        help="write machine-readable findings JSON "
+                             "(schema shared with tools/relfab_analyzer)")
     parser.add_argument("paths", nargs="*",
                         help="explicit files to lint (default: "
                              "src/ bench/ tests/)")
@@ -351,6 +354,16 @@ def main(argv):
 
     for v in violations:
         print(v)
+    if args.json_out:
+        # Reuse the analyzer's findings module so both tools emit the
+        # exact same JSON schema (and fingerprint algorithm).
+        sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+        from relfab_analyzer import findings as findings_mod
+        findings_mod.write_json(
+            args.json_out, "relfab_lint", os.path.abspath(args.root),
+            n_files,
+            [findings_mod.Finding(v.path, v.line_no, v.rule, v.message)
+             for v in violations])
     tag = "STRICT " if args.strict else ""
     print(f"relfab_lint: {tag}{n_files} files, "
           f"{len(violations)} violation(s)", file=sys.stderr)
